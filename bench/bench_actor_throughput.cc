@@ -1,0 +1,99 @@
+// Microbenchmarks of the actor runtime (Sec. 4.1): message throughput,
+// ephemeral actor churn (per-round Master Aggregator / Aggregator spawning),
+// and multi-threaded scaling.
+#include <benchmark/benchmark.h>
+
+#include "src/actor/actor.h"
+
+namespace fl::actor {
+namespace {
+
+class SinkActor final : public Actor {
+ public:
+  void OnMessage(const Envelope& env) override {
+    count += std::any_cast<int>(env.payload);
+  }
+  long long count = 0;
+};
+
+void BM_SimContextMessageThroughput(benchmark::State& state) {
+  sim::EventQueue queue;
+  SimContext ctx(queue);
+  ActorSystem system(ctx);
+  const ActorId sink = system.Spawn<SinkActor>("sink");
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      system.Send(ActorId{}, sink, 1);
+    }
+    queue.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimContextMessageThroughput);
+
+void BM_EphemeralActorChurn(benchmark::State& state) {
+  // Spawn + message + stop, like per-round aggregators (Sec. 4.2).
+  sim::EventQueue queue;
+  SimContext ctx(queue);
+  ActorSystem system(ctx);
+  for (auto _ : state) {
+    const ActorId id = system.Spawn<SinkActor>("agg");
+    system.Send(ActorId{}, id, 1);
+    queue.Run();
+    system.Stop(id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EphemeralActorChurn);
+
+void BM_ThreadPoolThroughput(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const std::size_t actors = 64;
+  for (auto _ : state) {
+    ThreadPoolContext pool(threads);
+    ActorSystem system(pool);
+    std::vector<ActorId> ids;
+    for (std::size_t a = 0; a < actors; ++a) {
+      ids.push_back(system.Spawn<SinkActor>("a" + std::to_string(a)));
+    }
+    for (int i = 0; i < 20000; ++i) {
+      system.Send(ActorId{}, ids[static_cast<std::size_t>(i) % actors], 1);
+    }
+    pool.Quiesce();
+    pool.Shutdown();
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_ThreadPoolThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_FanOutAggregation(benchmark::State& state) {
+  // One master fanning to N workers that reply — the round topology.
+  class Worker final : public Actor {
+   public:
+    void OnMessage(const Envelope& env) override {
+      Send(std::any_cast<ActorId>(env.payload), 1);
+    }
+  };
+  const std::size_t workers = static_cast<std::size_t>(state.range(0));
+  sim::EventQueue queue;
+  SimContext ctx(queue);
+  ActorSystem system(ctx);
+  const ActorId sink = system.Spawn<SinkActor>("master");
+  std::vector<ActorId> worker_ids;
+  for (std::size_t i = 0; i < workers; ++i) {
+    worker_ids.push_back(system.Spawn<Worker>("w" + std::to_string(i)));
+  }
+  for (auto _ : state) {
+    for (const ActorId w : worker_ids) {
+      system.Send(ActorId{}, w, sink);
+    }
+    queue.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * workers * 2);
+}
+BENCHMARK(BM_FanOutAggregation)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace fl::actor
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Reproduces Fig. 7: average number of devices that completed, were aborted
+// (work discarded because the server had enough reports), and dropped out
+// per round — including the day/night asymmetry of the drop-out rate.
+#include "bench/bench_common.h"
+#include "src/analytics/dashboard.h"
+
+using namespace fl;
+
+int main() {
+  bench::PrintHeader(
+      "Fig. 7 — devices completed / aborted / dropped per round",
+      "\"in each round the FL server selects more devices for the "
+      "participation than desired ... drop out rate is higher during the day "
+      "time compared to the night time\" (Appendix A); drop-out 6-10%, "
+      "over-selection 130% (Sec. 9)");
+
+  core::FLSystemConfig config = bench::FleetConfig(1500, 11);
+  config.population.tz_weights = {1.0};
+  config.population.tz_offsets = {Hours(0)};
+  core::FLSystem system(std::move(config));
+  plan::TrainingHyperparams hyper;
+  hyper.learning_rate = 0.2f;
+  system.AddTrainingTask("train", bench::BenchModel(), hyper, {},
+                         bench::StandardRound(25), Seconds(30));
+  system.ProvisionData(bench::BlobsProvisioner());
+  system.Start();
+  system.RunFor(Hours(48));
+
+  const core::FleetStats& stats = system.stats();
+  double completed = 0, aborted = 0, dropped = 0;
+  std::size_t rounds = 0;
+  for (const auto& [round, counts] : stats.per_round()) {
+    completed += counts.completed;
+    aborted += counts.aborted;
+    dropped += counts.dropped;
+    ++rounds;
+  }
+  analytics::TextTable table({"per-round series", "mean devices", "share"});
+  const double total = completed + aborted + dropped;
+  auto row = [&](const char* name, double v) {
+    char pct[16];
+    std::snprintf(pct, sizeof(pct), "%.1f%%", 100.0 * v / std::max(1.0, total));
+    table.AddRow({name,
+                  analytics::TextTable::Num(v / std::max<std::size_t>(1, rounds)),
+                  pct});
+  };
+  row("completed", completed);
+  row("aborted (late/discarded)", aborted);
+  row("dropped out", dropped);
+  std::printf("%s", table.Render().c_str());
+
+  const double drop_rate = dropped / std::max(1.0, total);
+  std::printf("\nOverall participant drop-out rate: %.1f%%  (paper: 6-10%%)\n",
+              100.0 * drop_rate);
+
+  // Day-vs-night drop-out asymmetry from the drop/completion time series.
+  const auto& drops = stats.drop_series();
+  const auto& comps = stats.completion_series();
+  auto rate_in_window = [&](double start_h, double end_h) {
+    double d = 0, c = 0;
+    for (std::size_t b = 0; b < std::max(drops.bucket_count(),
+                                         comps.bucket_count());
+         ++b) {
+      const double hour = drops.BucketStart(b).HourOfDay();
+      if (hour >= start_h && hour < end_h) {
+        d += drops.Sum(b);
+        c += comps.Sum(b);
+      }
+    }
+    return d / std::max(1.0, d + c);
+  };
+  const double day = rate_in_window(10, 18);
+  const double night = rate_in_window(0, 6);
+  std::printf("Drop-out rate by local time: day %.1f%%, night %.1f%%  "
+              "(paper: day > night)\n",
+              100.0 * day, 100.0 * night);
+  std::printf("Rounds analysed: %zu\n", rounds);
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Reproduces the Sec. 8 next-word-prediction comparison: the FL-trained
+// language model beats the n-gram baseline on top-1 recall and approaches
+// the centralized ("server-trained") model — the paper's production numbers
+// were 13.0% (n-gram) -> 16.4% (FL), with FL matching the server model.
+#include <cstdio>
+
+#include "src/analytics/dashboard.h"
+#include "src/data/ngram.h"
+#include "src/data/text.h"
+#include "src/graph/model_zoo.h"
+#include "src/tools/simulation_runner.h"
+
+using namespace fl;
+
+int main() {
+  std::printf(
+      "\n==============================================================\n"
+      "Sec. 8 — next-word prediction: FL vs n-gram vs centralized\n"
+      "Paper: top-1 recall 13.0%% (n-gram) -> 16.4%% (FL); FL \"matches the "
+      "performance of a server-trained RNN\".\n"
+      "==============================================================\n");
+
+  data::TextWorkloadParams text_params;
+  text_params.vocab_size = 64;
+  text_params.context = 3;
+  data::TextWorkload corpus(text_params, 4242);
+
+  const std::size_t users = 150;
+  std::vector<std::vector<data::Example>> per_user;
+  std::vector<data::Example> pooled;
+  for (std::uint64_t u = 0; u < users; ++u) {
+    per_user.push_back(corpus.UserExamples(u, 25, SimTime{0}));
+    pooled.insert(pooled.end(), per_user.back().begin(),
+                  per_user.back().end());
+  }
+  const auto eval = corpus.UserExamples(10'000'019, 400, SimTime{0});
+
+  // n-gram baseline.
+  data::NgramModel ngram(text_params.vocab_size);
+  ngram.Train(pooled);
+  const double ngram_recall = ngram.Top1Recall(eval);
+
+  // Neural LM.
+  Rng model_rng(9);
+  const graph::Model model = graph::BuildNextWordModel(
+      text_params.vocab_size, text_params.context, 16, 64, model_rng);
+  plan::TrainingHyperparams hyper;
+  hyper.batch_size = 32;
+  hyper.epochs = 2;
+  hyper.learning_rate = 0.4f;
+  const plan::FLPlan plan = plan::MakeTrainingPlan(model, "lm", hyper, {});
+
+  tools::SimulationConfig central_cfg;
+  central_cfg.eval_every = 20;
+  const auto central = tools::RunCentralizedBaseline(
+      plan, model.init_params, pooled, eval, 80, central_cfg);
+  FL_CHECK(central.ok());
+
+  tools::SimulationConfig fl_cfg;
+  fl_cfg.clients_per_round = 20;
+  fl_cfg.rounds = 200;
+  fl_cfg.client_failure_rate = 0.08;
+  fl_cfg.eval_every = 20;
+  const auto fl = tools::RunFedAvgSimulation(plan, model.init_params,
+                                             per_user, eval, fl_cfg);
+  FL_CHECK(fl.ok());
+
+  std::printf("\nConvergence (top-1 recall on held-out users):\n");
+  std::printf("%8s %12s %12s\n", "round", "FL", "centralized*");
+  std::size_t ci = 0;
+  for (const auto& point : fl->trajectory) {
+    if (!point.has_eval) continue;
+    // Align with the centralized trajectory by eval index.
+    double central_acc = 0;
+    std::size_t seen = 0;
+    for (const auto& cp : central->trajectory) {
+      if (!cp.has_eval) continue;
+      central_acc = cp.eval_accuracy;
+      if (++seen > ci / 2) break;  // centralized converges faster per step
+    }
+    std::printf("%8zu %11.1f%% %11.1f%%\n", point.round,
+                100.0 * point.eval_accuracy, 100.0 * central_acc);
+    ++ci;
+  }
+  std::printf("  (*paper Sec. 8 footnote: FL wall-clock is ~7x slower than "
+              "datacenter training of the same model; our per-round step "
+              "counts mirror that gap.)\n");
+
+  const double fl_recall = fl->trajectory.back().eval_accuracy;
+  const double central_recall = central->trajectory.back().eval_accuracy;
+
+  analytics::TextTable table({"model", "top-1 recall", "paper analogue"});
+  auto pct = [](double v) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * v);
+    return std::string(buf);
+  };
+  table.AddRow({"n-gram baseline", pct(ngram_recall), "13.0%"});
+  table.AddRow({"FL (FedAvg, 8% drop-out)", pct(fl_recall), "16.4%"});
+  table.AddRow({"centralized (server-trained)", pct(central_recall),
+                "~16.4% (matched)"});
+  std::printf("\n%s", table.Render().c_str());
+  std::printf("\nShape check: FL %s n-gram (paper: FL wins); |FL - "
+              "centralized| = %.1f points (paper: matched).\n",
+              fl_recall > ngram_recall ? ">" : "<=!",
+              100.0 * std::abs(fl_recall - central_recall));
+  return 0;
+}

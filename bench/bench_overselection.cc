@@ -1,0 +1,80 @@
+// Reproduces the Sec. 9 over-selection analysis: "in order to compensate
+// for device drop out as well as to allow stragglers to be discarded, the
+// server typically selects 130% of the target number of devices to
+// initially participate."
+//
+// Sweep: over-selection factor x ambient drop-out level -> round success
+// rate and time-to-commit.
+#include "bench/bench_common.h"
+#include "src/analytics/dashboard.h"
+
+using namespace fl;
+
+namespace {
+
+struct SweepResult {
+  double success_rate = 0;
+  double mean_round_min = 0;
+  std::size_t rounds_total = 0;
+};
+
+SweepResult Run(double overselection, Duration mean_eligible_day,
+                std::uint64_t seed) {
+  core::FLSystemConfig config = bench::FleetConfig(900, seed);
+  // Ample device supply so only REPORTING failures decide round outcomes.
+  config.device_checkin_cadence = Minutes(5);
+  // Shorter eligible intervals -> more mid-round interruptions (drop-outs).
+  config.population.mean_eligible_day = mean_eligible_day;
+  core::FLSystem system(std::move(config));
+  protocol::RoundConfig rc = bench::StandardRound(25);
+  rc.overselection = overselection;
+  rc.min_reporting_fraction = 0.9;  // strict: commit needs ~the full goal
+  plan::TrainingHyperparams hyper;
+  hyper.learning_rate = 0.2f;
+  system.AddTrainingTask("train", bench::BenchModel(), hyper, {}, rc,
+                         Seconds(20));
+  system.ProvisionData(bench::BlobsProvisioner());
+  system.Start();
+  system.RunFor(Hours(12));
+  SweepResult out;
+  const auto& stats = system.stats();
+  out.rounds_total = stats.rounds_committed() + stats.rounds_abandoned();
+  out.success_rate =
+      out.rounds_total == 0
+          ? 0
+          : static_cast<double>(stats.rounds_committed()) / out.rounds_total;
+  out.mean_round_min = stats.round_duration_hist().Mean();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Sec. 9 — over-selection sweep",
+      "\"the portion of devices that drop out ... varies between 6% and "
+      "10%. Therefore ... the server typically selects 130% of the target "
+      "number of devices\"");
+
+  analytics::TextTable table({"over-selection", "drop-out regime",
+                              "round success rate", "mean round (min)",
+                              "rounds"});
+  for (const auto& [label, eligible] :
+       std::vector<std::pair<std::string, Duration>>{
+           {"mild (long idle periods)", Minutes(40)},
+           {"harsh (short idle periods)", Minutes(12)}}) {
+    for (double factor : {1.0, 1.1, 1.2, 1.3, 1.5}) {
+      const SweepResult r = Run(factor, eligible, 37);
+      char pct[16];
+      std::snprintf(pct, sizeof(pct), "%.0f%%", 100.0 * r.success_rate);
+      table.AddRow({analytics::TextTable::Num(factor, 1), label, pct,
+                    analytics::TextTable::Num(r.mean_round_min),
+                    std::to_string(r.rounds_total)});
+    }
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("\nShape check: success rate climbs with over-selection and "
+              "saturates around the paper's 1.3x; under-selection (1.0x) "
+              "suffers under harsh drop-out.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Reproduces the Sec. 2.3 pace-steering claims:
+//  * small populations: rejected devices are steered so that "subsequent
+//    checkins are likely to arrive contemporaneously";
+//  * large populations: check-ins are de-correlated, "avoiding the
+//    thundering herd problem".
+#include <cstdio>
+#include <map>
+
+#include "src/analytics/dashboard.h"
+#include "src/common/rng.h"
+#include "src/protocol/pace_steering.h"
+
+using namespace fl;
+
+namespace {
+
+// Simulates `n` devices being told to reconnect at t=0, under the policy or
+// under a naive fixed-backoff (retry in [0, backoff) uniformly).
+struct ArrivalStats {
+  double peak_minute_share = 0;  // worst minute's share of all arrivals
+  double window_p90_span_min = 0;  // p90-p10 spread of arrival times
+};
+
+ArrivalStats Arrivals(bool steered, std::size_t population,
+                      std::size_t devices, std::uint64_t seed) {
+  protocol::PaceSteeringPolicy::Params params;
+  params.rendezvous_period = Minutes(5);
+  params.round_period = Minutes(3);
+  params.target_checkins_per_period = 400;
+  const protocol::PaceSteeringPolicy policy(params, nullptr);
+  Rng server_rng(seed);
+  Rng device_rng(seed + 1);
+
+  std::vector<double> arrivals_min;
+  std::map<std::int64_t, std::size_t> per_minute;
+  for (std::size_t i = 0; i < devices; ++i) {
+    SimTime t;
+    if (steered) {
+      const auto w =
+          policy.SuggestWindow(SimTime{0}, population, Duration{}, server_rng);
+      t = protocol::PaceSteeringPolicy::PickWithinWindow(w, device_rng);
+    } else {
+      // Naive: "come back within 10 minutes".
+      t = SimTime{static_cast<std::int64_t>(
+          device_rng.UniformInt(static_cast<std::uint64_t>(Minutes(10).millis)))};
+    }
+    arrivals_min.push_back(static_cast<double>(t.millis) / 60000.0);
+    ++per_minute[t.millis / Minutes(1).millis];
+  }
+  std::sort(arrivals_min.begin(), arrivals_min.end());
+  std::size_t peak = 0;
+  for (const auto& [minute, count] : per_minute) {
+    peak = std::max(peak, count);
+  }
+  ArrivalStats out;
+  out.peak_minute_share = static_cast<double>(peak) / devices;
+  out.window_p90_span_min =
+      arrivals_min[static_cast<std::size_t>(0.9 * (devices - 1))] -
+      arrivals_min[static_cast<std::size_t>(0.1 * (devices - 1))];
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "\n==============================================================\n"
+      "Sec. 2.3 — pace steering\n"
+      "Paper: small populations -> contemporaneous check-ins; large "
+      "populations -> no thundering herd.\n"
+      "==============================================================\n");
+
+  analytics::TextTable table({"scenario", "policy", "peak-minute share",
+                              "p10-p90 arrival span (min)"});
+
+  // SMALL population (200 devices): want arrivals CONCENTRATED so a round
+  // can form.
+  const ArrivalStats small_steered = Arrivals(true, 200, 200, 1);
+  const ArrivalStats small_naive = Arrivals(false, 200, 200, 2);
+  table.AddRow({"small pop (200)", "pace steering",
+                analytics::TextTable::Num(small_steered.peak_minute_share),
+                analytics::TextTable::Num(small_steered.window_p90_span_min)});
+  table.AddRow({"small pop (200)", "naive backoff",
+                analytics::TextTable::Num(small_naive.peak_minute_share),
+                analytics::TextTable::Num(small_naive.window_p90_span_min)});
+
+  // LARGE population (200k devices, 5k sampled): want arrivals SPREAD.
+  const ArrivalStats large_steered = Arrivals(true, 200'000, 5000, 3);
+  const ArrivalStats large_naive = Arrivals(false, 200'000, 5000, 4);
+  table.AddRow({"large pop (200k)", "pace steering",
+                analytics::TextTable::Num(large_steered.peak_minute_share),
+                analytics::TextTable::Num(large_steered.window_p90_span_min)});
+  table.AddRow({"large pop (200k)", "naive backoff",
+                analytics::TextTable::Num(large_naive.peak_minute_share),
+                analytics::TextTable::Num(large_naive.window_p90_span_min)});
+  std::printf("%s", table.Render().c_str());
+
+  std::printf(
+      "\nShape checks:\n"
+      "  small pop: steering CONCENTRATES arrivals (span %.1f min vs naive "
+      "%.1f min)\n",
+      small_steered.window_p90_span_min, small_naive.window_p90_span_min);
+  std::printf(
+      "  large pop: steering SPREADS arrivals (peak minute %.2f%% vs naive "
+      "%.2f%% of all arrivals)\n",
+      100 * large_steered.peak_minute_share,
+      100 * large_naive.peak_minute_share);
+  std::printf("  the policy is stateless: identical windows derive from "
+              "absolute time alone (Sec. 2.3).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Failure drill (Sec. 4.4): kills every class of server actor while training
+// runs and shows the system healing itself — aggregator loss costs only its
+// cohort, master loss fails one round, coordinator loss triggers an
+// exactly-once respawn through the lock service.
+#include <cstdio>
+
+#include "src/core/fl_system.h"
+#include "src/data/blobs.h"
+#include "src/graph/model_zoo.h"
+
+using namespace fl;
+
+int main() {
+  core::FLSystemConfig config;
+  config.population_name = "population/failure-drill";
+  config.population.device_count = 300;
+  config.population.mean_examples_per_sec = 150;
+  config.selector_count = 3;
+  config.pace.rendezvous_period = Minutes(3);
+  core::FLSystem system(std::move(config));
+
+  Rng model_rng(1);
+  const graph::Model model = graph::BuildLogisticRegression(8, 4, model_rng);
+  protocol::RoundConfig round;
+  round.goal_count = 15;
+  round.devices_per_aggregator = 8;
+  round.selection_timeout = Minutes(4);
+  round.reporting_deadline = Minutes(8);
+  system.AddTrainingTask("train", model, {}, {}, round, Seconds(30));
+
+  auto blobs = std::make_shared<data::BlobsWorkload>(
+      data::BlobsParams{.classes = 4, .feature_dim = 8}, 5);
+  system.ProvisionData([blobs](const sim::DeviceProfile& profile,
+                               core::DeviceAgent& agent, Rng&, SimTime now) {
+    agent.GetOrCreateStore("default").AddBatch(
+        blobs->UserExamples(profile.id.value, 40, now));
+  });
+  system.Start();
+
+  auto report = [&](const char* label) {
+    std::printf("%-42s t=%s rounds=%zu abandoned/failed=%zu coordinator=%s\n",
+                label, FormatSimTime(system.now()).c_str(),
+                system.stats().rounds_committed(),
+                system.stats().rounds_abandoned(),
+                system.actor_system().IsAlive(system.coordinator_id())
+                    ? "alive"
+                    : "DEAD");
+  };
+
+  system.RunFor(Hours(1));
+  report("baseline after 1h:");
+
+  std::printf("\n>>> crashing a Selector (its held devices are lost)\n");
+  system.CrashRandomSelector();
+  system.RunFor(Hours(1));
+  report("1h after selector crash:");
+
+  std::printf("\n>>> crashing the active Master Aggregator (round fails, "
+              "coordinator restarts it)\n");
+  bool crashed = false;
+  for (int i = 0; i < 240 && !crashed; ++i) {
+    system.RunFor(Seconds(30));
+    crashed = system.CrashActiveMaster();
+  }
+  std::printf("    master crashed: %s\n", crashed ? "yes" : "no round active");
+  system.RunFor(Hours(1));
+  report("1h after master crash:");
+
+  std::printf("\n>>> crashing the Coordinator (selector layer respawns it "
+              "exactly once via the lock service)\n");
+  const ActorId before = system.coordinator_id();
+  system.CrashCoordinator();
+  system.RunFor(Minutes(10));
+  const ActorId after = system.coordinator_id();
+  std::printf("    coordinator actor: %llu -> %llu (respawned)\n",
+              static_cast<unsigned long long>(before.value),
+              static_cast<unsigned long long>(after.value));
+  system.RunFor(Hours(1));
+  report("1h after coordinator crash:");
+
+  std::printf("\nThe system made progress through every failure: \"In all "
+              "failure cases the system will continue to make progress\" "
+              "(Sec. 4.4).\n");
+  return 0;
+}

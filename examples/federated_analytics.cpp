@@ -1,0 +1,58 @@
+// Federated Analytics (Sec. 11, "Federated Computation"): aggregate device
+// statistics without the raw data ever leaving devices — here, a histogram
+// of on-device typing-session lengths, summed under Secure Aggregation.
+#include <cstdio>
+
+#include "src/data/text.h"
+#include "src/tools/federated_analytics.h"
+
+using namespace fl;
+
+int main() {
+  std::printf("Federated Analytics: histogram of per-device example counts\n");
+  std::printf("(\"monitor aggregate device statistics without logging raw "
+              "device data to the cloud\", Sec. 11)\n\n");
+
+  // Each device reduces its private keyboard history to a 12-bucket
+  // histogram of sentence lengths. The raw sentences never leave.
+  data::TextWorkload corpus({.vocab_size = 48, .context = 2}, 99);
+  const std::size_t devices = 96;
+  std::vector<std::vector<std::uint32_t>> histograms;
+  for (std::uint64_t d = 0; d < devices; ++d) {
+    const auto examples = corpus.UserExamples(d, 20, SimTime{0});
+    histograms.push_back(tools::Bucketize<data::Example>(
+        examples, 12, [](const data::Example& e) {
+          // Bucket by the next-word token's magnitude band.
+          return static_cast<std::size_t>(e.label) / 4;
+        }));
+  }
+
+  tools::HistogramQueryConfig secure_config;
+  secure_config.buckets = 12;
+  secure_config.secure = true;
+  secure_config.group_size = 16;
+  secure_config.dropout_rate = 0.1;  // phones vanish mid-protocol
+  const auto secure = tools::RunFederatedHistogram(histograms, secure_config);
+  FL_CHECK(secure.ok());
+
+  tools::HistogramQueryConfig plain_config = secure_config;
+  plain_config.secure = false;
+  plain_config.dropout_rate = 0.0;
+  const auto plain = tools::RunFederatedHistogram(histograms, plain_config);
+  FL_CHECK(plain.ok());
+
+  std::printf("bucket | secure sum (%2zu groups, %2zu devices) | plain sum "
+              "(all %zu devices)\n",
+              secure->groups, secure->clients_contributing, devices);
+  for (std::size_t b = 0; b < 12; ++b) {
+    std::printf("  %2zu   | %8llu                         | %8llu\n", b,
+                static_cast<unsigned long long>(secure->counts[b]),
+                static_cast<unsigned long long>(plain->counts[b]));
+  }
+  std::printf("\nThe secure column was computed from MASKED vectors only: "
+              "each group of 16 devices ran the four-round protocol of "
+              "Sec. 6, and the server saw nothing but group sums.\n");
+  std::printf("No ML anywhere in this query — the platform generalizes to "
+              "Federated Computation (Sec. 11).\n");
+  return 0;
+}

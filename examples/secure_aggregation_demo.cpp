@@ -1,0 +1,156 @@
+// Secure Aggregation walkthrough (Sec. 6): runs the four-round protocol
+// directly — showing what the server can and cannot see — then runs a full
+// FL deployment with Secure Aggregation enabled on every round.
+#include <cstdio>
+#include <cstring>
+
+#include "src/core/fl_system.h"
+#include "src/data/blobs.h"
+#include "src/graph/model_zoo.h"
+#include "src/secagg/client.h"
+#include "src/secagg/server.h"
+
+using namespace fl;
+
+namespace {
+
+crypto::Key256 KeyFrom(Rng& rng) {
+  crypto::Key256 k;
+  for (auto& b : k) b = static_cast<std::uint8_t>(rng.Next());
+  return k;
+}
+
+void ProtocolWalkthrough() {
+  std::printf("=== Part 1: the four-round protocol, client by client ===\n");
+  const std::size_t n = 5, threshold = 3, veclen = 8;
+  Rng rng(1);
+
+  std::vector<secagg::SecAggClient> clients;
+  std::vector<std::vector<std::uint32_t>> inputs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    clients.emplace_back(static_cast<secagg::ParticipantIndex>(i + 1),
+                         threshold, veclen, KeyFrom(rng));
+    inputs[i].resize(veclen);
+    for (auto& x : inputs[i]) x = rng.UniformInt(100);
+  }
+  secagg::SecAggServer server(threshold, veclen);
+
+  // Prepare: advertise keys, share Shamir shares of the secrets.
+  for (auto& c : clients) {
+    FL_CHECK(server.CollectAdvertisement(c.AdvertiseKeys()).ok());
+  }
+  auto directory = server.FinishAdvertising();
+  FL_CHECK(directory.ok());
+  std::printf("Prepare: %zu clients advertised DH public keys\n",
+              directory->size());
+  for (auto& c : clients) {
+    auto msg = c.ShareKeys(*directory);
+    FL_CHECK(msg.ok());
+    FL_CHECK(server.CollectShares(*msg).ok());
+  }
+  auto u1 = server.FinishSharing();
+  FL_CHECK(u1.ok());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& share :
+         server.SharesFor(static_cast<secagg::ParticipantIndex>(i + 1))) {
+      clients[i].ReceiveShare(share);
+    }
+  }
+
+  // Commit: clients 1..4 upload masked updates; client 5 DROPS OUT.
+  std::printf("Commit: client 5 drops out before committing\n");
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    auto masked = clients[i].MaskInput(inputs[i], *u1);
+    FL_CHECK(masked.ok());
+    // What the server sees is uniformly masked:
+    if (i == 0) {
+      std::printf("  client 1 true input : ");
+      for (auto v : inputs[0]) std::printf("%u ", v);
+      std::printf("\n  server sees (masked): ");
+      for (auto v : masked->masked) std::printf("%u ", v % 1000);
+      std::printf("... (mod 1000 shown)\n");
+    }
+    FL_CHECK(server.CollectMaskedInput(*masked).ok());
+  }
+
+  // Finalization: survivors reveal shares; the dropped client's pairwise
+  // masks are reconstructed.
+  auto request = server.FinishCommit();
+  FL_CHECK(request.ok());
+  std::printf("Finalize: %zu dropped, %zu survivors\n",
+              request->dropped.size(), request->survivors.size());
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    auto resp = clients[i].Unmask(*request);
+    FL_CHECK(resp.ok());
+    FL_CHECK(server.CollectUnmaskingResponse(*resp).ok());
+  }
+  auto sum = server.Finalize();
+  FL_CHECK(sum.ok());
+
+  std::printf("  recovered sum        : ");
+  for (auto v : *sum) std::printf("%u ", v);
+  std::printf("\n  expected (1..4 only) : ");
+  for (std::size_t j = 0; j < veclen; ++j) {
+    std::uint32_t expect = 0;
+    for (std::size_t i = 0; i + 1 < n; ++i) expect += inputs[i][j];
+    std::printf("%u ", expect);
+  }
+  std::printf("\n  server cost: %llu PRG words, %llu Shamir "
+              "reconstructions, %llu modexps\n\n",
+              static_cast<unsigned long long>(
+                  server.cost_stats().prg_words_expanded),
+              static_cast<unsigned long long>(
+                  server.cost_stats().shamir_reconstructions),
+              static_cast<unsigned long long>(
+                  server.cost_stats().modexp_operations));
+}
+
+void FullDeployment() {
+  std::printf("=== Part 2: FL rounds with Secure Aggregation enabled ===\n");
+  core::FLSystemConfig config;
+  config.population_name = "population/secure";
+  config.population.device_count = 250;
+  config.population.mean_examples_per_sec = 150;
+  config.pace.rendezvous_period = Minutes(3);
+  core::FLSystem system(std::move(config));
+
+  Rng model_rng(1);
+  const graph::Model model = graph::BuildLogisticRegression(8, 4, model_rng);
+  protocol::RoundConfig round;
+  round.goal_count = 10;
+  round.aggregation = protocol::AggregationMode::kSecure;
+  round.secagg.threshold_fraction = 0.6;
+  round.secagg.clip = 8.0;
+  round.devices_per_aggregator = 16;  // SecAgg group size >= k per Sec. 6
+  round.selection_timeout = Minutes(4);
+  round.reporting_deadline = Minutes(10);
+  plan::TrainingHyperparams hyper;
+  hyper.learning_rate = 0.3f;
+  system.AddTrainingTask("secure-train", model, hyper, {}, round,
+                         Seconds(30));
+
+  auto blobs = std::make_shared<data::BlobsWorkload>(
+      data::BlobsParams{.classes = 4, .feature_dim = 8}, 5);
+  system.ProvisionData([blobs](const sim::DeviceProfile& profile,
+                               core::DeviceAgent& agent, Rng&, SimTime now) {
+    agent.GetOrCreateStore("default").AddBatch(
+        blobs->UserExamples(profile.id.value, 40, now));
+  });
+  system.Start();
+  system.RunFor(Hours(6));
+
+  std::printf("Committed %zu secure rounds; model version %llu\n",
+              system.stats().rounds_committed(),
+              static_cast<unsigned long long>(system.model_store().version()));
+  std::printf("No individual update ever reached the server in the clear: "
+              "updates travel quantized + masked, and only group sums are "
+              "unmasked (Sec. 6).\n");
+}
+
+}  // namespace
+
+int main() {
+  ProtocolWalkthrough();
+  FullDeployment();
+  return 0;
+}

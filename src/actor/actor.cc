@@ -1,0 +1,145 @@
+#include "src/actor/actor.h"
+
+namespace fl::actor {
+
+void Actor::Send(ActorId to, std::any payload) {
+  system_->Send(id_, to, std::move(payload));
+}
+
+void Actor::SendAfter(Duration d, ActorId to, std::any payload) {
+  system_->SendAfter(d, id_, to, std::move(payload));
+}
+
+SimTime Actor::Now() const { return system_->now(); }
+
+ActorId ActorSystem::Register(std::unique_ptr<Actor> actor,
+                              std::string name) {
+  Actor* raw = actor.get();
+  ActorId id;
+  {
+    const std::scoped_lock lock(mu_);
+    id = ActorId{next_actor_id_++};
+    raw->id_ = id;
+    raw->name_ = std::move(name);
+    raw->system_ = this;
+    auto entry = std::make_shared<Entry>();
+    entry->actor = std::move(actor);
+    actors_.emplace(id, std::move(entry));
+  }
+  raw->OnStart();
+  return id;
+}
+
+void ActorSystem::Send(ActorId from, ActorId to, std::any payload) {
+  std::shared_ptr<Entry> entry;
+  {
+    const std::scoped_lock lock(mu_);
+    const auto it = actors_.find(to);
+    if (it == actors_.end() || it->second->dead) return;  // drop: dead letter
+    entry = it->second;
+    entry->mailbox.push_back(Envelope{from, to, std::move(payload)});
+  }
+  ScheduleDrain(to, entry);
+}
+
+void ActorSystem::SendAfter(Duration d, ActorId from, ActorId to,
+                            std::any payload) {
+  // Capture by value; delivery checks liveness at fire time.
+  context_.PostAfter(
+      d, [this, from, to, p = std::move(payload)]() mutable {
+        Send(from, to, std::move(p));
+      });
+}
+
+void ActorSystem::ScheduleDrain(ActorId id, const std::shared_ptr<Entry>& entry) {
+  {
+    const std::scoped_lock lock(mu_);
+    if (entry->dead || entry->draining || entry->mailbox.empty()) return;
+    entry->draining = true;
+  }
+  context_.Post([this, id, entry] {
+    (void)id;
+    Drain(entry);
+  });
+}
+
+void ActorSystem::Drain(const std::shared_ptr<Entry>& entry) {
+  // Strictly-sequential processing: `draining` guarantees at most one Drain
+  // per actor is in flight on any context.
+  while (true) {
+    Envelope env;
+    {
+      const std::scoped_lock lock(mu_);
+      if (entry->dead || entry->mailbox.empty()) {
+        entry->draining = false;
+        return;
+      }
+      env = std::move(entry->mailbox.front());
+      entry->mailbox.pop_front();
+      ++delivered_;
+    }
+    entry->actor->OnMessage(env);
+  }
+}
+
+void ActorSystem::Stop(ActorId id) {
+  std::shared_ptr<Entry> entry;
+  {
+    const std::scoped_lock lock(mu_);
+    const auto it = actors_.find(id);
+    if (it == actors_.end() || it->second->dead) return;
+    entry = it->second;
+  }
+  entry->actor->OnStop();
+  Terminate(id, /*crashed=*/false);
+}
+
+void ActorSystem::Crash(ActorId id) { Terminate(id, /*crashed=*/true); }
+
+void ActorSystem::Terminate(ActorId id, bool crashed) {
+  std::shared_ptr<Entry> entry;
+  std::vector<ActorId> watchers;
+  {
+    const std::scoped_lock lock(mu_);
+    const auto it = actors_.find(id);
+    if (it == actors_.end() || it->second->dead) return;
+    entry = it->second;
+    entry->dead = true;
+    entry->mailbox.clear();
+    watchers = std::move(entry->watchers);
+    actors_.erase(it);
+  }
+  for (ActorId w : watchers) {
+    Send(id, w, DeathNotice{id, crashed});
+  }
+}
+
+void ActorSystem::Watch(ActorId watched, ActorId watcher) {
+  bool already_dead = false;
+  {
+    const std::scoped_lock lock(mu_);
+    const auto it = actors_.find(watched);
+    if (it == actors_.end() || it->second->dead) {
+      already_dead = true;
+    } else {
+      it->second->watchers.push_back(watcher);
+    }
+  }
+  if (already_dead) {
+    // Immediate notice so watchers never miss a death.
+    Send(watched, watcher, DeathNotice{watched, true});
+  }
+}
+
+bool ActorSystem::IsAlive(ActorId id) const {
+  const std::scoped_lock lock(mu_);
+  const auto it = actors_.find(id);
+  return it != actors_.end() && !it->second->dead;
+}
+
+std::size_t ActorSystem::live_actors() const {
+  const std::scoped_lock lock(mu_);
+  return actors_.size();
+}
+
+}  // namespace fl::actor

@@ -1,0 +1,111 @@
+#include "src/actor/context.h"
+
+namespace fl::actor {
+
+ThreadPoolContext::ThreadPoolContext(std::size_t threads)
+    : start_(std::chrono::steady_clock::now()) {
+  FL_CHECK(threads > 0);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  timer_thread_ = std::thread([this] { TimerLoop(); });
+}
+
+ThreadPoolContext::~ThreadPoolContext() { Shutdown(); }
+
+void ThreadPoolContext::Post(std::function<void()> fn) {
+  {
+    const std::scoped_lock lock(mu_);
+    if (stop_) return;
+    tasks_.push(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPoolContext::PostAfter(Duration d, std::function<void()> fn) {
+  const auto when =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(d.millis);
+  {
+    const std::scoped_lock lock(timer_mu_);
+    if (timer_stop_) return;
+    timers_.push(Timer{when, std::move(fn)});
+  }
+  timer_cv_.notify_one();
+}
+
+SimTime ThreadPoolContext::now() const {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  return SimTime{std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                     .count()};
+}
+
+void ThreadPoolContext::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++active_;
+    }
+    task();
+    {
+      const std::scoped_lock lock(mu_);
+      --active_;
+      if (tasks_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPoolContext::TimerLoop() {
+  std::unique_lock lock(timer_mu_);
+  while (!timer_stop_) {
+    if (timers_.empty()) {
+      timer_cv_.wait(lock,
+                     [this] { return timer_stop_ || !timers_.empty(); });
+      continue;
+    }
+    const auto next = timers_.top().when;
+    if (timer_cv_.wait_until(lock, next, [this, next] {
+          return timer_stop_ ||
+                 (!timers_.empty() && timers_.top().when < next);
+        })) {
+      continue;  // stopped or an earlier timer arrived
+    }
+    // Deadline reached: fire all due timers.
+    const auto now_tp = std::chrono::steady_clock::now();
+    while (!timers_.empty() && timers_.top().when <= now_tp) {
+      auto fn = std::move(const_cast<Timer&>(timers_.top()).fn);
+      timers_.pop();
+      lock.unlock();
+      Post(std::move(fn));
+      lock.lock();
+    }
+  }
+}
+
+void ThreadPoolContext::Quiesce() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+}
+
+void ThreadPoolContext::Shutdown() {
+  {
+    const std::scoped_lock lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  {
+    const std::scoped_lock lock(timer_mu_);
+    timer_stop_ = true;
+  }
+  cv_.notify_all();
+  timer_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+  timer_thread_.join();
+}
+
+}  // namespace fl::actor

@@ -1,0 +1,100 @@
+// Execution contexts for the actor runtime.
+//
+// The FL server actors (Sec. 4) run on one of two contexts:
+//  * SimContext — single-threaded, driven by the discrete-event queue;
+//    deterministic, used by all protocol simulations and tests.
+//  * ThreadPoolContext — real threads; demonstrates that the same actor code
+//    scales across cores (bench_actor_throughput). The paper's actors are
+//    "distributed across data centers"; a thread pool is our single-machine
+//    stand-in for multi-machine placement.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/sim/event_queue.h"
+
+namespace fl::actor {
+
+class ExecutionContext {
+ public:
+  virtual ~ExecutionContext() = default;
+  // Runs fn as soon as possible (FIFO with respect to other Post calls from
+  // the same thread).
+  virtual void Post(std::function<void()> fn) = 0;
+  // Runs fn after a (simulated or real) delay.
+  virtual void PostAfter(Duration d, std::function<void()> fn) = 0;
+  virtual SimTime now() const = 0;
+};
+
+// Deterministic context over the simulation event queue.
+class SimContext final : public ExecutionContext {
+ public:
+  explicit SimContext(sim::EventQueue& queue) : queue_(queue) {}
+
+  void Post(std::function<void()> fn) override {
+    queue_.After(Millis(0), std::move(fn));
+  }
+  void PostAfter(Duration d, std::function<void()> fn) override {
+    queue_.After(d, std::move(fn));
+  }
+  SimTime now() const override { return queue_.now(); }
+
+  sim::EventQueue& queue() { return queue_; }
+
+ private:
+  sim::EventQueue& queue_;
+};
+
+// Multi-threaded context; tasks run on a fixed pool, delayed tasks on a
+// dedicated timer thread. Destruction drains nothing: call Shutdown() to
+// join after the workload quiesces.
+class ThreadPoolContext final : public ExecutionContext {
+ public:
+  explicit ThreadPoolContext(std::size_t threads);
+  ~ThreadPoolContext() override;
+
+  ThreadPoolContext(const ThreadPoolContext&) = delete;
+  ThreadPoolContext& operator=(const ThreadPoolContext&) = delete;
+
+  void Post(std::function<void()> fn) override;
+  void PostAfter(Duration d, std::function<void()> fn) override;
+  SimTime now() const override;
+
+  // Blocks until all queued and in-flight tasks have finished.
+  void Quiesce();
+  void Shutdown();
+
+ private:
+  struct Timer {
+    std::chrono::steady_clock::time_point when;
+    std::function<void()> fn;
+    bool operator>(const Timer& o) const { return when > o.when; }
+  };
+
+  void WorkerLoop();
+  void TimerLoop();
+
+  std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::queue<std::function<void()>> tasks_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+  bool timer_stop_ = false;
+
+  std::vector<std::thread> workers_;
+  std::thread timer_thread_;
+};
+
+}  // namespace fl::actor

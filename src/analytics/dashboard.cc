@@ -1,0 +1,116 @@
+#include "src/analytics/dashboard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace fl::analytics {
+namespace {
+const char kLevels[] = " .:-=+*#%@";
+}  // namespace
+
+std::string RenderSeriesChart(const std::vector<SeriesSpec>& specs,
+                              std::size_t width) {
+  std::ostringstream os;
+  std::size_t buckets = 0;
+  for (const auto& s : specs) {
+    buckets = std::max(buckets, s.series->bucket_count());
+  }
+  if (buckets == 0) return "(no data)\n";
+  const std::size_t group = std::max<std::size_t>(1, buckets / width);
+
+  for (const auto& spec : specs) {
+    double max_v = 1e-12;
+    std::vector<double> grouped;
+    for (std::size_t i = 0; i < buckets; i += group) {
+      double v = 0;
+      for (std::size_t j = i; j < std::min(i + group, buckets); ++j) {
+        v += spec.use_rate_per_hour ? spec.series->RatePerHour(j)
+             : spec.use_mean        ? spec.series->Mean(j)
+                                    : spec.series->Sum(j);
+      }
+      v /= static_cast<double>(group);
+      grouped.push_back(v);
+      max_v = std::max(max_v, v);
+    }
+    os << spec.label << " (max " << TextTable::Num(max_v) << ")\n  |";
+    for (double v : grouped) {
+      const auto level =
+          static_cast<std::size_t>(9.0 * std::max(0.0, v) / max_v);
+      os << kLevels[std::min<std::size_t>(level, 9)];
+    }
+    os << "|\n";
+  }
+  // Time axis annotation.
+  const auto& first = *specs.front().series;
+  os << "  start=" << FormatSimTime(first.start()) << " bucket="
+     << first.bucket_width().Minutes() << "min x" << group << "\n";
+  return os.str();
+}
+
+std::string RenderSessionShapeTable(const SessionShapeTally& tally,
+                                    std::size_t max_rows) {
+  TextTable t({"Session Shape", "Count", "Percent"});
+  std::size_t rows = 0;
+  for (const auto& [shape, count] : tally.Ranked()) {
+    if (rows++ >= max_rows) break;
+    char pct[16];
+    std::snprintf(pct, sizeof(pct), "%.0f%%",
+                  100.0 * static_cast<double>(count) /
+                      static_cast<double>(std::max<std::size_t>(1, tally.total())));
+    t.AddRow({shape, std::to_string(count), pct});
+  }
+  return t.Render();
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << " " << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  auto emit_sep = [&] {
+    os << "+";
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << "+";
+    os << "\n";
+  };
+  emit_sep();
+  emit_row(headers_);
+  emit_sep();
+  for (const auto& row : rows_) emit_row(row);
+  emit_sep();
+  return os.str();
+}
+
+std::string TextTable::Num(double v, int precision) {
+  char buf[48];
+  if (std::fabs(v) >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  }
+  return buf;
+}
+
+}  // namespace fl::analytics

@@ -1,0 +1,48 @@
+// ASCII dashboards (Sec. 5): "They are aggregated and presented in
+// dashboards to be analyzed" / "We chart counts of these sequence
+// visualizations in our dashboards."
+//
+// These renderers regenerate the paper's evaluation artefacts (Figs. 5-9,
+// Table 1) as terminal output in the bench binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/analytics/events.h"
+#include "src/analytics/timeseries.h"
+
+namespace fl::analytics {
+
+// Renders one or more aligned time-series as horizontally-scaled rows of
+// ASCII bars, one character column per bucket group.
+struct SeriesSpec {
+  std::string label;
+  const TimeSeries* series = nullptr;
+  bool use_rate_per_hour = false;  // events per hour
+  bool use_mean = false;           // bucket means (gauge-style series)
+  // default: bucket sums (counter-style series)
+};
+
+std::string RenderSeriesChart(const std::vector<SeriesSpec>& specs,
+                              std::size_t width = 72);
+
+// Renders the Table 1 layout: shape | count | percent.
+std::string RenderSessionShapeTable(const SessionShapeTally& tally,
+                                    std::size_t max_rows = 10);
+
+// Simple fixed-width table helper used by all bench binaries.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  std::string Render() const;
+
+  static std::string Num(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fl::analytics

@@ -1,0 +1,68 @@
+#include "src/analytics/events.h"
+
+#include <algorithm>
+
+namespace fl::analytics {
+
+char SessionEventGlyph(SessionEvent e) {
+  switch (e) {
+    case SessionEvent::kCheckin: return '-';
+    case SessionEvent::kDownloadedPlan: return 'v';
+    case SessionEvent::kTrainingStarted: return '[';
+    case SessionEvent::kTrainingCompleted: return ']';
+    case SessionEvent::kUploadStarted: return '+';
+    case SessionEvent::kUploadCompleted: return '^';
+    case SessionEvent::kUploadRejected: return '#';
+    case SessionEvent::kInterrupted: return '!';
+    case SessionEvent::kError: return '*';
+  }
+  return '?';
+}
+
+const char* DeviceStateName(DeviceState s) {
+  switch (s) {
+    case DeviceState::kIdle: return "idle";
+    case DeviceState::kAttesting: return "attesting";
+    case DeviceState::kWaiting: return "waiting";
+    case DeviceState::kParticipating: return "participating";
+    case DeviceState::kClosing: return "closing";
+  }
+  return "unknown";
+}
+
+std::string SessionTrace::Shape() const {
+  std::string s;
+  s.reserve(events.size());
+  for (SessionEvent e : events) s.push_back(SessionEventGlyph(e));
+  return s;
+}
+
+void SessionShapeTally::Record(const SessionTrace& trace) {
+  RecordShape(trace.Shape());
+}
+
+void SessionShapeTally::RecordShape(const std::string& shape) {
+  ++counts_[shape];
+  ++total_;
+}
+
+std::vector<std::pair<std::string, std::size_t>> SessionShapeTally::Ranked()
+    const {
+  std::vector<std::pair<std::string, std::size_t>> out(counts_.begin(),
+                                                       counts_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+double SessionShapeTally::Fraction(const std::string& shape) const {
+  if (total_ == 0) return 0.0;
+  const auto it = counts_.find(shape);
+  return it == counts_.end()
+             ? 0.0
+             : static_cast<double>(it->second) / static_cast<double>(total_);
+}
+
+}  // namespace fl::analytics

@@ -1,0 +1,76 @@
+// Device-side training-session event log and the session-shape encoding of
+// Sec. 5 / Table 1:
+//
+// "We also log an event for every state in a training round, and use these
+// logs to generate ASCII visualizations of the sequence of state transitions
+// happening across all devices."
+//
+// Legend (Table 1): '-' = FL server checkin, 'v' = downloaded plan,
+// '[' = training started, ']' = training completed, '+' = upload started,
+// '^' = upload completed, '#' = upload rejected, '!' = interrupted,
+// '*' = error.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/id.h"
+#include "src/common/sim_time.h"
+
+namespace fl::analytics {
+
+enum class SessionEvent : std::uint8_t {
+  kCheckin = 0,       // '-'
+  kDownloadedPlan,    // 'v'
+  kTrainingStarted,   // '['
+  kTrainingCompleted, // ']'
+  kUploadStarted,     // '+'
+  kUploadCompleted,   // '^'
+  kUploadRejected,    // '#'
+  kInterrupted,       // '!'
+  kError,             // '*'
+};
+
+char SessionEventGlyph(SessionEvent e);
+
+// Device activity states charted over time (Fig. 6): the paper plots
+// "participating" and "waiting" (plus rare "closing" and "attesting").
+enum class DeviceState : std::uint8_t {
+  kIdle = 0,       // not connected (eligible or not)
+  kAttesting,
+  kWaiting,        // checked in, held by a Selector
+  kParticipating,  // configured into a round: download/train/upload
+  kClosing,
+};
+
+const char* DeviceStateName(DeviceState s);
+
+// One device's event trace for one training session; its shape string is
+// the Table 1 visualization.
+struct SessionTrace {
+  SessionId session;
+  DeviceId device;
+  std::vector<SessionEvent> events;
+
+  std::string Shape() const;
+};
+
+// Aggregates session shapes into the Table 1 distribution.
+class SessionShapeTally {
+ public:
+  void Record(const SessionTrace& trace);
+  void RecordShape(const std::string& shape);
+
+  std::size_t total() const { return total_; }
+  // Shapes with counts, most frequent first.
+  std::vector<std::pair<std::string, std::size_t>> Ranked() const;
+  double Fraction(const std::string& shape) const;
+
+ private:
+  std::map<std::string, std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace fl::analytics

@@ -1,0 +1,41 @@
+#include "src/analytics/monitor.h"
+
+#include <cmath>
+
+namespace fl::analytics {
+
+bool DeviationMonitor::Observe(SimTime t, double value) {
+  bool alerted = false;
+  if (window_.size() >= params_.warmup) {
+    double mean = 0;
+    for (double v : window_) mean += v;
+    mean /= static_cast<double>(window_.size());
+    double var = 0;
+    for (double v : window_) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(window_.size());
+    const double sigma = std::max(std::sqrt(var), params_.min_sigma);
+    if (std::fabs(value - mean) > params_.sigma_threshold * sigma) {
+      alerts_.push_back(Alert{
+          t, metric_, value, mean, params_.sigma_threshold,
+          metric_ + " deviated: observed " + std::to_string(value) +
+              " vs baseline mean " + std::to_string(mean)});
+      alerted = true;
+    }
+  }
+  window_.push_back(value);
+  if (window_.size() > params_.window) {
+    window_.erase(window_.begin());
+  }
+  return alerted;
+}
+
+bool ThresholdMonitor::Observe(SimTime t, double value) {
+  if (value <= max_) return false;
+  alerts_.push_back(Alert{t, metric_, value, max_, 0,
+                          metric_ + " exceeded threshold " +
+                              std::to_string(max_) + ": observed " +
+                              std::to_string(value)});
+  return true;
+}
+
+}  // namespace fl::analytics

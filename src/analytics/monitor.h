@@ -1,0 +1,66 @@
+// Automatic time-series monitors (Sec. 5): health metrics are "fed into
+// automatic time-series monitors that trigger alerts on substantial
+// deviations" — this is how the paper's team discovered, e.g., "that the
+// drop out rates of training participants were much higher than expected".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+
+namespace fl::analytics {
+
+struct Alert {
+  SimTime time;
+  std::string metric;
+  double observed = 0;
+  double expected_mean = 0;
+  double threshold_sigma = 0;
+  std::string message;
+};
+
+// Rolling-window deviation monitor: alerts when an observation departs from
+// the trailing mean by more than `sigma_threshold` standard deviations
+// (after a warm-up period).
+class DeviationMonitor {
+ public:
+  struct Params {
+    std::size_t window = 48;        // trailing samples forming the baseline
+    double sigma_threshold = 4.0;
+    std::size_t warmup = 12;        // samples before alerting is armed
+    double min_sigma = 1e-6;        // floor to avoid zero-variance alarms
+  };
+
+  DeviationMonitor(std::string metric_name, Params params)
+      : metric_(std::move(metric_name)), params_(params) {}
+
+  // Feeds one observation; returns true if it raised an alert.
+  bool Observe(SimTime t, double value);
+
+  const std::vector<Alert>& alerts() const { return alerts_; }
+  const std::string& metric() const { return metric_; }
+
+ private:
+  std::string metric_;
+  Params params_;
+  std::vector<double> window_;
+  std::vector<Alert> alerts_;
+};
+
+// Static-threshold monitor (e.g., "drop-out rate must stay below 15%").
+class ThresholdMonitor {
+ public:
+  ThresholdMonitor(std::string metric_name, double max_value)
+      : metric_(std::move(metric_name)), max_(max_value) {}
+
+  bool Observe(SimTime t, double value);
+  const std::vector<Alert>& alerts() const { return alerts_; }
+
+ private:
+  std::string metric_;
+  double max_;
+  std::vector<Alert> alerts_;
+};
+
+}  // namespace fl::analytics

@@ -1,0 +1,109 @@
+#include "src/analytics/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fl::analytics {
+
+void TimeSeries::Add(SimTime t, double value) {
+  if (t < start_) return;  // before the observation window
+  const auto bucket = static_cast<std::size_t>(
+      (t - start_).millis / width_.millis);
+  if (bucket >= sums_.size()) {
+    sums_.resize(bucket + 1, 0.0);
+    counts_.resize(bucket + 1, 0);
+  }
+  sums_[bucket] += value;
+  ++counts_[bucket];
+}
+
+double TimeSeries::Sum(std::size_t bucket) const {
+  return bucket < sums_.size() ? sums_[bucket] : 0.0;
+}
+
+std::size_t TimeSeries::Count(std::size_t bucket) const {
+  return bucket < counts_.size() ? counts_[bucket] : 0;
+}
+
+double TimeSeries::Mean(std::size_t bucket) const {
+  const std::size_t c = Count(bucket);
+  return c > 0 ? Sum(bucket) / static_cast<double>(c) : 0.0;
+}
+
+double TimeSeries::RatePerHour(std::size_t bucket) const {
+  const double hours = static_cast<double>(width_.millis) / (3600.0 * 1000.0);
+  return Sum(bucket) / hours;
+}
+
+std::vector<double> TimeSeries::Means() const {
+  std::vector<double> out(sums_.size());
+  for (std::size_t i = 0; i < sums_.size(); ++i) out[i] = Mean(i);
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), buckets_(buckets, 0) {
+  FL_CHECK(hi > lo && buckets > 0);
+}
+
+void Histogram::Add(double v) {
+  ++total_;
+  sum_ += v;
+  if (v < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (v >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>(
+      (v - lo_) / (hi_ - lo_) * static_cast<double>(buckets_.size()));
+  ++buckets_[std::min(idx, buckets_.size() - 1)];
+}
+
+double Histogram::Percentile(double p) const {
+  if (total_ == 0) return lo_;
+  const double target = p / 100.0 * static_cast<double>(total_);
+  double acc = static_cast<double>(underflow_);
+  if (acc >= target) return lo_;
+  const double bucket_span =
+      (hi_ - lo_) / static_cast<double>(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double next = acc + static_cast<double>(buckets_[i]);
+    if (next >= target && buckets_[i] > 0) {
+      // Linear interpolation within the bucket.
+      const double frac = (target - acc) / static_cast<double>(buckets_[i]);
+      return lo_ + (static_cast<double>(i) + frac) * bucket_span;
+    }
+    acc = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::Render(std::size_t width) const {
+  static const char* kBlocks[] = {" ", ".", ":", "-", "=", "+", "*", "#", "%", "@"};
+  std::string out;
+  if (buckets_.empty() || total_ == 0) return out;
+  const std::size_t group = std::max<std::size_t>(1, buckets_.size() / width);
+  std::size_t max_count = 1;
+  for (std::size_t i = 0; i < buckets_.size(); i += group) {
+    std::size_t g = 0;
+    for (std::size_t j = i; j < std::min(i + group, buckets_.size()); ++j) {
+      g += buckets_[j];
+    }
+    max_count = std::max(max_count, g);
+  }
+  for (std::size_t i = 0; i < buckets_.size(); i += group) {
+    std::size_t g = 0;
+    for (std::size_t j = i; j < std::min(i + group, buckets_.size()); ++j) {
+      g += buckets_[j];
+    }
+    const auto level = static_cast<std::size_t>(
+        9.0 * static_cast<double>(g) / static_cast<double>(max_count));
+    out += kBlocks[std::min<std::size_t>(level, 9)];
+  }
+  return out;
+}
+
+}  // namespace fl::analytics

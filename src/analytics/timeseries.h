@@ -1,0 +1,70 @@
+// Fixed-bucket time series and histograms backing the operational dashboards
+// (Sec. 5: log entries "are aggregated and presented in dashboards").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/common/status.h"
+
+namespace fl::analytics {
+
+// Accumulates values into fixed-width time buckets from a start time.
+class TimeSeries {
+ public:
+  TimeSeries(SimTime start, Duration bucket_width)
+      : start_(start), width_(bucket_width) {
+    FL_CHECK(bucket_width.millis > 0);
+  }
+
+  void Add(SimTime t, double value = 1.0);
+
+  std::size_t bucket_count() const { return sums_.size(); }
+  Duration bucket_width() const { return width_; }
+  SimTime start() const { return start_; }
+  SimTime BucketStart(std::size_t i) const {
+    return start_ + width_ * static_cast<std::int64_t>(i);
+  }
+
+  double Sum(std::size_t bucket) const;
+  double Mean(std::size_t bucket) const;
+  std::size_t Count(std::size_t bucket) const;
+
+  // Rate per hour in a bucket (for round-completion-rate plots, Fig. 5).
+  double RatePerHour(std::size_t bucket) const;
+
+  std::vector<double> Sums() const { return sums_; }
+  std::vector<double> Means() const;
+
+ private:
+  SimTime start_;
+  Duration width_;
+  std::vector<double> sums_;
+  std::vector<std::size_t> counts_;
+};
+
+// Reservoir-free histogram with explicit bounds for duration distributions
+// (Fig. 8).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void Add(double v);
+  std::size_t total() const { return total_; }
+  double Percentile(double p) const;  // p in [0, 100]
+  double Mean() const { return total_ > 0 ? sum_ / static_cast<double>(total_) : 0; }
+
+  // Sparkline-style ASCII rendering of the density.
+  std::string Render(std::size_t width = 60) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> buckets_;
+  std::size_t total_ = 0;
+  double sum_ = 0;
+  std::size_t underflow_ = 0, overflow_ = 0;
+};
+
+}  // namespace fl::analytics

@@ -1,0 +1,128 @@
+// Byte-level serialization used by FL checkpoints, plans, and wire messages.
+//
+// Format conventions: little-endian fixed-width integers, varint-prefixed
+// strings/blobs. Readers return Status on truncation or corruption so that a
+// malformed checkpoint surfaces as kDataLoss rather than UB (the paper's
+// devices may run plans produced months earlier — Sec. 7.3 — so decoding is
+// always defensive).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace fl {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class BytesWriter {
+ public:
+  void WriteU8(std::uint8_t v) { buf_.push_back(v); }
+  void WriteU16(std::uint16_t v) { WriteLE(v); }
+  void WriteU32(std::uint32_t v) { WriteLE(v); }
+  void WriteU64(std::uint64_t v) { WriteLE(v); }
+  void WriteI32(std::int32_t v) { WriteLE(static_cast<std::uint32_t>(v)); }
+  void WriteI64(std::int64_t v) { WriteLE(static_cast<std::uint64_t>(v)); }
+
+  void WriteF32(float v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    WriteU32(bits);
+  }
+  void WriteF64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    WriteU64(bits);
+  }
+
+  void WriteVarint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void WriteString(const std::string& s) {
+    WriteVarint(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void WriteBytes(std::span<const std::uint8_t> b) {
+    WriteVarint(b.size());
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  void WriteRaw(std::span<const std::uint8_t> b) {
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  void WriteF32Span(std::span<const float> v) {
+    WriteVarint(v.size());
+    const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+    buf_.insert(buf_.end(), p, p + v.size() * sizeof(float));
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const Bytes& bytes() const& { return buf_; }
+  Bytes Take() && { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void WriteLE(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  Bytes buf_;
+};
+
+class BytesReader {
+ public:
+  explicit BytesReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  Result<std::uint8_t> ReadU8();
+  Result<std::uint16_t> ReadU16();
+  Result<std::uint32_t> ReadU32();
+  Result<std::uint64_t> ReadU64();
+  Result<std::int32_t> ReadI32();
+  Result<std::int64_t> ReadI64();
+  Result<float> ReadF32();
+  Result<double> ReadF64();
+  Result<std::uint64_t> ReadVarint();
+  Result<std::string> ReadString();
+  Result<Bytes> ReadBytes();
+  Result<std::vector<float>> ReadF32Vector();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  std::size_t position() const { return pos_; }
+
+ private:
+  template <typename T>
+  Result<T> ReadLE() {
+    if (remaining() < sizeof(T)) {
+      return DataLossError("truncated buffer: need " +
+                           std::to_string(sizeof(T)) + " bytes, have " +
+                           std::to_string(remaining()));
+    }
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// Human-readable byte counts for traffic dashboards (Fig. 9).
+std::string HumanBytes(std::uint64_t n);
+
+}  // namespace fl

@@ -1,0 +1,14 @@
+// CRC32 (IEEE 802.3 polynomial) used to detect FL checkpoint corruption in
+// transit — the paper's devices see real network failures (Sec. 5); our
+// network model injects corruption and the checkpoint layer must catch it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace fl {
+
+std::uint32_t Crc32(std::span<const std::uint8_t> data,
+                    std::uint32_t seed = 0);
+
+}  // namespace fl

@@ -1,0 +1,73 @@
+// Fixed-point codec mapping float model updates into the additive group
+// Z_{2^32}. Secure Aggregation (Sec. 6) masks updates with uniform group
+// elements; masking requires exact modular arithmetic, so floats are
+// quantized before masking and de-quantized after unmasking.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace fl {
+
+// Symmetric fixed-point quantizer: value v maps to round(v * scale) mod 2^32
+// (two's complement). `clip` bounds |v|; values beyond it saturate. Sums of
+// up to `max_summands` quantized values stay exact as long as
+// max_summands * clip * scale < 2^31.
+class FixedPointCodec {
+ public:
+  FixedPointCodec(double clip, std::uint32_t max_summands)
+      : clip_(clip), max_summands_(max_summands) {
+    FL_CHECK(clip > 0.0);
+    FL_CHECK(max_summands > 0);
+    // Choose the largest scale that cannot overflow int32 when summing.
+    scale_ = std::floor(static_cast<double>(1u << 31) /
+                        (clip * static_cast<double>(max_summands))) -
+             1.0;
+    FL_CHECK_MSG(scale_ >= 1.0,
+                 "clip * max_summands too large for 32-bit fixed point");
+  }
+
+  double clip() const { return clip_; }
+  double scale() const { return scale_; }
+  double resolution() const { return 1.0 / scale_; }
+  std::uint32_t max_summands() const { return max_summands_; }
+
+  std::uint32_t Encode(float v) const {
+    double x = static_cast<double>(v);
+    if (x > clip_) x = clip_;
+    if (x < -clip_) x = -clip_;
+    const auto q = static_cast<std::int64_t>(std::llround(x * scale_));
+    return static_cast<std::uint32_t>(q);  // two's complement wrap
+  }
+
+  float Decode(std::uint32_t q) const {
+    const auto s = static_cast<std::int32_t>(q);
+    return static_cast<float>(static_cast<double>(s) / scale_);
+  }
+
+  // Decode a *sum* of up to max_summands encodings.
+  float DecodeSum(std::uint32_t q) const { return Decode(q); }
+
+  std::vector<std::uint32_t> EncodeVector(std::span<const float> v) const {
+    std::vector<std::uint32_t> out(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) out[i] = Encode(v[i]);
+    return out;
+  }
+
+  std::vector<float> DecodeVector(std::span<const std::uint32_t> q) const {
+    std::vector<float> out(q.size());
+    for (std::size_t i = 0; i < q.size(); ++i) out[i] = Decode(q[i]);
+    return out;
+  }
+
+ private:
+  double clip_;
+  std::uint32_t max_summands_;
+  double scale_;
+};
+
+}  // namespace fl

@@ -1,0 +1,47 @@
+// Strongly-typed integer identifiers. Device, round, task, and actor ids all
+// have the same representation but must never be mixed; the tag parameter
+// makes accidental cross-assignment a compile error.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace fl {
+
+template <typename Tag>
+struct TypedId {
+  std::uint64_t value = 0;
+
+  constexpr TypedId() = default;
+  constexpr explicit TypedId(std::uint64_t v) : value(v) {}
+
+  constexpr auto operator<=>(const TypedId&) const = default;
+
+  friend std::ostream& operator<<(std::ostream& os, TypedId id) {
+    return os << Tag::kPrefix << id.value;
+  }
+};
+
+struct DeviceIdTag { static constexpr const char* kPrefix = "dev-"; };
+struct RoundIdTag { static constexpr const char* kPrefix = "round-"; };
+struct TaskIdTag { static constexpr const char* kPrefix = "task-"; };
+struct ActorIdTag { static constexpr const char* kPrefix = "actor-"; };
+struct SessionIdTag { static constexpr const char* kPrefix = "sess-"; };
+
+using DeviceId = TypedId<DeviceIdTag>;
+using RoundId = TypedId<RoundIdTag>;
+using TaskId = TypedId<TaskIdTag>;
+using ActorId = TypedId<ActorIdTag>;
+using SessionId = TypedId<SessionIdTag>;
+
+}  // namespace fl
+
+namespace std {
+template <typename Tag>
+struct hash<fl::TypedId<Tag>> {
+  size_t operator()(fl::TypedId<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};
+}  // namespace std

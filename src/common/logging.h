@@ -1,0 +1,49 @@
+// Minimal leveled logging. Defaults to WARNING so tests and benches stay
+// quiet; examples turn INFO on to narrate rounds.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global log threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void EmitLog(LogLevel level, const std::string& message);
+
+// Buffers one log statement; the destructor emits it at end of the full
+// expression (glog-style).
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { EmitLog(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  std::ostream& stream() { return os_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+// Makes the streamed expression void so it can appear in a ternary.
+struct VoidifyLog {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+#define FL_LOG(level)                                    \
+  (::fl::GetLogLevel() > ::fl::LogLevel::k##level)       \
+      ? (void)0                                          \
+      : ::fl::internal::VoidifyLog() &                   \
+            ::fl::internal::LogLine(::fl::LogLevel::k##level).stream()
+
+}  // namespace fl

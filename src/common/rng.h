@@ -1,0 +1,155 @@
+// Deterministic, seedable random number generation.
+//
+// Every stochastic component of the simulation (device availability, network
+// latency, drop-outs, pace steering jitter, SGD shuffling) draws from an
+// explicitly-seeded Rng so that experiments are exactly reproducible — the
+// paper's production system relies on analytics to diagnose behaviour
+// (Sec. 5); our substitute is deterministic replay.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numbers>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace fl {
+
+// xoshiro256** by Blackman & Vigna — fast, high-quality, tiny state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    // SplitMix64 to expand the seed into the full state, per Vigna's advice.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  std::uint64_t operator()() { return Next(); }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Uniform integer in [0, n). n must be > 0.
+  std::uint64_t UniformInt(std::uint64_t n) {
+    FL_CHECK(n > 0);
+    // Lemire's nearly-divisionless bounded sampling.
+    __uint128_t m = static_cast<__uint128_t>(Next()) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(Next()) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    FL_CHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    UniformInt(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Standard normal via Box–Muller (no cached spare: keeps replay simple).
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = NextDouble();
+    while (u1 <= 0.0) u1 = NextDouble();
+    const double u2 = NextDouble();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  // Exponential with the given rate (events per unit time).
+  double Exponential(double rate) {
+    FL_CHECK(rate > 0.0);
+    double u = NextDouble();
+    while (u <= 0.0) u = NextDouble();
+    return -std::log(u) / rate;
+  }
+
+  // Log-normal parameterized by the underlying normal's mu / sigma.
+  double LogNormal(double mu, double sigma) {
+    return std::exp(Normal(mu, sigma));
+  }
+
+  // Zipf-distributed rank in [0, n) with exponent s, via rejection-inversion
+  // approximation adequate for workload generation.
+  std::size_t Zipf(std::size_t n, double s) {
+    FL_CHECK(n > 0);
+    // Inverse-CDF on the harmonic weights; O(1) approximate sampling.
+    const double u = NextDouble();
+    if (s == 1.0) {
+      const double hn = std::log(static_cast<double>(n)) + 0.5772156649;
+      const double target = u * hn;
+      const double r = std::exp(target) - 0.5772156649;
+      auto rank = static_cast<std::size_t>(std::max(0.0, r - 1.0));
+      return std::min(rank, n - 1);
+    }
+    const double one_minus_s = 1.0 - s;
+    const double hn =
+        (std::pow(static_cast<double>(n), one_minus_s) - 1.0) / one_minus_s;
+    const double r =
+        std::pow(u * hn * one_minus_s + 1.0, 1.0 / one_minus_s) - 1.0;
+    auto rank = static_cast<std::size_t>(std::max(0.0, r));
+    return std::min(rank, n - 1);
+  }
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = UniformInt(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Derive an independent child generator (e.g., one per simulated device).
+  Rng Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace fl

@@ -1,0 +1,90 @@
+// Simulated time types. The entire stack is driven by a discrete-event
+// simulator (src/sim); wall-clock never appears below the bench layer.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace fl {
+
+// Milliseconds since simulation epoch. A plain strong-ish alias: arithmetic
+// is deliberately allowed, construction is explicit at call sites via the
+// factory helpers below.
+struct Duration {
+  std::int64_t millis = 0;
+
+  constexpr friend Duration operator+(Duration a, Duration b) {
+    return {a.millis + b.millis};
+  }
+  constexpr friend Duration operator-(Duration a, Duration b) {
+    return {a.millis - b.millis};
+  }
+  constexpr friend Duration operator*(Duration a, std::int64_t k) {
+    return {a.millis * k};
+  }
+  constexpr friend Duration operator/(Duration a, std::int64_t k) {
+    return {a.millis / k};
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr double Seconds() const {
+    return static_cast<double>(millis) / 1000.0;
+  }
+  constexpr double Minutes() const { return Seconds() / 60.0; }
+  constexpr double Hours() const { return Minutes() / 60.0; }
+};
+
+constexpr Duration Millis(std::int64_t ms) { return {ms}; }
+constexpr Duration Seconds(std::int64_t s) { return {s * 1000}; }
+constexpr Duration Minutes(std::int64_t m) { return {m * 60 * 1000}; }
+constexpr Duration Hours(std::int64_t h) { return {h * 60 * 60 * 1000}; }
+
+struct SimTime {
+  std::int64_t millis = 0;
+
+  constexpr friend SimTime operator+(SimTime t, Duration d) {
+    return {t.millis + d.millis};
+  }
+  constexpr friend SimTime operator-(SimTime t, Duration d) {
+    return {t.millis - d.millis};
+  }
+  constexpr friend Duration operator-(SimTime a, SimTime b) {
+    return {a.millis - b.millis};
+  }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  // Local hour-of-day in [0, 24) given a timezone offset.
+  constexpr double HourOfDay(Duration tz_offset = {}) const {
+    constexpr std::int64_t kDay = 24LL * 60 * 60 * 1000;
+    std::int64_t local = (millis + tz_offset.millis) % kDay;
+    if (local < 0) local += kDay;
+    return static_cast<double>(local) / (60.0 * 60.0 * 1000.0);
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.millis << "ms";
+}
+inline std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << "t+" << t.millis << "ms";
+}
+
+// Formats a SimTime as "DdHH:MM:SS" for dashboards.
+inline std::string FormatSimTime(SimTime t) {
+  std::int64_t ms = t.millis;
+  const std::int64_t days = ms / (24LL * 3600 * 1000);
+  ms %= 24LL * 3600 * 1000;
+  const std::int64_t h = ms / (3600 * 1000);
+  ms %= 3600 * 1000;
+  const std::int64_t m = ms / (60 * 1000);
+  ms %= 60 * 1000;
+  const std::int64_t s = ms / 1000;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lldd%02lld:%02lld:%02lld",
+                static_cast<long long>(days), static_cast<long long>(h),
+                static_cast<long long>(m), static_cast<long long>(s));
+  return buf;
+}
+
+}  // namespace fl

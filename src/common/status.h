@@ -1,0 +1,199 @@
+// Error handling primitives for the federated learning stack.
+//
+// The library distinguishes programmer errors (contract violations, reported
+// via FL_CHECK / exceptions) from expected runtime failures (network drops,
+// device interruption, protocol aborts) which flow through Status / Result<T>
+// so that callers are forced to consider them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace fl {
+
+// Canonical error space, loosely mirroring the failure classes the paper's
+// protocol distinguishes (Sec. 2.2: rejection, timeout, abort; Sec. 4.4:
+// actor loss; Sec. 3: eligibility loss).
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnavailable,        // transient: retry may succeed (network failure)
+  kDeadlineExceeded,   // timeout windows (selection / reporting)
+  kAborted,            // round abandoned / device interrupted
+  kPermissionDenied,   // attestation failure
+  kResourceExhausted,  // device resource caps
+  kDataLoss,           // corrupt checkpoint / bad CRC
+  kUnimplemented,
+  kInternal,
+};
+
+const char* ErrorCodeName(ErrorCode code);
+
+// Value-semantic status. Ok statuses carry no allocation.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Returns a human-readable "CODE: message" string.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+inline Status InvalidArgumentError(std::string m) {
+  return {ErrorCode::kInvalidArgument, std::move(m)};
+}
+inline Status NotFoundError(std::string m) {
+  return {ErrorCode::kNotFound, std::move(m)};
+}
+inline Status AlreadyExistsError(std::string m) {
+  return {ErrorCode::kAlreadyExists, std::move(m)};
+}
+inline Status FailedPreconditionError(std::string m) {
+  return {ErrorCode::kFailedPrecondition, std::move(m)};
+}
+inline Status OutOfRangeError(std::string m) {
+  return {ErrorCode::kOutOfRange, std::move(m)};
+}
+inline Status UnavailableError(std::string m) {
+  return {ErrorCode::kUnavailable, std::move(m)};
+}
+inline Status DeadlineExceededError(std::string m) {
+  return {ErrorCode::kDeadlineExceeded, std::move(m)};
+}
+inline Status AbortedError(std::string m) {
+  return {ErrorCode::kAborted, std::move(m)};
+}
+inline Status PermissionDeniedError(std::string m) {
+  return {ErrorCode::kPermissionDenied, std::move(m)};
+}
+inline Status ResourceExhaustedError(std::string m) {
+  return {ErrorCode::kResourceExhausted, std::move(m)};
+}
+inline Status DataLossError(std::string m) {
+  return {ErrorCode::kDataLoss, std::move(m)};
+}
+inline Status UnimplementedError(std::string m) {
+  return {ErrorCode::kUnimplemented, std::move(m)};
+}
+inline Status InternalError(std::string m) {
+  return {ErrorCode::kInternal, std::move(m)};
+}
+
+// Result<T>: either a value or a non-ok Status. A C++20-compatible stand-in
+// for std::expected<T, Status>.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(data_).ok()) {
+      throw std::logic_error("Result<T> constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  T& value() & {
+    EnsureOk();
+    return std::get<T>(data_);
+  }
+  const T& value() const& {
+    EnsureOk();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    EnsureOk();
+    return std::get<T>(std::move(data_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) {
+      throw std::runtime_error("Result accessed without value: " +
+                               std::get<Status>(data_).ToString());
+    }
+  }
+  std::variant<T, Status> data_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+}  // namespace internal
+
+// Contract checks: always on (these guard invariants, not user errors).
+#define FL_CHECK(expr)                                                  \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::fl::internal::CheckFailed(__FILE__, __LINE__, #expr, "");       \
+    }                                                                   \
+  } while (0)
+
+#define FL_CHECK_MSG(expr, msg)                                         \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::fl::internal::CheckFailed(__FILE__, __LINE__, #expr, (msg));    \
+    }                                                                   \
+  } while (0)
+
+// Propagate a non-ok Status from an expression returning Status.
+#define FL_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::fl::Status fl_status__ = (expr);            \
+    if (!fl_status__.ok()) return fl_status__;    \
+  } while (0)
+
+// Assign from a Result<T> expression or propagate its Status.
+#define FL_ASSIGN_OR_RETURN(lhs, expr)                 \
+  FL_ASSIGN_OR_RETURN_IMPL_(                           \
+      FL_STATUS_CONCAT_(fl_result__, __LINE__), lhs, expr)
+
+#define FL_STATUS_CONCAT_INNER_(a, b) a##b
+#define FL_STATUS_CONCAT_(a, b) FL_STATUS_CONCAT_INNER_(a, b)
+#define FL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+}  // namespace fl

@@ -1,0 +1,47 @@
+// Top-level configuration of a simulated FL deployment: one FL population,
+// a device fleet, the network between them, and the server stack.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/fedavg/compression.h"
+#include "src/graph/registry.h"
+#include "src/protocol/pace_steering.h"
+#include "src/sim/availability.h"
+#include "src/sim/network.h"
+
+namespace fl::core {
+
+struct FLSystemConfig {
+  std::string population_name = "population/default";
+  std::uint64_t seed = 42;
+
+  sim::PopulationParams population;
+  sim::DiurnalCurve::Params diurnal;
+  sim::NetworkModel::Params network;
+  protocol::PaceSteeringPolicy::Params pace;
+
+  // Server topology.
+  std::size_t selector_count = 4;
+  Duration coordinator_tick = Seconds(10);
+  std::size_t max_waiting_per_selector = 5000;
+  bool pipelined_selection = true;  // Sec. 4.3 (off = ablation)
+
+  // Device behaviour.
+  // Floor on how often a device offers itself for work (the JobScheduler
+  // cadence; pace-steering windows can only push check-ins later). The
+  // paper: devices "connect as frequently as needed to run all scheduled FL
+  // tasks, but not more" (Sec. 2.3).
+  Duration device_checkin_cadence = Seconds(60);
+  Duration device_give_up = Minutes(8);   // waiting with no server response
+  Duration ack_timeout = Minutes(3);      // upload sent, no ack
+  Duration data_refresh_period = Hours(12);  // 0 => provision once
+  // Update upload compression (Sec. 11, Bandwidth); nullopt = raw floats.
+  std::optional<fedavg::CompressionConfig> upload_compression;
+
+  // Analytics resolution.
+  Duration stats_bucket = Minutes(15);
+};
+
+}  // namespace fl::core

@@ -1,0 +1,603 @@
+#include "src/core/device_agent.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/fixed_point.h"
+#include "src/fedavg/compression.h"
+
+namespace fl::core {
+namespace {
+
+using analytics::DeviceState;
+using analytics::SessionEvent;
+
+crypto::Key256 RandomKey(Rng& rng) {
+  crypto::Key256 k;
+  for (std::size_t i = 0; i < k.size(); i += 8) {
+    const std::uint64_t v = rng.Next();
+    std::memcpy(k.data() + i, &v, 8);
+  }
+  return k;
+}
+
+// Coarse wire sizes for SecAgg control messages (payload + framing).
+std::uint64_t AdvertiseBytes() { return 48; }
+std::uint64_t ShareKeysBytes(const secagg::ShareKeysMessage& m) {
+  std::uint64_t b = 16;
+  for (const auto& s : m.shares) b += s.ciphertext.size() + 12;
+  return b;
+}
+std::uint64_t MaskedBytes(const secagg::MaskedInput& m) {
+  return 16 + 4 * m.masked.size();
+}
+std::uint64_t UnmaskBytes(const secagg::UnmaskingResponse& r) {
+  return 16 + 16 * (r.mask_key_shares.size() + 5 * r.self_seed_shares.size());
+}
+
+}  // namespace
+
+DeviceAgent::DeviceAgent(sim::DeviceProfile profile, Services services)
+    : profile_(profile),
+      services_(services),
+      availability_(*services.curve, profile),
+      rng_(profile.seed ^ 0x5851f42d4c957f2dULL),
+      runtime_(profile.os_version, &registry_) {
+  FL_CHECK(services_.queue != nullptr && services_.network != nullptr &&
+           services_.frontend != nullptr && services_.stats != nullptr &&
+           services_.config != nullptr && services_.attestation != nullptr);
+  eligible_ = availability_.eligible();
+}
+
+void DeviceAgent::Configure(const std::string& population,
+                            const std::string& store_name,
+                            Duration min_checkin_interval) {
+  GetOrCreateStore(store_name);
+  const Status s = scheduler_.RegisterPopulation(
+      device::PopulationRegistration{population, store_name,
+                                     min_checkin_interval});
+  FL_CHECK_MSG(s.ok(), s.ToString());
+}
+
+device::InMemoryExampleStore& DeviceAgent::GetOrCreateStore(
+    const std::string& name) {
+  auto it = owned_stores_.find(name);
+  if (it == owned_stores_.end()) {
+    auto store = std::make_shared<device::InMemoryExampleStore>(
+        name, device::InMemoryExampleStore::Options{});
+    FL_CHECK(registry_.Register(store).ok());
+    it = owned_stores_.emplace(name, std::move(store)).first;
+  }
+  return *it->second;
+}
+
+void DeviceAgent::Start() {
+  services_.stats->OnDeviceStateChange(DeviceState::kIdle, state_);
+  ScheduleNextToggle();
+  // First check-in attempt at a jittered offset so fleet start-up is not a
+  // thundering herd by construction.
+  ScheduleCheckinPoll(Millis(static_cast<std::int64_t>(
+      rng_.UniformInt(static_cast<std::uint64_t>(Minutes(30).millis)))));
+}
+
+void DeviceAgent::SetState(DeviceState s) {
+  if (s == state_) return;
+  services_.stats->OnDeviceStateChange(state_, s);
+  state_ = s;
+}
+
+void DeviceAgent::AddTrace(SessionEvent e) {
+  if (session_) session_->trace.events.push_back(e);
+}
+
+void DeviceAgent::ScheduleNextToggle() {
+  const SimTime t = availability_.NextToggleAfter(services_.queue->now());
+  const bool will_be = availability_.eligible();
+  services_.queue->At(t, [this, will_be] { OnToggle(will_be); });
+}
+
+void DeviceAgent::OnToggle(bool now_eligible) {
+  eligible_ = now_eligible;
+  if (!eligible_ && session_) {
+    Interrupt();
+  } else if (eligible_) {
+    TryCheckin();
+  }
+  ScheduleNextToggle();
+}
+
+void DeviceAgent::ScheduleCheckinPoll(Duration delay) {
+  if (poll_scheduled_) return;
+  poll_scheduled_ = true;
+  services_.queue->After(delay, [this] {
+    poll_scheduled_ = false;
+    TryCheckin();
+  });
+}
+
+void DeviceAgent::TryCheckin() {
+  if (!eligible_ || session_.has_value()) return;
+  const SimTime now = services_.queue->now();
+  const auto population = scheduler_.NextSession(now);
+  if (!population.has_value()) {
+    const auto next = scheduler_.NextRunnableAt(now);
+    if (next.has_value()) {
+      const Duration wait =
+          std::max(Seconds(30), *next - now) +
+          Millis(static_cast<std::int64_t>(rng_.UniformInt(10'000)));
+      ScheduleCheckinPoll(wait);
+    }
+    return;
+  }
+  BeginSession(*population);
+}
+
+void DeviceAgent::BeginSession(const std::string& population) {
+  ++sessions_started_;
+  ++session_counter_;
+  const std::uint64_t gen = ++generation_;
+  Session s;
+  s.id = SessionId{(profile_.id.value << 20) | session_counter_};
+  s.generation = gen;
+  s.checkin_at = services_.queue->now();
+  s.population = population;
+  s.trace.session = s.id;
+  s.trace.device = profile_.id;
+  session_ = std::move(s);
+  scheduler_.OnSessionStarted(population, services_.queue->now());
+  SetState(DeviceState::kAttesting);
+
+  // Attestation + connection handshake, then check in (Sec. 3 Job
+  // Invocation: "the FL runtime contacts the FL server to announce that it
+  // is ready to run tasks for the given FL population").
+  const std::uint64_t nonce = rng_.Next();
+  const device::AttestationToken token =
+      profile_.genuine
+          ? services_.attestation->Issue(profile_.id, nonce)
+          : services_.attestation->Forge(profile_.id, nonce, rng_.Next());
+
+  const Duration handshake = services_.network->SampleRtt() * 2;
+  services_.queue->After(handshake, [this, gen, token, population] {
+    if (!Active(gen)) return;
+    AddTrace(SessionEvent::kCheckin);
+    server::CheckInRequest req;
+    req.device = profile_.id;
+    req.session = session_->id;
+    req.population = population;
+    req.runtime_version = profile_.os_version;
+    req.attestation = token;
+    const bool ok = services_.frontend->CheckIn(req, MakeLink(gen));
+    if (!ok) {
+      // Attestation rejected (or no selectors): long back-off.
+      scheduler_.SetEarliestCheckin(population,
+                                    services_.queue->now() + Hours(6));
+      EndSession(false);
+      return;
+    }
+    SetState(DeviceState::kWaiting);
+    // Give-up timer: a crashed Selector means silence, not rejection
+    // (Sec. 4.4: "only the devices connected to that actor will be lost").
+    services_.queue->After(services_.config->device_give_up, [this, gen] {
+      if (!Active(gen) || session_->assigned) return;
+      EndSession(false);
+    });
+  });
+}
+
+server::DeviceLink DeviceAgent::MakeLink(std::uint64_t gen) {
+  server::DeviceLink link;
+  link.device = profile_.id;
+  link.session = session_->id;
+  link.runtime_version = profile_.os_version;
+  link.connected_at = services_.queue->now();
+  link.assign = [this, gen](const server::TaskAssignment& a) {
+    if (!Active(gen)) return;
+    // Configuration download: plan + global model over the device's radio.
+    const std::uint64_t bytes = a.plan_bytes->size() + a.model_bytes->size();
+    const sim::TransferOutcome t = services_.network->Transfer(
+        profile_, sim::Direction::kDownload, bytes);
+    server::TaskAssignment copy = a;
+    const bool ok = t.success && !t.corrupted;
+    services_.queue->After(t.duration, [this, gen, copy, ok] {
+      if (!Active(gen)) return;
+      if (!ok) {
+        FailSession("configuration download failed");
+        return;
+      }
+      OnAssigned(gen, copy);
+    });
+  };
+  link.reject = [this, gen](const server::RejectionNotice& n) {
+    services_.queue->After(services_.network->SampleRtt(),
+                           [this, gen, n] { OnRejected(gen, n); });
+  };
+  link.report_ack = [this, gen](const server::ReportAck& ack) {
+    services_.queue->After(services_.network->SampleRtt(),
+                           [this, gen, ack] { OnReportAck(gen, ack); });
+  };
+  link.secagg_directory = [this, gen](const server::SecAggDirectoryMsg& m) {
+    const sim::TransferOutcome t = services_.network->Transfer(
+        profile_, sim::Direction::kDownload, 24 * m.directory.size() + 16);
+    if (!t.success) return;  // device misses the directory; drops out
+    services_.queue->After(t.duration,
+                           [this, gen, m] { OnSecAggDirectory(gen, m); });
+  };
+  link.secagg_shares = [this, gen](const server::SecAggSharesMsg& m) {
+    std::uint64_t bytes = 16;
+    for (const auto& s : m.shares) bytes += s.ciphertext.size() + 12;
+    const sim::TransferOutcome t = services_.network->Transfer(
+        profile_, sim::Direction::kDownload, bytes);
+    if (!t.success) return;
+    services_.queue->After(t.duration,
+                           [this, gen, m] { OnSecAggShares(gen, m); });
+  };
+  link.secagg_unmask = [this, gen](const server::SecAggUnmaskMsg& m) {
+    const sim::TransferOutcome t = services_.network->Transfer(
+        profile_, sim::Direction::kDownload,
+        16 + 8 * (m.request.dropped.size() + m.request.survivors.size()));
+    if (!t.success) return;
+    services_.queue->After(t.duration,
+                           [this, gen, m] { OnSecAggUnmask(gen, m); });
+  };
+  link.closed = [this, gen](const server::ConnectionClosed&) {
+    services_.queue->After(services_.network->SampleRtt(),
+                           [this, gen] { OnClosed(gen); });
+  };
+  return link;
+}
+
+void DeviceAgent::OnRejected(std::uint64_t gen,
+                             const server::RejectionNotice& notice) {
+  if (!Active(gen)) return;
+  // Pace steering compliance: pick a reconnect time inside the window
+  // ("The device attempts to respect this, modulo its eligibility").
+  const SimTime when = protocol::PaceSteeringPolicy::PickWithinWindow(
+      notice.retry_window, rng_);
+  scheduler_.SetEarliestCheckin(session_->population, when);
+  EndSession(false);
+}
+
+void DeviceAgent::OnAssigned(std::uint64_t gen,
+                             const server::TaskAssignment& assignment) {
+  Session& s = *session_;
+  AddTrace(SessionEvent::kDownloadedPlan);
+  SetState(DeviceState::kParticipating);
+  s.assigned = true;
+  s.round = assignment.round;
+  s.aggregator = assignment.aggregator;
+  s.participation_deadline = assignment.participation_deadline;
+
+  auto plan = plan::FLPlan::Deserialize(*assignment.plan_bytes);
+  auto global = Checkpoint::Deserialize(*assignment.model_bytes);
+  if (!plan.ok() || !global.ok()) {
+    FailSession("plan/model deserialization failed");
+    return;
+  }
+  s.plan = std::move(plan).value();
+  s.global = std::move(global).value();
+
+  if (assignment.secagg_enabled) {
+    s.secagg = true;
+    s.secagg_clip = assignment.secagg_clip;
+    s.secagg_max_summands = assignment.secagg_max_summands;
+    s.sa_client.emplace(assignment.secagg_index, assignment.secagg_threshold,
+                        assignment.secagg_vector_length, RandomKey(rng_));
+    // Round 0: advertise keys right away, overlapping with training.
+    const secagg::KeyAdvertisement adv = s.sa_client->AdvertiseKeys();
+    SendSecAggUpload(gen, AdvertiseBytes(), [this, adv] {
+      server::SecAggAdvertiseMsg msg;
+      msg.device = profile_.id;
+      msg.round = session_->round;
+      msg.advertisement = adv;
+      msg.upload_wire_bytes = AdvertiseBytes();
+      services_.frontend->SecAggAdvertise(session_->aggregator, msg);
+    });
+  }
+
+  // Device-side participation cap.
+  const Duration until_deadline = s.participation_deadline -
+                                  services_.queue->now();
+  if (until_deadline.millis > 0) {
+    services_.queue->After(until_deadline, [this, gen] {
+      if (!Active(gen)) return;
+      if (session_->reported_ok) {
+        // Already accepted; a Secure Aggregation session may be lingering
+        // for the Finalization round — let its own grace timer end it.
+        return;
+      }
+      // Capped by the server (Fig. 8); abandon quietly.
+      services_.stats->OnDeviceDrop(services_.queue->now(), session_->round,
+                                    profile_.id);
+      EndSession(false);
+    });
+  }
+
+  StartTraining(gen);
+}
+
+void DeviceAgent::StartTraining(std::uint64_t gen) {
+  Session& s = *session_;
+  AddTrace(SessionEvent::kTrainingStarted);
+  s.training = true;
+
+  // The computation itself is pure; its wall-clock cost is simulated.
+  auto result = runtime_.ExecutePlan(*s.plan, *s.global,
+                                     services_.queue->now(), rng_);
+  if (!result.ok()) {
+    // E.g. the example store no longer satisfies the plan's selection
+    // criteria — a model-issue '*' right after '[' (Sec. 5's "-v[*").
+    FailSession(result.status().ToString());
+    return;
+  }
+  s.metrics = result->metrics;
+  s.examples_used = result->examples_used;
+  if (result->update.has_value()) {
+    s.update = std::move(result->update);
+  }
+  const Duration compute = device::EstimateComputeDuration(
+      *s.plan, s.examples_used, profile_);
+  services_.queue->After(compute, [this, gen] {
+    if (!Active(gen)) return;
+    FinishTraining(gen);
+  });
+}
+
+void DeviceAgent::FinishTraining(std::uint64_t gen) {
+  Session& s = *session_;
+  s.training = false;
+  s.trained = true;
+  AddTrace(SessionEvent::kTrainingCompleted);
+  if (s.secagg) {
+    MaybeSendMaskedInput(gen);
+  } else {
+    BeginUpload(gen);
+  }
+}
+
+void DeviceAgent::BeginUpload(std::uint64_t gen) {
+  Session& s = *session_;
+  AddTrace(SessionEvent::kUploadStarted);
+  s.uploading = true;
+
+  server::DeviceReport report;
+  report.device = profile_.id;
+  report.session = s.id;
+  report.round = s.round;
+  report.metrics = s.metrics;
+
+  std::uint64_t wire_bytes = 256;  // metrics-only floor (evaluation tasks)
+  if (s.update.has_value()) {
+    report.weight = s.update->weight;
+    const auto& compression = services_.config->upload_compression;
+    if (compression.has_value()) {
+      // Sec. 11 Bandwidth: compress the (compressible) update for the wire;
+      // the server aggregates the reconstruction.
+      const std::vector<float> flat = s.update->weighted_delta.Flatten();
+      const fedavg::CompressedUpdate wire =
+          fedavg::Compress(flat, *compression, rng_.Next());
+      wire_bytes = wire.payload.size() + 32;
+      auto restored = fedavg::Decompress(wire);
+      FL_CHECK(restored.ok());
+      auto restored_ckpt = s.update->weighted_delta.Unflatten(*restored);
+      FL_CHECK(restored_ckpt.ok());
+      report.update_bytes = restored_ckpt->Serialize();
+    } else {
+      report.update_bytes = s.update->weighted_delta.Serialize();
+      wire_bytes = report.update_bytes.size() + 64;
+    }
+  } else {
+    report.weight = static_cast<float>(s.metrics.example_count);
+  }
+  report.upload_wire_bytes = wire_bytes;
+
+  const sim::TransferOutcome t = services_.network->Transfer(
+      profile_, sim::Direction::kUpload, wire_bytes);
+  if (!t.success) {
+    services_.queue->After(t.duration, [this, gen, t] {
+      if (!Active(gen)) return;
+      // Wasted bytes still hit the server NIC.
+      services_.stats->OnTraffic(services_.queue->now(), 0, t.bytes_on_wire);
+      FailSession("upload failed");
+    });
+    return;
+  }
+  services_.queue->After(t.duration, [this, gen, report] {
+    if (!Active(gen)) return;
+    services_.frontend->Report(session_->aggregator, report);
+    // Ack timeout: a dead Aggregator means silence.
+    services_.queue->After(services_.config->ack_timeout, [this, gen] {
+      if (!Active(gen)) return;
+      FailSession("no ack from aggregator");
+    });
+  });
+}
+
+void DeviceAgent::OnReportAck(std::uint64_t gen, const server::ReportAck& ack) {
+  if (!Active(gen)) return;
+  Session& s = *session_;
+  s.uploading = false;
+  s.reported_ok = ack.accepted;
+  AddTrace(ack.accepted ? SessionEvent::kUploadCompleted
+                        : SessionEvent::kUploadRejected);
+  // Pace steering: the server tells reporting devices when to come back
+  // (Sec. 2.2 Reporting).
+  const SimTime when =
+      protocol::PaceSteeringPolicy::PickWithinWindow(ack.next_checkin, rng_);
+  scheduler_.SetEarliestCheckin(s.population, when);
+
+  if (s.secagg && ack.accepted) {
+    // Stay online for the Finalization round; end after a grace window.
+    services_.queue->After(services_.config->ack_timeout * 2, [this, gen] {
+      if (!Active(gen)) return;
+      EndSession(true);
+    });
+    return;
+  }
+  EndSession(ack.accepted);
+}
+
+void DeviceAgent::OnClosed(std::uint64_t gen) {
+  if (!Active(gen)) return;
+  // Server-side abort: stop whatever is running; no further contact.
+  EndSession(false);
+}
+
+// ---------------------------------------------------------------------------
+// Secure Aggregation client-side rounds.
+// ---------------------------------------------------------------------------
+
+void DeviceAgent::SendSecAggUpload(std::uint64_t gen, std::uint64_t bytes,
+                                   std::function<void()> send) {
+  const sim::TransferOutcome t =
+      services_.network->Transfer(profile_, sim::Direction::kUpload, bytes);
+  if (!t.success) {
+    // Lost control message: this device silently drops out of the protocol
+    // round; SecAgg's share recovery handles it.
+    return;
+  }
+  services_.queue->After(t.duration, [this, gen, send = std::move(send)] {
+    if (!Active(gen)) return;
+    send();
+  });
+}
+
+void DeviceAgent::OnSecAggDirectory(std::uint64_t gen,
+                                    const server::SecAggDirectoryMsg& m) {
+  if (!Active(gen) || !session_->sa_client) return;
+  auto shares = session_->sa_client->ShareKeys(m.directory);
+  if (!shares.ok()) return;
+  const std::uint64_t bytes = ShareKeysBytes(*shares);
+  SendSecAggUpload(gen, bytes, [this, msg = std::move(shares).value(),
+                                bytes]() mutable {
+    server::SecAggShareKeysMsg out;
+    out.device = profile_.id;
+    out.round = session_->round;
+    out.message = std::move(msg);
+    out.upload_wire_bytes = bytes;
+    services_.frontend->SecAggShareKeys(session_->aggregator, out);
+  });
+}
+
+void DeviceAgent::OnSecAggShares(std::uint64_t gen,
+                                 const server::SecAggSharesMsg& m) {
+  if (!Active(gen) || !session_->sa_client) return;
+  for (const secagg::EncryptedShare& s : m.shares) {
+    session_->sa_client->ReceiveShare(s);
+  }
+  session_->sa_u1 = m.u1;
+  MaybeSendMaskedInput(gen);
+}
+
+void DeviceAgent::MaybeSendMaskedInput(std::uint64_t gen) {
+  Session& s = *session_;
+  if (!s.trained || !s.sa_u1.has_value() || s.sa_masked_sent ||
+      !s.sa_client.has_value()) {
+    return;
+  }
+  if (!s.update.has_value()) return;  // evaluation tasks skip secagg
+  s.sa_masked_sent = true;
+
+  // Quantize update + trailing weight word. Codec parameters (clip,
+  // max_summands) arrive with the assignment, so device and Aggregator use
+  // identical fixed-point scales.
+  const std::vector<float> flat = s.update->weighted_delta.Flatten();
+  const std::size_t veclen = flat.size() + 1;
+  FixedPointCodec codec(s.secagg_clip, s.secagg_max_summands);
+  std::vector<std::uint32_t> words(veclen);
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    words[i] = codec.Encode(flat[i]);
+  }
+  words[flat.size()] =
+      static_cast<std::uint32_t>(std::lround(s.update->weight));
+
+  auto masked = s.sa_client->MaskInput(words, *s.sa_u1);
+  if (!masked.ok()) return;
+
+  AddTrace(SessionEvent::kUploadStarted);
+  s.uploading = true;
+  const std::uint64_t bytes = MaskedBytes(*masked);
+  SendSecAggUpload(gen, bytes, [this, input = std::move(masked).value(),
+                                bytes]() mutable {
+    server::SecAggMaskedInputMsg out;
+    out.device = profile_.id;
+    out.round = session_->round;
+    out.input = std::move(input);
+    out.metrics = session_->metrics;
+    out.upload_wire_bytes = bytes;
+    services_.frontend->SecAggMaskedInput(session_->aggregator, out);
+    // Ack timeout as in the simple path.
+    const std::uint64_t gen2 = session_->generation;
+    services_.queue->After(services_.config->ack_timeout, [this, gen2] {
+      if (!Active(gen2)) return;
+      if (session_->uploading) FailSession("no secagg ack");
+    });
+  });
+}
+
+void DeviceAgent::OnSecAggUnmask(std::uint64_t gen,
+                                 const server::SecAggUnmaskMsg& m) {
+  if (!Active(gen) || !session_->sa_client) return;
+  auto resp = session_->sa_client->Unmask(m.request);
+  if (!resp.ok()) return;
+  const std::uint64_t bytes = UnmaskBytes(*resp);
+  SendSecAggUpload(gen, bytes, [this, gen, r = std::move(resp).value(),
+                                bytes]() mutable {
+    server::SecAggUnmaskResponseMsg out;
+    out.device = profile_.id;
+    out.round = session_->round;
+    out.response = std::move(r);
+    out.upload_wire_bytes = bytes;
+    services_.frontend->SecAggUnmaskResponse(session_->aggregator, out);
+    EndSession(true);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Session teardown.
+// ---------------------------------------------------------------------------
+
+void DeviceAgent::Interrupt() {
+  if (!session_) return;
+  // Interrupted mid-session ('!'): eligibility lost — e.g., the user picked
+  // up the phone (Sec. 3: "the FL runtime will abort ... if these conditions
+  // are no longer met").
+  if (session_->assigned) {
+    AddTrace(SessionEvent::kInterrupted);
+    services_.stats->OnDeviceDrop(services_.queue->now(), session_->round,
+                                  profile_.id);
+  }
+  EndSession(false);
+}
+
+void DeviceAgent::FailSession(const std::string& why) {
+  (void)why;
+  if (!session_) return;
+  AddTrace(SessionEvent::kError);
+  if (session_->assigned) {
+    services_.stats->OnDeviceDrop(services_.queue->now(), session_->round,
+                                  profile_.id);
+  }
+  EndSession(false);
+}
+
+void DeviceAgent::EndSession(bool completed) {
+  if (!session_) return;
+  if (completed) ++sessions_completed_;
+  services_.stats->OnSessionTrace(session_->trace);
+  if (session_->assigned) {
+    services_.stats->OnParticipationTime(services_.queue->now() -
+                                         session_->checkin_at);
+  }
+  session_.reset();
+  ++generation_;
+  scheduler_.OnSessionEnded();
+  SetState(DeviceState::kIdle);
+  // Plan the next check-in.
+  const SimTime now = services_.queue->now();
+  const auto next = scheduler_.NextRunnableAt(now);
+  if (next.has_value()) {
+    ScheduleCheckinPoll(std::max(Seconds(30), *next - now));
+  }
+}
+
+}  // namespace fl::core

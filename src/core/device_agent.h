@@ -1,0 +1,141 @@
+// DeviceAgent: one simulated phone. Combines the availability process
+// (eligibility), the on-device FL runtime (Sec. 3), the multi-tenant
+// scheduler, pace-steering compliance, the Secure Aggregation client, and
+// the device half of the round protocol (Sec. 2.2), all driven by the
+// discrete-event queue.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "src/analytics/events.h"
+#include "src/core/config.h"
+#include "src/core/fleet_stats.h"
+#include "src/device/attestation.h"
+#include "src/device/example_store.h"
+#include "src/device/runtime.h"
+#include "src/device/scheduler.h"
+#include "src/secagg/client.h"
+#include "src/server/frontend.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/network.h"
+
+namespace fl::core {
+
+class DeviceAgent {
+ public:
+  struct Services {
+    sim::EventQueue* queue = nullptr;
+    sim::NetworkModel* network = nullptr;
+    const sim::DiurnalCurve* curve = nullptr;
+    server::ServerFrontend* frontend = nullptr;
+    const device::AttestationAuthority* attestation = nullptr;
+    FleetStats* stats = nullptr;
+    const FLSystemConfig* config = nullptr;
+  };
+
+  DeviceAgent(sim::DeviceProfile profile, Services services);
+
+  // Registers a population + its example store on this device
+  // ("Programmatic Configuration", Sec. 3).
+  void Configure(const std::string& population, const std::string& store_name,
+                 Duration min_checkin_interval);
+
+  device::InMemoryExampleStore& GetOrCreateStore(const std::string& name);
+  device::ExampleStoreRegistry& stores() { return registry_; }
+  const sim::DeviceProfile& profile() const { return profile_; }
+  Rng& rng() { return rng_; }
+  bool eligible() const { return eligible_; }
+  std::uint64_t sessions_started() const { return sessions_started_; }
+  std::uint64_t sessions_completed() const { return sessions_completed_; }
+
+  // Arms the agent: schedules eligibility toggles and check-in attempts.
+  void Start();
+
+ private:
+  struct Session {
+    SessionId id;
+    std::uint64_t generation = 0;
+    SimTime checkin_at;
+    std::string population;
+    analytics::SessionTrace trace;
+    // Populated on assignment.
+    bool assigned = false;
+    RoundId round;
+    ActorId aggregator;
+    std::optional<plan::FLPlan> plan;
+    std::optional<Checkpoint> global;
+    SimTime participation_deadline;
+    bool training = false;
+    bool trained = false;
+    bool uploading = false;
+    bool reported_ok = false;
+    std::optional<fedavg::ClientUpdateResult> update;
+    fedavg::ClientMetrics metrics;
+    std::size_t examples_used = 0;
+    // Secure aggregation.
+    bool secagg = false;
+    double secagg_clip = 4.0;
+    std::uint32_t secagg_max_summands = 2;
+    std::optional<secagg::SecAggClient> sa_client;
+    std::optional<std::vector<secagg::ParticipantIndex>> sa_u1;
+    bool sa_masked_sent = false;
+  };
+
+  // --- lifecycle ---
+  void ScheduleNextToggle();
+  void OnToggle(bool now_eligible);
+  void ScheduleCheckinPoll(Duration delay);
+  void TryCheckin();
+  void BeginSession(const std::string& population);
+
+  // --- server link callbacks (all generation-guarded) ---
+  server::DeviceLink MakeLink(std::uint64_t generation);
+  void OnAssigned(std::uint64_t gen, const server::TaskAssignment& assignment);
+  void OnRejected(std::uint64_t gen, const server::RejectionNotice& notice);
+  void OnReportAck(std::uint64_t gen, const server::ReportAck& ack);
+  void OnClosed(std::uint64_t gen);
+  void OnSecAggDirectory(std::uint64_t gen, const server::SecAggDirectoryMsg&);
+  void OnSecAggShares(std::uint64_t gen, const server::SecAggSharesMsg&);
+  void OnSecAggUnmask(std::uint64_t gen, const server::SecAggUnmaskMsg&);
+
+  // --- round execution ---
+  void StartTraining(std::uint64_t gen);
+  void FinishTraining(std::uint64_t gen);
+  void BeginUpload(std::uint64_t gen);
+  void MaybeSendMaskedInput(std::uint64_t gen);
+  void SendSecAggUpload(std::uint64_t gen, std::uint64_t bytes,
+                        std::function<void()> send);
+
+  // --- bookkeeping ---
+  void SetState(analytics::DeviceState s);
+  void AddTrace(analytics::SessionEvent e);
+  void Interrupt();                // eligibility lost mid-session
+  void FailSession(const std::string& why);  // '*' error path
+  void EndSession(bool completed);
+  bool Active(std::uint64_t gen) const {
+    return session_.has_value() && session_->generation == gen;
+  }
+
+  sim::DeviceProfile profile_;
+  Services services_;
+  sim::AvailabilityProcess availability_;
+  Rng rng_;
+  bool eligible_ = false;
+  analytics::DeviceState state_ = analytics::DeviceState::kIdle;
+
+  device::ExampleStoreRegistry registry_;
+  std::map<std::string, std::shared_ptr<device::InMemoryExampleStore>>
+      owned_stores_;
+  device::MultiTenantScheduler scheduler_;
+  device::FlRuntime runtime_;
+
+  std::optional<Session> session_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t session_counter_ = 0;
+  std::uint64_t sessions_started_ = 0;
+  std::uint64_t sessions_completed_ = 0;
+  bool poll_scheduled_ = false;
+};
+
+}  // namespace fl::core

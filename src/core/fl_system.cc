@@ -1,0 +1,278 @@
+#include "src/core/fl_system.h"
+#include <algorithm>
+
+
+#include "src/graph/registry.h"
+#include "src/server/master_aggregator.h"
+
+namespace fl::core {
+namespace {
+constexpr std::uint64_t kNetworkSeedSalt = 0x6e657477726bULL;   // "networ"
+constexpr std::uint64_t kAttestSeedSalt = 0x61747465737421ULL;  // "attest!"
+}  // namespace
+
+FLSystem::FLSystem(FLSystemConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      curve_(config_.diurnal),
+      network_(config_.network, config_.seed ^ kNetworkSeedSalt),
+      attestation_(config_.seed ^ kAttestSeedSalt) {
+  context_ = std::make_unique<actor::SimContext>(queue_);
+  actors_ = std::make_unique<actor::ActorSystem>(*context_);
+  stats_ = std::make_unique<FleetStats>(SimTime{0}, config_.stats_bucket);
+  pace_ = std::make_unique<protocol::PaceSteeringPolicy>(config_.pace,
+                                                         &curve_);
+  frontend_ = std::make_unique<server::ServerFrontend>(
+      actors_.get(), &server_context_, &attestation_);
+
+  server_context_.locks = &locks_;
+  server_context_.stats = stats_.get();
+  server_context_.pace = pace_.get();
+  server_context_.rng = &rng_;
+  server_context_.estimated_population = config_.population.device_count;
+}
+
+FLSystem::~FLSystem() = default;
+
+void FLSystem::AddTrainingTask(const std::string& name,
+                               const graph::Model& model,
+                               const plan::TrainingHyperparams& hyper,
+                               const plan::ExampleSelector& selector,
+                               const protocol::RoundConfig& round_config,
+                               Duration cadence) {
+  FL_CHECK_MSG(!started_, "tasks must be added before Start()");
+  const plan::FLPlan default_plan =
+      plan::MakeTrainingPlan(model, name, hyper, selector);
+  auto plans = plan::VersionedPlanSet::Generate(
+      default_plan, graph::kOldestSupportedRuntime);
+  FL_CHECK_MSG(plans.ok(), plans.status().ToString());
+
+  if (model_store_ == nullptr) {
+    // The population's singleton global model (Sec. 2.2).
+    model_store_ = std::make_unique<server::ModelStore>(model.init_params);
+    server_context_.model_store = model_store_.get();
+  } else {
+    FL_CHECK_MSG(model_store_->Latest().CompatibleWith(model.init_params),
+                 "all tasks of a population must share the model schema");
+  }
+
+  server::FLTaskDescriptor task;
+  task.id = TaskId{next_task_id_++};
+  task.name = name;
+  task.plans = std::move(plans).value();
+  task.round_config = round_config;
+  task.round_cadence = cadence;
+  tasks_.push_back(std::move(task));
+}
+
+void FLSystem::AddEvaluationTask(const std::string& name,
+                                 const graph::Model& model,
+                                 const plan::ExampleSelector& selector,
+                                 const protocol::RoundConfig& round_config,
+                                 Duration cadence) {
+  FL_CHECK_MSG(!started_, "tasks must be added before Start()");
+  FL_CHECK_MSG(model_store_ != nullptr,
+               "add a training task before evaluation tasks");
+  const plan::FLPlan default_plan =
+      plan::MakeEvaluationPlan(model, name, selector);
+  auto plans = plan::VersionedPlanSet::Generate(
+      default_plan, graph::kOldestSupportedRuntime);
+  FL_CHECK_MSG(plans.ok(), plans.status().ToString());
+
+  server::FLTaskDescriptor task;
+  task.id = TaskId{next_task_id_++};
+  task.name = name;
+  task.plans = std::move(plans).value();
+  task.round_config = round_config;
+  task.round_cadence = cadence;
+  tasks_.push_back(std::move(task));
+}
+
+void FLSystem::ProvisionData(DataProvisioner provisioner) {
+  provisioner_ = std::move(provisioner);
+}
+
+void FLSystem::EnableAdaptiveWindows(
+    protocol::AdaptiveWindowController::Params params) {
+  const bool arm_now = started_ && !adaptive_.has_value();
+  adaptive_.emplace(AdaptiveState{
+      protocol::AdaptiveWindowController(params), {}, 0, false});
+  if (arm_now) ScheduleAdaptiveTick();
+}
+
+void FLSystem::ScheduleAdaptiveTick() {
+  queue_.After(Minutes(1), [this] {
+    if (!adaptive_.has_value()) return;
+    AdaptiveState& state = *adaptive_;
+    if (!state.shadow_initialized && !tasks_.empty()) {
+      state.shadow_config = tasks_.front().round_config;
+      state.shadow_initialized = true;
+    }
+    const auto& log = stats_->round_log();
+    bool changed = false;
+    for (; state.log_cursor < log.size(); ++state.log_cursor) {
+      const RoundSummary& summary = log[state.log_cursor];
+      protocol::RoundObservation obs;
+      obs.outcome = summary.outcome;
+      obs.selection_duration = summary.selection_duration;
+      obs.round_duration = summary.round_duration;
+      obs.completed = summary.contributors;
+      const auto it = stats_->per_round().find(summary.round);
+      if (it != stats_->per_round().end()) {
+        obs.completed = it->second.completed;
+        obs.dropped = it->second.dropped;
+      }
+      state.shadow_config =
+          state.controller.Update(state.shadow_config, obs);
+      changed = true;
+    }
+    if (changed && coordinator_.value != 0) {
+      actors_->Send(ActorId{}, coordinator_,
+                    server::MsgUpdateRoundConfig{TaskId{0},
+                                                 state.shadow_config});
+    }
+    ScheduleAdaptiveTick();
+  });
+}
+
+ActorId FLSystem::SpawnCoordinator() {
+  // Never spawn a duplicate while the current instance is healthy (the
+  // lock's re-entrant owner semantics would otherwise admit one).
+  if (coordinator_.value != 0 && actors_->IsAlive(coordinator_)) {
+    return ActorId{};
+  }
+  // Exactly-once semantics via the shared lock service (Sec. 4.2/4.4).
+  auto epoch = locks_.Acquire(config_.population_name, "coordinator",
+                              queue_.now());
+  if (!epoch.ok()) return ActorId{};
+
+  server::CoordinatorActor::Init init;
+  init.population = config_.population_name;
+  init.tasks = tasks_;  // copy: the system retains the master list
+  init.selectors = selector_ids_;
+  init.context = &server_context_;
+  init.tick_period = config_.coordinator_tick;
+  init.max_waiting_per_selector = config_.max_waiting_per_selector;
+  init.pipelined_selection = config_.pipelined_selection;
+  init.lock_epoch = *epoch;
+  coordinator_ = actors_->Spawn<server::CoordinatorActor>("coordinator",
+                                                          std::move(init));
+  return coordinator_;
+}
+
+void FLSystem::Start() {
+  FL_CHECK_MSG(!started_, "Start() called twice");
+  FL_CHECK_MSG(!tasks_.empty(), "no tasks configured");
+  started_ = true;
+
+  // Selectors first (the coordinator greets them on start).
+  for (std::size_t i = 0; i < config_.selector_count; ++i) {
+    server::SelectorActor::Init init;
+    init.population = config_.population_name;
+    init.coordinator = ActorId{};  // learned via MsgCoordinatorHello
+    init.context = &server_context_;
+    init.max_waiting = config_.max_waiting_per_selector;
+    init.respawn_coordinator = [this]() -> ActorId {
+      return SpawnCoordinator();
+    };
+    const ActorId sel = actors_->Spawn<server::SelectorActor>(
+        "selector-" + std::to_string(i), std::move(init));
+    selector_ids_.push_back(sel);
+    frontend_->AddSelector(sel);
+  }
+  SpawnCoordinator();
+  FL_CHECK_MSG(coordinator_.value != 0, "failed to acquire population lock");
+
+  // The device fleet.
+  std::vector<sim::DeviceProfile> profiles =
+      sim::GeneratePopulation(config_.population, rng_);
+  agents_.reserve(profiles.size());
+  const std::string store_name =
+      tasks_.front().plans.plans().begin()->second.device.selector.store_name;
+  for (const sim::DeviceProfile& profile : profiles) {
+    DeviceAgent::Services services;
+    services.queue = &queue_;
+    services.network = &network_;
+    services.curve = &curve_;
+    services.frontend = frontend_.get();
+    services.attestation = &attestation_;
+    services.stats = stats_.get();
+    services.config = &config_;
+    auto agent = std::make_unique<DeviceAgent>(profile, services);
+    agent->Configure(config_.population_name, store_name,
+                     config_.device_checkin_cadence);
+    if (provisioner_) {
+      provisioner_(profile, *agent, agent->rng(), queue_.now());
+    }
+    agent->Start();
+    agents_.push_back(std::move(agent));
+  }
+
+  ScheduleStatsSampler();
+  if (config_.data_refresh_period.millis > 0 && provisioner_) {
+    ScheduleDataRefresh();
+  }
+  if (adaptive_.has_value()) ScheduleAdaptiveTick();
+}
+
+void FLSystem::ScheduleStatsSampler() {
+  // Sample often relative to the bucket width so short-lived states
+  // (participating lasts a minute or two) are measured, not aliased.
+  const Duration period =
+      std::min(Minutes(1), Duration{config_.stats_bucket.millis / 2});
+  queue_.After(period, [this] {
+    stats_->SampleStates(queue_.now());
+    ScheduleStatsSampler();
+  });
+}
+
+void FLSystem::ScheduleDataRefresh() {
+  queue_.After(config_.data_refresh_period, [this] {
+    for (auto& agent : agents_) {
+      provisioner_(agent->profile(), *agent, agent->rng(), queue_.now());
+    }
+    ScheduleDataRefresh();
+  });
+}
+
+void FLSystem::RunFor(Duration d) { queue_.RunFor(d); }
+void FLSystem::RunUntil(SimTime t) { queue_.RunUntil(t); }
+SimTime FLSystem::now() const { return queue_.now(); }
+
+void FLSystem::CrashCoordinator() {
+  if (coordinator_.value != 0) {
+    // Drop the lease so a respawn can acquire it immediately (the crashed
+    // owner will never renew; expiring naturally would also work).
+    const auto epoch = locks_.Epoch(config_.population_name, queue_.now());
+    actors_->Crash(coordinator_);
+    if (epoch.has_value()) {
+      (void)locks_.Release(config_.population_name, "coordinator", *epoch);
+    }
+  }
+}
+
+void FLSystem::CrashRandomSelector() {
+  if (selector_ids_.empty()) return;
+  const std::size_t idx = rng_.UniformInt(selector_ids_.size());
+  actors_->Crash(selector_ids_[idx]);
+}
+
+bool FLSystem::CrashActiveMaster() {
+  auto* coord = actors_->Get<server::CoordinatorActor>(coordinator_);
+  if (coord == nullptr) return false;
+  const auto master = coord->active_master();
+  if (!master.has_value()) return false;
+  // Masters watch-notify the coordinator, which restarts the round
+  // (Sec. 4.4).
+  actors_->Crash(*master);
+  return true;
+}
+
+std::vector<DeviceAgent*> FLSystem::devices() {
+  std::vector<DeviceAgent*> out;
+  out.reserve(agents_.size());
+  for (auto& a : agents_) out.push_back(a.get());
+  return out;
+}
+
+}  // namespace fl::core

@@ -1,0 +1,151 @@
+#include "src/core/fleet_stats.h"
+
+#include "src/common/logging.h"
+namespace fl::core {
+namespace {
+
+analytics::TimeSeries MakeSeries(SimTime start, Duration bucket) {
+  return analytics::TimeSeries(start, bucket);
+}
+
+}  // namespace
+
+FleetStats::FleetStats(SimTime start, Duration bucket)
+    : state_series_{MakeSeries(start, bucket), MakeSeries(start, bucket),
+                    MakeSeries(start, bucket), MakeSeries(start, bucket),
+                    MakeSeries(start, bucket)},
+      round_completions_(start, bucket),
+      round_failures_(start, bucket),
+      download_(start, bucket),
+      upload_(start, bucket),
+      drops_(start, bucket),
+      completions_(start, bucket),
+      round_duration_(0.0, 30.0, 120),      // minutes
+      selection_duration_(0.0, 30.0, 120),  // minutes
+      participation_(0.0, 30.0, 120),       // minutes
+      drop_rate_monitor_("participant_drop_rate", {}) {}
+
+void FleetStats::OnRoundOutcome(SimTime t, RoundId round,
+                                protocol::RoundOutcome outcome,
+                                std::size_t contributors) {
+  if (outcome == protocol::RoundOutcome::kCommitted) {
+    ++rounds_committed_;
+    round_completions_.Add(t);
+  } else {
+    ++rounds_abandoned_;
+    round_failures_.Add(t);
+  }
+  RoundSummary summary;
+  summary.round = round;
+  summary.at = t;
+  summary.outcome = outcome;
+  summary.contributors = contributors;
+  round_log_.push_back(summary);
+}
+
+void FleetStats::OnParticipantOutcome(SimTime t, RoundId round,
+                                      DeviceId device,
+                                      protocol::ParticipantOutcome outcome) {
+  (void)device;
+  RoundParticipantCounts& c = per_round_[round];
+  switch (outcome) {
+    case protocol::ParticipantOutcome::kCompleted:
+      ++c.completed;
+      completions_.Add(t);
+      break;
+    case protocol::ParticipantOutcome::kAborted:
+    case protocol::ParticipantOutcome::kRejectedLate:
+      // Fig. 7's "aborted": work discarded because the server already had
+      // enough reports.
+      ++c.aborted;
+      break;
+    case protocol::ParticipantOutcome::kDropped:
+      ++c.dropped;
+      drops_.Add(t);
+      break;
+  }
+}
+
+void FleetStats::OnRoundTiming(SimTime t, RoundId round,
+                               Duration selection_duration,
+                               Duration round_duration) {
+  (void)t;
+  selection_duration_.Add(selection_duration.Minutes());
+  round_duration_.Add(round_duration.Minutes());
+  // Patch the matching log row (outcome is reported just before timing).
+  for (auto it = round_log_.rbegin(); it != round_log_.rend(); ++it) {
+    if (it->round == round) {
+      it->selection_duration = selection_duration;
+      it->round_duration = round_duration;
+      it->has_timing = true;
+      break;
+    }
+  }
+}
+
+void FleetStats::OnDeviceAccepted(SimTime t) {
+  (void)t;
+  ++accepted_;
+}
+
+void FleetStats::OnDeviceRejected(SimTime t) {
+  (void)t;
+  ++rejected_;
+}
+
+void FleetStats::OnTraffic(SimTime t, std::uint64_t download_bytes,
+                           std::uint64_t upload_bytes) {
+  if (download_bytes > 0) {
+    download_.Add(t, static_cast<double>(download_bytes));
+    total_download_ += download_bytes;
+  }
+  if (upload_bytes > 0) {
+    upload_.Add(t, static_cast<double>(upload_bytes));
+    total_upload_ += upload_bytes;
+  }
+}
+
+void FleetStats::OnError(SimTime t, const std::string& what) {
+  ++errors_;
+  // Expected operational noise (drop-outs, aborted secagg groups) stays at
+  // INFO; the error *counter* is what monitors consume (Sec. 5).
+  FL_LOG(Info) << "[" << FormatSimTime(t) << "] server error: " << what;
+}
+
+void FleetStats::OnDeviceStateChange(analytics::DeviceState from,
+                                     analytics::DeviceState to) {
+  auto& from_count = live_counts_[static_cast<std::size_t>(from)];
+  if (from_count > 0) --from_count;
+  ++live_counts_[static_cast<std::size_t>(to)];
+}
+
+void FleetStats::OnSessionTrace(const analytics::SessionTrace& trace) {
+  // Only sessions that progressed past check-in form "training round
+  // sessions" in the Table 1 sense.
+  if (trace.events.size() >= 2) shapes_.Record(trace);
+}
+
+void FleetStats::OnParticipationTime(Duration d) {
+  participation_.Add(d.Minutes());
+}
+
+void FleetStats::OnDeviceDrop(SimTime t, RoundId round, DeviceId device) {
+  OnParticipantOutcome(t, round, device,
+                       protocol::ParticipantOutcome::kDropped);
+}
+
+void FleetStats::SampleStates(SimTime t) {
+  for (std::size_t s = 0; s < live_counts_.size(); ++s) {
+    state_series_[s].Add(t, static_cast<double>(live_counts_[s]));
+  }
+  // Feed the deviation monitor with the instantaneous drop share.
+  const double participating =
+      static_cast<double>(live_counts_[static_cast<std::size_t>(
+          analytics::DeviceState::kParticipating)]);
+  if (participating > 0) {
+    // Relative drop pressure; the monitor learns the diurnal baseline.
+    drop_rate_monitor_.Observe(t, participating);
+  }
+}
+
+}  // namespace fl::core

@@ -1,0 +1,89 @@
+#include "src/crypto/chacha20.h"
+
+#include <cstring>
+
+namespace fl::crypto {
+namespace {
+
+inline std::uint32_t Rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline void QuarterRound(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                         std::uint32_t& d) {
+  a += b; d ^= a; d = Rotl(d, 16);
+  c += d; b ^= c; b = Rotl(b, 12);
+  a += b; d ^= a; d = Rotl(d, 8);
+  c += d; b ^= c; b = Rotl(b, 7);
+}
+
+inline std::uint32_t LoadLE32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void Block(const Key256& key, const Nonce96& nonce, std::uint32_t counter,
+           std::uint8_t out[64]) {
+  std::uint32_t s[16];
+  s[0] = 0x61707865;
+  s[1] = 0x3320646e;
+  s[2] = 0x79622d32;
+  s[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) s[4 + i] = LoadLE32(key.data() + 4 * i);
+  s[12] = counter;
+  for (int i = 0; i < 3; ++i) s[13 + i] = LoadLE32(nonce.data() + 4 * i);
+
+  std::uint32_t w[16];
+  std::memcpy(w, s, sizeof(w));
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(w[0], w[4], w[8], w[12]);
+    QuarterRound(w[1], w[5], w[9], w[13]);
+    QuarterRound(w[2], w[6], w[10], w[14]);
+    QuarterRound(w[3], w[7], w[11], w[15]);
+    QuarterRound(w[0], w[5], w[10], w[15]);
+    QuarterRound(w[1], w[6], w[11], w[12]);
+    QuarterRound(w[2], w[7], w[8], w[13]);
+    QuarterRound(w[3], w[4], w[9], w[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t v = w[i] + s[i];
+    out[4 * i] = static_cast<std::uint8_t>(v);
+    out[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+}
+
+}  // namespace
+
+void ChaCha20Xor(const Key256& key, const Nonce96& nonce,
+                 std::uint32_t initial_counter, std::span<std::uint8_t> data) {
+  std::uint8_t ks[64];
+  std::uint32_t counter = initial_counter;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    Block(key, nonce, counter++, ks);
+    const std::size_t take = std::min<std::size_t>(64, data.size() - pos);
+    for (std::size_t i = 0; i < take; ++i) data[pos + i] ^= ks[i];
+    pos += take;
+  }
+}
+
+std::vector<std::uint32_t> PrgWords(const Key256& seed, std::size_t count,
+                                    std::uint32_t stream_id) {
+  Nonce96 nonce{};
+  nonce[0] = static_cast<std::uint8_t>(stream_id);
+  nonce[1] = static_cast<std::uint8_t>(stream_id >> 8);
+  nonce[2] = static_cast<std::uint8_t>(stream_id >> 16);
+  nonce[3] = static_cast<std::uint8_t>(stream_id >> 24);
+  std::vector<std::uint32_t> out(count, 0);
+  if (count == 0) return out;
+  auto* bytes = reinterpret_cast<std::uint8_t*>(out.data());
+  ChaCha20Xor(seed, nonce, 0,
+              std::span<std::uint8_t>(bytes, count * sizeof(std::uint32_t)));
+  return out;
+}
+
+}  // namespace fl::crypto

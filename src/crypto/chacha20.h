@@ -1,0 +1,29 @@
+// ChaCha20 stream cipher (RFC 8439 core) used as
+//  (a) the PRG that expands Secure Aggregation mask seeds into full-length
+//      masking vectors, and
+//  (b) the cipher half of the authenticated-encryption scheme protecting
+//      Shamir shares in transit (Sec. 6).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/bytes.h"
+
+namespace fl::crypto {
+
+using Key256 = std::array<std::uint8_t, 32>;
+using Nonce96 = std::array<std::uint8_t, 12>;
+
+// Generates the ChaCha20 keystream and XORs it over `data` in place.
+void ChaCha20Xor(const Key256& key, const Nonce96& nonce,
+                 std::uint32_t initial_counter, std::span<std::uint8_t> data);
+
+// Deterministic PRG over the keystream: expands a 32-byte seed into `count`
+// uniform 32-bit words (the additive masks of Secure Aggregation).
+std::vector<std::uint32_t> PrgWords(const Key256& seed, std::size_t count,
+                                    std::uint32_t stream_id = 0);
+
+}  // namespace fl::crypto

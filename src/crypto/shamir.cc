@@ -1,0 +1,136 @@
+#include "src/crypto/shamir.h"
+
+#include <unordered_set>
+
+#include "src/crypto/dh.h"  // MulMod / PowMod
+
+namespace fl::crypto {
+namespace {
+
+constexpr std::uint64_t kP = kShamirPrime;
+
+std::uint64_t AddMod(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t s = a + b;  // < 2^62, no overflow
+  return s >= kP ? s - kP : s;
+}
+
+std::uint64_t SubMod(std::uint64_t a, std::uint64_t b) {
+  return a >= b ? a - b : a + kP - b;
+}
+
+std::uint64_t InvMod(std::uint64_t a) {
+  // Fermat: a^(p-2) mod p.
+  return PowMod(a, kP - 2, kP);
+}
+
+// Evaluates the polynomial with the given coefficients at x (Horner).
+std::uint64_t EvalPoly(std::span<const std::uint64_t> coeffs,
+                       std::uint64_t x) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) {
+    acc = AddMod(MulMod(acc, x, kP), coeffs[i]);
+  }
+  return acc;
+}
+
+}  // namespace
+
+Result<std::vector<Share>> ShamirSplit(std::uint64_t secret, std::size_t n,
+                                       std::size_t t, Rng& rng) {
+  if (t == 0 || t > n) {
+    return InvalidArgumentError("Shamir threshold must satisfy 1 <= t <= n");
+  }
+  if (n >= kP) return InvalidArgumentError("too many shares");
+  std::vector<std::uint64_t> coeffs(t);
+  coeffs[0] = secret % kP;
+  for (std::size_t i = 1; i < t; ++i) {
+    coeffs[i] = rng.UniformInt(kP);
+  }
+  std::vector<Share> shares(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t x = i + 1;
+    shares[i] = Share{x, EvalPoly(coeffs, x)};
+  }
+  return shares;
+}
+
+Result<std::uint64_t> ShamirReconstruct(std::span<const Share> shares,
+                                        std::size_t t) {
+  if (shares.size() < t) {
+    return FailedPreconditionError(
+        "need " + std::to_string(t) + " shares, have " +
+        std::to_string(shares.size()));
+  }
+  // Use exactly t shares; verify x-coordinates are distinct.
+  std::unordered_set<std::uint64_t> seen;
+  for (std::size_t i = 0; i < t; ++i) {
+    if (!seen.insert(shares[i].x).second) {
+      return InvalidArgumentError("duplicate share point");
+    }
+    if (shares[i].x == 0 || shares[i].x >= kP) {
+      return InvalidArgumentError("share point out of field range");
+    }
+  }
+  // Lagrange interpolation at x = 0:
+  //   secret = sum_i y_i * prod_{j != i} x_j / (x_j - x_i)
+  std::uint64_t secret = 0;
+  for (std::size_t i = 0; i < t; ++i) {
+    std::uint64_t num = 1, den = 1;
+    for (std::size_t j = 0; j < t; ++j) {
+      if (j == i) continue;
+      num = MulMod(num, shares[j].x, kP);
+      den = MulMod(den, SubMod(shares[j].x, shares[i].x), kP);
+    }
+    const std::uint64_t term =
+        MulMod(shares[i].y, MulMod(num, InvMod(den), kP), kP);
+    secret = AddMod(secret, term);
+  }
+  return secret;
+}
+
+namespace {
+constexpr std::size_t kLimbBytes = 7;   // 56-bit limbs, each < 2^61 - 1
+constexpr std::size_t kLimbCount = 5;   // ceil(32 / 7)
+}  // namespace
+
+Result<std::vector<std::vector<Share>>> ShamirSplitKey(const Key256& key,
+                                                       std::size_t n,
+                                                       std::size_t t,
+                                                       Rng& rng) {
+  std::vector<std::vector<Share>> limbs;
+  limbs.reserve(kLimbCount);
+  for (std::size_t l = 0; l < kLimbCount; ++l) {
+    std::uint64_t v = 0;
+    for (std::size_t b = 0; b < kLimbBytes; ++b) {
+      const std::size_t idx = l * kLimbBytes + b;
+      if (idx < key.size()) {
+        v |= static_cast<std::uint64_t>(key[idx]) << (8 * b);
+      }
+    }
+    FL_ASSIGN_OR_RETURN(std::vector<Share> s, ShamirSplit(v, n, t, rng));
+    limbs.push_back(std::move(s));
+  }
+  return limbs;
+}
+
+Result<Key256> ShamirReconstructKey(
+    std::span<const std::vector<Share>> limb_shares, std::size_t t) {
+  if (limb_shares.size() != kLimbCount) {
+    return InvalidArgumentError("expected " + std::to_string(kLimbCount) +
+                                " limbs");
+  }
+  Key256 key{};
+  for (std::size_t l = 0; l < kLimbCount; ++l) {
+    FL_ASSIGN_OR_RETURN(std::uint64_t v,
+                        ShamirReconstruct(limb_shares[l], t));
+    for (std::size_t b = 0; b < kLimbBytes; ++b) {
+      const std::size_t idx = l * kLimbBytes + b;
+      if (idx < key.size()) {
+        key[idx] = static_cast<std::uint8_t>(v >> (8 * b));
+      }
+    }
+  }
+  return key;
+}
+
+}  // namespace fl::crypto

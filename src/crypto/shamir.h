@@ -1,0 +1,46 @@
+// Shamir t-of-n secret sharing over GF(p), p = 2^61 - 1.
+//
+// Secure Aggregation (Sec. 6) relies on secret sharing so that the server
+// can recover the masks of clients who drop out after committing: each
+// client shares both its DH secret key and its self-mask seed among the
+// cohort; any t surviving clients let the server reconstruct exactly one of
+// the two (never both) per client.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/crypto/chacha20.h"
+
+namespace fl::crypto {
+
+inline constexpr std::uint64_t kShamirPrime = 2305843009213693951ULL;  // 2^61-1
+
+struct Share {
+  std::uint64_t x = 0;  // evaluation point (participant index, 1-based)
+  std::uint64_t y = 0;  // polynomial value
+};
+
+// Splits `secret` (reduced mod p) into n shares with threshold t
+// (any t shares reconstruct; t-1 reveal nothing).
+Result<std::vector<Share>> ShamirSplit(std::uint64_t secret, std::size_t n,
+                                       std::size_t t, Rng& rng);
+
+// Reconstructs the secret from >= t distinct shares via Lagrange
+// interpolation at x = 0.
+Result<std::uint64_t> ShamirReconstruct(std::span<const Share> shares,
+                                        std::size_t t);
+
+// Convenience: split/reconstruct a 256-bit key as five 56-bit limbs
+// (each < p), so whole PRG seeds can be shared.
+Result<std::vector<std::vector<Share>>> ShamirSplitKey(const Key256& key,
+                                                       std::size_t n,
+                                                       std::size_t t,
+                                                       Rng& rng);
+Result<Key256> ShamirReconstructKey(
+    std::span<const std::vector<Share>> limb_shares, std::size_t t);
+
+}  // namespace fl::crypto

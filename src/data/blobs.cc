@@ -1,0 +1,100 @@
+#include "src/data/blobs.h"
+
+#include <cmath>
+
+namespace fl::data {
+
+BlobsWorkload::BlobsWorkload(BlobsParams params, std::uint64_t seed)
+    : params_(params) {
+  Rng rng(seed);
+  centers_.resize(params_.classes);
+  for (auto& c : centers_) {
+    c.resize(params_.feature_dim);
+    for (float& v : c) {
+      v = static_cast<float>(rng.Normal(0.0, params_.center_scale));
+    }
+  }
+}
+
+Example BlobsWorkload::Sample(std::size_t cls, Rng& rng, SimTime stamp) const {
+  Example ex;
+  ex.features.resize(params_.feature_dim);
+  for (std::size_t d = 0; d < params_.feature_dim; ++d) {
+    ex.features[d] = centers_[cls][d] +
+                     static_cast<float>(rng.Normal(0.0, params_.cluster_spread));
+  }
+  ex.label = static_cast<float>(cls);
+  ex.timestamp = stamp;
+  return ex;
+}
+
+std::vector<double> BlobsWorkload::SampleDirichlet(Rng& rng) const {
+  // Gamma(alpha) draws normalized; Marsaglia-Tsang for alpha < 1 via boost
+  // trick: Gamma(a) = Gamma(a+1) * U^(1/a).
+  std::vector<double> w(params_.classes);
+  double total = 0;
+  for (double& v : w) {
+    const double a = params_.dirichlet_alpha;
+    // Sum of -log(U) approximations is poor for non-integer a; use
+    // Marsaglia–Tsang with the boost for a < 1.
+    const double boost_a = a < 1.0 ? a + 1.0 : a;
+    const double d = boost_a - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    double x;
+    while (true) {
+      const double z = rng.Normal(0.0, 1.0);
+      const double u = rng.NextDouble();
+      const double t = 1.0 + c * z;
+      if (t <= 0) continue;
+      x = d * t * t * t;
+      if (std::log(std::max(u, 1e-300)) <
+          0.5 * z * z + d - x + d * std::log(x / d)) {
+        break;
+      }
+    }
+    if (a < 1.0) {
+      x *= std::pow(std::max(rng.NextDouble(), 1e-300), 1.0 / a);
+    }
+    v = x;
+    total += x;
+  }
+  for (double& v : w) v /= std::max(total, 1e-12);
+  return w;
+}
+
+std::vector<Example> BlobsWorkload::UserExamples(std::uint64_t user_seed,
+                                                 std::size_t count,
+                                                 SimTime stamp) const {
+  Rng rng(user_seed ^ 0xcbf29ce484222325ULL);
+  const std::vector<double> mix = SampleDirichlet(rng);
+  std::vector<Example> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double u = rng.NextDouble();
+    double acc = 0;
+    std::size_t cls = params_.classes - 1;
+    for (std::size_t c = 0; c < params_.classes; ++c) {
+      acc += mix[c];
+      if (u < acc) {
+        cls = c;
+        break;
+      }
+    }
+    out.push_back(Sample(cls, rng, stamp));
+  }
+  return out;
+}
+
+std::vector<Example> BlobsWorkload::GlobalExamples(std::uint64_t seed,
+                                                   std::size_t count,
+                                                   SimTime stamp) const {
+  Rng rng(seed ^ 0x100000001b3ULL);
+  std::vector<Example> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(Sample(rng.UniformInt(params_.classes), rng, stamp));
+  }
+  return out;
+}
+
+}  // namespace fl::data

@@ -1,0 +1,20 @@
+// The unit of on-device data. Applications fill example stores with these
+// (Sec. 3: "an example store might, for example, be an SQLite database
+// recording action suggestions shown to the user and whether or not those
+// suggestions were accepted").
+#pragma once
+
+#include <vector>
+
+#include "src/common/sim_time.h"
+
+namespace fl::data {
+
+struct Example {
+  std::vector<float> features;
+  float label = 0.0f;
+  SimTime timestamp;  // drives expiration (Sec. 3: "automatically remove
+                      // old data after a pre-designated expiration time")
+};
+
+}  // namespace fl::data

@@ -1,0 +1,54 @@
+#include "src/data/ngram.h"
+
+#include "src/common/status.h"
+
+namespace fl::data {
+
+NgramModel::NgramModel(std::size_t vocab_size)
+    : vocab_(vocab_size),
+      bigram_(vocab_size * vocab_size, 0),
+      unigram_(vocab_size, 0) {}
+
+void NgramModel::Train(std::span<const Example> examples) {
+  for (const Example& ex : examples) {
+    FL_CHECK(!ex.features.empty());
+    const auto prev = static_cast<std::size_t>(ex.features.back());
+    const auto next = static_cast<std::size_t>(ex.label);
+    FL_CHECK(prev < vocab_ && next < vocab_);
+    ++bigram_[prev * vocab_ + next];
+    ++unigram_[next];
+    ++total_;
+  }
+}
+
+std::size_t NgramModel::Predict(std::size_t prev) const {
+  FL_CHECK(prev < vocab_);
+  std::size_t best = 0;
+  std::uint32_t best_count = 0;
+  const std::uint32_t* row = &bigram_[prev * vocab_];
+  for (std::size_t j = 0; j < vocab_; ++j) {
+    if (row[j] > best_count) {
+      best_count = row[j];
+      best = j;
+    }
+  }
+  if (best_count > 0) return best;
+  // Backoff: global unigram argmax.
+  std::size_t uni_best = 0;
+  for (std::size_t j = 1; j < vocab_; ++j) {
+    if (unigram_[j] > unigram_[uni_best]) uni_best = j;
+  }
+  return uni_best;
+}
+
+double NgramModel::Top1Recall(std::span<const Example> eval) const {
+  if (eval.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const Example& ex : eval) {
+    const auto prev = static_cast<std::size_t>(ex.features.back());
+    if (Predict(prev) == static_cast<std::size_t>(ex.label)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(eval.size());
+}
+
+}  // namespace fl::data

@@ -1,0 +1,45 @@
+#include "src/data/ranking.h"
+
+#include <cmath>
+
+namespace fl::data {
+
+RankingWorkload::RankingWorkload(RankingWorkloadParams params,
+                                 std::uint64_t seed)
+    : params_(params), seed_(seed) {
+  Rng rng(seed);
+  global_pref_.resize(params_.feature_dim);
+  for (float& v : global_pref_) {
+    v = static_cast<float>(rng.Normal(0.0, 1.0));
+  }
+}
+
+std::vector<Example> RankingWorkload::UserExamples(std::uint64_t user_seed,
+                                                   std::size_t interactions,
+                                                   SimTime stamp) const {
+  Rng rng(user_seed ^ seed_ ^ 0x9d2c5680ULL);
+  std::vector<float> pref = global_pref_;
+  for (float& v : pref) {
+    v += static_cast<float>(rng.Normal(0.0, params_.user_spread));
+  }
+  std::vector<Example> out;
+  out.reserve(interactions);
+  for (std::size_t i = 0; i < interactions; ++i) {
+    Example ex;
+    ex.features.resize(params_.feature_dim);
+    double score = 0;
+    for (std::size_t d = 0; d < params_.feature_dim; ++d) {
+      ex.features[d] = static_cast<float>(rng.Normal(0.0, 1.0));
+      score += ex.features[d] * pref[d];
+    }
+    const double p_click = 1.0 / (1.0 + std::exp(-score));
+    bool clicked = rng.Bernoulli(p_click);
+    if (rng.Bernoulli(params_.label_noise)) clicked = !clicked;
+    ex.label = clicked ? 1.0f : 0.0f;
+    ex.timestamp = stamp;
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+}  // namespace fl::data

@@ -1,0 +1,41 @@
+// Synthetic on-device item-ranking workload (Sec. 8): "apps may expose a
+// search mechanism ... By ranking these results on-device ... Each user
+// interaction with the ranking feature can become a labeled data point."
+//
+// Each user has a preference vector near a global one; shown items have
+// feature vectors; the label records whether the user picked the item.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/data/example.h"
+
+namespace fl::data {
+
+struct RankingWorkloadParams {
+  std::size_t feature_dim = 8;
+  double user_spread = 0.4;   // stddev of per-user preference offset
+  double label_noise = 0.05;  // chance a click label flips
+};
+
+class RankingWorkload {
+ public:
+  RankingWorkload(RankingWorkloadParams params, std::uint64_t seed);
+
+  // Generates `interactions` click/no-click examples for one user.
+  std::vector<Example> UserExamples(std::uint64_t user_seed,
+                                    std::size_t interactions,
+                                    SimTime stamp) const;
+
+  const std::vector<float>& global_preference() const { return global_pref_; }
+  const RankingWorkloadParams& params() const { return params_; }
+
+ private:
+  RankingWorkloadParams params_;
+  std::vector<float> global_pref_;
+  std::uint64_t seed_;
+};
+
+}  // namespace fl::data

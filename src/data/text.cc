@@ -1,0 +1,94 @@
+#include "src/data/text.h"
+
+namespace fl::data {
+namespace {
+// Probability that the grammar's second-order rule fires (vs. the two
+// alternative successors at equal probability).
+constexpr double kRuleProb = 0.80;
+}  // namespace
+
+TextWorkload::TextWorkload(TextWorkloadParams params, std::uint64_t seed)
+    : params_(params), seed_(seed) {
+  FL_CHECK(params_.vocab_size >= 8);
+  Rng rng(seed);
+  successors_.resize(params_.vocab_size);
+  for (std::size_t w = 0; w < params_.vocab_size; ++w) {
+    // Three distinct pseudo-random successors per token.
+    std::array<std::size_t, 3> s{};
+    s[0] = rng.UniformInt(params_.vocab_size);
+    do { s[1] = rng.UniformInt(params_.vocab_size); } while (s[1] == s[0]);
+    do {
+      s[2] = rng.UniformInt(params_.vocab_size);
+    } while (s[2] == s[0] || s[2] == s[1]);
+    successors_[w] = s;
+  }
+}
+
+std::size_t TextWorkload::SampleNext(
+    std::size_t prev, std::size_t prev2,
+    const std::vector<std::array<std::size_t, 3>>& succ, Rng& rng) const {
+  if (rng.Bernoulli(params_.noise)) {
+    return rng.UniformInt(params_.vocab_size);
+  }
+  // Second-order rule: the token before last selects which of prev's three
+  // successors is overwhelmingly likely. A bigram model only ever sees the
+  // marginal (~1/3 each); a context model can learn the rule.
+  const std::size_t rule_rank = (prev2 + prev) % 3;
+  const double u = rng.NextDouble();
+  if (u < kRuleProb) return succ[prev][rule_rank];
+  if (u < kRuleProb + (1.0 - kRuleProb) / 2.0) {
+    return succ[prev][(rule_rank + 1) % 3];
+  }
+  return succ[prev][(rule_rank + 2) % 3];
+}
+
+std::vector<Example> TextWorkload::UserExamples(std::uint64_t user_seed,
+                                                std::size_t sentences,
+                                                SimTime stamp) const {
+  Rng rng(user_seed ^ seed_);
+  // Personal grammar variant: a per-user re-draw of successor tables used
+  // with probability `personalization` (non-IID typing habits).
+  std::vector<std::array<std::size_t, 3>> personal(params_.vocab_size);
+  for (std::size_t w = 0; w < params_.vocab_size; ++w) {
+    personal[w][0] = rng.UniformInt(params_.vocab_size);
+    personal[w][1] = rng.UniformInt(params_.vocab_size);
+    personal[w][2] = rng.UniformInt(params_.vocab_size);
+  }
+
+  std::vector<Example> out;
+  const std::size_t c = params_.context;
+  for (std::size_t s = 0; s < sentences; ++s) {
+    const std::size_t len =
+        params_.sentence_len_mean / 2 +
+        rng.UniformInt(params_.sentence_len_mean);
+    std::vector<std::size_t> sent;
+    sent.reserve(len);
+    sent.push_back(rng.Zipf(params_.vocab_size, params_.zipf_exponent));
+    for (std::size_t i = 1; i < len; ++i) {
+      const bool use_personal = rng.Bernoulli(params_.personalization);
+      const std::size_t prev2 = i >= 2 ? sent[i - 2] : 0;
+      sent.push_back(SampleNext(sent.back(), prev2,
+                                use_personal ? personal : successors_, rng));
+    }
+    // Sliding-window (context -> next) examples; positions before the first
+    // full context pad with token 0.
+    for (std::size_t i = 1; i < sent.size(); ++i) {
+      Example ex;
+      ex.features.resize(c);
+      for (std::size_t j = 0; j < c; ++j) {
+        const std::ptrdiff_t idx =
+            static_cast<std::ptrdiff_t>(i) - static_cast<std::ptrdiff_t>(c) +
+            static_cast<std::ptrdiff_t>(j);
+        ex.features[j] =
+            idx >= 0 ? static_cast<float>(sent[static_cast<std::size_t>(idx)])
+                     : 0.0f;
+      }
+      ex.label = static_cast<float>(sent[i]);
+      ex.timestamp = stamp;
+      out.push_back(std::move(ex));
+    }
+  }
+  return out;
+}
+
+}  // namespace fl::data

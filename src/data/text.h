@@ -1,0 +1,66 @@
+// Synthetic keyboard-text workload for the next-word-prediction application
+// (Sec. 8).
+//
+// SUBSTITUTION (DESIGN.md): the paper trains on 6e8 real Gboard sentences.
+// We generate text from a structured stochastic grammar with a Zipfian
+// vocabulary: every token has a small set of plausible successors drawn
+// from global "grammar" tables, and WHICH successor fires depends on the
+// token before last (a second-order rule). That mirrors real language
+// enough for the paper's comparisons to be meaningful: a bigram model can
+// only learn the marginal over successors, while a model that consumes a
+// context window (the neural LM) can learn the second-order rule — which is
+// exactly why the paper's neural model beats its n-gram baseline. Every
+// simulated user additionally mixes in a personal grammar variant (non-IID,
+// as real typing is).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/data/example.h"
+
+namespace fl::data {
+
+struct TextWorkloadParams {
+  std::size_t vocab_size = 64;
+  std::size_t context = 3;         // tokens of context per example
+  double zipf_exponent = 1.05;     // unigram skew for sentence starts
+  double personalization = 0.25;   // probability a user's own grammar fires
+  double noise = 0.10;             // probability of a uniformly random token
+  std::size_t sentence_len_mean = 12;
+};
+
+class TextWorkload {
+ public:
+  TextWorkload(TextWorkloadParams params, std::uint64_t seed);
+
+  // Generates `sentences` sentences for one user and converts each position
+  // into a (context -> next word) example. Features are `context` token ids
+  // (as floats); the label is the next token id.
+  std::vector<Example> UserExamples(std::uint64_t user_seed,
+                                    std::size_t sentences,
+                                    SimTime stamp) const;
+
+  const TextWorkloadParams& params() const { return params_; }
+
+  // The most likely next token given the last TWO tokens under the global
+  // grammar — the Bayes decision the context-aware model should learn.
+  std::size_t GlobalArgmaxSuccessor(std::size_t prev,
+                                    std::size_t prev2) const {
+    return successors_[prev][(prev2 + prev) % 3];
+  }
+
+ private:
+  std::size_t SampleNext(std::size_t prev, std::size_t prev2,
+                         const std::vector<std::array<std::size_t, 3>>& succ,
+                         Rng& rng) const;
+
+  TextWorkloadParams params_;
+  // Global grammar: per-token ranked successors with fixed probabilities.
+  std::vector<std::array<std::size_t, 3>> successors_;
+  std::uint64_t seed_;
+};
+
+}  // namespace fl::data

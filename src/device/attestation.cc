@@ -1,0 +1,40 @@
+#include "src/device/attestation.h"
+
+#include <cstring>
+
+namespace fl::device {
+
+crypto::Digest AttestationAuthority::Mac(DeviceId device, std::uint64_t nonce,
+                                         std::uint64_t secret) const {
+  std::uint8_t key[8];
+  std::uint8_t msg[16];
+  for (int i = 0; i < 8; ++i) {
+    key[i] = static_cast<std::uint8_t>(secret >> (8 * i));
+    msg[i] = static_cast<std::uint8_t>(device.value >> (8 * i));
+    msg[8 + i] = static_cast<std::uint8_t>(nonce >> (8 * i));
+  }
+  return crypto::HmacSha256(std::span<const std::uint8_t>(key, 8),
+                            std::span<const std::uint8_t>(msg, 16));
+}
+
+AttestationToken AttestationAuthority::Issue(DeviceId device,
+                                             std::uint64_t nonce) const {
+  return AttestationToken{device, nonce, Mac(device, nonce, secret_)};
+}
+
+AttestationToken AttestationAuthority::Forge(DeviceId device,
+                                             std::uint64_t nonce,
+                                             std::uint64_t wrong_secret) const {
+  return AttestationToken{device, nonce, Mac(device, nonce, wrong_secret)};
+}
+
+bool AttestationAuthority::Verify(const AttestationToken& token) const {
+  const crypto::Digest expected = Mac(token.device, token.nonce, secret_);
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    diff |= expected[i] ^ token.mac[i];
+  }
+  return diff == 0;
+}
+
+}  // namespace fl::device

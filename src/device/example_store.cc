@@ -1,0 +1,62 @@
+#include "src/device/example_store.h"
+
+#include <algorithm>
+
+namespace fl::device {
+
+void InMemoryExampleStore::Add(data::Example example) {
+  examples_.push_back(std::move(example));
+  while (examples_.size() > options_.max_examples) {
+    examples_.pop_front();  // evict oldest beyond the footprint limit
+  }
+}
+
+void InMemoryExampleStore::AddBatch(std::vector<data::Example> examples) {
+  for (auto& e : examples) Add(std::move(e));
+}
+
+void InMemoryExampleStore::ExpireOld(SimTime now) {
+  const SimTime cutoff = now - options_.expiration;
+  while (!examples_.empty() && examples_.front().timestamp < cutoff) {
+    examples_.pop_front();
+  }
+}
+
+Result<std::vector<data::Example>> InMemoryExampleStore::Query(
+    const plan::ExampleSelector& selector, SimTime now) const {
+  const SimTime cutoff = now - selector.max_example_age;
+  std::vector<data::Example> out;
+  // Newest first; stop once the per-participation cap is reached.
+  for (auto it = examples_.rbegin(); it != examples_.rend(); ++it) {
+    if (it->timestamp < cutoff) break;  // older entries only get older
+    out.push_back(*it);
+    if (out.size() >= selector.max_examples) break;
+  }
+  if (out.size() < selector.min_examples) {
+    return FailedPreconditionError(
+        "store '" + name_ + "' has " + std::to_string(out.size()) +
+        " fresh examples; plan requires " +
+        std::to_string(selector.min_examples));
+  }
+  return out;
+}
+
+Status ExampleStoreRegistry::Register(std::shared_ptr<ExampleStore> store) {
+  FL_CHECK(store != nullptr);
+  const std::string& name = store->name();
+  if (!stores_.emplace(name, std::move(store)).second) {
+    return AlreadyExistsError("example store '" + name + "' already registered");
+  }
+  return Status::Ok();
+}
+
+Result<ExampleStore*> ExampleStoreRegistry::Find(
+    const std::string& name) const {
+  const auto it = stores_.find(name);
+  if (it == stores_.end()) {
+    return NotFoundError("no example store named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+}  // namespace fl::device

@@ -1,0 +1,57 @@
+#include "src/device/runtime.h"
+
+#include <algorithm>
+
+namespace fl::device {
+
+Result<TaskExecution> FlRuntime::ExecutePlan(const plan::FLPlan& plan,
+                                             const Checkpoint& global,
+                                             SimTime now, Rng& rng) const {
+  if (plan.min_runtime_version > runtime_version_) {
+    return FailedPreconditionError(
+        "plan requires runtime v" + std::to_string(plan.min_runtime_version) +
+        "; device runs v" + std::to_string(runtime_version_));
+  }
+  FL_ASSIGN_OR_RETURN(ExampleStore * store,
+                      stores_->Find(plan.device.selector.store_name));
+  FL_ASSIGN_OR_RETURN(std::vector<data::Example> examples,
+                      store->Query(plan.device.selector, now));
+
+  TaskExecution out;
+  out.examples_used = examples.size();
+  if (plan.device.kind == plan::TaskKind::kTraining) {
+    FL_ASSIGN_OR_RETURN(
+        fedavg::ClientUpdateResult result,
+        fedavg::RunClientUpdate(plan.device, global, examples,
+                                runtime_version_, rng));
+    out.metrics = result.metrics;
+    out.update = std::move(result);
+  } else {
+    FL_ASSIGN_OR_RETURN(out.metrics,
+                        fedavg::RunClientEvaluation(plan.device, global,
+                                                    examples,
+                                                    runtime_version_));
+  }
+  return out;
+}
+
+std::size_t FlRuntime::AvailableExamples(const plan::FLPlan& plan,
+                                         SimTime now) const {
+  auto store = stores_->Find(plan.device.selector.store_name);
+  if (!store.ok()) return 0;
+  auto examples = (*store)->Query(plan.device.selector, now);
+  return examples.ok() ? examples->size() : 0;
+}
+
+Duration EstimateComputeDuration(const plan::FLPlan& plan,
+                                 std::size_t example_count,
+                                 const sim::DeviceProfile& profile) {
+  const double per_sec = std::max(1.0, profile.examples_per_sec);
+  const double total = static_cast<double>(example_count) *
+                       static_cast<double>(std::max<std::size_t>(
+                           1, plan.device.epochs));
+  const double seconds = total / per_sec;
+  return Millis(static_cast<std::int64_t>(seconds * 1000.0) + 1);
+}
+
+}  // namespace fl::device

@@ -1,0 +1,78 @@
+#include "src/device/scheduler.h"
+
+#include <algorithm>
+
+namespace fl::device {
+
+Status MultiTenantScheduler::RegisterPopulation(PopulationRegistration reg) {
+  const std::string name = reg.population;
+  if (entries_.count(name) > 0) {
+    return AlreadyExistsError("population '" + name + "' already registered");
+  }
+  entries_.emplace(name, Entry{std::move(reg), SimTime{0}});
+  queue_.push_back(name);
+  return Status::Ok();
+}
+
+Status MultiTenantScheduler::UnregisterPopulation(
+    const std::string& population) {
+  if (entries_.erase(population) == 0) {
+    return NotFoundError("population '" + population + "' not registered");
+  }
+  queue_.erase(std::remove(queue_.begin(), queue_.end(), population),
+               queue_.end());
+  return Status::Ok();
+}
+
+std::optional<std::string> MultiTenantScheduler::NextSession(
+    SimTime now) const {
+  if (running_) return std::nullopt;  // one training session at a time
+  for (const std::string& name : queue_) {
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) continue;
+    if (it->second.earliest_next <= now) return name;
+  }
+  return std::nullopt;
+}
+
+void MultiTenantScheduler::OnSessionStarted(const std::string& population,
+                                            SimTime now) {
+  const auto it = entries_.find(population);
+  if (it == entries_.end()) return;
+  running_ = true;
+  it->second.earliest_next = now + it->second.reg.min_checkin_interval;
+  // Rotate to the back of the worker queue.
+  auto qit = std::find(queue_.begin(), queue_.end(), population);
+  if (qit != queue_.end()) {
+    queue_.erase(qit);
+    queue_.push_back(population);
+  }
+}
+
+void MultiTenantScheduler::SetEarliestCheckin(const std::string& population,
+                                              SimTime earliest) {
+  const auto it = entries_.find(population);
+  if (it == entries_.end()) return;
+  it->second.earliest_next = std::max(it->second.earliest_next, earliest);
+}
+
+std::optional<SimTime> MultiTenantScheduler::NextRunnableAt(
+    SimTime now) const {
+  std::optional<SimTime> best;
+  for (const auto& [name, entry] : entries_) {
+    const SimTime t = std::max(entry.earliest_next, now);
+    if (!best.has_value() || t < *best) best = t;
+  }
+  return best;
+}
+
+Result<const PopulationRegistration*> MultiTenantScheduler::Find(
+    const std::string& population) const {
+  const auto it = entries_.find(population);
+  if (it == entries_.end()) {
+    return NotFoundError("population '" + population + "' not registered");
+  }
+  return &it->second.reg;
+}
+
+}  // namespace fl::device

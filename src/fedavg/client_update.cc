@@ -1,0 +1,119 @@
+#include "src/fedavg/client_update.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fl::fedavg {
+
+graph::Feeds BuildFeeds(const plan::DevicePlan& device_plan,
+                        std::span<const data::Example> batch) {
+  FL_CHECK(!batch.empty());
+  const std::size_t b = batch.size();
+  const std::size_t d = batch[0].features.size();
+  Tensor features({b, d});
+  Tensor labels({b, 1});
+  for (std::size_t i = 0; i < b; ++i) {
+    FL_CHECK_MSG(batch[i].features.size() == d,
+                 "ragged feature vectors in batch");
+    for (std::size_t j = 0; j < d; ++j) {
+      features.at(i, j) = batch[i].features[j];
+    }
+    labels.at(i, 0) = batch[i].label;
+  }
+  graph::Feeds feeds;
+  feeds.emplace(device_plan.feature_input, std::move(features));
+  feeds.emplace(device_plan.label_input, std::move(labels));
+  return feeds;
+}
+
+Result<ClientUpdateResult> RunClientUpdate(
+    const plan::DevicePlan& device_plan, const Checkpoint& global,
+    std::span<const data::Example> examples, std::uint32_t runtime_version,
+    Rng& shuffle_rng) {
+  if (examples.empty()) {
+    return FailedPreconditionError("no local examples for training");
+  }
+  const graph::Executor exec(runtime_version);
+  Checkpoint w = global;  // w_init stays in `global`
+
+  std::vector<std::size_t> order(examples.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  ClientUpdateResult out;
+  double loss_sum = 0, acc_sum = 0;
+  std::size_t batches = 0;
+
+  const std::size_t batch_size = std::max<std::size_t>(1, device_plan.batch_size);
+  std::vector<data::Example> batch_buf;
+  batch_buf.reserve(batch_size);
+
+  for (std::size_t epoch = 0; epoch < std::max<std::size_t>(1, device_plan.epochs);
+       ++epoch) {
+    shuffle_rng.Shuffle(order);
+    for (std::size_t start = 0; start < order.size(); start += batch_size) {
+      const std::size_t end = std::min(order.size(), start + batch_size);
+      batch_buf.clear();
+      for (std::size_t i = start; i < end; ++i) {
+        batch_buf.push_back(examples[order[i]]);
+      }
+      const graph::Feeds feeds = BuildFeeds(device_plan, batch_buf);
+      graph::ForwardResult fwd;
+      FL_ASSIGN_OR_RETURN(
+          graph::Gradients grads,
+          exec.Backward(device_plan.graph, w, feeds, &fwd));
+      FL_RETURN_IF_ERROR(
+          graph::ApplySgd(w, grads, device_plan.learning_rate));
+      loss_sum += fwd.loss;
+      acc_sum += fwd.accuracy;
+      ++batches;
+    }
+  }
+
+  // Delta = n * (w - w_init).
+  const auto n = static_cast<float>(examples.size());
+  Checkpoint delta = w;
+  FL_RETURN_IF_ERROR(delta.AddInPlace(global, -1.0f));
+  delta.Scale(n);
+
+  out.weighted_delta = std::move(delta);
+  out.weight = n;
+  out.metrics.mean_loss = batches > 0 ? loss_sum / static_cast<double>(batches) : 0;
+  out.metrics.mean_accuracy =
+      batches > 0 ? acc_sum / static_cast<double>(batches) : 0;
+  out.metrics.example_count = examples.size();
+  out.metrics.batches = batches;
+  return out;
+}
+
+Result<ClientMetrics> RunClientEvaluation(
+    const plan::DevicePlan& device_plan, const Checkpoint& global,
+    std::span<const data::Example> examples, std::uint32_t runtime_version) {
+  if (examples.empty()) {
+    return FailedPreconditionError("no local examples for evaluation");
+  }
+  const graph::Executor exec(runtime_version);
+  ClientMetrics m;
+  double loss_sum = 0, acc_sum = 0;
+  const std::size_t batch_size =
+      std::max<std::size_t>(1, device_plan.batch_size);
+  std::vector<data::Example> batch_buf;
+  for (std::size_t start = 0; start < examples.size(); start += batch_size) {
+    const std::size_t end = std::min(examples.size(), start + batch_size);
+    batch_buf.assign(examples.begin() + static_cast<std::ptrdiff_t>(start),
+                     examples.begin() + static_cast<std::ptrdiff_t>(end));
+    const graph::Feeds feeds = BuildFeeds(device_plan, batch_buf);
+    FL_ASSIGN_OR_RETURN(graph::ForwardResult fwd,
+                        exec.Forward(device_plan.graph, global, feeds));
+    // Weight batch metrics by batch size for an exact dataset mean.
+    const auto bsz = static_cast<double>(end - start);
+    loss_sum += fwd.loss * bsz;
+    acc_sum += fwd.accuracy * bsz;
+    ++m.batches;
+  }
+  m.example_count = examples.size();
+  m.mean_loss = loss_sum / static_cast<double>(examples.size());
+  m.mean_accuracy = acc_sum / static_cast<double>(examples.size());
+  return m;
+}
+
+}  // namespace fl::fedavg

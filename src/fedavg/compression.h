@@ -1,0 +1,45 @@
+// Update compression (Sec. 11, Bandwidth): "To reduce the bandwidth
+// necessary, we implement compression techniques such as those of
+// Konecny et al. (2016b) and Caldas et al. (2018)."
+//
+// Implemented scheme, following Konecny et al.'s structured/sketched
+// updates: (optional) random subsampling to a fraction of coordinates with
+// unbiased rescaling, then uniform b-bit stochastic quantization between the
+// per-update min and max. Both stages are unbiased in expectation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace fl::fedavg {
+
+struct CompressionConfig {
+  std::uint8_t quantization_bits = 8;  // 1..16; 32 means "no quantization"
+  double keep_fraction = 1.0;          // coordinate subsampling (1.0 = all)
+};
+
+struct CompressedUpdate {
+  Bytes payload;
+  std::size_t original_floats = 0;
+
+  double CompressionRatio() const {
+    const double raw =
+        static_cast<double>(original_floats) * sizeof(float);
+    return payload.empty() ? 1.0 : raw / static_cast<double>(payload.size());
+  }
+};
+
+// Compresses a flat update vector. `seed` drives both subsampling and
+// stochastic rounding; decompression does not need it (indices and scale
+// travel in the payload).
+CompressedUpdate Compress(std::span<const float> update,
+                          const CompressionConfig& config, std::uint64_t seed);
+
+// Reconstructs an unbiased estimate of the original vector.
+Result<std::vector<float>> Decompress(const CompressedUpdate& update);
+
+}  // namespace fl::fedavg

@@ -1,0 +1,134 @@
+#include "src/fedavg/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/fedavg/client_update.h"
+
+namespace fl::fedavg {
+
+P2Quantile::P2Quantile(double p) : p_(p) {
+  np_ = {0, 2 * p, 4 * p, 2 + 2 * p, 4};
+  dn_ = {0, p / 2, p, (1 + p) / 2, 1};
+}
+
+void P2Quantile::Add(double x) {
+  if (count_ < 5) {
+    q_[count_++] = x;
+    if (count_ == 5) {
+      std::sort(q_.begin(), q_.end());
+      for (int i = 0; i < 5; ++i) n_[i] = i + 1;
+      np_ = {1, 1 + 2 * p_, 1 + 4 * p_, 3 + 2 * p_, 5};
+    }
+    return;
+  }
+  ++count_;
+  // Find cell k such that q_[k] <= x < q_[k+1]; adjust extremes.
+  int k;
+  if (x < q_[0]) {
+    q_[0] = x;
+    k = 0;
+  } else if (x >= q_[4]) {
+    q_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= q_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) n_[i] += 1;
+  for (int i = 0; i < 5; ++i) np_[i] += dn_[i];
+
+  // Adjust interior markers with the parabolic (P^2) formula, falling back
+  // to linear interpolation when the parabolic step would break ordering.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = np_[i] - n_[i];
+    if ((d >= 1 && n_[i + 1] - n_[i] > 1) ||
+        (d <= -1 && n_[i - 1] - n_[i] < -1)) {
+      const double s = d >= 0 ? 1.0 : -1.0;
+      const double qp =
+          q_[i] + s / (n_[i + 1] - n_[i - 1]) *
+                      ((n_[i] - n_[i - 1] + s) * (q_[i + 1] - q_[i]) /
+                           (n_[i + 1] - n_[i]) +
+                       (n_[i + 1] - n_[i] - s) * (q_[i] - q_[i - 1]) /
+                           (n_[i] - n_[i - 1]));
+      if (q_[i - 1] < qp && qp < q_[i + 1]) {
+        q_[i] = qp;
+      } else {
+        const int j = i + static_cast<int>(s);
+        q_[i] += s * (q_[j] - q_[i]) / (n_[j] - n_[i]);
+      }
+      n_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::Get() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact small-sample quantile.
+    std::array<double, 5> tmp = q_;
+    std::sort(tmp.begin(), tmp.begin() + static_cast<std::ptrdiff_t>(count_));
+    const auto idx = static_cast<std::size_t>(
+        p_ * static_cast<double>(count_ - 1) + 0.5);
+    return tmp[std::min(idx, count_ - 1)];
+  }
+  return q_[2];
+}
+
+void StreamingMoments::Add(double x, double weight) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  total_weight_ += weight;
+  weighted_sum_ += x * weight;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double StreamingMoments::Variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+void MetricsAccumulator::Add(const std::string& name, double value,
+                             double weight) {
+  Series& s = series_.try_emplace(name).first->second;
+  s.moments.Add(value, weight);
+  s.median.Add(value);
+  s.p90.Add(value);
+}
+
+void MetricsAccumulator::AddClientMetrics(const ClientMetrics& m) {
+  Add("loss", m.mean_loss);
+  Add("accuracy", m.mean_accuracy);
+  Add("example_count", static_cast<double>(m.example_count));
+}
+
+MetricsAccumulator::Summary MetricsAccumulator::Get(
+    const std::string& name) const {
+  Summary out;
+  const auto it = series_.find(name);
+  if (it == series_.end()) return out;
+  const Series& s = it->second;
+  out.mean = s.moments.Mean();
+  out.variance = s.moments.Variance();
+  out.min = s.moments.Min();
+  out.max = s.moments.Max();
+  out.median = s.median.Get();
+  out.p90 = s.p90.Get();
+  out.count = s.moments.Count();
+  return out;
+}
+
+std::map<std::string, MetricsAccumulator::Summary> MetricsAccumulator::All()
+    const {
+  std::map<std::string, Summary> out;
+  for (const auto& [name, _] : series_) out.emplace(name, Get(name));
+  return out;
+}
+
+}  // namespace fl::fedavg

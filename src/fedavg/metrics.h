@@ -1,0 +1,87 @@
+// Round-metric aggregation (Sec. 7.4): "The metrics themselves are summaries
+// of device reports within the round via approximate order statistics and
+// moments like mean."
+//
+// The P² algorithm (Jain & Chlamtac 1985) estimates quantiles in O(1) space
+// — no per-device report is retained, consistent with the ephemeral-state
+// design.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace fl::fedavg {
+
+struct ClientMetrics;  // from client_update.h
+
+// Streaming quantile estimator for a single quantile p.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double p);
+  void Add(double x);
+  // Current estimate; exact while fewer than 5 observations.
+  double Get() const;
+  std::size_t count() const { return count_; }
+
+ private:
+  double p_;
+  std::size_t count_ = 0;
+  std::array<double, 5> q_{};   // marker heights
+  std::array<double, 5> n_{};   // marker positions
+  std::array<double, 5> np_{};  // desired positions
+  std::array<double, 5> dn_{};  // position increments
+};
+
+// Streaming moments (mean/variance/min/max) in O(1) space (Welford).
+class StreamingMoments {
+ public:
+  void Add(double x, double weight = 1.0);
+  double Mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double Variance() const;
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+  double WeightedSum() const { return weighted_sum_; }
+  std::size_t Count() const { return count_; }
+
+ private:
+  std::size_t count_ = 0;
+  double total_weight_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0, max_ = 0;
+  double weighted_sum_ = 0;
+};
+
+// Named metric summaries for one FL round: mean/variance plus approximate
+// median and p90 for every metric name.
+class MetricsAccumulator {
+ public:
+  void Add(const std::string& name, double value, double weight = 1.0);
+  void AddClientMetrics(const ClientMetrics& m);
+
+  struct Summary {
+    double mean = 0;
+    double variance = 0;
+    double min = 0;
+    double max = 0;
+    double median = 0;  // approximate (P^2)
+    double p90 = 0;     // approximate (P^2)
+    std::size_t count = 0;
+  };
+
+  Summary Get(const std::string& name) const;
+  bool Has(const std::string& name) const { return series_.count(name) > 0; }
+  std::map<std::string, Summary> All() const;
+
+ private:
+  struct Series {
+    StreamingMoments moments;
+    P2Quantile median{0.5};
+    P2Quantile p90{0.9};
+  };
+  std::map<std::string, Series> series_;
+};
+
+}  // namespace fl::fedavg

@@ -1,0 +1,72 @@
+#include "src/fedavg/server_aggregate.h"
+
+#include "src/fedavg/client_update.h"
+
+namespace fl::fedavg {
+
+FedAvgAccumulator::FedAvgAccumulator(plan::AggregationOp op,
+                                     const Checkpoint& schema)
+    : op_(op) {
+  if (op_ != plan::AggregationOp::kMetricsOnly) {
+    // Zero-initialized running sum with the model's schema.
+    sum_ = schema;
+    sum_.Scale(0.0f);
+  }
+}
+
+Status FedAvgAccumulator::Accumulate(Checkpoint&& weighted_delta, float weight,
+                                     const ClientMetrics& metrics) {
+  metrics_.AddClientMetrics(metrics);
+  if (op_ == plan::AggregationOp::kMetricsOnly) {
+    ++contributions_;
+    return Status::Ok();
+  }
+  if (weight <= 0) {
+    return InvalidArgumentError("client update weight must be positive");
+  }
+  if (op_ == plan::AggregationOp::kUnweightedMean) {
+    // Normalize the weighted delta back to a plain delta, count weight 1.
+    weighted_delta.Scale(1.0f / weight);
+    weight = 1.0f;
+  }
+  FL_RETURN_IF_ERROR(sum_.AddInPlace(weighted_delta));
+  total_weight_ += weight;
+  ++contributions_;
+  return Status::Ok();
+}
+
+Status FedAvgAccumulator::AccumulateSum(Checkpoint&& delta_sum,
+                                        float weight_sum,
+                                        std::size_t contributors) {
+  if (op_ == plan::AggregationOp::kMetricsOnly) {
+    contributions_ += contributors;
+    return Status::Ok();
+  }
+  if (contributors == 0) return Status::Ok();
+  FL_RETURN_IF_ERROR(sum_.AddInPlace(delta_sum));
+  total_weight_ += weight_sum;
+  contributions_ += contributors;
+  return Status::Ok();
+}
+
+void FedAvgAccumulator::AddMetrics(const ClientMetrics& m) {
+  metrics_.AddClientMetrics(m);
+}
+
+Result<Checkpoint> FedAvgAccumulator::Finalize(
+    const Checkpoint& current_global) const {
+  if (op_ == plan::AggregationOp::kMetricsOnly) {
+    return current_global;  // evaluation rounds do not move the model
+  }
+  if (contributions_ == 0 || total_weight_ <= 0) {
+    return FailedPreconditionError("no updates accumulated");
+  }
+  // w_{t+1} = w_t + (sum_k Delta_k) / (sum_k n_k)
+  Checkpoint next = current_global;
+  Checkpoint mean = sum_;
+  mean.Scale(1.0f / total_weight_);
+  FL_RETURN_IF_ERROR(next.AddInPlace(mean));
+  return next;
+}
+
+}  // namespace fl::fedavg

@@ -1,0 +1,56 @@
+// Server half of Federated Averaging (Appendix B, Algorithm 1):
+//
+//   w_bar_t = sum_k Delta_k ; n_bar_t = sum_k n_k
+//   Delta_t = w_bar_t / n_bar_t ; w_{t+1} <- w_t + Delta_t
+//
+// Updates are folded in online as they arrive ("the server aggregates them
+// using Federated Averaging ... updates can be processed online as they are
+// received without a need to store them", Sec. 2.2 / Sec. 10) — the
+// accumulator never retains individual updates, which is also what makes
+// the ephemeral-actor memory story of Sec. 4.2 work.
+#pragma once
+
+#include "src/common/status.h"
+#include "src/fedavg/metrics.h"
+#include "src/plan/plan.h"
+#include "src/tensor/checkpoint.h"
+
+namespace fl::fedavg {
+
+class FedAvgAccumulator {
+ public:
+  FedAvgAccumulator(plan::AggregationOp op, const Checkpoint& schema);
+
+  // Folds one client's weighted delta into the running sums. The delta is
+  // consumed; no per-device copy survives the call.
+  Status Accumulate(Checkpoint&& weighted_delta, float weight,
+                    const ClientMetrics& metrics);
+
+  // Folds in an already-summed contribution (used by the Master Aggregator
+  // to combine intermediate Aggregator sums, Sec. 6).
+  Status AccumulateSum(Checkpoint&& delta_sum, float weight_sum,
+                       std::size_t contributors);
+
+  // Folds in metrics alone (the Master Aggregator receives metrics with
+  // per-report progress messages, separately from the delta sums).
+  void AddMetrics(const ClientMetrics& m);
+
+  std::size_t contributions() const { return contributions_; }
+  float total_weight() const { return total_weight_; }
+  const MetricsAccumulator& metrics() const { return metrics_; }
+  const Checkpoint& delta_sum() const { return sum_; }
+  float weight_sum() const { return total_weight_; }
+
+  // Produces w_{t+1} from w_t. Fails if nothing was accumulated (for
+  // weight-aggregating ops).
+  Result<Checkpoint> Finalize(const Checkpoint& current_global) const;
+
+ private:
+  plan::AggregationOp op_;
+  Checkpoint sum_;        // running sum of weighted deltas
+  float total_weight_ = 0;
+  std::size_t contributions_ = 0;
+  MetricsAccumulator metrics_;
+};
+
+}  // namespace fl::fedavg

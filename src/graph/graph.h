@@ -1,0 +1,122 @@
+// Computation graph — the substitute for "the TensorFlow graph itself" that
+// FL plans carry to devices (Sec. 7.2).
+//
+// A Graph is a topologically-ordered list of nodes. Parameters are named;
+// their values live in FL checkpoints, not in the graph, mirroring the
+// paper's separation of plan (structure) from checkpoint (state).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/tensor/tensor.h"
+
+namespace fl::graph {
+
+enum class OpType : std::uint8_t {
+  kInput = 0,           // fed at execution time
+  kParam,               // named weight, value from checkpoint
+  kMatMul,              // (a[m,k], b[k,n]) -> [m,n]
+  kAddBias,             // (x[m,n], b[n]) -> [m,n], row broadcast
+  kRelu,                // elementwise
+  kTanh,                // elementwise
+  kSigmoid,             // elementwise
+  kEmbedLookup,         // (ids[b,c], table[v,d]) -> [b, c*d], concatenated
+  kSoftmaxXent,         // (logits[b,n], labels[b,1]) -> [1] mean loss
+  kMeanSquaredError,    // (pred[b,n], target[b,n]) -> [1] mean loss
+  kBinaryXent,          // (prob[b,1], label[b,1]) -> [1] mean loss
+  // --- ops introduced in later runtime versions (Sec. 7.3 versioning) ---
+  kFusedMatMulBias,     // v2+: (x, w, b) -> x*w + b
+  kFastTanh,            // v3+: rational tanh approximation
+};
+
+const char* OpTypeName(OpType op);
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+
+struct Node {
+  NodeId id = kInvalidNode;
+  OpType op = OpType::kInput;
+  std::string name;              // required for kInput / kParam
+  std::vector<NodeId> inputs;
+  Shape shape;                   // declared shape for kInput / kParam
+};
+
+class Graph {
+ public:
+  NodeId AddNode(OpType op, std::vector<NodeId> inputs,
+                 std::string name = {}, Shape shape = {});
+
+  const Node& node(NodeId id) const {
+    FL_CHECK(id < nodes_.size());
+    return nodes_[id];
+  }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  std::size_t size() const { return nodes_.size(); }
+
+  // All kParam nodes (name + declared shape).
+  std::vector<const Node*> Params() const;
+  std::vector<const Node*> Inputs() const;
+  std::optional<NodeId> FindByName(const std::string& name) const;
+
+  // Structural fingerprint: two graphs with equal fingerprints execute
+  // identically. Used by plan release tests (Sec. 7.3: versioned and
+  // unversioned plans "are therefore treated as semantically equivalent").
+  std::uint64_t Fingerprint() const;
+
+  Bytes Serialize() const;
+  static Result<Graph> Deserialize(std::span<const std::uint8_t> data);
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+// Fluent builder used by the model zoo and by engineer-facing task
+// definitions (Sec. 7.1).
+class GraphBuilder {
+ public:
+  NodeId Input(std::string name, Shape shape) {
+    return g_.AddNode(OpType::kInput, {}, std::move(name), std::move(shape));
+  }
+  NodeId Param(std::string name, Shape shape) {
+    return g_.AddNode(OpType::kParam, {}, std::move(name), std::move(shape));
+  }
+  NodeId MatMul(NodeId a, NodeId b) {
+    return g_.AddNode(OpType::kMatMul, {a, b});
+  }
+  NodeId AddBias(NodeId x, NodeId b) {
+    return g_.AddNode(OpType::kAddBias, {x, b});
+  }
+  NodeId Relu(NodeId x) { return g_.AddNode(OpType::kRelu, {x}); }
+  NodeId Tanh(NodeId x) { return g_.AddNode(OpType::kTanh, {x}); }
+  NodeId Sigmoid(NodeId x) { return g_.AddNode(OpType::kSigmoid, {x}); }
+  NodeId EmbedLookup(NodeId ids, NodeId table) {
+    return g_.AddNode(OpType::kEmbedLookup, {ids, table});
+  }
+  NodeId SoftmaxXent(NodeId logits, NodeId labels) {
+    return g_.AddNode(OpType::kSoftmaxXent, {logits, labels});
+  }
+  NodeId MeanSquaredError(NodeId pred, NodeId target) {
+    return g_.AddNode(OpType::kMeanSquaredError, {pred, target});
+  }
+  NodeId BinaryXent(NodeId prob, NodeId label) {
+    return g_.AddNode(OpType::kBinaryXent, {prob, label});
+  }
+  NodeId FusedMatMulBias(NodeId x, NodeId w, NodeId b) {
+    return g_.AddNode(OpType::kFusedMatMulBias, {x, w, b});
+  }
+  NodeId FastTanh(NodeId x) { return g_.AddNode(OpType::kFastTanh, {x}); }
+
+  Graph Build() && { return std::move(g_); }
+  const Graph& graph() const { return g_; }
+
+ private:
+  Graph g_;
+};
+
+}  // namespace fl::graph

@@ -1,0 +1,99 @@
+#include "src/graph/model_zoo.h"
+
+namespace fl::graph {
+
+Model BuildLogisticRegression(std::size_t input_dim, std::size_t classes,
+                              Rng& rng) {
+  Model m;
+  GraphBuilder b;
+  const NodeId x = b.Input("features", {0, input_dim});
+  const NodeId y = b.Input("labels", {0, 1});
+  const NodeId w = b.Param("w", {input_dim, classes});
+  const NodeId bias = b.Param("b", {classes});
+  const NodeId logits = b.AddBias(b.MatMul(x, w), bias);
+  b.SoftmaxXent(logits, y);
+  m.graph = std::move(b).Build();
+  m.init_params.Put("w", Tensor::GlorotUniform({input_dim, classes}, rng));
+  m.init_params.Put("b", Tensor::Zeros({classes}));
+  m.feature_input = "features";
+  m.label_input = "labels";
+  return m;
+}
+
+Model BuildMlp(std::size_t input_dim, std::size_t hidden, std::size_t classes,
+               Rng& rng) {
+  Model m;
+  GraphBuilder b;
+  const NodeId x = b.Input("features", {0, input_dim});
+  const NodeId y = b.Input("labels", {0, 1});
+  const NodeId w1 = b.Param("w1", {input_dim, hidden});
+  const NodeId b1 = b.Param("b1", {hidden});
+  const NodeId w2 = b.Param("w2", {hidden, classes});
+  const NodeId b2 = b.Param("b2", {classes});
+  const NodeId h = b.Tanh(b.AddBias(b.MatMul(x, w1), b1));
+  const NodeId logits = b.AddBias(b.MatMul(h, w2), b2);
+  b.SoftmaxXent(logits, y);
+  m.graph = std::move(b).Build();
+  m.init_params.Put("w1", Tensor::GlorotUniform({input_dim, hidden}, rng));
+  m.init_params.Put("b1", Tensor::Zeros({hidden}));
+  m.init_params.Put("w2", Tensor::GlorotUniform({hidden, classes}, rng));
+  m.init_params.Put("b2", Tensor::Zeros({classes}));
+  m.feature_input = "features";
+  m.label_input = "labels";
+  return m;
+}
+
+Model BuildNextWordModel(std::size_t vocab, std::size_t context,
+                         std::size_t embed_dim, std::size_t hidden, Rng& rng) {
+  Model m;
+  GraphBuilder b;
+  const NodeId ids = b.Input("context_ids", {0, context});
+  const NodeId y = b.Input("labels", {0, 1});
+  const NodeId table = b.Param("embedding", {vocab, embed_dim});
+  const NodeId w1 = b.Param("w1", {context * embed_dim, hidden});
+  const NodeId b1 = b.Param("b1", {hidden});
+  const NodeId w2 = b.Param("w2", {hidden, vocab});
+  const NodeId b2 = b.Param("b2", {vocab});
+  const NodeId emb = b.EmbedLookup(ids, table);
+  // Uses the fused v2 op and the v3 activation: versioned plan generation
+  // must lower both for older fleets (Sec. 7.3).
+  const NodeId h = b.FastTanh(b.FusedMatMulBias(emb, w1, b1));
+  const NodeId logits = b.FusedMatMulBias(h, w2, b2);
+  b.SoftmaxXent(logits, y);
+  m.graph = std::move(b).Build();
+  m.init_params.Put("embedding",
+                    Tensor::RandomNormal({vocab, embed_dim}, rng, 0.1f));
+  m.init_params.Put("w1",
+                    Tensor::GlorotUniform({context * embed_dim, hidden}, rng));
+  m.init_params.Put("b1", Tensor::Zeros({hidden}));
+  m.init_params.Put("w2", Tensor::GlorotUniform({hidden, vocab}, rng));
+  m.init_params.Put("b2", Tensor::Zeros({vocab}));
+  m.feature_input = "context_ids";
+  m.label_input = "labels";
+  return m;
+}
+
+Model BuildRankingModel(std::size_t feature_dim, std::size_t hidden,
+                        Rng& rng) {
+  Model m;
+  GraphBuilder b;
+  const NodeId x = b.Input("features", {0, feature_dim});
+  const NodeId y = b.Input("labels", {0, 1});
+  const NodeId w1 = b.Param("w1", {feature_dim, hidden});
+  const NodeId b1 = b.Param("b1", {hidden});
+  const NodeId w2 = b.Param("w2", {hidden, 1});
+  const NodeId b2 = b.Param("b2", {1});
+  const NodeId h = b.Relu(b.AddBias(b.MatMul(x, w1), b1));
+  const NodeId score = b.Sigmoid(b.AddBias(b.MatMul(h, w2), b2));
+  b.BinaryXent(score, y);
+  m.graph = std::move(b).Build();
+  m.init_params.Put("w1", Tensor::GlorotUniform({feature_dim, hidden}, rng));
+  m.init_params.Put("b1", Tensor::Zeros({hidden}));
+  m.init_params.Put("w2", Tensor::GlorotUniform({hidden, 1}, rng));
+  m.init_params.Put("b2", Tensor::Zeros({1}));
+  m.feature_input = "features";
+  m.label_input = "labels";
+  return m;
+}
+
+}  // namespace fl::graph

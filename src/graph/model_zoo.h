@@ -1,0 +1,44 @@
+// Ready-made model architectures for the paper's application domains
+// (Sec. 8): next-word prediction, on-device item ranking, and generic
+// classification used in tests and the quickstart.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/graph/graph.h"
+#include "src/tensor/checkpoint.h"
+
+namespace fl::graph {
+
+struct Model {
+  Graph graph;
+  Checkpoint init_params;
+  // Name of the kInput node carrying features and the one carrying labels.
+  std::string feature_input;
+  std::string label_input;
+};
+
+// Multinomial logistic regression: features[b,d] -> softmax over `classes`.
+Model BuildLogisticRegression(std::size_t input_dim, std::size_t classes,
+                              Rng& rng);
+
+// One-hidden-layer MLP classifier with tanh activation.
+Model BuildMlp(std::size_t input_dim, std::size_t hidden, std::size_t classes,
+               Rng& rng);
+
+// Neural language model for next-word prediction (the Gboard workload,
+// Sec. 8): a context window of `context` token ids is embedded, concatenated,
+// passed through a tanh hidden layer, and projected onto the vocabulary.
+// This substitutes for the paper's 1.4M-parameter RNN: same pipeline
+// (embedding + recurrent-style hidden state over a bounded context +
+// softmax), scaled to simulation size. Uses v2/v3 fused ops so that plan
+// versioning has real work to do.
+Model BuildNextWordModel(std::size_t vocab, std::size_t context,
+                         std::size_t embed_dim, std::size_t hidden, Rng& rng);
+
+// Pointwise ranking scorer for on-device item ranking (Sec. 8): feature
+// vector -> hidden relu -> sigmoid click probability, binary cross-entropy.
+Model BuildRankingModel(std::size_t feature_dim, std::size_t hidden, Rng& rng);
+
+}  // namespace fl::graph

@@ -1,0 +1,62 @@
+#include "src/graph/registry.h"
+
+#include <unordered_map>
+
+namespace fl::graph {
+
+std::uint32_t MinRuntimeVersion(OpType op) {
+  switch (op) {
+    case OpType::kFusedMatMulBias:
+      return 2;
+    case OpType::kFastTanh:
+      return 3;
+    default:
+      return 1;
+  }
+}
+
+std::uint32_t RequiredRuntimeVersion(const Graph& g) {
+  std::uint32_t v = kOldestSupportedRuntime;
+  for (const Node& n : g.nodes()) {
+    v = std::max(v, MinRuntimeVersion(n.op));
+  }
+  return v;
+}
+
+Result<Graph> TransformForVersion(const Graph& g,
+                                  std::uint32_t target_version) {
+  Graph out;
+  // Old node id -> id of the node carrying its value in the new graph.
+  std::unordered_map<NodeId, NodeId> remap;
+
+  for (const Node& n : g.nodes()) {
+    std::vector<NodeId> inputs;
+    inputs.reserve(n.inputs.size());
+    for (NodeId in : n.inputs) inputs.push_back(remap.at(in));
+
+    if (MinRuntimeVersion(n.op) <= target_version) {
+      remap[n.id] = out.AddNode(n.op, std::move(inputs), n.name, n.shape);
+      continue;
+    }
+
+    switch (n.op) {
+      case OpType::kFusedMatMulBias: {
+        // (x, w, b) -> AddBias(MatMul(x, w), b)
+        const NodeId mm = out.AddNode(OpType::kMatMul, {inputs[0], inputs[1]});
+        remap[n.id] = out.AddNode(OpType::kAddBias, {mm, inputs[2]});
+        break;
+      }
+      case OpType::kFastTanh: {
+        remap[n.id] = out.AddNode(OpType::kTanh, {inputs[0]});
+        break;
+      }
+      default:
+        return FailedPreconditionError(
+            std::string("no lowering for op ") + OpTypeName(n.op) +
+            " to runtime v" + std::to_string(target_version));
+    }
+  }
+  return out;
+}
+
+}  // namespace fl::graph

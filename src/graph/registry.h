@@ -1,0 +1,38 @@
+// Versioned op registry and graph transformation passes (Sec. 7.3).
+//
+// "devices may be running a version of the TensorFlow runtime that is many
+// months older than what is required by the FL plan ... The FL
+// infrastructure deals with this problem by generating versioned FL plans
+// for each task. Each versioned FL plan is derived from the default
+// (unversioned) FL plan by transforming its computation graph to achieve
+// compatibility with a deployed TensorFlow version."
+//
+// Here: every op declares the first runtime version that implements it, and
+// TransformForVersion lowers newer ops onto older equivalents where a
+// rewrite exists. kFusedMatMulBias (v2) splits into MatMul+AddBias (v1);
+// kFastTanh (v3) lowers to kTanh (v1). Ops without a rewrite produce an
+// error — the paper's "slightly smaller number that cannot be fixed without
+// complex workarounds".
+#pragma once
+
+#include <cstdint>
+
+#include "src/graph/graph.h"
+
+namespace fl::graph {
+
+inline constexpr std::uint32_t kOldestSupportedRuntime = 1;
+inline constexpr std::uint32_t kCurrentRuntimeVersion = 3;
+
+// First runtime version implementing `op`.
+std::uint32_t MinRuntimeVersion(OpType op);
+
+// Highest runtime version any node of `g` requires.
+std::uint32_t RequiredRuntimeVersion(const Graph& g);
+
+// Rewrites `g` so that every op is implementable at `target_version`.
+// Fails with kFailedPrecondition when some op has no known lowering.
+Result<Graph> TransformForVersion(const Graph& g,
+                                  std::uint32_t target_version);
+
+}  // namespace fl::graph

@@ -1,0 +1,113 @@
+#include "src/plan/plan.h"
+
+#include "src/graph/registry.h"
+
+namespace fl::plan {
+namespace {
+constexpr char kMagic[4] = {'F', 'L', 'P', 'L'};
+}  // namespace
+
+Bytes FLPlan::Serialize() const {
+  BytesWriter w;
+  w.WriteRaw(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(kMagic), 4));
+  w.WriteString(task_name);
+  w.WriteU32(plan_format_version);
+  w.WriteU32(min_runtime_version);
+  // Device part.
+  w.WriteBytes(device.graph.Serialize());
+  w.WriteString(device.feature_input);
+  w.WriteString(device.label_input);
+  w.WriteString(device.selector.store_name);
+  w.WriteI64(device.selector.max_example_age.millis);
+  w.WriteVarint(device.selector.min_examples);
+  w.WriteVarint(device.selector.max_examples);
+  w.WriteVarint(device.batch_size);
+  w.WriteVarint(device.epochs);
+  w.WriteF32(device.learning_rate);
+  w.WriteU8(static_cast<std::uint8_t>(device.kind));
+  // Server part.
+  w.WriteU8(static_cast<std::uint8_t>(server.aggregation));
+  return std::move(w).Take();
+}
+
+Result<FLPlan> FLPlan::Deserialize(std::span<const std::uint8_t> data) {
+  BytesReader r(data);
+  for (char expected : kMagic) {
+    FL_ASSIGN_OR_RETURN(std::uint8_t b, r.ReadU8());
+    if (static_cast<char>(b) != expected) {
+      return DataLossError("bad plan magic");
+    }
+  }
+  FLPlan p;
+  FL_ASSIGN_OR_RETURN(p.task_name, r.ReadString());
+  FL_ASSIGN_OR_RETURN(p.plan_format_version, r.ReadU32());
+  FL_ASSIGN_OR_RETURN(p.min_runtime_version, r.ReadU32());
+  FL_ASSIGN_OR_RETURN(Bytes graph_bytes, r.ReadBytes());
+  FL_ASSIGN_OR_RETURN(p.device.graph, graph::Graph::Deserialize(graph_bytes));
+  FL_ASSIGN_OR_RETURN(p.device.feature_input, r.ReadString());
+  FL_ASSIGN_OR_RETURN(p.device.label_input, r.ReadString());
+  FL_ASSIGN_OR_RETURN(p.device.selector.store_name, r.ReadString());
+  FL_ASSIGN_OR_RETURN(p.device.selector.max_example_age.millis, r.ReadI64());
+  FL_ASSIGN_OR_RETURN(std::uint64_t min_ex, r.ReadVarint());
+  p.device.selector.min_examples = min_ex;
+  FL_ASSIGN_OR_RETURN(std::uint64_t max_ex, r.ReadVarint());
+  p.device.selector.max_examples = max_ex;
+  FL_ASSIGN_OR_RETURN(std::uint64_t batch, r.ReadVarint());
+  p.device.batch_size = batch;
+  FL_ASSIGN_OR_RETURN(std::uint64_t epochs, r.ReadVarint());
+  p.device.epochs = epochs;
+  FL_ASSIGN_OR_RETURN(p.device.learning_rate, r.ReadF32());
+  FL_ASSIGN_OR_RETURN(std::uint8_t kind, r.ReadU8());
+  if (kind > static_cast<std::uint8_t>(TaskKind::kEvaluation)) {
+    return DataLossError("bad task kind");
+  }
+  p.device.kind = static_cast<TaskKind>(kind);
+  FL_ASSIGN_OR_RETURN(std::uint8_t agg, r.ReadU8());
+  if (agg > static_cast<std::uint8_t>(AggregationOp::kMetricsOnly)) {
+    return DataLossError("bad aggregation op");
+  }
+  p.server.aggregation = static_cast<AggregationOp>(agg);
+  if (!r.AtEnd()) return DataLossError("trailing bytes in plan");
+  return p;
+}
+
+FLPlan MakeTrainingPlan(const graph::Model& model,
+                        const std::string& task_name,
+                        const TrainingHyperparams& hyper,
+                        const ExampleSelector& selector) {
+  FLPlan p;
+  p.task_name = task_name;
+  p.device.graph = model.graph;  // the split: graph goes to the device...
+  p.device.feature_input = model.feature_input;
+  p.device.label_input = model.label_input;
+  p.device.selector = selector;
+  p.device.batch_size = hyper.batch_size;
+  p.device.epochs = hyper.epochs;
+  p.device.learning_rate = hyper.learning_rate;
+  p.device.kind = TaskKind::kTraining;
+  p.server.aggregation = AggregationOp::kWeightedFedAvg;  // ...and the
+  // aggregation logic to the server (Sec. 7.2).
+  p.min_runtime_version = graph::RequiredRuntimeVersion(model.graph);
+  return p;
+}
+
+FLPlan MakeEvaluationPlan(const graph::Model& model,
+                          const std::string& task_name,
+                          const ExampleSelector& selector) {
+  FLPlan p;
+  p.task_name = task_name;
+  p.device.graph = model.graph;
+  p.device.feature_input = model.feature_input;
+  p.device.label_input = model.label_input;
+  p.device.selector = selector;
+  p.device.batch_size = 64;
+  p.device.epochs = 1;
+  p.device.learning_rate = 0.0f;
+  p.device.kind = TaskKind::kEvaluation;
+  p.server.aggregation = AggregationOp::kMetricsOnly;
+  p.min_runtime_version = graph::RequiredRuntimeVersion(model.graph);
+  return p;
+}
+
+}  // namespace fl::plan

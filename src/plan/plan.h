@@ -1,0 +1,94 @@
+// FL plans (Sec. 2.1, 7.2).
+//
+// "The server tells the selected devices what computation to run with an FL
+// plan, a data structure that includes a TensorFlow graph and instructions
+// for how to execute it. ... An FL plan consists of two parts: one for the
+// device and one for the server. The device portion ... contains, among
+// other things: the TensorFlow graph itself, selection criteria for training
+// data in the example store, instructions on how to batch data and how many
+// epochs to run on the device ... The server part contains the aggregation
+// logic."
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/sim_time.h"
+#include "src/common/status.h"
+#include "src/graph/graph.h"
+#include "src/graph/model_zoo.h"
+
+namespace fl::plan {
+
+// Selection criteria for training data in the example store (Sec. 7.2).
+struct ExampleSelector {
+  std::string store_name = "default";
+  Duration max_example_age = Hours(24 * 7);
+  std::size_t min_examples = 1;    // device skips task if fewer available
+  std::size_t max_examples = 500;  // cap per participation
+};
+
+enum class TaskKind : std::uint8_t {
+  kTraining = 0,
+  kEvaluation = 1,  // "plans are not specialized to training, but can also
+                    // encode evaluation tasks" (Sec. 3)
+};
+
+// Device portion of the plan.
+struct DevicePlan {
+  graph::Graph graph;
+  std::string feature_input;
+  std::string label_input;
+  ExampleSelector selector;
+  std::size_t batch_size = 32;
+  std::size_t epochs = 1;
+  float learning_rate = 0.1f;
+  TaskKind kind = TaskKind::kTraining;
+};
+
+// Server portion: the aggregation logic.
+enum class AggregationOp : std::uint8_t {
+  kWeightedFedAvg = 0,  // Algorithm 1: sum of n_k-weighted deltas / sum n_k
+  kUnweightedMean = 1,
+  kMetricsOnly = 2,     // evaluation tasks aggregate metrics, not weights
+};
+
+struct ServerPlan {
+  AggregationOp aggregation = AggregationOp::kWeightedFedAvg;
+};
+
+struct FLPlan {
+  std::string task_name;
+  std::uint32_t plan_format_version = 1;
+  // Runtime version this (possibly lowered) graph requires.
+  std::uint32_t min_runtime_version = 1;
+  DevicePlan device;
+  ServerPlan server;
+
+  Bytes Serialize() const;
+  static Result<FLPlan> Deserialize(std::span<const std::uint8_t> data);
+  std::size_t SerializedSize() const { return Serialize().size(); }
+};
+
+// Hyperparameters supplied by the model engineer's task configuration
+// (Sec. 7.1: "configuration of tasks ... includes runtime parameters such as
+// the optimal number of devices in a round as well as model hyperparameters
+// like learning rate").
+struct TrainingHyperparams {
+  std::size_t batch_size = 32;
+  std::size_t epochs = 1;
+  float learning_rate = 0.1f;
+};
+
+// Generates the default (unversioned) plan from an engineer-provided model
+// plus configuration — the automatic model/config -> plan split of Sec. 7.2.
+FLPlan MakeTrainingPlan(const graph::Model& model, const std::string& task_name,
+                        const TrainingHyperparams& hyper,
+                        const ExampleSelector& selector);
+
+FLPlan MakeEvaluationPlan(const graph::Model& model,
+                          const std::string& task_name,
+                          const ExampleSelector& selector);
+
+}  // namespace fl::plan

@@ -1,0 +1,105 @@
+#include "src/plan/resources.h"
+
+namespace fl::plan {
+namespace {
+
+// Output column count of a node, where resolvable statically.
+std::size_t OutCols(const graph::Graph& g, const graph::Node& n,
+                    const std::vector<std::size_t>& cols) {
+  using graph::OpType;
+  switch (n.op) {
+    case OpType::kInput:
+    case OpType::kParam:
+      return n.shape.empty() ? 0 : n.shape.back();
+    case OpType::kMatMul:
+    case OpType::kFusedMatMulBias: {
+      const graph::Node& w = g.node(n.inputs[1]);
+      return w.shape.empty() ? 0 : w.shape.back();
+    }
+    case OpType::kEmbedLookup: {
+      const graph::Node& ids = g.node(n.inputs[0]);
+      const graph::Node& table = g.node(n.inputs[1]);
+      const std::size_t c = ids.shape.size() >= 2 ? ids.shape[1] : 1;
+      const std::size_t d = table.shape.size() >= 2 ? table.shape[1] : 1;
+      return c * d;
+    }
+    case OpType::kSoftmaxXent:
+      return cols[n.inputs[0]];
+    case OpType::kMeanSquaredError:
+    case OpType::kBinaryXent:
+      return 1;
+    default:  // elementwise ops preserve width
+      return cols[n.inputs[0]];
+  }
+}
+
+}  // namespace
+
+ResourceEstimate EstimateResources(const FLPlan& plan,
+                                   const Checkpoint& global_model) {
+  using graph::OpType;
+  ResourceEstimate est;
+  est.parameter_bytes = global_model.TotalParameters() * sizeof(float);
+
+  const graph::Graph& g = plan.device.graph;
+  const std::size_t batch = plan.device.batch_size;
+  std::vector<std::size_t> cols(g.size(), 0);
+
+  for (const graph::Node& n : g.nodes()) {
+    cols[n.id] = OutCols(g, n, cols);
+    // Forward + backward keep one activation + one gradient per node row.
+    est.activation_bytes += 2ull * batch * cols[n.id] * sizeof(float);
+    switch (n.op) {
+      case OpType::kMatMul:
+      case OpType::kFusedMatMulBias: {
+        const graph::Node& w = g.node(n.inputs[1]);
+        if (w.shape.size() == 2) {
+          // Forward + two backward matmuls ~ 3 * rows * cols MACs/example.
+          est.flops_per_example += 3ull * w.shape[0] * w.shape[1];
+        }
+        break;
+      }
+      case OpType::kEmbedLookup: {
+        const graph::Node& ids = g.node(n.inputs[0]);
+        const graph::Node& table = g.node(n.inputs[1]);
+        if (ids.shape.size() == 2 && table.shape.size() == 2) {
+          est.flops_per_example += 2ull * ids.shape[1] * table.shape[1];
+        }
+        break;
+      }
+      default:
+        est.flops_per_example += cols[n.id];
+        break;
+    }
+  }
+
+  // Weights + gradients + update delta all live simultaneously on device.
+  est.total_ram_bytes = est.parameter_bytes * 3 + est.activation_bytes;
+  est.download_bytes =
+      plan.SerializedSize() + global_model.SerializedSize();
+  est.upload_bytes = plan.device.kind == TaskKind::kTraining
+                         ? global_model.SerializedSize()
+                         : 256;  // evaluation reports metrics only
+  return est;
+}
+
+Status CheckWithinLimits(const ResourceEstimate& est,
+                         const ResourceLimits& limits) {
+  if (est.total_ram_bytes > limits.max_ram_bytes) {
+    return ResourceExhaustedError(
+        "estimated RAM " + std::to_string(est.total_ram_bytes) +
+        " exceeds limit " + std::to_string(limits.max_ram_bytes));
+  }
+  if (est.download_bytes > limits.max_download_bytes) {
+    return ResourceExhaustedError("download size exceeds limit");
+  }
+  if (est.upload_bytes > limits.max_upload_bytes) {
+    return ResourceExhaustedError("upload size exceeds limit");
+  }
+  if (est.flops_per_example > limits.max_flops_per_example) {
+    return ResourceExhaustedError("per-example compute exceeds limit");
+  }
+  return Status::Ok();
+}
+
+}  // namespace fl::plan

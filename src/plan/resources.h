@@ -1,0 +1,39 @@
+// Resource estimation for deployment gating (Sec. 7.3): "the resources
+// consumed during testing must be within a safe range of expected resources
+// for the target population" — FL tasks "may potentially be RAM-hogging".
+#pragma once
+
+#include <cstdint>
+
+#include "src/plan/plan.h"
+#include "src/tensor/checkpoint.h"
+
+namespace fl::plan {
+
+struct ResourceEstimate {
+  std::uint64_t parameter_bytes = 0;     // model weights
+  std::uint64_t activation_bytes = 0;    // peak forward/backward activations
+  std::uint64_t total_ram_bytes = 0;     // params * 3 (w, grad, update) + act
+  std::uint64_t flops_per_example = 0;   // rough multiply-accumulate count
+  std::uint64_t download_bytes = 0;      // plan + checkpoint
+  std::uint64_t upload_bytes = 0;        // update checkpoint
+};
+
+// Static analysis of the plan's graph given a batch size.
+ResourceEstimate EstimateResources(const FLPlan& plan,
+                                   const Checkpoint& global_model);
+
+// Safety envelope for a target population (defaults roughly model the
+// paper's fleet floor: "currently with recent Android versions and at least
+// 2 GB of memory", Sec. 11 — of which the FL runtime may use a slice).
+struct ResourceLimits {
+  std::uint64_t max_ram_bytes = 256ull << 20;      // 256 MiB training budget
+  std::uint64_t max_download_bytes = 64ull << 20;  // per round
+  std::uint64_t max_upload_bytes = 64ull << 20;
+  std::uint64_t max_flops_per_example = 2'000'000'000ull;
+};
+
+Status CheckWithinLimits(const ResourceEstimate& est,
+                         const ResourceLimits& limits);
+
+}  // namespace fl::plan

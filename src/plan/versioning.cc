@@ -1,0 +1,43 @@
+#include "src/plan/versioning.h"
+
+#include "src/graph/registry.h"
+
+namespace fl::plan {
+
+Result<VersionedPlanSet> VersionedPlanSet::Generate(
+    const FLPlan& default_plan, std::uint32_t oldest_supported_version) {
+  VersionedPlanSet set;
+  const std::uint32_t native = default_plan.min_runtime_version;
+  set.plans_.emplace(native, default_plan);
+  for (std::uint32_t v = oldest_supported_version; v < native; ++v) {
+    auto lowered = graph::TransformForVersion(default_plan.device.graph, v);
+    if (!lowered.ok()) {
+      // Some ops cannot be lowered ("a slightly smaller number that cannot
+      // be fixed without complex workarounds"); the plan set then simply
+      // does not cover runtimes < the first loweable version.
+      continue;
+    }
+    FLPlan p = default_plan;
+    p.device.graph = std::move(lowered).value();
+    p.min_runtime_version = v;
+    set.plans_.emplace(v, std::move(p));
+  }
+  if (set.plans_.empty()) {
+    return InternalError("no plan versions generated");
+  }
+  return set;
+}
+
+Result<const FLPlan*> VersionedPlanSet::PlanFor(
+    std::uint32_t runtime_version) const {
+  // Newest plan not exceeding the device runtime.
+  auto it = plans_.upper_bound(runtime_version);
+  if (it == plans_.begin()) {
+    return NotFoundError("device runtime v" + std::to_string(runtime_version) +
+                         " predates all versioned plans");
+  }
+  --it;
+  return &it->second;
+}
+
+}  // namespace fl::plan

@@ -1,0 +1,34 @@
+// Versioned plan generation (Sec. 7.3).
+//
+// "The FL infrastructure deals with this problem by generating versioned FL
+// plans for each task. Each versioned FL plan is derived from the default
+// (unversioned) FL plan by transforming its computation graph to achieve
+// compatibility with a deployed TensorFlow version. Versioned and
+// unversioned plans must pass the same release tests, and are therefore
+// treated as semantically equivalent."
+#pragma once
+
+#include <map>
+
+#include "src/plan/plan.h"
+
+namespace fl::plan {
+
+// Plans indexed by the oldest runtime version each supports. Serving picks
+// the newest plan whose min_runtime_version <= the device's runtime.
+class VersionedPlanSet {
+ public:
+  static Result<VersionedPlanSet> Generate(
+      const FLPlan& default_plan, std::uint32_t oldest_supported_version);
+
+  // Plan to serve a device running `runtime_version`; NotFound if the device
+  // is too old for every generated plan.
+  Result<const FLPlan*> PlanFor(std::uint32_t runtime_version) const;
+
+  const std::map<std::uint32_t, FLPlan>& plans() const { return plans_; }
+
+ private:
+  std::map<std::uint32_t, FLPlan> plans_;  // key: min_runtime_version
+};
+
+}  // namespace fl::plan

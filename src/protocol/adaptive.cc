@@ -1,0 +1,92 @@
+#include "src/protocol/adaptive.h"
+
+#include <algorithm>
+
+namespace fl::protocol {
+namespace {
+
+Duration ClampDuration(Duration v, Duration lo, Duration hi) {
+  return Duration{std::clamp(v.millis, lo.millis, hi.millis)};
+}
+
+Duration ScaleDuration(Duration v, double factor) {
+  return Duration{
+      static_cast<std::int64_t>(static_cast<double>(v.millis) * factor)};
+}
+
+}  // namespace
+
+RoundConfig AdaptiveWindowController::Update(const RoundConfig& current,
+                                             const RoundObservation& obs) {
+  ++observations_;
+  RoundConfig next = current;
+  const double up = 1.0 + params_.adjust_rate;
+  const double down = 1.0 - params_.adjust_rate;
+
+  switch (obs.outcome) {
+    case RoundOutcome::kAbandonedSelection:
+      // Not enough devices arrived in time: widen the net.
+      next.selection_timeout =
+          ScaleDuration(current.selection_timeout, up);
+      break;
+    case RoundOutcome::kAbandonedReporting:
+      // Started but could not gather enough reports: more headroom on both
+      // the cohort size and the wait.
+      next.overselection = current.overselection * up;
+      next.reporting_deadline =
+          ScaleDuration(current.reporting_deadline, up);
+      break;
+    case RoundOutcome::kFailed:
+      break;  // infrastructure failure says nothing about the windows
+    case RoundOutcome::kCommitted: {
+      const std::size_t participants = obs.completed + obs.dropped;
+      const double dropout =
+          participants == 0
+              ? 0.0
+              : static_cast<double>(obs.dropped) / participants;
+      dropout_ema_ = ema_initialized_
+                         ? params_.ema_alpha * dropout +
+                               (1 - params_.ema_alpha) * dropout_ema_
+                         : dropout;
+      ema_initialized_ = true;
+
+      if (dropout_ema_ > params_.target_dropout * 1.25) {
+        // Too many devices dying mid-round: give stragglers more time and
+        // select extra headroom.
+        next.overselection = current.overselection * up;
+        next.reporting_deadline =
+            ScaleDuration(current.reporting_deadline, up);
+      } else if (dropout_ema_ < params_.target_dropout * 0.75) {
+        // Comfortably under target: reclaim wasted work and latency.
+        next.overselection = current.overselection * down;
+        next.reporting_deadline =
+            ScaleDuration(current.reporting_deadline, down);
+      }
+      // Selection window follows observed fill time with 2x headroom.
+      if (obs.selection_duration.millis > 0) {
+        const Duration ideal = obs.selection_duration * 2;
+        const Duration blended =
+            (current.selection_timeout * 3 + ideal) / 4;
+        next.selection_timeout = blended;
+      }
+      break;
+    }
+  }
+
+  next.overselection = std::clamp(next.overselection,
+                                  params_.min_overselection,
+                                  params_.max_overselection);
+  next.selection_timeout =
+      ClampDuration(next.selection_timeout, params_.min_selection_timeout,
+                    params_.max_selection_timeout);
+  next.reporting_deadline =
+      ClampDuration(next.reporting_deadline, params_.min_reporting_deadline,
+                    params_.max_reporting_deadline);
+  // The reporting window must be able to contain the participation cap.
+  next.device_participation_cap =
+      ClampDuration(next.device_participation_cap, Minutes(1),
+                    next.reporting_deadline);
+  return next;
+}
+
+}  // namespace fl::protocol

@@ -1,0 +1,63 @@
+// Adaptive protocol-window tuning — the Sec. 11 "Convergence Time" future
+// work, implemented: "the time windows to select devices for training and
+// wait for their reporting is currently configured statically per FL
+// population. It should be dynamically adjusted to reduce the drop out rate
+// and increase round frequency."
+//
+// The controller observes each round's outcome and nudges the round
+// configuration:
+//  * high drop-out        -> raise over-selection (more headroom) and extend
+//                            the reporting deadline;
+//  * low drop-out + slack -> shrink the reporting deadline and relax
+//                            over-selection toward 1.0 (less wasted work);
+//  * selection abandons   -> extend the selection window;
+//  * selection fills fast -> shrink it.
+// All moves are multiplicative with clamps, so the controller is stable
+// under noisy observations.
+#pragma once
+
+#include "src/protocol/round_config.h"
+
+namespace fl::protocol {
+
+struct RoundObservation {
+  RoundOutcome outcome = RoundOutcome::kCommitted;
+  std::size_t completed = 0;
+  std::size_t dropped = 0;
+  Duration selection_duration;
+  Duration round_duration;
+};
+
+class AdaptiveWindowController {
+ public:
+  struct Params {
+    double target_dropout = 0.08;     // middle of the paper's 6-10% band
+    double adjust_rate = 0.15;        // multiplicative step per observation
+    double min_overselection = 1.05;
+    double max_overselection = 2.0;
+    Duration min_selection_timeout = Minutes(1);
+    Duration max_selection_timeout = Minutes(30);
+    Duration min_reporting_deadline = Minutes(2);
+    Duration max_reporting_deadline = Minutes(60);
+    // Smoothing for the drop-out estimate.
+    double ema_alpha = 0.3;
+  };
+
+  AdaptiveWindowController() : params_() {}
+  explicit AdaptiveWindowController(Params params) : params_(params) {}
+
+  // Folds one finished round into the estimates and returns the adjusted
+  // configuration to use for the next round.
+  RoundConfig Update(const RoundConfig& current, const RoundObservation& obs);
+
+  double dropout_estimate() const { return dropout_ema_; }
+  std::size_t observations() const { return observations_; }
+
+ private:
+  Params params_;
+  double dropout_ema_ = 0.0;
+  bool ema_initialized_ = false;
+  std::size_t observations_ = 0;
+};
+
+}  // namespace fl::protocol

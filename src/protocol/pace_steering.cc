@@ -1,0 +1,65 @@
+#include "src/protocol/pace_steering.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fl::protocol {
+
+ReconnectWindow PaceSteeringPolicy::SuggestWindow(
+    SimTime now, std::size_t estimated_population, Duration device_tz_offset,
+    Rng& rng) const {
+  if (estimated_population <= params_.small_population_threshold) {
+    // SMALL regime: align everyone on the next rendezvous point. The policy
+    // is stateless — the rendezvous grid is derived from absolute time, so
+    // every Selector instance computes the same windows without
+    // coordination.
+    const std::int64_t period = params_.rendezvous_period.millis;
+    std::int64_t next = ((now.millis / period) + 1) * period;
+    // Never suggest a window that is already (almost) upon us.
+    if (next - now.millis < params_.min_wait.millis) next += period;
+    return ReconnectWindow{SimTime{next},
+                           SimTime{next} + params_.rendezvous_width};
+  }
+
+  // LARGE regime: de-correlate check-ins. If `pop` devices each reconnect
+  // uniformly within a window of width W, the server sees pop/W arrivals
+  // per unit time; choose W so this matches the target rate.
+  const double per_period =
+      static_cast<double>(params_.target_checkins_per_period);
+  const double periods_needed =
+      static_cast<double>(estimated_population) / std::max(1.0, per_period);
+  double width_ms = periods_needed *
+                    static_cast<double>(params_.round_period.millis);
+
+  if (params_.diurnal_compensation && curve_ != nullptr) {
+    // During the availability peak there are more eligible devices per
+    // capita; stretch windows proportionally so server load stays flat
+    // ("avoiding excessive activity during peak hours").
+    const double occ = curve_->OccupancyAt(now, device_tz_offset);
+    const auto& cp = curve_->params();
+    const double mean_occ = 0.5 * (cp.peak_occupancy +
+                                   cp.peak_occupancy / cp.swing);
+    width_ms *= std::clamp(occ / mean_occ, 0.5, 3.0);
+  }
+
+  width_ms = std::clamp(width_ms,
+                        static_cast<double>(params_.min_wait.millis),
+                        static_cast<double>(params_.max_wait.millis));
+  // Small random offset so the start of windows is itself de-correlated.
+  const double start_jitter =
+      rng.Uniform(0.0, 0.2 * width_ms) +
+      static_cast<double>(params_.min_wait.millis);
+  const SimTime earliest = now + Millis(static_cast<std::int64_t>(start_jitter));
+  return ReconnectWindow{earliest,
+                         earliest + Millis(static_cast<std::int64_t>(width_ms))};
+}
+
+SimTime PaceSteeringPolicy::PickWithinWindow(const ReconnectWindow& w,
+                                             Rng& device_rng) {
+  const std::int64_t span = std::max<std::int64_t>(1, w.width().millis);
+  return w.earliest +
+         Millis(static_cast<std::int64_t>(device_rng.UniformInt(
+             static_cast<std::uint64_t>(span))));
+}
+
+}  // namespace fl::protocol

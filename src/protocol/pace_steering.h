@@ -1,0 +1,80 @@
+// Pace steering (Sec. 2.3) — flow control over device check-ins.
+//
+// "Pace steering is based on the simple mechanism of the server suggesting
+// to the device the optimum time window to reconnect."
+//
+// Two regimes:
+//  * SMALL populations: concentrate check-ins so enough devices arrive
+//    contemporaneously to form a round (also required for Secure
+//    Aggregation's security properties). "The server uses a stateless
+//    probabilistic algorithm requiring no additional device/server
+//    communication to suggest reconnection times to rejected devices so
+//    that subsequent checkins are likely to arrive contemporaneously."
+//  * LARGE populations: spread check-ins to avoid the thundering herd, and
+//    have devices connect "as frequently as needed to run all scheduled FL
+//    tasks, but not more."
+//
+// The policy also dampens peak-hour activity using the diurnal availability
+// forecast ("takes into account the diurnal oscillation in the number of
+// active devices").
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+#include "src/sim/availability.h"
+
+namespace fl::protocol {
+
+struct ReconnectWindow {
+  SimTime earliest;
+  SimTime latest;
+
+  Duration width() const { return latest - earliest; }
+};
+
+class PaceSteeringPolicy {
+ public:
+  struct Params {
+    // Below this estimated population the policy synchronizes check-ins.
+    std::size_t small_population_threshold = 1000;
+    // Cadence at which the small-population regime gathers cohorts.
+    Duration rendezvous_period = Minutes(5);
+    // Jitter width of the rendezvous window (devices land within it).
+    Duration rendezvous_width = Seconds(30);
+    // Desired aggregate check-in rate for large populations, expressed as
+    // check-ins per round period per device needed: the server wants about
+    // `target_checkins_per_period` arrivals each `round_period`.
+    Duration round_period = Minutes(3);
+    std::size_t target_checkins_per_period = 400;
+    // Bounds on any suggested wait.
+    Duration min_wait = Seconds(30);
+    Duration max_wait = Hours(6);
+    // When true, waits stretch during availability peaks so that work is
+    // not concentrated in the nightly surge (diurnal compensation).
+    bool diurnal_compensation = true;
+  };
+
+  PaceSteeringPolicy(Params params, const sim::DiurnalCurve* curve)
+      : params_(params), curve_(curve) {}
+
+  // Suggests when a device that just checked in (and was rejected or
+  // finished its work) should come back. `estimated_population` is the
+  // server-side estimate of currently-active devices in this FL population;
+  // `rng` is the *server's* RNG (stateless per device — no per-device server
+  // state is kept, matching the paper).
+  ReconnectWindow SuggestWindow(SimTime now, std::size_t estimated_population,
+                                Duration device_tz_offset, Rng& rng) const;
+
+  // Device-side: picks the actual reconnect time within a window.
+  static SimTime PickWithinWindow(const ReconnectWindow& w, Rng& device_rng);
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  const sim::DiurnalCurve* curve_;  // may be null (no diurnal compensation)
+};
+
+}  // namespace fl::protocol

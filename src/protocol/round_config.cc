@@ -1,0 +1,25 @@
+#include "src/protocol/round_config.h"
+
+namespace fl::protocol {
+
+const char* RoundOutcomeName(RoundOutcome o) {
+  switch (o) {
+    case RoundOutcome::kCommitted: return "committed";
+    case RoundOutcome::kAbandonedSelection: return "abandoned_selection";
+    case RoundOutcome::kAbandonedReporting: return "abandoned_reporting";
+    case RoundOutcome::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+const char* ParticipantOutcomeName(ParticipantOutcome o) {
+  switch (o) {
+    case ParticipantOutcome::kCompleted: return "completed";
+    case ParticipantOutcome::kAborted: return "aborted";
+    case ParticipantOutcome::kDropped: return "dropped";
+    case ParticipantOutcome::kRejectedLate: return "rejected_late";
+  }
+  return "unknown";
+}
+
+}  // namespace fl::protocol

@@ -1,0 +1,95 @@
+// Round parameterization (Sec. 2.2):
+//
+// "The selection and reporting phases are specified by a set of parameters
+// which spawn flexible time windows. For example, for the selection phase
+// the server considers a device participant goal count, a timeout, and a
+// minimal percentage of the goal count which is required to run the round."
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/sim_time.h"
+
+namespace fl::protocol {
+
+// How updates are combined server-side (Sec. 2.2 Configuration: "the
+// aggregation mechanism selected (e.g., simple or Secure Aggregation)").
+enum class AggregationMode : std::uint8_t {
+  kSimple = 0,
+  kSecure = 1,
+};
+
+struct SecAggConfig {
+  // Minimum group size per Aggregator instance; FL tasks "define a
+  // parameter k so that all updates are securely aggregated over groups of
+  // size at least k" (Sec. 6).
+  std::size_t min_group_size = 3;
+  // Shamir threshold as a fraction of the group (survivors needed to
+  // finalize).
+  double threshold_fraction = 0.66;
+  // Fixed-point clip for update quantization.
+  double clip = 4.0;
+};
+
+struct RoundConfig {
+  // Target number of device reports needed to commit the round (K in
+  // Algorithm 1).
+  std::size_t goal_count = 100;
+  // Over-selection factor: the server "typically selects 130% of the target
+  // number of devices to initially participate" (Sec. 9).
+  double overselection = 1.3;
+  // Selection phase: wait for participants until this timeout.
+  Duration selection_timeout = Minutes(5);
+  // Fraction of goal_count required at selection timeout to start (rather
+  // than abandon) the round.
+  double min_selection_fraction = 0.8;
+  // Reporting phase deadline, measured from configuration start.
+  Duration reporting_deadline = Minutes(15);
+  // Fraction of goal_count whose reports are required to commit the round.
+  double min_reporting_fraction = 0.8;
+  // Per-device participation cap (Fig. 8: "device participation time is
+  // capped ... a mechanism used by the FL server to deal with stragglers").
+  Duration device_participation_cap = Minutes(10);
+  // Number of devices per Aggregator actor (fan-out unit, Sec. 4.2).
+  std::size_t devices_per_aggregator = 50;
+
+  AggregationMode aggregation = AggregationMode::kSimple;
+  SecAggConfig secagg;
+
+  // Derived values.
+  std::size_t SelectionTarget() const {
+    return static_cast<std::size_t>(
+        static_cast<double>(goal_count) * overselection + 0.5);
+  }
+  std::size_t MinSelectionCount() const {
+    return static_cast<std::size_t>(
+        static_cast<double>(goal_count) * min_selection_fraction + 0.5);
+  }
+  std::size_t MinReportCount() const {
+    return static_cast<std::size_t>(
+        static_cast<double>(goal_count) * min_reporting_fraction + 0.5);
+  }
+};
+
+// Outcome of one protocol round, recorded by analytics and consumed by the
+// Fig. 5/6/7 benches.
+enum class RoundOutcome : std::uint8_t {
+  kCommitted = 0,     // enough reports; global model advanced
+  kAbandonedSelection,  // selection timed out below minimum
+  kAbandonedReporting,  // reporting deadline passed below minimum
+  kFailed,            // infrastructure failure (e.g., master aggregator loss)
+};
+
+const char* RoundOutcomeName(RoundOutcome o);
+
+// Per-device fate within a round (Fig. 7 series).
+enum class ParticipantOutcome : std::uint8_t {
+  kCompleted = 0,  // update accepted into the aggregate
+  kAborted,        // server had enough reports; device's work discarded
+  kDropped,        // device failed mid-round (network/eligibility/compute)
+  kRejectedLate,   // report arrived after the reporting window closed
+};
+
+const char* ParticipantOutcomeName(ParticipantOutcome o);
+
+}  // namespace fl::protocol

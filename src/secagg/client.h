@@ -1,0 +1,72 @@
+// Secure Aggregation client (device side), Bonawitz et al. CCS 2017.
+//
+// The client walks the four protocol rounds in order; any round may be its
+// last (devices drop out), and the protocol is designed so that drop-outs
+// after Commit are recoverable by the server via Shamir shares.
+#pragma once
+
+#include <optional>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/crypto/aead.h"
+#include "src/crypto/dh.h"
+#include "src/secagg/types.h"
+
+namespace fl::secagg {
+
+class SecAggClient {
+ public:
+  // `randomness` seeds all of the client's secrets; distinct per client and
+  // per FL round. `threshold` is the Shamir t.
+  SecAggClient(ParticipantIndex index, std::size_t threshold,
+               std::size_t vector_length, const crypto::Key256& randomness);
+
+  ParticipantIndex index() const { return index_; }
+
+  // Round 0 (Prepare): advertise DH public keys.
+  KeyAdvertisement AdvertiseKeys() const;
+
+  // Round 1 (Prepare): given the cohort's key directory, produce encrypted
+  // Shamir shares of this client's mask secret key and self-mask seed, one
+  // bundle per other participant. Fails if the cohort is smaller than the
+  // threshold.
+  Result<ShareKeysMessage> ShareKeys(const KeyDirectory& directory);
+
+  // Delivery of another participant's encrypted share (relayed by the
+  // server). Stored; decrypted only if/when Unmask() needs it.
+  void ReceiveShare(const EncryptedShare& share);
+
+  // Round 2 (Commit): mask the input vector. `u1` is the set of
+  // participants who completed round 1 (whose pairwise masks are in play).
+  Result<MaskedInput> MaskInput(std::span<const std::uint32_t> input,
+                                const std::vector<ParticipantIndex>& u1);
+
+  // Round 3 (Finalization): reveal mask-key shares for dropped participants
+  // and self-mask-seed shares for survivors. Refuses requests that ask for
+  // both secrets of the same participant (that would unmask an individual).
+  Result<UnmaskingResponse> Unmask(const UnmaskingRequest& request);
+
+ private:
+  struct StoredShare {
+    ParticipantIndex from = 0;
+    Bytes ciphertext;
+  };
+
+  ParticipantIndex index_;
+  std::size_t threshold_;
+  std::size_t vector_length_;
+  Rng rng_;
+  crypto::DhKeyPair enc_keys_;
+  crypto::DhKeyPair mask_keys_;
+  crypto::Key256 self_seed_{};  // b_u
+  std::optional<KeyDirectory> directory_;
+  std::vector<StoredShare> incoming_;
+  // This client's own shares of its own secrets (kept so the client can
+  // contribute them during unmasking).
+  crypto::Share own_key_share_;
+  std::vector<crypto::Share> own_seed_shares_;
+  bool committed_ = false;
+};
+
+}  // namespace fl::secagg

@@ -1,0 +1,213 @@
+#include "src/secagg/server.h"
+
+#include <algorithm>
+
+#include "src/crypto/chacha20.h"
+
+namespace fl::secagg {
+namespace {
+constexpr const char* kPairwiseLabel = "secagg-pairwise-mask";
+constexpr std::size_t kSeedLimbs = 5;
+}  // namespace
+
+SecAggServer::SecAggServer(std::size_t threshold, std::size_t vector_length)
+    : threshold_(threshold), vector_length_(vector_length) {
+  FL_CHECK(threshold >= 1);
+  masked_sum_.assign(vector_length_, 0);
+}
+
+Status SecAggServer::CollectAdvertisement(const KeyAdvertisement& adv) {
+  if (phase_ != Phase::kAdvertising) {
+    return FailedPreconditionError("advertising phase is over");
+  }
+  if (adv.index == 0) return InvalidArgumentError("participant index 0");
+  if (!directory_.emplace(adv.index, adv).second) {
+    return AlreadyExistsError("participant " + std::to_string(adv.index) +
+                              " already advertised");
+  }
+  return Status::Ok();
+}
+
+Result<KeyDirectory> SecAggServer::FinishAdvertising() {
+  if (phase_ != Phase::kAdvertising) {
+    return FailedPreconditionError("advertising phase is over");
+  }
+  if (directory_.size() < threshold_) {
+    return AbortedError("only " + std::to_string(directory_.size()) +
+                        " participants advertised; threshold " +
+                        std::to_string(threshold_));
+  }
+  phase_ = Phase::kSharing;
+  return directory_;
+}
+
+Status SecAggServer::CollectShares(const ShareKeysMessage& msg) {
+  if (phase_ != Phase::kSharing) {
+    return FailedPreconditionError("not in sharing phase");
+  }
+  if (directory_.count(msg.index) == 0) {
+    return NotFoundError("unknown participant in ShareKeys");
+  }
+  if (u1_.count(msg.index) > 0) {
+    return AlreadyExistsError("duplicate ShareKeys message");
+  }
+  for (const EncryptedShare& s : msg.shares) {
+    if (s.from != msg.index) {
+      return InvalidArgumentError("share sender mismatch");
+    }
+    routed_[s.to].push_back(s);
+  }
+  u1_.insert(msg.index);
+  return Status::Ok();
+}
+
+std::vector<EncryptedShare> SecAggServer::SharesFor(
+    ParticipantIndex to) const {
+  const auto it = routed_.find(to);
+  return it == routed_.end() ? std::vector<EncryptedShare>{} : it->second;
+}
+
+Result<std::vector<ParticipantIndex>> SecAggServer::FinishSharing() {
+  if (phase_ != Phase::kSharing) {
+    return FailedPreconditionError("not in sharing phase");
+  }
+  if (u1_.size() < threshold_) {
+    return AbortedError("too few participants completed ShareKeys");
+  }
+  phase_ = Phase::kCommit;
+  return std::vector<ParticipantIndex>(u1_.begin(), u1_.end());
+}
+
+Status SecAggServer::CollectMaskedInput(const MaskedInput& input) {
+  if (phase_ != Phase::kCommit) {
+    return FailedPreconditionError("not in commit phase");
+  }
+  if (u1_.count(input.index) == 0) {
+    return NotFoundError("commit from participant outside U1");
+  }
+  if (u2_.count(input.index) > 0) {
+    return AlreadyExistsError("duplicate masked input");
+  }
+  if (input.masked.size() != vector_length_) {
+    return InvalidArgumentError("masked vector length mismatch");
+  }
+  // Online accumulation — the individual masked vector is folded in and
+  // discarded (no per-device log exists, Sec. 4.2).
+  for (std::size_t i = 0; i < vector_length_; ++i) {
+    masked_sum_[i] += input.masked[i];
+  }
+  u2_.insert(input.index);
+  return Status::Ok();
+}
+
+Result<UnmaskingRequest> SecAggServer::FinishCommit() {
+  if (phase_ != Phase::kCommit) {
+    return FailedPreconditionError("not in commit phase");
+  }
+  if (u2_.size() < threshold_) {
+    return AbortedError("fewer than threshold masked inputs; aggregation fails");
+  }
+  phase_ = Phase::kUnmasking;
+  UnmaskingRequest req;
+  for (ParticipantIndex u : u1_) {
+    if (u2_.count(u) == 0) req.dropped.push_back(u);
+  }
+  req.survivors.assign(u2_.begin(), u2_.end());
+  return req;
+}
+
+Status SecAggServer::CollectUnmaskingResponse(const UnmaskingResponse& resp) {
+  if (phase_ != Phase::kUnmasking) {
+    return FailedPreconditionError("not in unmasking phase");
+  }
+  if (u2_.count(resp.index) == 0) {
+    return PermissionDeniedError("unmasking response from non-survivor");
+  }
+  for (const auto& [u, shares] : resp.mask_key_shares) {
+    if (u2_.count(u) > 0) {
+      return PermissionDeniedError(
+          "refusing mask-key share of a committed participant");
+    }
+    auto& bucket = key_shares_[u];
+    bucket.insert(bucket.end(), shares.begin(), shares.end());
+  }
+  for (const auto& [u, limbs] : resp.self_seed_shares) {
+    if (u2_.count(u) == 0) continue;  // self-seeds only for survivors
+    if (limbs.size() != kSeedLimbs) {
+      return InvalidArgumentError("unexpected seed limb count");
+    }
+    auto& buckets = seed_shares_[u];
+    buckets.resize(kSeedLimbs);
+    for (std::size_t l = 0; l < kSeedLimbs; ++l) {
+      buckets[l].push_back(limbs[l]);
+    }
+  }
+  ++unmask_responses_;
+  return Status::Ok();
+}
+
+Result<std::vector<std::uint32_t>> SecAggServer::Finalize() {
+  if (phase_ != Phase::kUnmasking) {
+    return FailedPreconditionError("not in unmasking phase");
+  }
+  if (unmask_responses_ < threshold_) {
+    return AbortedError("not enough unmasking responses: " +
+                        std::to_string(unmask_responses_) + " < " +
+                        std::to_string(threshold_));
+  }
+
+  std::vector<std::uint32_t> sum = masked_sum_;
+
+  // (a) Remove survivors' self-masks.
+  for (ParticipantIndex u : u2_) {
+    const auto it = seed_shares_.find(u);
+    if (it == seed_shares_.end()) {
+      return AbortedError("no self-seed shares for survivor " +
+                          std::to_string(u));
+    }
+    std::vector<std::vector<crypto::Share>> limbs = it->second;
+    FL_ASSIGN_OR_RETURN(crypto::Key256 seed,
+                        crypto::ShamirReconstructKey(limbs, threshold_));
+    stats_.shamir_reconstructions += kSeedLimbs;
+    const std::vector<std::uint32_t> mask =
+        crypto::PrgWords(seed, vector_length_);
+    stats_.prg_words_expanded += vector_length_;
+    for (std::size_t i = 0; i < vector_length_; ++i) sum[i] -= mask[i];
+  }
+
+  // (b) Remove pairwise masks referencing dropped participants. This is the
+  // quadratic part: |dropped| x |survivors| PRG expansions + key agreements.
+  for (ParticipantIndex u : u1_) {
+    if (u2_.count(u) > 0) continue;  // u committed; its pair masks cancel
+    const auto it = key_shares_.find(u);
+    if (it == key_shares_.end() || it->second.size() < threshold_) {
+      return AbortedError("cannot reconstruct mask key of dropped " +
+                          std::to_string(u));
+    }
+    FL_ASSIGN_OR_RETURN(std::uint64_t secret,
+                        crypto::ShamirReconstruct(it->second, threshold_));
+    ++stats_.shamir_reconstructions;
+    const crypto::DhKeyPair recovered{secret, 0};
+    for (ParticipantIndex v : u2_) {
+      const auto dv = directory_.find(v);
+      FL_CHECK(dv != directory_.end());
+      const crypto::Key256 seed = crypto::Agree(
+          recovered, dv->second.mask_public_key, kPairwiseLabel);
+      ++stats_.modexp_operations;
+      const std::vector<std::uint32_t> mask =
+          crypto::PrgWords(seed, vector_length_);
+      stats_.prg_words_expanded += vector_length_;
+      // v (a survivor) added sign(v, u) * PRG(s_uv) to its input.
+      if (v < u) {
+        for (std::size_t i = 0; i < vector_length_; ++i) sum[i] -= mask[i];
+      } else {
+        for (std::size_t i = 0; i < vector_length_; ++i) sum[i] += mask[i];
+      }
+    }
+  }
+
+  phase_ = Phase::kDone;
+  return sum;
+}
+
+}  // namespace fl::secagg

@@ -1,0 +1,85 @@
+// Secure Aggregation server side (paper Sec. 6).
+//
+// The server never sees an individual update in the clear: it accumulates
+// masked vectors online and, after the Finalization round, removes
+// (a) the self-masks of every committed client (seeds reconstructed from
+//     Shamir shares), and
+// (b) the pairwise masks referencing clients who dropped out between
+//     ShareKeys and Commit (their mask secret keys reconstructed, then one
+//     PRG expansion per surviving pair — the quadratic server cost the
+//     paper calls out: "Several costs for Secure Aggregation grow
+//     quadratically with the number of users").
+//
+// One instance of this class runs per Aggregator actor, over groups of size
+// >= k, exactly as Sec. 6 describes.
+#pragma once
+
+#include <optional>
+#include <set>
+
+#include "src/common/status.h"
+#include "src/crypto/dh.h"
+#include "src/secagg/types.h"
+
+namespace fl::secagg {
+
+// Instrumentation counters for the scaling bench.
+struct ServerCostStats {
+  std::uint64_t prg_words_expanded = 0;
+  std::uint64_t shamir_reconstructions = 0;
+  std::uint64_t modexp_operations = 0;
+};
+
+class SecAggServer {
+ public:
+  SecAggServer(std::size_t threshold, std::size_t vector_length);
+
+  // --- Round 0: Prepare / AdvertiseKeys ---
+  Status CollectAdvertisement(const KeyAdvertisement& adv);
+  // Closes round 0; fails unless >= threshold participants advertised.
+  Result<KeyDirectory> FinishAdvertising();
+
+  // --- Round 1: Prepare / ShareKeys ---
+  Status CollectShares(const ShareKeysMessage& msg);
+  // Encrypted shares addressed to `to` (for relaying).
+  std::vector<EncryptedShare> SharesFor(ParticipantIndex to) const;
+  // Closes round 1 and returns U1 (participants who shared keys).
+  Result<std::vector<ParticipantIndex>> FinishSharing();
+
+  // --- Round 2: Commit / MaskedInputCollection ---
+  Status CollectMaskedInput(const MaskedInput& input);
+  // Closes round 2; returns the unmasking request for survivors. Fails when
+  // fewer than threshold inputs committed (the aggregate is unrecoverable:
+  // "or else the entire aggregation will fail").
+  Result<UnmaskingRequest> FinishCommit();
+
+  // --- Round 3: Finalization / Unmasking ---
+  Status CollectUnmaskingResponse(const UnmaskingResponse& resp);
+  // Reconstructs secrets, strips masks, returns sum over U2 (mod 2^32).
+  Result<std::vector<std::uint32_t>> Finalize();
+
+  const std::set<ParticipantIndex>& committed() const { return u2_; }
+  const ServerCostStats& cost_stats() const { return stats_; }
+
+ private:
+  enum class Phase { kAdvertising, kSharing, kCommit, kUnmasking, kDone };
+
+  std::size_t threshold_;
+  std::size_t vector_length_;
+  Phase phase_ = Phase::kAdvertising;
+
+  KeyDirectory directory_;
+  std::map<ParticipantIndex, std::vector<EncryptedShare>> routed_;  // by `to`
+  std::set<ParticipantIndex> u1_;  // completed ShareKeys
+  std::set<ParticipantIndex> u2_;  // committed masked input
+  std::vector<std::uint32_t> masked_sum_;
+  // Collected shares for reconstruction, keyed by the participant whose
+  // secret they open.
+  std::map<ParticipantIndex, std::vector<crypto::Share>> key_shares_;
+  std::map<ParticipantIndex, std::vector<std::vector<crypto::Share>>>
+      seed_shares_;  // [participant][limb] -> shares
+  std::size_t unmask_responses_ = 0;
+  ServerCostStats stats_;
+};
+
+}  // namespace fl::secagg

@@ -1,0 +1,76 @@
+// Secure Aggregation message types (Bonawitz et al., CCS 2017; paper Sec. 6).
+//
+// "Secure Aggregation is a four-round interactive protocol optionally
+// enabled during the reporting phase of a given FL round. ... The first two
+// rounds constitute a Prepare phase, in which shared secrets are
+// established ... The third round constitutes a Commit phase, during which
+// devices upload cryptographically masked model updates ... The last round
+// of the protocol constitutes a Finalization phase, during which devices
+// reveal sufficient cryptographic secrets to allow the server to unmask the
+// aggregated model update."
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/crypto/chacha20.h"
+#include "src/crypto/shamir.h"
+
+namespace fl::secagg {
+
+// Participant index within one SecAgg cohort (1-based; doubles as the
+// Shamir evaluation point).
+using ParticipantIndex = std::uint32_t;
+
+// --- Round 0 (Prepare: AdvertiseKeys) --------------------------------------
+struct KeyAdvertisement {
+  ParticipantIndex index = 0;
+  std::uint64_t enc_public_key = 0;   // c_u^pk: protects share transport
+  std::uint64_t mask_public_key = 0;  // s_u^pk: seeds pairwise masks
+};
+
+// Server -> clients after round 0: the cohort's advertised keys.
+using KeyDirectory = std::map<ParticipantIndex, KeyAdvertisement>;
+
+// --- Round 1 (Prepare: ShareKeys) -------------------------------------------
+// One encrypted bundle from u destined for v, relayed by the server. The
+// plaintext carries u's Shamir shares (of its mask secret key and its
+// self-mask seed) evaluated at v's index.
+struct EncryptedShare {
+  ParticipantIndex from = 0;
+  ParticipantIndex to = 0;
+  Bytes ciphertext;
+};
+
+struct ShareKeysMessage {
+  ParticipantIndex index = 0;
+  std::vector<EncryptedShare> shares;  // one per other participant
+};
+
+// --- Round 2 (Commit: MaskedInputCollection) --------------------------------
+struct MaskedInput {
+  ParticipantIndex index = 0;
+  std::vector<std::uint32_t> masked;  // x_u + PRG(b_u) + sum of pairwise masks
+};
+
+// --- Round 3 (Finalization: Unmasking) ---------------------------------------
+// Server -> survivors: who dropped after sharing keys (their pairwise masks
+// must be reconstructed) and who survived commit (their self-masks must be
+// removed).
+struct UnmaskingRequest {
+  std::vector<ParticipantIndex> dropped;    // in U1 \ U2
+  std::vector<ParticipantIndex> survivors;  // U2
+};
+
+// Survivor's response: decrypted shares it holds.
+struct UnmaskingResponse {
+  ParticipantIndex index = 0;
+  // For each dropped u: v's share of u's mask secret key (5 limbs).
+  std::map<ParticipantIndex, std::vector<crypto::Share>> mask_key_shares;
+  // For each surviving u: v's share of u's self-mask seed (5 limbs).
+  std::map<ParticipantIndex, std::vector<crypto::Share>> self_seed_shares;
+};
+
+}  // namespace fl::secagg

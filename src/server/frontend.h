@@ -1,0 +1,53 @@
+// ServerFrontend: the device-facing edge of the FL server. Terminates
+// device check-ins (verifying attestation, Sec. 3), routes each device to a
+// Selector, and relays device->actor messages (reports, SecAgg rounds).
+//
+// In production this is the load-balancing RPC edge; here it is the bridge
+// between the fleet simulator's device agents and the actor system.
+#pragma once
+
+#include <vector>
+
+#include "src/actor/actor.h"
+#include "src/device/attestation.h"
+#include "src/server/messages.h"
+#include "src/server/task.h"
+
+namespace fl::server {
+
+class ServerFrontend {
+ public:
+  ServerFrontend(actor::ActorSystem* system, ServerContext* context,
+                 const device::AttestationAuthority* attestation)
+      : system_(system), context_(context), attestation_(attestation) {}
+
+  void AddSelector(ActorId selector) { selectors_.push_back(selector); }
+  const std::vector<ActorId>& selectors() const { return selectors_; }
+
+  // Device check-in (Sec. 2.2 Selection). Returns false — synchronously
+  // rejecting the stream — when attestation fails; otherwise the device will
+  // hear back through its link callbacks.
+  bool CheckIn(const CheckInRequest& request, DeviceLink link);
+
+  // Reporting phase upload.
+  void Report(ActorId aggregator, DeviceReport report);
+
+  // Secure Aggregation device->server messages.
+  void SecAggAdvertise(ActorId aggregator, SecAggAdvertiseMsg msg);
+  void SecAggShareKeys(ActorId aggregator, SecAggShareKeysMsg msg);
+  void SecAggMaskedInput(ActorId aggregator, SecAggMaskedInputMsg msg);
+  void SecAggUnmaskResponse(ActorId aggregator, SecAggUnmaskResponseMsg msg);
+
+  std::uint64_t checkins() const { return checkins_; }
+  std::uint64_t attestation_failures() const { return attestation_failures_; }
+
+ private:
+  actor::ActorSystem* system_;
+  ServerContext* context_;
+  const device::AttestationAuthority* attestation_;
+  std::vector<ActorId> selectors_;
+  std::uint64_t checkins_ = 0;
+  std::uint64_t attestation_failures_ = 0;
+};
+
+}  // namespace fl::server

@@ -1,0 +1,67 @@
+#include "src/server/lock_service.h"
+
+namespace fl::server {
+
+Result<std::uint64_t> LockService::Acquire(const std::string& name,
+                                           const std::string& owner,
+                                           SimTime now) {
+  auto it = leases_.find(name);
+  if (it != leases_.end() && it->second.expires > now) {
+    if (it->second.owner == owner) {
+      // Re-entrant acquisition refreshes the lease under the same epoch.
+      it->second.expires = now + default_ttl_;
+      return it->second.epoch;
+    }
+    return AlreadyExistsError("lock '" + name + "' held by " +
+                              it->second.owner);
+  }
+  const std::uint64_t epoch = next_epoch_++;
+  leases_[name] = Lease{owner, epoch, now + default_ttl_};
+  return epoch;
+}
+
+Status LockService::Renew(const std::string& name, const std::string& owner,
+                          std::uint64_t epoch, SimTime now) {
+  auto it = leases_.find(name);
+  if (it == leases_.end() || it->second.expires <= now) {
+    return NotFoundError("lock '" + name + "' not held");
+  }
+  if (it->second.owner != owner || it->second.epoch != epoch) {
+    return PermissionDeniedError("lock '" + name +
+                                 "' held by a different owner/epoch");
+  }
+  it->second.expires = now + default_ttl_;
+  return Status::Ok();
+}
+
+Status LockService::Release(const std::string& name, const std::string& owner,
+                            std::uint64_t epoch) {
+  auto it = leases_.find(name);
+  if (it == leases_.end()) return NotFoundError("lock '" + name + "' unknown");
+  if (it->second.owner != owner || it->second.epoch != epoch) {
+    return PermissionDeniedError("release by non-owner");
+  }
+  leases_.erase(it);
+  return Status::Ok();
+}
+
+bool LockService::IsHeld(const std::string& name, SimTime now) const {
+  const auto it = leases_.find(name);
+  return it != leases_.end() && it->second.expires > now;
+}
+
+std::optional<std::string> LockService::Owner(const std::string& name,
+                                              SimTime now) const {
+  const auto it = leases_.find(name);
+  if (it == leases_.end() || it->second.expires <= now) return std::nullopt;
+  return it->second.owner;
+}
+
+std::optional<std::uint64_t> LockService::Epoch(const std::string& name,
+                                                SimTime now) const {
+  const auto it = leases_.find(name);
+  if (it == leases_.end() || it->second.expires <= now) return std::nullopt;
+  return it->second.epoch;
+}
+
+}  // namespace fl::server

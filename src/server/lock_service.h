@@ -1,0 +1,59 @@
+// Shared locking service (Sec. 4.2): "A Coordinator registers its address
+// and the FL population it manages in a shared locking service, so there is
+// always a single owner for every FL population ... Because the Coordinators
+// are registered in a shared locking service, this [respawn] will happen
+// exactly once."
+//
+// Lease-based with fencing epochs: every successful acquisition returns a
+// monotonically-increasing epoch so that a stale owner (e.g., a Coordinator
+// that lost its lease during a pause) can be detected and ignored.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/common/sim_time.h"
+#include "src/common/status.h"
+
+namespace fl::server {
+
+class LockService {
+ public:
+  explicit LockService(Duration default_ttl = Minutes(2))
+      : default_ttl_(default_ttl) {}
+
+  // Acquires (or re-acquires after expiry) the named lock. Returns the
+  // fencing epoch. Fails with kAlreadyExists while another owner holds a
+  // live lease.
+  Result<std::uint64_t> Acquire(const std::string& name,
+                                const std::string& owner, SimTime now);
+
+  // Extends the lease; fails if the caller is not the current live owner
+  // with the matching epoch.
+  Status Renew(const std::string& name, const std::string& owner,
+               std::uint64_t epoch, SimTime now);
+
+  Status Release(const std::string& name, const std::string& owner,
+                 std::uint64_t epoch);
+
+  bool IsHeld(const std::string& name, SimTime now) const;
+  std::optional<std::string> Owner(const std::string& name, SimTime now) const;
+  std::optional<std::uint64_t> Epoch(const std::string& name,
+                                     SimTime now) const;
+
+  Duration ttl() const { return default_ttl_; }
+
+ private:
+  struct Lease {
+    std::string owner;
+    std::uint64_t epoch = 0;
+    SimTime expires;
+  };
+  Duration default_ttl_;
+  std::uint64_t next_epoch_ = 1;
+  std::map<std::string, Lease> leases_;
+};
+
+}  // namespace fl::server

@@ -1,0 +1,23 @@
+#include "src/server/model_store.h"
+
+namespace fl::server {
+
+void ModelStore::Commit(Checkpoint new_model, RoundRecord record) {
+  model_ = std::move(new_model);
+  ++version_;
+  history_.push_back(std::move(record));
+}
+
+std::vector<std::pair<std::uint64_t, double>> ModelStore::MetricHistory(
+    const std::string& task_name, const std::string& metric) const {
+  std::vector<std::pair<std::uint64_t, double>> out;
+  for (const RoundRecord& r : history_) {
+    if (r.task_name != task_name) continue;
+    const auto it = r.metrics.find(metric);
+    if (it == r.metrics.end()) continue;
+    out.emplace_back(r.round_number, it->second.mean);
+  }
+  return out;
+}
+
+}  // namespace fl::server

@@ -1,0 +1,58 @@
+// Persistent model storage (Fig. 1 steps 2 and 6): the server "reads model
+// checkpoint from persistent storage" at round start and "writes global
+// model checkpoint into persistent storage" once a round commits.
+//
+// "No information for a round is written to persistent storage until it is
+// fully aggregated by the Master Aggregator" (Sec. 4.2) — only committed
+// global checkpoints and round metric summaries live here, never per-device
+// updates.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/id.h"
+#include "src/common/sim_time.h"
+#include "src/common/status.h"
+#include "src/fedavg/metrics.h"
+#include "src/tensor/checkpoint.h"
+
+namespace fl::server {
+
+// Materialized round record (Sec. 7.4: metrics "are annotated with
+// additional data, including metadata like the source FL task's name, FL
+// round number within the task").
+struct RoundRecord {
+  TaskId task;
+  std::string task_name;
+  std::uint64_t round_number = 0;
+  SimTime committed_at;
+  std::size_t contributors = 0;
+  std::map<std::string, fedavg::MetricsAccumulator::Summary> metrics;
+};
+
+class ModelStore {
+ public:
+  explicit ModelStore(Checkpoint initial_model)
+      : model_(std::move(initial_model)) {}
+
+  const Checkpoint& Latest() const { return model_; }
+  std::uint64_t version() const { return version_; }
+
+  void Commit(Checkpoint new_model, RoundRecord record);
+
+  const std::vector<RoundRecord>& history() const { return history_; }
+
+  // Metric trajectory across committed rounds for one task, for the
+  // engineer-facing analysis tools (Sec. 7.4).
+  std::vector<std::pair<std::uint64_t, double>> MetricHistory(
+      const std::string& task_name, const std::string& metric) const;
+
+ private:
+  Checkpoint model_;
+  std::uint64_t version_ = 0;
+  std::vector<RoundRecord> history_;
+};
+
+}  // namespace fl::server

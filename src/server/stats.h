@@ -1,0 +1,53 @@
+// Server-side analytics sink (Sec. 5): "Server side, we similarly collect
+// information such as how many devices where accepted and rejected per
+// training round, the timing of the various phases of the round, throughput
+// in terms of uploaded and downloaded data, errors, and so on."
+//
+// Implemented by the fleet simulator / tests; every server actor reports
+// through this interface so benches can regenerate Figs. 5-9.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/id.h"
+#include "src/common/sim_time.h"
+#include "src/protocol/round_config.h"
+
+namespace fl::server {
+
+class ServerStatsSink {
+ public:
+  virtual ~ServerStatsSink() = default;
+
+  virtual void OnRoundOutcome(SimTime t, RoundId round,
+                              protocol::RoundOutcome outcome,
+                              std::size_t contributors) = 0;
+  virtual void OnParticipantOutcome(SimTime t, RoundId round, DeviceId device,
+                                    protocol::ParticipantOutcome outcome) = 0;
+  virtual void OnRoundTiming(SimTime t, RoundId round,
+                             Duration selection_duration,
+                             Duration round_duration) = 0;
+  virtual void OnDeviceAccepted(SimTime t) = 0;
+  virtual void OnDeviceRejected(SimTime t) = 0;
+  // Traffic as seen at the server NIC (Fig. 9): download = server->device.
+  virtual void OnTraffic(SimTime t, std::uint64_t download_bytes,
+                         std::uint64_t upload_bytes) = 0;
+  virtual void OnError(SimTime t, const std::string& what) = 0;
+};
+
+// No-op sink for tests that do not care.
+class NullStatsSink final : public ServerStatsSink {
+ public:
+  void OnRoundOutcome(SimTime, RoundId, protocol::RoundOutcome,
+                      std::size_t) override {}
+  void OnParticipantOutcome(SimTime, RoundId, DeviceId,
+                            protocol::ParticipantOutcome) override {}
+  void OnRoundTiming(SimTime, RoundId, Duration, Duration) override {}
+  void OnDeviceAccepted(SimTime) override {}
+  void OnDeviceRejected(SimTime) override {}
+  void OnTraffic(SimTime, std::uint64_t, std::uint64_t) override {}
+  void OnError(SimTime, const std::string&) override {}
+};
+
+}  // namespace fl::server

@@ -1,0 +1,128 @@
+#include "src/sim/availability.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace fl::sim {
+
+double DiurnalCurve::Occupancy(double local_hour) const {
+  // Raised cosine with period 24h, max at peak_hour. shape in [0,1].
+  const double phase =
+      2.0 * std::numbers::pi * (local_hour - p_.peak_hour) / 24.0;
+  const double shape = 0.5 * (1.0 + std::cos(phase));
+  const double trough = p_.peak_occupancy / p_.swing;
+  return trough + (p_.peak_occupancy - trough) * shape;
+}
+
+std::vector<DeviceProfile> GeneratePopulation(const PopulationParams& params,
+                                              Rng& rng) {
+  FL_CHECK(params.tz_weights.size() == params.tz_offsets.size());
+  FL_CHECK(!params.tz_weights.empty());
+
+  // Normalize timezone weights into a CDF.
+  double total = 0;
+  for (double w : params.tz_weights) total += w;
+  FL_CHECK(total > 0);
+  std::vector<double> cdf;
+  cdf.reserve(params.tz_weights.size());
+  double acc = 0;
+  for (double w : params.tz_weights) {
+    acc += w / total;
+    cdf.push_back(acc);
+  }
+
+  std::vector<DeviceProfile> fleet;
+  fleet.reserve(params.device_count);
+  for (std::size_t i = 0; i < params.device_count; ++i) {
+    DeviceProfile d;
+    d.id = DeviceId{i + 1};
+    const double u = rng.NextDouble();
+    std::size_t tz = 0;
+    while (tz + 1 < cdf.size() && u > cdf[tz]) ++tz;
+    d.tz_offset = params.tz_offsets[tz];
+
+    // Log-normal bandwidth / compute heterogeneity around the fleet means.
+    const double bw_sigma = params.bandwidth_sigma;
+    d.download_bps = params.mean_download_mbps * 1e6 *
+                     rng.LogNormal(-0.5 * bw_sigma * bw_sigma, bw_sigma);
+    d.upload_bps = params.mean_upload_mbps * 1e6 *
+                   rng.LogNormal(-0.5 * bw_sigma * bw_sigma, bw_sigma);
+    const double cs = params.compute_sigma;
+    d.examples_per_sec =
+        params.mean_examples_per_sec * rng.LogNormal(-0.5 * cs * cs, cs);
+
+    d.interrupt_rate_day =
+        1.0 / static_cast<double>(params.mean_eligible_day.millis);
+    d.interrupt_rate_night =
+        1.0 / static_cast<double>(params.mean_eligible_night.millis);
+
+    d.seed = rng.Next();
+    d.os_version = static_cast<std::uint32_t>(rng.UniformInt(
+        params.min_os_version, params.max_os_version));
+    d.genuine = !rng.Bernoulli(params.non_genuine_fraction);
+    fleet.push_back(d);
+  }
+  return fleet;
+}
+
+AvailabilityProcess::AvailabilityProcess(const DiurnalCurve& curve,
+                                         const DeviceProfile& profile)
+    : curve_(curve), profile_(profile), rng_(profile.seed) {
+  // Start in the stationary distribution at t=0 so that short simulations
+  // are not biased by a cold start.
+  eligible_ = rng_.Bernoulli(curve_.OccupancyAt(SimTime{0}, profile_.tz_offset));
+}
+
+double AvailabilityProcess::OffRateAt(SimTime t) const {
+  // Interruption hazard interpolates day/night by the diurnal shape: at the
+  // availability peak (night) devices sit idle on chargers for hours; by day
+  // eligible intervals are short.
+  const double occ = curve_.OccupancyAt(t, profile_.tz_offset);
+  const auto& p = curve_.params();
+  const double trough = p.peak_occupancy / p.swing;
+  const double w = std::clamp(
+      (occ - trough) / std::max(1e-9, p.peak_occupancy - trough), 0.0, 1.0);
+  return profile_.interrupt_rate_day * (1.0 - w) +
+         profile_.interrupt_rate_night * w;
+}
+
+double AvailabilityProcess::OnRateAt(SimTime t) const {
+  // Choose the ON rate so the process's local stationary occupancy matches
+  // the diurnal target: p = on / (on + off)  =>  on = p * off / (1 - p).
+  const double p =
+      std::clamp(curve_.OccupancyAt(t, profile_.tz_offset), 1e-4, 1.0 - 1e-4);
+  return p * OffRateAt(t) / (1.0 - p);
+}
+
+double AvailabilityProcess::InterruptRateAt(SimTime t) const {
+  return OffRateAt(t);
+}
+
+SimTime AvailabilityProcess::NextToggleAfter(SimTime t) {
+  // Thinning (Ogata) sampling of the inhomogeneous exponential holding time:
+  // rates vary slowly (24h period), so a 15-minute-step upper bound works.
+  const Duration kStep = Minutes(15);
+  SimTime cur = t;
+  for (int guard = 0; guard < 100000; ++guard) {
+    const double rate = eligible_ ? OffRateAt(cur) : OnRateAt(cur);
+    // Upper-bound rate over the next step: rates change by <2x per 15 min.
+    const double bound = rate * 2.0;
+    const double wait_ms = rng_.Exponential(bound);
+    if (wait_ms > static_cast<double>(kStep.millis)) {
+      cur = cur + kStep;
+      continue;
+    }
+    cur = cur + Millis(static_cast<std::int64_t>(wait_ms) + 1);
+    const double actual = eligible_ ? OffRateAt(cur) : OnRateAt(cur);
+    if (rng_.NextDouble() < actual / bound) {
+      eligible_ = !eligible_;
+      return cur;
+    }
+  }
+  // Pathologically small rates: toggle a day later.
+  eligible_ = !eligible_;
+  return cur + Hours(24);
+}
+
+}  // namespace fl::sim

@@ -1,0 +1,55 @@
+#include "src/sim/event_queue.h"
+
+namespace fl::sim {
+
+EventHandle EventQueue::At(SimTime t, Callback fn) {
+  FL_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  FL_CHECK(fn != nullptr);
+  const std::uint64_t id = next_id_++;
+  heap_.push(Event{t, next_seq_++, id, std::move(fn)});
+  live_.insert(id);
+  return EventHandle{id};
+}
+
+bool EventQueue::Cancel(EventHandle h) {
+  if (!h.valid()) return false;
+  return live_.erase(h.id) > 0;
+}
+
+void EventQueue::SkimCancelled() {
+  while (!heap_.empty() && live_.count(heap_.top().id) == 0) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::PopAndRun() {
+  SkimCancelled();
+  if (heap_.empty()) return false;
+  Event ev = heap_.top();
+  heap_.pop();
+  live_.erase(ev.id);
+  now_ = ev.time;
+  ev.fn();
+  return true;
+}
+
+bool EventQueue::Step() { return PopAndRun(); }
+
+std::size_t EventQueue::Run() {
+  std::size_t n = 0;
+  while (PopAndRun()) ++n;
+  return n;
+}
+
+std::size_t EventQueue::RunUntil(SimTime deadline) {
+  std::size_t n = 0;
+  while (true) {
+    SkimCancelled();
+    if (heap_.empty() || heap_.top().time > deadline) break;
+    if (PopAndRun()) ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace fl::sim

@@ -1,0 +1,83 @@
+// Discrete-event simulation core.
+//
+// Everything in this repository — device check-ins, protocol timeouts, actor
+// message delivery, training durations — executes as events on this queue.
+// Events at equal timestamps run in scheduling order, which (together with
+// seeded Rng) makes entire multi-day fleet simulations bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/common/status.h"
+
+namespace fl::sim {
+
+// Handle for cancelling a scheduled event.
+struct EventHandle {
+  std::uint64_t id = 0;
+  bool valid() const { return id != 0; }
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` at absolute time `t` (>= now).
+  EventHandle At(SimTime t, Callback fn);
+
+  // Schedules `fn` after `d` from now.
+  EventHandle After(Duration d, Callback fn) {
+    return At(now_ + d, std::move(fn));
+  }
+
+  // Cancels a pending event. Returns false if it already ran or was cancelled.
+  bool Cancel(EventHandle h);
+
+  // Runs events until the queue is empty. Returns number of events executed.
+  std::size_t Run();
+
+  // Runs events with time <= deadline; clock ends at `deadline` even if the
+  // queue drains earlier (so periodic samplers see a full window).
+  std::size_t RunUntil(SimTime deadline);
+
+  std::size_t RunFor(Duration d) { return RunUntil(now_ + d); }
+
+  // Executes at most one event. Returns false if the queue is empty.
+  bool Step();
+
+  std::size_t pending() const { return live_.size(); }
+  bool empty() const { return live_.empty(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // tie-breaker: FIFO among equal timestamps
+    std::uint64_t id;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool PopAndRun();
+  // Drops cancelled events from the top of the heap.
+  void SkimCancelled();
+
+  SimTime now_{};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<std::uint64_t> live_;
+};
+
+}  // namespace fl::sim

@@ -1,0 +1,47 @@
+#include "src/sim/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fl::sim {
+
+Duration NetworkModel::SampleRtt() {
+  const double mult =
+      rng_.LogNormal(-0.5 * params_.rtt_jitter_sigma * params_.rtt_jitter_sigma,
+                     params_.rtt_jitter_sigma);
+  return Millis(static_cast<std::int64_t>(
+      std::max(1.0, static_cast<double>(params_.base_rtt.millis) * mult)));
+}
+
+TransferOutcome NetworkModel::Transfer(const DeviceProfile& device,
+                                       Direction dir, std::uint64_t bytes) {
+  TransferOutcome out;
+  const double bps =
+      dir == Direction::kDownload ? device.download_bps : device.upload_bps;
+  FL_CHECK(bps > 0);
+  const double seconds = static_cast<double>(bytes) * 8.0 / bps;
+  const Duration rtt = SampleRtt();
+  const Duration full =
+      rtt + Millis(static_cast<std::int64_t>(seconds * 1000.0) + 1);
+
+  if (rng_.Bernoulli(params_.transfer_failure_prob)) {
+    out.success = false;
+    // The link died partway; some time and bytes were still spent.
+    const double progress =
+        std::clamp(rng_.Uniform(0.0, 2.0 * params_.failure_progress_mean),
+                   0.05, 1.0);
+    out.duration = Millis(static_cast<std::int64_t>(
+        static_cast<double>(full.millis) * progress));
+    out.bytes_on_wire =
+        static_cast<std::uint64_t>(static_cast<double>(bytes) * progress);
+    return out;
+  }
+
+  out.success = true;
+  out.corrupted = rng_.Bernoulli(params_.corruption_prob);
+  out.duration = full;
+  out.bytes_on_wire = bytes;
+  return out;
+}
+
+}  // namespace fl::sim

@@ -1,0 +1,53 @@
+// Network model between devices and the FL server.
+//
+// The protocol layer asks this model how long a transfer takes and whether it
+// fails. Failures and slow links are what the paper's reporting windows,
+// straggler caps, and 130% over-selection exist to absorb (Sec. 2.2, Sec. 9).
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+#include "src/sim/availability.h"
+
+namespace fl::sim {
+
+enum class Direction { kDownload, kUpload };
+
+struct TransferOutcome {
+  bool success = true;
+  bool corrupted = false;    // delivered but fails CRC (kDataLoss path)
+  Duration duration;         // time until completion or failure detection
+  std::uint64_t bytes_on_wire = 0;  // counted even for failed transfers
+};
+
+class NetworkModel {
+ public:
+  struct Params {
+    Duration base_rtt = Millis(80);
+    double rtt_jitter_sigma = 0.3;       // log-normal multiplier spread
+    double transfer_failure_prob = 0.02; // per-transfer hard failure
+    double corruption_prob = 0.001;      // delivered-but-corrupt
+    // Failures waste on average this fraction of the transfer time/bytes.
+    double failure_progress_mean = 0.5;
+  };
+
+  explicit NetworkModel(Params params, std::uint64_t seed)
+      : params_(params), rng_(seed) {}
+
+  // Samples the outcome of transferring `bytes` to/from `device`.
+  TransferOutcome Transfer(const DeviceProfile& device, Direction dir,
+                           std::uint64_t bytes);
+
+  // Connection setup handshake time (used for check-in streams).
+  Duration SampleRtt();
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  Rng rng_;
+};
+
+}  // namespace fl::sim

@@ -1,0 +1,71 @@
+// FL checkpoints: named-tensor bundles exchanged between server and devices.
+//
+// Sec. 2.1: "the server next sends to each participant the current global
+// model parameters and any other necessary state as an FL checkpoint
+// (essentially the serialized state of a TensorFlow session). Each
+// participant ... sends an update in the form of an FL checkpoint back."
+//
+// Wire format (little-endian):
+//   magic "FLCP" | u16 version | varint tensor_count |
+//   per tensor: name | varint rank | dims... | f32 data |
+//   u32 crc32 over everything above.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/tensor/tensor.h"
+
+namespace fl {
+
+class Checkpoint {
+ public:
+  Checkpoint() = default;
+
+  void Put(const std::string& name, Tensor t) {
+    tensors_[name] = std::move(t);
+  }
+
+  bool Contains(const std::string& name) const {
+    return tensors_.count(name) > 0;
+  }
+
+  Result<const Tensor*> Get(const std::string& name) const;
+  Result<Tensor*> GetMutable(const std::string& name);
+
+  std::size_t tensor_count() const { return tensors_.size(); }
+  std::size_t TotalParameters() const;
+  // Order is deterministic (lexicographic by name).
+  const std::map<std::string, Tensor>& tensors() const { return tensors_; }
+
+  // True when both checkpoints hold the same tensor names and shapes.
+  bool CompatibleWith(const Checkpoint& other) const;
+
+  // this += alpha * other; shapes/names must match exactly.
+  Status AddInPlace(const Checkpoint& other, float alpha = 1.0f);
+  void Scale(float alpha);
+
+  // Flattens all tensors (in name order) into one vector — the input shape
+  // Secure Aggregation operates on.
+  std::vector<float> Flatten() const;
+  // Inverse of Flatten, using this checkpoint's names/shapes as the schema.
+  Result<Checkpoint> Unflatten(std::span<const float> flat) const;
+
+  Bytes Serialize() const;
+  static Result<Checkpoint> Deserialize(std::span<const std::uint8_t> data);
+
+  // Byte size when serialized (for traffic accounting, Fig. 9).
+  std::size_t SerializedSize() const;
+
+  friend bool operator==(const Checkpoint& a, const Checkpoint& b) {
+    return a.tensors_ == b.tensors_;
+  }
+
+ private:
+  std::map<std::string, Tensor> tensors_;
+};
+
+}  // namespace fl

@@ -1,0 +1,159 @@
+#include "src/tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace fl {
+
+std::size_t ShapeNumElements(const Shape& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ",";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  FL_CHECK_MSG(data_.size() == ShapeNumElements(shape_),
+               "data size does not match shape " + ShapeToString(shape_));
+}
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::GlorotUniform(Shape shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  const std::size_t fan_in = t.rank() >= 2 ? t.shape()[0] : t.size();
+  const std::size_t fan_out = t.rank() >= 2 ? t.shape()[1] : t.size();
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (float& v : t.data_) {
+    v = static_cast<float>(rng.Uniform(-limit, limit));
+  }
+  return t;
+}
+
+Tensor Tensor::RandomNormal(Shape shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) {
+    v = static_cast<float>(rng.Normal(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor& Tensor::AddInPlace(const Tensor& other, float alpha) {
+  FL_CHECK_MSG(SameShape(other), "AddInPlace shape mismatch: " +
+                                     ShapeToString(shape_) + " vs " +
+                                     ShapeToString(other.shape_));
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+  return *this;
+}
+
+Tensor& Tensor::Scale(float alpha) {
+  for (float& v : data_) v *= alpha;
+  return *this;
+}
+
+void Tensor::Fill(float value) {
+  for (float& v : data_) v = value;
+}
+
+Tensor Tensor::Add(const Tensor& other, float alpha) const {
+  Tensor out = *this;
+  out.AddInPlace(other, alpha);
+  return out;
+}
+
+Tensor Tensor::Scaled(float alpha) const {
+  Tensor out = *this;
+  out.Scale(alpha);
+  return out;
+}
+
+double Tensor::L2Norm() const {
+  double s = 0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return std::sqrt(s);
+}
+
+double Tensor::AbsMax() const {
+  double m = 0;
+  for (float v : data_) m = std::max(m, static_cast<double>(std::fabs(v)));
+  return m;
+}
+
+double Tensor::Sum() const {
+  double s = 0;
+  for (float v : data_) s += v;
+  return s;
+}
+
+Tensor Tensor::MatMul(const Tensor& a, const Tensor& b) {
+  FL_CHECK(a.rank() == 2 && b.rank() == 2);
+  FL_CHECK_MSG(a.shape()[1] == b.shape()[0], "MatMul inner dim mismatch");
+  const std::size_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = a.data_[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = &b.data_[p * n];
+      float* crow = &c.data_[i * n];
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor Tensor::MatMulTransA(const Tensor& a, const Tensor& b) {
+  // C(k,n) = A(m,k)^T * B(m,n)
+  FL_CHECK(a.rank() == 2 && b.rank() == 2);
+  FL_CHECK_MSG(a.shape()[0] == b.shape()[0], "MatMulTransA dim mismatch");
+  const std::size_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
+  Tensor c({k, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = &a.data_[i * k];
+    const float* brow = &b.data_[i * n];
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      float* crow = &c.data_[p * n];
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor Tensor::MatMulTransB(const Tensor& a, const Tensor& b) {
+  // C(m,k) = A(m,n) * B(k,n)^T
+  FL_CHECK(a.rank() == 2 && b.rank() == 2);
+  FL_CHECK_MSG(a.shape()[1] == b.shape()[1], "MatMulTransB dim mismatch");
+  const std::size_t m = a.shape()[0], n = a.shape()[1], k = b.shape()[0];
+  Tensor c({m, k});
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = &a.data_[i * n];
+    for (std::size_t p = 0; p < k; ++p) {
+      const float* brow = &b.data_[p * n];
+      double acc = 0;
+      for (std::size_t j = 0; j < n; ++j) acc += arow[j] * brow[j];
+      c.data_[i * k + p] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+}  // namespace fl

@@ -1,0 +1,100 @@
+// Dense float tensor — the unit of model state exchanged in FL checkpoints.
+//
+// This substitutes for TensorFlow's tensor type (Sec. 2.1: checkpoints are
+// "essentially the serialized state of a TensorFlow session"). Kept
+// deliberately small: dense float32, row-major, rank <= 4 in practice.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace fl {
+
+using Shape = std::vector<std::size_t>;
+
+std::size_t ShapeNumElements(const Shape& shape);
+std::string ShapeToString(const Shape& shape);
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)), data_(ShapeNumElements(shape_), 0.0f) {}
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor Full(Shape shape, float value);
+  static Tensor FromVector(std::vector<float> v) {
+    Shape s{v.size()};
+    return Tensor(std::move(s), std::move(v));
+  }
+  // Glorot/Xavier-uniform initialization for weight matrices.
+  static Tensor GlorotUniform(Shape shape, Rng& rng);
+  static Tensor RandomNormal(Shape shape, Rng& rng, float stddev = 1.0f);
+
+  const Shape& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t size() const { return data_.size(); }
+  std::size_t dim(std::size_t i) const {
+    FL_CHECK(i < shape_.size());
+    return shape_[i];
+  }
+
+  std::span<const float> data() const { return data_; }
+  std::span<float> mutable_data() { return data_; }
+
+  float& at(std::size_t i) {
+    FL_CHECK(i < data_.size());
+    return data_[i];
+  }
+  float at(std::size_t i) const {
+    FL_CHECK(i < data_.size());
+    return data_[i];
+  }
+  // 2-D accessors (row-major).
+  float& at(std::size_t r, std::size_t c) {
+    FL_CHECK(rank() == 2 && r < shape_[0] && c < shape_[1]);
+    return data_[r * shape_[1] + c];
+  }
+  float at(std::size_t r, std::size_t c) const {
+    FL_CHECK(rank() == 2 && r < shape_[0] && c < shape_[1]);
+    return data_[r * shape_[1] + c];
+  }
+
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  // In-place arithmetic (shapes must match).
+  Tensor& AddInPlace(const Tensor& other, float alpha = 1.0f);
+  Tensor& Scale(float alpha);
+  void Fill(float value);
+
+  // Out-of-place helpers.
+  Tensor Add(const Tensor& other, float alpha = 1.0f) const;
+  Tensor Scaled(float alpha) const;
+
+  double L2Norm() const;
+  double AbsMax() const;
+  double Sum() const;
+
+  // C = A(m,k) * B(k,n). Shapes checked.
+  static Tensor MatMul(const Tensor& a, const Tensor& b);
+  // C += A^T * B and C += A * B^T variants used by backprop.
+  static Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+  static Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+
+  friend bool operator==(const Tensor& a, const Tensor& b) {
+    return a.shape_ == b.shape_ && a.data_ == b.data_;
+  }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace fl

@@ -1,0 +1,155 @@
+#include "src/tools/deployment_gate.h"
+
+#include <cmath>
+
+namespace fl::tools {
+namespace {
+
+// One release-test run: execute the plan on the proxy data under the given
+// runtime version and collect before/after losses.
+Result<TestRunContext> RunOnce(const plan::FLPlan& plan,
+                               const Checkpoint& init_params,
+                               std::span<const data::Example> proxy,
+                               std::uint32_t runtime_version, Rng& rng) {
+  TestRunContext ctx;
+  ctx.runtime_version = runtime_version;
+  ctx.examples = proxy.size();
+
+  FL_ASSIGN_OR_RETURN(
+      fedavg::ClientMetrics before,
+      fedavg::RunClientEvaluation(plan.device, init_params, proxy,
+                                  runtime_version));
+  ctx.loss_before = before.mean_loss;
+
+  if (plan.device.kind == plan::TaskKind::kTraining) {
+    Rng shuffle = rng.Fork();
+    FL_ASSIGN_OR_RETURN(
+        fedavg::ClientUpdateResult update,
+        fedavg::RunClientUpdate(plan.device, init_params, proxy,
+                                runtime_version, shuffle));
+    // Apply the single-client update exactly as the server would.
+    Checkpoint after = init_params;
+    Checkpoint delta = update.weighted_delta;
+    delta.Scale(1.0f / update.weight);
+    FL_RETURN_IF_ERROR(after.AddInPlace(delta));
+    FL_ASSIGN_OR_RETURN(
+        fedavg::ClientMetrics post,
+        fedavg::RunClientEvaluation(plan.device, after, proxy,
+                                    runtime_version));
+    ctx.loss_after = post.mean_loss;
+    ctx.accuracy_after = post.mean_accuracy;
+  } else {
+    ctx.loss_after = before.mean_loss;
+    ctx.accuracy_after = before.mean_accuracy;
+  }
+  return ctx;
+}
+
+}  // namespace
+
+DeploymentReport RunDeploymentGate(const DeploymentCandidate& candidate,
+                                   std::uint32_t oldest_supported_version,
+                                   Rng& rng) {
+  DeploymentReport report;
+
+  // Gate 1: auditable, peer-reviewed code.
+  if (!candidate.code_reviewed) {
+    report.failures.push_back("plan was not built from peer-reviewed code");
+  }
+  if (candidate.tests.empty()) {
+    report.failures.push_back("no bundled test predicates");
+  }
+  if (candidate.proxy_data.empty()) {
+    report.failures.push_back("no proxy data for simulation tests");
+  }
+
+  // Gate 3: resource envelope.
+  report.resources =
+      plan::EstimateResources(candidate.plan, candidate.init_params);
+  if (const Status s =
+          plan::CheckWithinLimits(report.resources, candidate.limits);
+      !s.ok()) {
+    report.failures.push_back(s.ToString());
+  }
+
+  // Versioned plan generation.
+  auto plans = plan::VersionedPlanSet::Generate(candidate.plan,
+                                                oldest_supported_version);
+  if (!plans.ok()) {
+    report.failures.push_back("versioning failed: " +
+                              plans.status().ToString());
+    return report;
+  }
+
+  // Gates 2 + 4: bundled tests must pass on every claimed runtime version,
+  // against the exact plan that version would be served.
+  if (!candidate.proxy_data.empty()) {
+    for (const auto& [version, versioned_plan] : plans->plans()) {
+      auto ctx = RunOnce(versioned_plan, candidate.init_params,
+                         candidate.proxy_data, version, rng);
+      if (!ctx.ok()) {
+        report.failures.push_back("release test run failed on runtime v" +
+                                  std::to_string(version) + ": " +
+                                  ctx.status().ToString());
+        continue;
+      }
+      report.loss_by_version[version] = ctx->loss_after;
+      for (std::size_t i = 0; i < candidate.tests.size(); ++i) {
+        if (const Status s = candidate.tests[i](*ctx); !s.ok()) {
+          report.failures.push_back(
+              "test predicate #" + std::to_string(i) + " failed on v" +
+              std::to_string(version) + ": " + s.ToString());
+        }
+      }
+    }
+    // Semantic equivalence across versions: losses must agree closely
+    // (lowered ops are approximations; release tests bound the drift).
+    if (report.loss_by_version.size() > 1) {
+      const double base = report.loss_by_version.begin()->second;
+      for (const auto& [version, loss] : report.loss_by_version) {
+        if (std::fabs(loss - base) >
+            0.05 * std::max(1.0, std::fabs(base))) {
+          report.failures.push_back(
+              "versioned plan v" + std::to_string(version) +
+              " diverges from baseline loss (" + std::to_string(loss) +
+              " vs " + std::to_string(base) + ")");
+        }
+      }
+    }
+  }
+
+  report.accepted = report.failures.empty();
+  if (report.accepted) {
+    report.versioned_plans = std::move(plans).value();
+  }
+  return report;
+}
+
+TestPredicate LossDecreases() {
+  return [](const TestRunContext& ctx) -> Status {
+    if (ctx.loss_after < ctx.loss_before) return Status::Ok();
+    return FailedPreconditionError(
+        "loss did not decrease: " + std::to_string(ctx.loss_before) + " -> " +
+        std::to_string(ctx.loss_after));
+  };
+}
+
+TestPredicate LossFinite() {
+  return [](const TestRunContext& ctx) -> Status {
+    if (std::isfinite(ctx.loss_after) && std::isfinite(ctx.loss_before)) {
+      return Status::Ok();
+    }
+    return FailedPreconditionError("non-finite loss");
+  };
+}
+
+TestPredicate AccuracyAtLeast(double min_accuracy) {
+  return [min_accuracy](const TestRunContext& ctx) -> Status {
+    if (ctx.accuracy_after >= min_accuracy) return Status::Ok();
+    return FailedPreconditionError(
+        "accuracy " + std::to_string(ctx.accuracy_after) + " below " +
+        std::to_string(min_accuracy));
+  };
+}
+
+}  // namespace fl::tools

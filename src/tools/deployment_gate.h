@@ -1,0 +1,69 @@
+// Versioning, testing, and deployment gate (Sec. 7.3):
+//
+// "An FL task that has been translated into an FL plan is not accepted by
+// the server for deployment unless certain conditions are met. First, it
+// must have been built from auditable, peer reviewed code. Second, it must
+// have bundled test predicates for each FL task that pass in simulation.
+// Third, the resources consumed during testing must be within a safe range
+// of expected resources for the target population. And finally, the FL task
+// tests must pass on every version of the TensorFlow runtime that the FL
+// task claims to support."
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/data/example.h"
+#include "src/fedavg/client_update.h"
+#include "src/plan/resources.h"
+#include "src/plan/versioning.h"
+
+namespace fl::tools {
+
+// What a bundled test predicate gets to inspect: the result of running the
+// plan once, in simulation, on the engineer's proxy data.
+struct TestRunContext {
+  std::uint32_t runtime_version = 0;
+  double loss_before = 0;
+  double loss_after = 0;
+  double accuracy_after = 0;
+  std::size_t examples = 0;
+};
+
+using TestPredicate = std::function<Status(const TestRunContext&)>;
+
+// A candidate deployment: plan + initial model + tests + proxy data.
+struct DeploymentCandidate {
+  plan::FLPlan plan;
+  Checkpoint init_params;
+  std::vector<data::Example> proxy_data;  // Sec. 7.1: proxy, never user data
+  std::vector<TestPredicate> tests;
+  bool code_reviewed = false;
+  plan::ResourceLimits limits;
+};
+
+struct DeploymentReport {
+  bool accepted = false;
+  std::vector<std::string> failures;
+  plan::ResourceEstimate resources;
+  // Per-runtime-version losses from the release test runs (equal plans must
+  // behave equivalently: "versioned and unversioned plans must pass the
+  // same release tests").
+  std::map<std::uint32_t, double> loss_by_version;
+  plan::VersionedPlanSet versioned_plans;  // only valid when accepted
+};
+
+// Runs the full gate; on success the returned report carries the versioned
+// plan set ready to serve.
+DeploymentReport RunDeploymentGate(const DeploymentCandidate& candidate,
+                                   std::uint32_t oldest_supported_version,
+                                   Rng& rng);
+
+// Canonical predicates engineers attach.
+TestPredicate LossDecreases();
+TestPredicate LossFinite();
+TestPredicate AccuracyAtLeast(double min_accuracy);
+
+}  // namespace fl::tools

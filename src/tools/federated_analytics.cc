@@ -1,0 +1,139 @@
+#include "src/tools/federated_analytics.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/secagg/client.h"
+#include "src/secagg/server.h"
+
+namespace fl::tools {
+namespace {
+
+crypto::Key256 KeyFrom(Rng& rng) {
+  crypto::Key256 k;
+  for (auto& b : k) b = static_cast<std::uint8_t>(rng.Next());
+  return k;
+}
+
+// Runs one SecAgg instance over `members` histograms; drop-outs happen
+// between ShareKeys and Commit. Returns the group sum (empty on abort).
+Result<std::vector<std::uint32_t>> SecureGroupSum(
+    const std::vector<const std::vector<std::uint32_t>*>& members,
+    std::size_t buckets, double threshold_fraction, double dropout_rate,
+    Rng& rng, std::size_t* contributing) {
+  const std::size_t n = members.size();
+  const std::size_t threshold = std::max<std::size_t>(
+      2, static_cast<std::size_t>(threshold_fraction * n + 0.999));
+
+  std::vector<secagg::SecAggClient> clients;
+  clients.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    clients.emplace_back(static_cast<secagg::ParticipantIndex>(i + 1),
+                         threshold, buckets, KeyFrom(rng));
+  }
+  secagg::SecAggServer server(threshold, buckets);
+
+  for (auto& c : clients) {
+    FL_RETURN_IF_ERROR(server.CollectAdvertisement(c.AdvertiseKeys()));
+  }
+  FL_ASSIGN_OR_RETURN(secagg::KeyDirectory directory,
+                      server.FinishAdvertising());
+  for (auto& c : clients) {
+    FL_ASSIGN_OR_RETURN(secagg::ShareKeysMessage msg,
+                        c.ShareKeys(directory));
+    FL_RETURN_IF_ERROR(server.CollectShares(msg));
+  }
+  FL_ASSIGN_OR_RETURN(std::vector<secagg::ParticipantIndex> u1,
+                      server.FinishSharing());
+
+  std::vector<bool> dropped(n, false);
+  std::size_t survivors = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    dropped[i] = rng.Bernoulli(dropout_rate);
+    if (!dropped[i]) ++survivors;
+  }
+  // Keep the protocol viable: force enough survivors.
+  for (std::size_t i = 0; i < n && survivors < threshold + 1; ++i) {
+    if (dropped[i]) {
+      dropped[i] = false;
+      ++survivors;
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dropped[i]) continue;
+    for (const secagg::EncryptedShare& s :
+         server.SharesFor(static_cast<secagg::ParticipantIndex>(i + 1))) {
+      clients[i].ReceiveShare(s);
+    }
+    FL_ASSIGN_OR_RETURN(secagg::MaskedInput masked,
+                        clients[i].MaskInput(*members[i], u1));
+    FL_RETURN_IF_ERROR(server.CollectMaskedInput(masked));
+  }
+  FL_ASSIGN_OR_RETURN(secagg::UnmaskingRequest request,
+                      server.FinishCommit());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dropped[i]) continue;
+    FL_ASSIGN_OR_RETURN(secagg::UnmaskingResponse resp,
+                        clients[i].Unmask(request));
+    FL_RETURN_IF_ERROR(server.CollectUnmaskingResponse(resp));
+  }
+  *contributing += server.committed().size();
+  return server.Finalize();
+}
+
+}  // namespace
+
+Result<HistogramResult> RunFederatedHistogram(
+    const std::vector<std::vector<std::uint32_t>>& client_histograms,
+    const HistogramQueryConfig& config) {
+  if (client_histograms.empty()) {
+    return InvalidArgumentError("no client histograms");
+  }
+  for (const auto& h : client_histograms) {
+    if (h.size() != config.buckets) {
+      return InvalidArgumentError("client histogram width mismatch");
+    }
+  }
+  Rng rng(config.seed);
+  HistogramResult result;
+  result.counts.assign(config.buckets, 0);
+
+  if (!config.secure) {
+    for (const auto& h : client_histograms) {
+      if (rng.Bernoulli(config.dropout_rate)) continue;
+      for (std::size_t b = 0; b < config.buckets; ++b) {
+        result.counts[b] += h[b];
+      }
+      ++result.clients_contributing;
+    }
+    return result;
+  }
+
+  // Secure path: SecAgg per group of >= 3 clients.
+  const std::size_t group = std::max<std::size_t>(3, config.group_size);
+  for (std::size_t start = 0; start < client_histograms.size();
+       start += group) {
+    const std::size_t end =
+        std::min(client_histograms.size(), start + group);
+    if (end - start < 3) break;  // leftover too small for a secure group
+    std::vector<const std::vector<std::uint32_t>*> members;
+    for (std::size_t i = start; i < end; ++i) {
+      members.push_back(&client_histograms[i]);
+    }
+    auto sum = SecureGroupSum(members, config.buckets,
+                              config.threshold_fraction, config.dropout_rate,
+                              rng, &result.clients_contributing);
+    if (!sum.ok()) continue;  // a failed group contributes nothing
+    ++result.groups;
+    for (std::size_t b = 0; b < config.buckets; ++b) {
+      result.counts[b] += (*sum)[b];
+    }
+  }
+  if (result.groups == 0) {
+    return AbortedError("every secure aggregation group failed");
+  }
+  return result;
+}
+
+}  // namespace fl::tools

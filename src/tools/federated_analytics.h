@@ -1,0 +1,63 @@
+// Federated Analytics — the Sec. 11 "Federated Computation" direction,
+// implemented: "We aim to generalize our system from Federated Learning to
+// Federated Computation ... One application area we are seeing is in
+// Federated Analytics, which would allow us to monitor aggregate device
+// statistics without logging raw device data to the cloud."
+//
+// A federated histogram query: every client reduces its local data to a
+// fixed-width count vector; the server learns only the (optionally
+// securely-aggregated) sum. No ML anywhere — which is the point the paper
+// makes: "this paper contains no explicit mentioning of any ML logic".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace fl::tools {
+
+struct HistogramQueryConfig {
+  std::size_t buckets = 16;
+  // When true, client vectors are summed under Secure Aggregation in groups
+  // (Sec. 6), so no individual histogram is ever visible to the server.
+  bool secure = true;
+  std::size_t group_size = 32;        // SecAgg group (>= k of Sec. 6)
+  double threshold_fraction = 0.66;   // Shamir threshold within a group
+  // Fraction of clients that drop out mid-protocol (simulated unreliability;
+  // secure groups recover, insecure sums simply miss them).
+  double dropout_rate = 0.0;
+  std::uint64_t seed = 1;
+};
+
+struct HistogramResult {
+  std::vector<std::uint64_t> counts;     // per-bucket totals
+  std::size_t clients_contributing = 0;  // clients included in the sum
+  std::size_t groups = 0;                // SecAgg instances run
+};
+
+// Runs the query over the given per-client histograms (each already reduced
+// on-device). With `secure`, each group of clients runs the full four-round
+// SecAgg protocol and only group sums reach the aggregate — mirroring the
+// per-Aggregator grouping of Sec. 6.
+Result<HistogramResult> RunFederatedHistogram(
+    const std::vector<std::vector<std::uint32_t>>& client_histograms,
+    const HistogramQueryConfig& config);
+
+// Convenience: build per-client histograms by bucketing a value extracted
+// from each client's records.
+template <typename Record>
+std::vector<std::uint32_t> Bucketize(
+    const std::vector<Record>& records, std::size_t buckets,
+    const std::function<std::size_t(const Record&)>& bucket_of) {
+  std::vector<std::uint32_t> hist(buckets, 0);
+  for (const Record& r : records) {
+    const std::size_t b = bucket_of(r);
+    if (b < buckets) ++hist[b];
+  }
+  return hist;
+}
+
+}  // namespace fl::tools

@@ -1,0 +1,110 @@
+#include "src/tools/simulation_runner.h"
+
+#include <algorithm>
+
+namespace fl::tools {
+
+Result<SimulationResult> RunFedAvgSimulation(
+    const plan::FLPlan& plan, const Checkpoint& init,
+    const std::vector<std::vector<data::Example>>& client_data,
+    std::span<const data::Example> eval_data,
+    const SimulationConfig& config) {
+  if (client_data.empty()) {
+    return InvalidArgumentError("no client data");
+  }
+  Rng rng(config.seed);
+  SimulationResult result;
+  Checkpoint global = init;
+  const std::uint32_t runtime = plan.min_runtime_version;
+
+  for (std::size_t round = 1; round <= config.rounds; ++round) {
+    fedavg::FedAvgAccumulator acc(plan.server.aggregation, global);
+    // Select 1.3K, keep the first K survivors (Algorithm 1's header).
+    const std::size_t want = config.clients_per_round;
+    std::size_t got = 0;
+    double train_loss = 0;
+    for (std::size_t attempts = 0;
+         got < want && attempts < want * 4; ++attempts) {
+      const std::size_t c = rng.UniformInt(client_data.size());
+      if (client_data[c].empty()) continue;
+      if (rng.Bernoulli(config.client_failure_rate)) continue;  // drop-out
+      Rng shuffle = rng.Fork();
+      auto update = fedavg::RunClientUpdate(plan.device, global,
+                                            client_data[c], runtime, shuffle);
+      if (!update.ok()) continue;
+      train_loss += update->metrics.mean_loss;
+      FL_RETURN_IF_ERROR(acc.Accumulate(std::move(update->weighted_delta),
+                                        update->weight, update->metrics));
+      ++got;
+    }
+    if (got == 0) {
+      return AbortedError("round " + std::to_string(round) +
+                          ": no client produced an update");
+    }
+    FL_ASSIGN_OR_RETURN(global, acc.Finalize(global));
+
+    RoundPoint point;
+    point.round = round;
+    point.train_loss = train_loss / static_cast<double>(got);
+    if (config.eval_every > 0 && round % config.eval_every == 0 &&
+        !eval_data.empty()) {
+      FL_ASSIGN_OR_RETURN(
+          fedavg::ClientMetrics eval,
+          fedavg::RunClientEvaluation(plan.device, global, eval_data,
+                                      runtime));
+      point.eval_loss = eval.mean_loss;
+      point.eval_accuracy = eval.mean_accuracy;
+      point.has_eval = true;
+    }
+    result.trajectory.push_back(point);
+    result.rounds_run = round;
+  }
+  result.final_model = std::move(global);
+  return result;
+}
+
+Result<SimulationResult> RunCentralizedBaseline(
+    const plan::FLPlan& plan, const Checkpoint& init,
+    std::span<const data::Example> train_data,
+    std::span<const data::Example> eval_data, std::size_t epochs,
+    const SimulationConfig& config) {
+  if (train_data.empty()) return InvalidArgumentError("no training data");
+  Rng rng(config.seed ^ 0xba5e11e5ULL);
+  SimulationResult result;
+  Checkpoint global = init;
+  const std::uint32_t runtime = plan.min_runtime_version;
+
+  // One "epoch" of centralized SGD == one ClientUpdate over all the data
+  // with epochs=1 (identical code path as devices, Sec. 7.1).
+  plan::DevicePlan device = plan.device;
+  device.epochs = 1;
+
+  for (std::size_t epoch = 1; epoch <= epochs; ++epoch) {
+    Rng shuffle = rng.Fork();
+    auto update = fedavg::RunClientUpdate(device, global, train_data,
+                                          runtime, shuffle);
+    if (!update.ok()) return update.status();
+    Checkpoint delta = std::move(update->weighted_delta);
+    delta.Scale(1.0f / update->weight);
+    FL_RETURN_IF_ERROR(global.AddInPlace(delta));
+
+    RoundPoint point;
+    point.round = epoch;
+    point.train_loss = update->metrics.mean_loss;
+    if (config.eval_every > 0 && epoch % config.eval_every == 0 &&
+        !eval_data.empty()) {
+      FL_ASSIGN_OR_RETURN(
+          fedavg::ClientMetrics eval,
+          fedavg::RunClientEvaluation(device, global, eval_data, runtime));
+      point.eval_loss = eval.mean_loss;
+      point.eval_accuracy = eval.mean_accuracy;
+      point.has_eval = true;
+    }
+    result.trajectory.push_back(point);
+    result.rounds_run = epoch;
+  }
+  result.final_model = std::move(global);
+  return result;
+}
+
+}  // namespace fl::tools

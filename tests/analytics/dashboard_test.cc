@@ -1,0 +1,78 @@
+#include "src/analytics/dashboard.h"
+
+#include <gtest/gtest.h>
+
+namespace fl::analytics {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t({"Name", "Count"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"beta-long-name", "20000"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("| Name"), std::string::npos);
+  EXPECT_NE(out.find("beta-long-name"), std::string::npos);
+  // Every line same width.
+  std::size_t width = 0;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t eol = out.find('\n', pos);
+    if (eol == std::string::npos) break;
+    if (width == 0) width = eol - pos;
+    EXPECT_EQ(eol - pos, width);
+    pos = eol + 1;
+  }
+}
+
+TEST(TextTableTest, NumFormatsDoubles) {
+  EXPECT_EQ(TextTable::Num(3.14159), "3.14");
+  EXPECT_EQ(TextTable::Num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::Num(1.5e9), "1.5e+09");
+}
+
+TEST(SeriesChartTest, RendersAllSeries) {
+  TimeSeries a(SimTime{0}, Minutes(10));
+  TimeSeries b(SimTime{0}, Minutes(10));
+  for (int i = 0; i < 60; ++i) {
+    a.Add(SimTime{Minutes(i).millis}, 1.0);
+    b.Add(SimTime{Minutes(i).millis}, i < 30 ? 0.0 : 5.0);
+  }
+  const std::string out = RenderSeriesChart(
+      {{"series-a", &a, false}, {"series-b", &b, false}}, 40);
+  EXPECT_NE(out.find("series-a"), std::string::npos);
+  EXPECT_NE(out.find("series-b"), std::string::npos);
+  EXPECT_NE(out.find("bucket="), std::string::npos);
+}
+
+TEST(SeriesChartTest, EmptySeriesSafe) {
+  TimeSeries a(SimTime{0}, Minutes(10));
+  const std::string out = RenderSeriesChart({{"empty", &a, false}});
+  EXPECT_EQ(out, "(no data)\n");
+}
+
+TEST(SessionShapeTableTest, MatchesTallyRanking) {
+  SessionShapeTally tally;
+  for (int i = 0; i < 70; ++i) tally.RecordShape("-v[]+^");
+  for (int i = 0; i < 30; ++i) tally.RecordShape("-v[!");
+  const std::string out = RenderSessionShapeTable(tally);
+  EXPECT_NE(out.find("-v[]+^"), std::string::npos);
+  EXPECT_NE(out.find("70%"), std::string::npos);
+  EXPECT_NE(out.find("30%"), std::string::npos);
+}
+
+TEST(SessionShapeTableTest, MaxRowsLimits) {
+  SessionShapeTally tally;
+  for (int i = 0; i < 20; ++i) {
+    tally.RecordShape("shape-" + std::to_string(i));
+  }
+  const std::string out = RenderSessionShapeTable(tally, 3);
+  int rows = 0;
+  for (char c : out) {
+    if (c == '\n') ++rows;
+  }
+  // 3 data rows + header + 3 separators.
+  EXPECT_LE(rows, 8);
+}
+
+}  // namespace
+}  // namespace fl::analytics

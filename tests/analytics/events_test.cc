@@ -1,0 +1,82 @@
+#include "src/analytics/events.h"
+
+#include <gtest/gtest.h>
+
+namespace fl::analytics {
+namespace {
+
+TEST(SessionEventTest, GlyphsMatchTableOneLegend) {
+  EXPECT_EQ(SessionEventGlyph(SessionEvent::kCheckin), '-');
+  EXPECT_EQ(SessionEventGlyph(SessionEvent::kDownloadedPlan), 'v');
+  EXPECT_EQ(SessionEventGlyph(SessionEvent::kTrainingStarted), '[');
+  EXPECT_EQ(SessionEventGlyph(SessionEvent::kTrainingCompleted), ']');
+  EXPECT_EQ(SessionEventGlyph(SessionEvent::kUploadStarted), '+');
+  EXPECT_EQ(SessionEventGlyph(SessionEvent::kUploadCompleted), '^');
+  EXPECT_EQ(SessionEventGlyph(SessionEvent::kUploadRejected), '#');
+  EXPECT_EQ(SessionEventGlyph(SessionEvent::kInterrupted), '!');
+  EXPECT_EQ(SessionEventGlyph(SessionEvent::kError), '*');
+}
+
+TEST(SessionTraceTest, ShapeForSuccessfulSession) {
+  SessionTrace t;
+  t.events = {SessionEvent::kCheckin,          SessionEvent::kDownloadedPlan,
+              SessionEvent::kTrainingStarted,  SessionEvent::kTrainingCompleted,
+              SessionEvent::kUploadStarted,    SessionEvent::kUploadCompleted};
+  EXPECT_EQ(t.Shape(), "-v[]+^");
+}
+
+TEST(SessionTraceTest, PaperExampleShapes) {
+  // Sec. 5: "-v[]+*" = trained but upload failed; "-v[*" = model issue.
+  SessionTrace upload_failed;
+  upload_failed.events = {
+      SessionEvent::kCheckin,         SessionEvent::kDownloadedPlan,
+      SessionEvent::kTrainingStarted, SessionEvent::kTrainingCompleted,
+      SessionEvent::kUploadStarted,   SessionEvent::kError};
+  EXPECT_EQ(upload_failed.Shape(), "-v[]+*");
+
+  SessionTrace model_issue;
+  model_issue.events = {SessionEvent::kCheckin, SessionEvent::kDownloadedPlan,
+                        SessionEvent::kTrainingStarted, SessionEvent::kError};
+  EXPECT_EQ(model_issue.Shape(), "-v[*");
+}
+
+TEST(SessionShapeTallyTest, CountsAndFractions) {
+  SessionShapeTally tally;
+  for (int i = 0; i < 75; ++i) tally.RecordShape("-v[]+^");
+  for (int i = 0; i < 22; ++i) tally.RecordShape("-v[]+#");
+  for (int i = 0; i < 3; ++i) tally.RecordShape("-v[!");
+  EXPECT_EQ(tally.total(), 100u);
+  EXPECT_NEAR(tally.Fraction("-v[]+^"), 0.75, 1e-9);
+  EXPECT_NEAR(tally.Fraction("-v[]+#"), 0.22, 1e-9);
+  EXPECT_NEAR(tally.Fraction("unknown"), 0.0, 1e-9);
+}
+
+TEST(SessionShapeTallyTest, RankedOrdersByFrequency) {
+  SessionShapeTally tally;
+  tally.RecordShape("-v[!");
+  for (int i = 0; i < 5; ++i) tally.RecordShape("-v[]+^");
+  for (int i = 0; i < 3; ++i) tally.RecordShape("-v[]+#");
+  const auto ranked = tally.Ranked();
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].first, "-v[]+^");
+  EXPECT_EQ(ranked[1].first, "-v[]+#");
+  EXPECT_EQ(ranked[2].first, "-v[!");
+}
+
+TEST(SessionShapeTallyTest, RecordFromTrace) {
+  SessionShapeTally tally;
+  SessionTrace t;
+  t.events = {SessionEvent::kCheckin, SessionEvent::kInterrupted};
+  tally.Record(t);
+  EXPECT_NEAR(tally.Fraction("-!"), 1.0, 1e-9);
+}
+
+TEST(DeviceStateTest, NamesForFigSixStates) {
+  EXPECT_STREQ(DeviceStateName(DeviceState::kParticipating), "participating");
+  EXPECT_STREQ(DeviceStateName(DeviceState::kWaiting), "waiting");
+  EXPECT_STREQ(DeviceStateName(DeviceState::kAttesting), "attesting");
+  EXPECT_STREQ(DeviceStateName(DeviceState::kClosing), "closing");
+}
+
+}  // namespace
+}  // namespace fl::analytics

@@ -1,0 +1,69 @@
+#include "src/analytics/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace fl::analytics {
+namespace {
+
+TEST(DeviationMonitorTest, QuietDuringWarmup) {
+  DeviationMonitor m("drop_rate", {});
+  EXPECT_FALSE(m.Observe(SimTime{0}, 1e9));  // wild but unarmed
+  EXPECT_TRUE(m.alerts().empty());
+}
+
+TEST(DeviationMonitorTest, AlertsOnSpikeAfterBaseline) {
+  DeviationMonitor::Params params;
+  params.warmup = 10;
+  params.sigma_threshold = 4.0;
+  DeviationMonitor m("drop_rate", params);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(m.Observe(SimTime{i}, 0.08 + rng.Normal(0, 0.005)));
+  }
+  // Sec. 5's incident: "drop out rates ... much higher than expected".
+  EXPECT_TRUE(m.Observe(SimTime{100}, 0.40));
+  ASSERT_EQ(m.alerts().size(), 1u);
+  EXPECT_EQ(m.alerts()[0].metric, "drop_rate");
+  EXPECT_NEAR(m.alerts()[0].observed, 0.40, 1e-9);
+}
+
+TEST(DeviationMonitorTest, NoAlertWithinNormalVariation) {
+  DeviationMonitor::Params params;
+  params.warmup = 10;
+  DeviationMonitor m("m", params);
+  Rng rng(2);
+  int alerts = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (m.Observe(SimTime{i}, rng.Normal(10.0, 1.0))) ++alerts;
+  }
+  EXPECT_LE(alerts, 2);  // 4-sigma threshold: very rare false positives
+}
+
+TEST(DeviationMonitorTest, AdaptsToSlowDrift) {
+  // A slow diurnal drift should NOT alert (the rolling window tracks it).
+  DeviationMonitor::Params params;
+  params.warmup = 10;
+  params.window = 24;
+  DeviationMonitor m("m", params);
+  Rng rng(3);
+  int alerts = 0;
+  for (int i = 0; i < 500; ++i) {
+    const double base = 10.0 + 5.0 * std::sin(i * 0.05);
+    if (m.Observe(SimTime{i}, base + rng.Normal(0, 0.5))) ++alerts;
+  }
+  EXPECT_LE(alerts, 5);
+}
+
+TEST(ThresholdMonitorTest, AlertsAboveCeiling) {
+  ThresholdMonitor m("dropout", 0.15);
+  EXPECT_FALSE(m.Observe(SimTime{1}, 0.10));
+  EXPECT_FALSE(m.Observe(SimTime{2}, 0.15));
+  EXPECT_TRUE(m.Observe(SimTime{3}, 0.30));
+  ASSERT_EQ(m.alerts().size(), 1u);
+  EXPECT_EQ(m.alerts()[0].time.millis, 3);
+}
+
+}  // namespace
+}  // namespace fl::analytics

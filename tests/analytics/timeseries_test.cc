@@ -1,0 +1,84 @@
+#include "src/analytics/timeseries.h"
+
+#include <gtest/gtest.h>
+
+namespace fl::analytics {
+namespace {
+
+TEST(TimeSeriesTest, BucketsByTime) {
+  TimeSeries ts(SimTime{0}, Minutes(10));
+  ts.Add(SimTime{Minutes(1).millis}, 2.0);
+  ts.Add(SimTime{Minutes(5).millis}, 3.0);
+  ts.Add(SimTime{Minutes(15).millis}, 7.0);
+  EXPECT_EQ(ts.bucket_count(), 2u);
+  EXPECT_DOUBLE_EQ(ts.Sum(0), 5.0);
+  EXPECT_DOUBLE_EQ(ts.Sum(1), 7.0);
+  EXPECT_EQ(ts.Count(0), 2u);
+  EXPECT_DOUBLE_EQ(ts.Mean(0), 2.5);
+}
+
+TEST(TimeSeriesTest, BeforeWindowIgnored) {
+  TimeSeries ts(SimTime{Minutes(10).millis}, Minutes(10));
+  ts.Add(SimTime{0}, 1.0);
+  EXPECT_EQ(ts.bucket_count(), 0u);
+}
+
+TEST(TimeSeriesTest, OutOfRangeBucketReadsAreZero) {
+  TimeSeries ts(SimTime{0}, Minutes(1));
+  EXPECT_DOUBLE_EQ(ts.Sum(7), 0.0);
+  EXPECT_EQ(ts.Count(7), 0u);
+  EXPECT_DOUBLE_EQ(ts.Mean(7), 0.0);
+}
+
+TEST(TimeSeriesTest, RatePerHour) {
+  TimeSeries ts(SimTime{0}, Minutes(30));
+  for (int i = 0; i < 10; ++i) {
+    ts.Add(SimTime{Minutes(5).millis});
+  }
+  // 10 events in a 30-min bucket = 20/hour.
+  EXPECT_DOUBLE_EQ(ts.RatePerHour(0), 20.0);
+}
+
+TEST(TimeSeriesTest, BucketStartTimes) {
+  TimeSeries ts(SimTime{1000}, Seconds(10));
+  EXPECT_EQ(ts.BucketStart(0).millis, 1000);
+  EXPECT_EQ(ts.BucketStart(3).millis, 31000);
+}
+
+TEST(HistogramTest, PercentilesOfUniformFill) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.Add(i + 0.5);
+  EXPECT_NEAR(h.Percentile(50), 50.0, 2.0);
+  EXPECT_NEAR(h.Percentile(90), 90.0, 2.0);
+  EXPECT_NEAR(h.Percentile(10), 10.0, 2.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.0);
+}
+
+TEST(HistogramTest, OverflowAndUnderflowTracked) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(-5.0);
+  h.Add(50.0);
+  h.Add(5.0);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_LE(h.Percentile(1), 0.1);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 10.0);
+}
+
+TEST(HistogramTest, EmptyHistogramSafe) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_TRUE(h.Render().empty());
+}
+
+TEST(HistogramTest, RenderShowsDensity) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.Add(5.0);
+  const std::string art = h.Render(10);
+  EXPECT_FALSE(art.empty());
+  // The hot bucket renders as the densest glyph.
+  EXPECT_NE(art.find('@'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fl::analytics

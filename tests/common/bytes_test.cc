@@ -1,0 +1,110 @@
+#include "src/common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace fl {
+namespace {
+
+TEST(BytesTest, PrimitiveRoundTrip) {
+  BytesWriter w;
+  w.WriteU8(0xAB);
+  w.WriteU16(0xBEEF);
+  w.WriteU32(0xDEADBEEF);
+  w.WriteU64(0x0123456789ABCDEFULL);
+  w.WriteI32(-17);
+  w.WriteI64(-1234567890123LL);
+  w.WriteF32(3.5f);
+  w.WriteF64(-2.25);
+
+  BytesReader r(w.bytes());
+  EXPECT_EQ(*r.ReadU8(), 0xAB);
+  EXPECT_EQ(*r.ReadU16(), 0xBEEF);
+  EXPECT_EQ(*r.ReadU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*r.ReadU64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(*r.ReadI32(), -17);
+  EXPECT_EQ(*r.ReadI64(), -1234567890123LL);
+  EXPECT_EQ(*r.ReadF32(), 3.5f);
+  EXPECT_EQ(*r.ReadF64(), -2.25);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, VarintRoundTripBoundaries) {
+  const std::uint64_t cases[] = {0,    1,    127,  128,   16383, 16384,
+                                 1u << 20, 1ull << 35, ~0ull};
+  for (std::uint64_t v : cases) {
+    BytesWriter w;
+    w.WriteVarint(v);
+    BytesReader r(w.bytes());
+    EXPECT_EQ(*r.ReadVarint(), v) << v;
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(BytesTest, StringAndBlobRoundTrip) {
+  BytesWriter w;
+  w.WriteString("hello fl");
+  w.WriteString("");
+  w.WriteBytes(Bytes{1, 2, 3});
+  BytesReader r(w.bytes());
+  EXPECT_EQ(*r.ReadString(), "hello fl");
+  EXPECT_EQ(*r.ReadString(), "");
+  EXPECT_EQ(*r.ReadBytes(), (Bytes{1, 2, 3}));
+}
+
+TEST(BytesTest, F32SpanRoundTrip) {
+  const std::vector<float> v{1.0f, -2.5f, 0.0f, 1e-9f};
+  BytesWriter w;
+  w.WriteF32Span(v);
+  BytesReader r(w.bytes());
+  EXPECT_EQ(*r.ReadF32Vector(), v);
+}
+
+TEST(BytesTest, TruncatedReadsFailCleanly) {
+  BytesWriter w;
+  w.WriteU32(42);
+  BytesReader r(std::span<const std::uint8_t>(w.bytes().data(), 2));
+  const auto result = r.ReadU32();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kDataLoss);
+}
+
+TEST(BytesTest, TruncatedStringDeclaredLongerThanBuffer) {
+  BytesWriter w;
+  w.WriteVarint(100);  // declares 100 bytes, provides none
+  BytesReader r(w.bytes());
+  EXPECT_EQ(r.ReadString().status().code(), ErrorCode::kDataLoss);
+}
+
+TEST(BytesTest, TruncatedVarint) {
+  const Bytes bad{0x80, 0x80};  // continuation bits with no terminator
+  BytesReader r(bad);
+  EXPECT_EQ(r.ReadVarint().status().code(), ErrorCode::kDataLoss);
+}
+
+TEST(BytesTest, VarintOverflowRejected) {
+  const Bytes bad{0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                  0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01};
+  BytesReader r(bad);
+  EXPECT_EQ(r.ReadVarint().status().code(), ErrorCode::kDataLoss);
+}
+
+TEST(BytesTest, PositionAndRemainingTrackProgress) {
+  BytesWriter w;
+  w.WriteU32(1);
+  w.WriteU32(2);
+  BytesReader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 8u);
+  ASSERT_TRUE(r.ReadU32().ok());
+  EXPECT_EQ(r.position(), 4u);
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+TEST(HumanBytesTest, FormatsUnits) {
+  EXPECT_EQ(HumanBytes(512), "512.00 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KiB");
+  EXPECT_EQ(HumanBytes(3ull << 20), "3.00 MiB");
+  EXPECT_EQ(HumanBytes(5ull << 30), "5.00 GiB");
+}
+
+}  // namespace
+}  // namespace fl

@@ -1,0 +1,34 @@
+#include "src/common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fl {
+namespace {
+
+std::span<const std::uint8_t> AsBytes(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard IEEE CRC32 check value.
+  EXPECT_EQ(Crc32(AsBytes("123456789")), 0xCBF43926u);
+  EXPECT_EQ(Crc32(AsBytes("")), 0x00000000u);
+  EXPECT_EQ(Crc32(AsBytes("a")), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data = "federated learning at scale";
+  const std::uint32_t clean = Crc32(AsBytes(data));
+  data[5] ^= 0x01;
+  EXPECT_NE(Crc32(AsBytes(data)), clean);
+}
+
+TEST(Crc32Test, SeedChainsDistinctly) {
+  const std::string data = "payload";
+  EXPECT_NE(Crc32(AsBytes(data), 0), Crc32(AsBytes(data), 1));
+}
+
+}  // namespace
+}  // namespace fl

@@ -1,0 +1,98 @@
+#include "src/common/fixed_point.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace fl {
+namespace {
+
+TEST(FixedPointTest, RoundTripWithinResolution) {
+  const FixedPointCodec codec(4.0, 100);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = static_cast<float>(rng.Uniform(-4.0, 4.0));
+    const float back = codec.Decode(codec.Encode(v));
+    EXPECT_NEAR(back, v, codec.resolution() * 1.01);
+  }
+}
+
+TEST(FixedPointTest, SaturatesAtClip) {
+  const FixedPointCodec codec(1.0, 10);
+  EXPECT_NEAR(codec.Decode(codec.Encode(100.0f)), 1.0f, 1e-4);
+  EXPECT_NEAR(codec.Decode(codec.Encode(-100.0f)), -1.0f, 1e-4);
+}
+
+// The property Secure Aggregation depends on: sums of encodings decode to
+// the sum of the values, exactly in the quantized domain.
+TEST(FixedPointTest, SumOfEncodingsDecodesToSum) {
+  const std::uint32_t n = 50;
+  const FixedPointCodec codec(2.0, n);
+  Rng rng(7);
+  for (int rep = 0; rep < 200; ++rep) {
+    std::uint32_t acc = 0;
+    double true_sum = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const float v = static_cast<float>(rng.Uniform(-2.0, 2.0));
+      acc += codec.Encode(v);  // mod 2^32 accumulation
+      true_sum += codec.Decode(codec.Encode(v));  // quantized truth
+    }
+    EXPECT_NEAR(codec.DecodeSum(acc), true_sum, 1e-3);
+  }
+}
+
+TEST(FixedPointTest, SumSurvivesMaskingWraparound) {
+  const FixedPointCodec codec(2.0, 8);
+  Rng rng(11);
+  // Add then remove uniformly-random masks mod 2^32 (what SecAgg does).
+  for (int rep = 0; rep < 100; ++rep) {
+    const float v = static_cast<float>(rng.Uniform(-2.0, 2.0));
+    const std::uint32_t mask = static_cast<std::uint32_t>(rng.Next());
+    const std::uint32_t masked = codec.Encode(v) + mask;
+    const std::uint32_t unmasked = masked - mask;
+    EXPECT_EQ(unmasked, codec.Encode(v));
+  }
+}
+
+TEST(FixedPointTest, VectorHelpers) {
+  const FixedPointCodec codec(4.0, 4);
+  const std::vector<float> v{1.0f, -2.0f, 0.5f};
+  const auto enc = codec.EncodeVector(v);
+  const auto dec = codec.DecodeVector(enc);
+  ASSERT_EQ(dec.size(), v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(dec[i], v[i], codec.resolution() * 1.01);
+  }
+}
+
+TEST(FixedPointTest, RejectsImpossibleConfiguration) {
+  // clip * max_summands too large to fit 32-bit fixed point.
+  EXPECT_THROW(FixedPointCodec(1e9, 1u << 30), std::logic_error);
+}
+
+class FixedPointSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::uint32_t>> {};
+
+TEST_P(FixedPointSweep, SumExactAcrossConfigs) {
+  const auto [clip, summands] = GetParam();
+  const FixedPointCodec codec(clip, summands);
+  Rng rng(13);
+  std::uint32_t acc = 0;
+  double expected = 0;
+  for (std::uint32_t i = 0; i < summands; ++i) {
+    const float v = static_cast<float>(rng.Uniform(-clip, clip));
+    acc += codec.Encode(v);
+    expected += codec.Decode(codec.Encode(v));
+  }
+  EXPECT_NEAR(codec.DecodeSum(acc), expected,
+              1e-6 * std::max(1.0, std::abs(expected)) + 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, FixedPointSweep,
+    ::testing::Values(std::make_tuple(0.5, 10u), std::make_tuple(4.0, 100u),
+                      std::make_tuple(16.0, 1000u),
+                      std::make_tuple(1.0, 2u)));
+
+}  // namespace
+}  // namespace fl

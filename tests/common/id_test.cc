@@ -1,0 +1,46 @@
+#include "src/common/id.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace fl {
+namespace {
+
+TEST(TypedIdTest, ValueSemantics) {
+  const DeviceId a{7}, b{7}, c{8};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+}
+
+TEST(TypedIdTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<DeviceId, RoundId>);
+  static_assert(!std::is_same_v<TaskId, ActorId>);
+  // DeviceId{1} == RoundId{1} must not compile; this is enforced by the
+  // type system (uncommenting the line below is a build error).
+  // EXPECT_EQ(DeviceId{1}, RoundId{1});
+}
+
+TEST(TypedIdTest, StreamsWithPrefix) {
+  std::ostringstream os;
+  os << DeviceId{42} << " " << RoundId{3} << " " << SessionId{9};
+  EXPECT_EQ(os.str(), "dev-42 round-3 sess-9");
+}
+
+TEST(TypedIdTest, Hashable) {
+  std::unordered_set<DeviceId> set;
+  set.insert(DeviceId{1});
+  set.insert(DeviceId{1});
+  set.insert(DeviceId{2});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(TypedIdTest, DefaultIsZero) {
+  const ActorId id;
+  EXPECT_EQ(id.value, 0u);
+}
+
+}  // namespace
+}  // namespace fl

@@ -1,0 +1,50 @@
+#include "src/common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace fl {
+namespace {
+
+struct LevelGuard {
+  LogLevel prev = GetLogLevel();
+  ~LevelGuard() { SetLogLevel(prev); }
+};
+
+TEST(LoggingTest, LevelRoundTrips) {
+  LevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST(LoggingTest, FilteredStatementsDoNotEvaluateBelowThreshold) {
+  LevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "payload";
+  };
+  FL_LOG(Debug) << expensive();
+  FL_LOG(Info) << expensive();
+  FL_LOG(Warning) << expensive();
+  EXPECT_EQ(evaluations, 0);  // short-circuited by the level check
+  FL_LOG(Error) << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LoggingTest, MacroComposesInControlFlow) {
+  LevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  // The voidify idiom must allow use in an un-braced if/else.
+  bool flag = true;
+  if (flag)
+    FL_LOG(Debug) << "then-branch";
+  else
+    FL_LOG(Debug) << "else-branch";
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace fl

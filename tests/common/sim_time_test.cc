@@ -1,0 +1,59 @@
+#include "src/common/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace fl {
+namespace {
+
+TEST(SimTimeTest, DurationArithmetic) {
+  EXPECT_EQ((Seconds(2) + Millis(500)).millis, 2500);
+  EXPECT_EQ((Minutes(2) - Seconds(30)).millis, 90'000);
+  EXPECT_EQ((Seconds(3) * 4).millis, 12'000);
+  EXPECT_EQ((Minutes(10) / 5).millis, Minutes(2).millis);
+}
+
+TEST(SimTimeTest, UnitConversions) {
+  EXPECT_DOUBLE_EQ(Seconds(90).Minutes(), 1.5);
+  EXPECT_DOUBLE_EQ(Hours(2).Seconds(), 7200.0);
+  EXPECT_DOUBLE_EQ(Minutes(90).Hours(), 1.5);
+}
+
+TEST(SimTimeTest, TimePlusDuration) {
+  const SimTime t{1000};
+  EXPECT_EQ((t + Seconds(1)).millis, 2000);
+  EXPECT_EQ((t - Millis(500)).millis, 500);
+  EXPECT_EQ(((t + Hours(1)) - t).millis, Hours(1).millis);
+}
+
+TEST(SimTimeTest, Ordering) {
+  EXPECT_LT(SimTime{1}, SimTime{2});
+  EXPECT_LE(Duration{5}, Duration{5});
+  EXPECT_GT(Hours(1), Minutes(59));
+}
+
+TEST(SimTimeTest, HourOfDayWrapsDaily) {
+  const SimTime noon = SimTime{0} + Hours(12);
+  EXPECT_DOUBLE_EQ(noon.HourOfDay(), 12.0);
+  const SimTime next_noon = noon + Hours(24);
+  EXPECT_DOUBLE_EQ(next_noon.HourOfDay(), 12.0);
+}
+
+TEST(SimTimeTest, HourOfDayRespectsTimezone) {
+  const SimTime noon_utc = SimTime{0} + Hours(12);
+  EXPECT_DOUBLE_EQ(noon_utc.HourOfDay(Hours(-3)), 9.0);
+  EXPECT_DOUBLE_EQ(noon_utc.HourOfDay(Hours(13)), 1.0);  // wraps past 24
+}
+
+TEST(SimTimeTest, HourOfDayNegativeTimeWraps) {
+  const SimTime before_epoch{-3600 * 1000};  // -1h
+  EXPECT_DOUBLE_EQ(before_epoch.HourOfDay(), 23.0);
+}
+
+TEST(SimTimeTest, FormatSimTime) {
+  EXPECT_EQ(FormatSimTime(SimTime{0}), "0d00:00:00");
+  const SimTime t = SimTime{0} + Hours(25) + Minutes(3) + Seconds(4);
+  EXPECT_EQ(FormatSimTime(t), "1d01:03:04");
+}
+
+}  // namespace
+}  // namespace fl

@@ -1,0 +1,95 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace fl {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = DeadlineExceededError("selection window elapsed");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(s.message(), "selection window elapsed");
+  EXPECT_EQ(s.ToString(), "DEADLINE_EXCEEDED: selection window elapsed");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(InvalidArgumentError("x"), InvalidArgumentError("x"));
+  EXPECT_FALSE(InvalidArgumentError("x") == InvalidArgumentError("y"));
+  EXPECT_FALSE(InvalidArgumentError("x") == NotFoundError("x"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+    EXPECT_STRNE(ErrorCodeName(static_cast<ErrorCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFoundError("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueAccessOnErrorThrows) {
+  Result<int> r = InternalError("boom");
+  EXPECT_THROW(r.value(), std::runtime_error);
+}
+
+TEST(ResultTest, ConstructingFromOkStatusThrows) {
+  EXPECT_THROW(Result<int>{Status::Ok()}, std::logic_error);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  const std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+Status FailsWhenNegative(int x) {
+  if (x < 0) return OutOfRangeError("negative");
+  return Status::Ok();
+}
+
+Result<int> DoubleIfPositive(int x) {
+  FL_RETURN_IF_ERROR(FailsWhenNegative(x));
+  return x * 2;
+}
+
+Result<int> ChainedViaAssign(int x) {
+  FL_ASSIGN_OR_RETURN(int doubled, DoubleIfPositive(x));
+  return doubled + 1;
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(DoubleIfPositive(3).ok());
+  EXPECT_EQ(DoubleIfPositive(-1).status().code(), ErrorCode::kOutOfRange);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnUnwraps) {
+  EXPECT_EQ(*ChainedViaAssign(5), 11);
+  EXPECT_EQ(ChainedViaAssign(-5).status().code(), ErrorCode::kOutOfRange);
+}
+
+TEST(CheckTest, FailedCheckThrowsLogicError) {
+  EXPECT_THROW(FL_CHECK(1 == 2), std::logic_error);
+  EXPECT_NO_THROW(FL_CHECK(1 == 1));
+}
+
+}  // namespace
+}  // namespace fl

@@ -1,0 +1,96 @@
+#include "src/core/fleet_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace fl::core {
+namespace {
+
+using analytics::DeviceState;
+using protocol::ParticipantOutcome;
+using protocol::RoundOutcome;
+
+TEST(FleetStatsTest, RoundOutcomeCountsAndSeries) {
+  FleetStats stats(SimTime{0}, Minutes(10));
+  stats.OnRoundOutcome(SimTime{Minutes(5).millis}, RoundId{1},
+                       RoundOutcome::kCommitted, 20);
+  stats.OnRoundOutcome(SimTime{Minutes(15).millis}, RoundId{2},
+                       RoundOutcome::kAbandonedReporting, 0);
+  EXPECT_EQ(stats.rounds_committed(), 1u);
+  EXPECT_EQ(stats.rounds_abandoned(), 1u);
+  EXPECT_DOUBLE_EQ(stats.round_completions().Sum(0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.round_failures().Sum(1), 1.0);
+  ASSERT_EQ(stats.round_log().size(), 2u);
+  EXPECT_EQ(stats.round_log()[0].outcome, RoundOutcome::kCommitted);
+  EXPECT_EQ(stats.round_log()[0].contributors, 20u);
+}
+
+TEST(FleetStatsTest, TimingPatchesTheMatchingLogRow) {
+  FleetStats stats(SimTime{0}, Minutes(10));
+  stats.OnRoundOutcome(SimTime{1}, RoundId{7}, RoundOutcome::kCommitted, 5);
+  stats.OnRoundTiming(SimTime{1}, RoundId{7}, Minutes(2), Minutes(6));
+  ASSERT_TRUE(stats.round_log()[0].has_timing);
+  EXPECT_EQ(stats.round_log()[0].selection_duration, Minutes(2));
+  EXPECT_EQ(stats.round_log()[0].round_duration, Minutes(6));
+  EXPECT_NEAR(stats.round_duration_hist().Mean(), 6.0, 1e-9);
+}
+
+TEST(FleetStatsTest, ParticipantOutcomesBucketPerRound) {
+  FleetStats stats(SimTime{0}, Minutes(10));
+  const RoundId r{3};
+  stats.OnParticipantOutcome(SimTime{1}, r, DeviceId{1},
+                             ParticipantOutcome::kCompleted);
+  stats.OnParticipantOutcome(SimTime{1}, r, DeviceId{2},
+                             ParticipantOutcome::kRejectedLate);
+  stats.OnParticipantOutcome(SimTime{1}, r, DeviceId{3},
+                             ParticipantOutcome::kAborted);
+  stats.OnDeviceDrop(SimTime{1}, r, DeviceId{4});
+  const auto& counts = stats.per_round().at(r);
+  EXPECT_EQ(counts.completed, 1u);
+  EXPECT_EQ(counts.aborted, 2u);  // late + aborted fold together (Fig. 7)
+  EXPECT_EQ(counts.dropped, 1u);
+}
+
+TEST(FleetStatsTest, StateTransitionsDriveSampledSeries) {
+  FleetStats stats(SimTime{0}, Minutes(10));
+  stats.OnDeviceStateChange(DeviceState::kIdle, DeviceState::kIdle);
+  stats.OnDeviceStateChange(DeviceState::kIdle, DeviceState::kWaiting);
+  stats.SampleStates(SimTime{Minutes(1).millis});
+  EXPECT_DOUBLE_EQ(stats.StateSeries(DeviceState::kWaiting).Mean(0), 1.0);
+  stats.OnDeviceStateChange(DeviceState::kWaiting,
+                            DeviceState::kParticipating);
+  stats.SampleStates(SimTime{Minutes(2).millis});
+  EXPECT_DOUBLE_EQ(stats.StateSeries(DeviceState::kParticipating).Mean(0),
+                   0.5);  // two samples: 0 then 1
+}
+
+TEST(FleetStatsTest, TrafficTotalsAccumulate) {
+  FleetStats stats(SimTime{0}, Minutes(10));
+  stats.OnTraffic(SimTime{1}, 1000, 0);
+  stats.OnTraffic(SimTime{2}, 0, 300);
+  stats.OnTraffic(SimTime{3}, 500, 200);
+  EXPECT_EQ(stats.total_download_bytes(), 1500u);
+  EXPECT_EQ(stats.total_upload_bytes(), 500u);
+}
+
+TEST(FleetStatsTest, ShortTracesExcludedFromTableOne) {
+  FleetStats stats(SimTime{0}, Minutes(10));
+  analytics::SessionTrace rejected_only;
+  rejected_only.events = {analytics::SessionEvent::kCheckin};
+  stats.OnSessionTrace(rejected_only);  // a bare rejection, not a session
+  EXPECT_EQ(stats.shapes().total(), 0u);
+  analytics::SessionTrace real;
+  real.events = {analytics::SessionEvent::kCheckin,
+                 analytics::SessionEvent::kDownloadedPlan};
+  stats.OnSessionTrace(real);
+  EXPECT_EQ(stats.shapes().total(), 1u);
+}
+
+TEST(FleetStatsTest, ErrorsCounted) {
+  FleetStats stats(SimTime{0}, Minutes(10));
+  stats.OnError(SimTime{1}, "boom");
+  stats.OnError(SimTime{2}, "bang");
+  EXPECT_EQ(stats.errors(), 2u);
+}
+
+}  // namespace
+}  // namespace fl::core

@@ -1,0 +1,85 @@
+#include "src/crypto/aead.h"
+
+#include <gtest/gtest.h>
+
+namespace fl::crypto {
+namespace {
+
+Key256 TestKey(std::uint8_t fill) {
+  Key256 k;
+  k.fill(fill);
+  return k;
+}
+
+Nonce96 TestNonce(std::uint8_t fill) {
+  Nonce96 n;
+  n.fill(fill);
+  return n;
+}
+
+Bytes AsBytes(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+TEST(AeadTest, RoundTrip) {
+  const Bytes plain = AsBytes("shamir share bundle: s_u^sk, b_u limbs");
+  const Bytes cipher = AeadEncrypt(TestKey(1), TestNonce(2), plain);
+  const auto back = AeadDecrypt(TestKey(1), cipher);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, plain);
+}
+
+TEST(AeadTest, CiphertextHidesPlaintext) {
+  const Bytes plain = AsBytes("secret secret secret secret");
+  const Bytes cipher = AeadEncrypt(TestKey(3), TestNonce(4), plain);
+  // Body portion (after nonce) differs from the plaintext.
+  const std::string body(cipher.begin() + 12,
+                         cipher.begin() + 12 +
+                             static_cast<std::ptrdiff_t>(plain.size()));
+  EXPECT_NE(body, std::string(plain.begin(), plain.end()));
+}
+
+TEST(AeadTest, WrongKeyRejected) {
+  const Bytes cipher =
+      AeadEncrypt(TestKey(5), TestNonce(6), AsBytes("payload"));
+  const auto back = AeadDecrypt(TestKey(7), cipher);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), ErrorCode::kPermissionDenied);
+}
+
+TEST(AeadTest, TamperedCiphertextRejected) {
+  Bytes cipher = AeadEncrypt(TestKey(8), TestNonce(9), AsBytes("payload"));
+  for (std::size_t pos : {std::size_t{0}, std::size_t{14},
+                          cipher.size() - 1}) {
+    Bytes bad = cipher;
+    bad[pos] ^= 0x01;
+    EXPECT_FALSE(AeadDecrypt(TestKey(8), bad).ok()) << "pos=" << pos;
+  }
+}
+
+TEST(AeadTest, TruncatedCiphertextRejected) {
+  const Bytes cipher =
+      AeadEncrypt(TestKey(10), TestNonce(11), AsBytes("abc"));
+  for (std::size_t cut : {std::size_t{0}, std::size_t{11}, std::size_t{43}}) {
+    const auto back = AeadDecrypt(
+        TestKey(10), std::span<const std::uint8_t>(cipher.data(), cut));
+    EXPECT_FALSE(back.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(AeadTest, EmptyPlaintextRoundTrips) {
+  const Bytes cipher = AeadEncrypt(TestKey(12), TestNonce(13), Bytes{});
+  const auto back = AeadDecrypt(TestKey(12), cipher);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(AeadTest, DistinctNoncesGiveDistinctCiphertexts) {
+  const Bytes plain = AsBytes("same message");
+  const Bytes a = AeadEncrypt(TestKey(14), TestNonce(1), plain);
+  const Bytes b = AeadEncrypt(TestKey(14), TestNonce(2), plain);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace fl::crypto

@@ -1,0 +1,94 @@
+#include "src/crypto/chacha20.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace fl::crypto {
+namespace {
+
+TEST(ChaCha20Test, Rfc8439KeystreamVector) {
+  // RFC 8439 section 2.4.2: key 00..1f, nonce 000000000000004a00000000,
+  // counter 1 — encrypting the known plaintext yields the known ciphertext.
+  Key256 key;
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+  Nonce96 nonce{};
+  nonce[7] = 0x4a;
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  std::vector<std::uint8_t> buf(plaintext.begin(), plaintext.end());
+  ChaCha20Xor(key, nonce, 1, buf);
+  // First bytes of the RFC ciphertext.
+  const std::uint8_t expected_prefix[] = {0x6e, 0x2e, 0x35, 0x9a, 0x25,
+                                          0x68, 0xf9, 0x80, 0x41, 0xba};
+  for (std::size_t i = 0; i < sizeof(expected_prefix); ++i) {
+    EXPECT_EQ(buf[i], expected_prefix[i]) << i;
+  }
+}
+
+TEST(ChaCha20Test, XorIsInvolution) {
+  Key256 key{};
+  key[0] = 7;
+  Nonce96 nonce{};
+  std::vector<std::uint8_t> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  auto copy = data;
+  ChaCha20Xor(key, nonce, 0, data);
+  EXPECT_NE(data, copy);
+  ChaCha20Xor(key, nonce, 0, data);
+  EXPECT_EQ(data, copy);
+}
+
+TEST(PrgTest, DeterministicPerSeed) {
+  Key256 seed{};
+  seed[5] = 0x42;
+  EXPECT_EQ(PrgWords(seed, 100), PrgWords(seed, 100));
+}
+
+TEST(PrgTest, DifferentSeedsDiffer) {
+  Key256 a{}, b{};
+  a[0] = 1;
+  b[0] = 2;
+  EXPECT_NE(PrgWords(a, 64), PrgWords(b, 64));
+}
+
+TEST(PrgTest, StreamIdSeparatesOutputs) {
+  Key256 seed{};
+  seed[1] = 9;
+  EXPECT_NE(PrgWords(seed, 64, 0), PrgWords(seed, 64, 1));
+}
+
+TEST(PrgTest, PrefixStability) {
+  // Expanding more words keeps the shared prefix identical — required for
+  // mask vectors of different logical lengths derived from one seed.
+  Key256 seed{};
+  seed[2] = 3;
+  const auto short_out = PrgWords(seed, 10);
+  const auto long_out = PrgWords(seed, 100);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(short_out[i], long_out[i]);
+  }
+}
+
+TEST(PrgTest, ZeroCountYieldsEmpty) {
+  Key256 seed{};
+  EXPECT_TRUE(PrgWords(seed, 0).empty());
+}
+
+TEST(PrgTest, OutputLooksUniform) {
+  Key256 seed{};
+  seed[7] = 0x77;
+  const auto words = PrgWords(seed, 100000);
+  double mean = 0;
+  for (std::uint32_t w : words) {
+    mean += static_cast<double>(w) / words.size();
+  }
+  // Mean of U[0, 2^32) is 2^31.
+  EXPECT_NEAR(mean / 4294967296.0, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace fl::crypto

@@ -1,0 +1,89 @@
+#include "src/crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+namespace fl::crypto {
+namespace {
+
+TEST(Sha256Test, Fips180Vectors) {
+  // FIPS 180-4 test vectors.
+  EXPECT_EQ(DigestToHex(Sha256::Hash(std::string("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(DigestToHex(Sha256::Hash(std::string(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(
+      DigestToHex(Sha256::Hash(std::string(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(DigestToHex(h.Finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string data = "federated learning at scale: system design";
+  for (std::size_t split = 0; split <= data.size(); split += 7) {
+    Sha256 h;
+    h.Update(data.substr(0, split));
+    h.Update(data.substr(split));
+    EXPECT_EQ(h.Finalize(), Sha256::Hash(data)) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, BlockBoundaryLengths) {
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 128u}) {
+    const std::string a(len, 'x');
+    // Self-consistency across buffering paths.
+    Sha256 one;
+    one.Update(a);
+    Sha256 two;
+    for (char c : a) two.Update(std::string(1, c));
+    EXPECT_EQ(one.Finalize(), two.Finalize()) << "len=" << len;
+  }
+}
+
+TEST(HmacSha256Test, Rfc4231Vector1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  const std::string msg = "Hi There";
+  const Digest mac = HmacSha256(
+      key, std::span<const std::uint8_t>(
+               reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(DigestToHex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256Test, Rfc4231Vector2) {
+  const std::string key = "Jefe";
+  const std::string msg = "what do ya want for nothing?";
+  const Digest mac = HmacSha256(
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(key.data()), key.size()),
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(DigestToHex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256Test, LongKeyIsHashedFirst) {
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  const std::string msg = "Test Using Larger Than Block-Size Key - Hash Key First";
+  const Digest mac = HmacSha256(
+      key, std::span<const std::uint8_t>(
+               reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+  EXPECT_EQ(DigestToHex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(DeriveKeyTest, DistinctLabelsYieldDistinctKeys) {
+  const std::vector<std::uint8_t> material{1, 2, 3, 4};
+  EXPECT_NE(DeriveKey(material, "label-a"), DeriveKey(material, "label-b"));
+  EXPECT_EQ(DeriveKey(material, "label-a"), DeriveKey(material, "label-a"));
+}
+
+}  // namespace
+}  // namespace fl::crypto

@@ -1,0 +1,144 @@
+#include "src/crypto/shamir.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace fl::crypto {
+namespace {
+
+TEST(ShamirTest, SplitProducesNShares) {
+  Rng rng(1);
+  const auto shares = ShamirSplit(12345, 7, 3, rng);
+  ASSERT_TRUE(shares.ok());
+  EXPECT_EQ(shares->size(), 7u);
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ((*shares)[i].x, i + 1);
+  }
+}
+
+TEST(ShamirTest, ReconstructFromExactlyT) {
+  Rng rng(2);
+  const std::uint64_t secret = 0xDEADBEEFCAFEULL;
+  const auto shares = ShamirSplit(secret, 5, 3, rng);
+  ASSERT_TRUE(shares.ok());
+  const std::vector<Share> subset(shares->begin(), shares->begin() + 3);
+  const auto back = ShamirReconstruct(subset, 3);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, secret);
+}
+
+TEST(ShamirTest, AnyTSubsetReconstructs) {
+  Rng rng(3);
+  const std::uint64_t secret = 777777777;
+  const auto shares = ShamirSplit(secret, 6, 3, rng);
+  ASSERT_TRUE(shares.ok());
+  // Every 3-subset of 6 shares.
+  for (std::size_t a = 0; a < 6; ++a) {
+    for (std::size_t b = a + 1; b < 6; ++b) {
+      for (std::size_t c = b + 1; c < 6; ++c) {
+        const std::vector<Share> subset{(*shares)[a], (*shares)[b],
+                                        (*shares)[c]};
+        EXPECT_EQ(*ShamirReconstruct(subset, 3), secret)
+            << a << "," << b << "," << c;
+      }
+    }
+  }
+}
+
+TEST(ShamirTest, FewerThanTSharesFail) {
+  Rng rng(4);
+  const auto shares = ShamirSplit(42, 5, 4, rng);
+  ASSERT_TRUE(shares.ok());
+  const std::vector<Share> subset(shares->begin(), shares->begin() + 3);
+  EXPECT_FALSE(ShamirReconstruct(subset, 4).ok());
+}
+
+TEST(ShamirTest, TMinusOneSharesRevealNothingStructural) {
+  // With t-1 shares, every candidate secret is consistent with SOME
+  // polynomial: reconstructing from t-1 shares plus a forged share at x=t
+  // can produce arbitrary values. We verify two different completions give
+  // different "secrets" — i.e., the shares alone do not pin the secret.
+  Rng rng(5);
+  const auto shares = ShamirSplit(999, 5, 3, rng);
+  ASSERT_TRUE(shares.ok());
+  std::vector<Share> two(shares->begin(), shares->begin() + 2);
+  std::vector<Share> with_forgery_a = two;
+  with_forgery_a.push_back(Share{5, 1111});
+  std::vector<Share> with_forgery_b = two;
+  with_forgery_b.push_back(Share{5, 2222});
+  const auto a = ShamirReconstruct(with_forgery_a, 3);
+  const auto b = ShamirReconstruct(with_forgery_b, 3);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(*a, *b);
+}
+
+TEST(ShamirTest, DuplicateSharePointsRejected) {
+  const std::vector<Share> dup{{1, 10}, {1, 20}, {2, 30}};
+  EXPECT_FALSE(ShamirReconstruct(dup, 3).ok());
+}
+
+TEST(ShamirTest, InvalidThresholdRejected) {
+  Rng rng(6);
+  EXPECT_FALSE(ShamirSplit(1, 3, 0, rng).ok());
+  EXPECT_FALSE(ShamirSplit(1, 3, 4, rng).ok());
+}
+
+TEST(ShamirTest, SecretReducedModPrime) {
+  Rng rng(7);
+  // Secrets >= p are reduced; reconstruction returns secret mod p.
+  const std::uint64_t big = kShamirPrime + 5;
+  const auto shares = ShamirSplit(big, 4, 2, rng);
+  ASSERT_TRUE(shares.ok());
+  const std::vector<Share> subset(shares->begin(), shares->begin() + 2);
+  EXPECT_EQ(*ShamirReconstruct(subset, 2), 5u);
+}
+
+TEST(ShamirKeyTest, KeyRoundTrip) {
+  Rng rng(8);
+  Key256 key;
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(rng.Next());
+  }
+  const auto limbs = ShamirSplitKey(key, 6, 4, rng);
+  ASSERT_TRUE(limbs.ok());
+  ASSERT_EQ(limbs->size(), 5u);
+  // Take shares 2..5 (any 4) of each limb.
+  std::vector<std::vector<Share>> subset(5);
+  for (std::size_t l = 0; l < 5; ++l) {
+    subset[l].assign((*limbs)[l].begin() + 1, (*limbs)[l].begin() + 5);
+  }
+  const auto back = ShamirReconstructKey(subset, 4);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, key);
+}
+
+TEST(ShamirKeyTest, WrongLimbCountRejected) {
+  const std::vector<std::vector<Share>> three(3);
+  EXPECT_FALSE(ShamirReconstructKey(three, 2).ok());
+}
+
+class ShamirSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(ShamirSweep, RoundTripAcrossConfigs) {
+  const auto [n, t] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 131 + t));
+  const std::uint64_t secret = rng.UniformInt(kShamirPrime);
+  const auto shares = ShamirSplit(secret, n, t, rng);
+  ASSERT_TRUE(shares.ok());
+  // Random t-subset.
+  std::vector<Share> subset(shares->begin(), shares->end());
+  rng.Shuffle(subset);
+  subset.resize(t);
+  EXPECT_EQ(*ShamirReconstruct(subset, t), secret);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ShamirSweep,
+    ::testing::Values(std::make_tuple(2, 2), std::make_tuple(3, 2),
+                      std::make_tuple(10, 7), std::make_tuple(50, 34),
+                      std::make_tuple(100, 66), std::make_tuple(5, 5)));
+
+}  // namespace
+}  // namespace fl::crypto

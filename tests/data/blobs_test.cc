@@ -1,0 +1,94 @@
+#include "src/data/blobs.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace fl::data {
+namespace {
+
+TEST(BlobsTest, GlobalExamplesBalancedAcrossClasses) {
+  BlobsWorkload workload({.classes = 4, .feature_dim = 6}, 1);
+  const auto examples = workload.GlobalExamples(7, 4000, SimTime{0});
+  std::map<int, int> counts;
+  for (const auto& e : examples) {
+    ASSERT_EQ(e.features.size(), 6u);
+    ++counts[static_cast<int>(e.label)];
+  }
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [cls, count] : counts) {
+    EXPECT_NEAR(count, 1000, 150);
+  }
+}
+
+TEST(BlobsTest, UserExamplesAreLabelSkewed) {
+  BlobsParams params;
+  params.classes = 8;
+  params.dirichlet_alpha = 0.2;  // strong skew
+  BlobsWorkload workload(params, 2);
+  // Measure: the top class share per user should be much larger than 1/8.
+  double top_share_sum = 0;
+  const int users = 40;
+  for (std::uint64_t u = 0; u < users; ++u) {
+    const auto examples = workload.UserExamples(u, 100, SimTime{0});
+    std::map<int, int> counts;
+    for (const auto& e : examples) ++counts[static_cast<int>(e.label)];
+    int top = 0;
+    for (const auto& [cls, c] : counts) top = std::max(top, c);
+    top_share_sum += top / 100.0;
+  }
+  EXPECT_GT(top_share_sum / users, 0.35);
+}
+
+TEST(BlobsTest, ClassesAreLinearlySeparableEnough) {
+  // Same-class points cluster near their center: within-class distance
+  // beats between-class distance on average.
+  BlobsWorkload workload({.classes = 3, .feature_dim = 4}, 3);
+  const auto examples = workload.GlobalExamples(5, 600, SimTime{0});
+  std::map<int, std::vector<const Example*>> by_class;
+  for (const auto& e : examples) {
+    by_class[static_cast<int>(e.label)].push_back(&e);
+  }
+  auto centroid = [&](int cls) {
+    std::vector<double> c(4, 0);
+    for (const auto* e : by_class[cls]) {
+      for (std::size_t d = 0; d < 4; ++d) c[d] += e->features[d];
+    }
+    for (auto& v : c) v /= by_class[cls].size();
+    return c;
+  };
+  auto dist2 = [](const std::vector<double>& a, const std::vector<double>& b) {
+    double s = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      s += (a[i] - b[i]) * (a[i] - b[i]);
+    }
+    return s;
+  };
+  const auto c0 = centroid(0), c1 = centroid(1), c2 = centroid(2);
+  EXPECT_GT(dist2(c0, c1), 0.5);
+  EXPECT_GT(dist2(c1, c2), 0.5);
+}
+
+TEST(BlobsTest, DeterministicPerSeed) {
+  BlobsWorkload a({}, 9);
+  BlobsWorkload b({}, 9);
+  const auto ea = a.UserExamples(1, 5, SimTime{0});
+  const auto eb = b.UserExamples(1, 5, SimTime{0});
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].features, eb[i].features);
+  }
+}
+
+TEST(BlobsTest, DirichletSkewControlledByAlpha) {
+  BlobsParams concentrated;
+  concentrated.dirichlet_alpha = 100.0;  // nearly uniform users
+  BlobsWorkload workload(concentrated, 4);
+  const auto examples = workload.UserExamples(1, 400, SimTime{0});
+  std::map<int, int> counts;
+  for (const auto& e : examples) ++counts[static_cast<int>(e.label)];
+  // With alpha=100 every class appears.
+  EXPECT_EQ(counts.size(), concentrated.classes);
+}
+
+}  // namespace
+}  // namespace fl::data

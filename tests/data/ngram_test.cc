@@ -1,0 +1,73 @@
+#include "src/data/ngram.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/text.h"
+
+namespace fl::data {
+namespace {
+
+Example Ex(std::size_t prev, std::size_t next) {
+  Example e;
+  e.features = {0.0f, static_cast<float>(prev)};
+  e.label = static_cast<float>(next);
+  return e;
+}
+
+TEST(NgramTest, LearnsBigramArgmax) {
+  NgramModel model(10);
+  std::vector<Example> data;
+  for (int i = 0; i < 10; ++i) data.push_back(Ex(1, 5));
+  for (int i = 0; i < 3; ++i) data.push_back(Ex(1, 7));
+  model.Train(data);
+  EXPECT_EQ(model.Predict(1), 5u);
+  EXPECT_EQ(model.total_observations(), 13u);
+}
+
+TEST(NgramTest, UnigramBackoffForUnseenContext) {
+  NgramModel model(10);
+  std::vector<Example> data;
+  for (int i = 0; i < 5; ++i) data.push_back(Ex(1, 9));
+  model.Train(data);
+  // Context 4 never seen: fall back to global unigram argmax (9).
+  EXPECT_EQ(model.Predict(4), 9u);
+}
+
+TEST(NgramTest, Top1RecallOnPredictableData) {
+  NgramModel model(10);
+  std::vector<Example> data;
+  for (std::size_t p = 0; p < 10; ++p) {
+    for (int i = 0; i < 20; ++i) data.push_back(Ex(p, (p + 3) % 10));
+  }
+  model.Train(data);
+  EXPECT_DOUBLE_EQ(model.Top1Recall(data), 1.0);
+}
+
+TEST(NgramTest, RecallZeroOnAdversarialEval) {
+  NgramModel model(10);
+  std::vector<Example> train{Ex(1, 2), Ex(1, 2)};
+  model.Train(train);
+  std::vector<Example> eval{Ex(1, 3)};
+  EXPECT_DOUBLE_EQ(model.Top1Recall(eval), 0.0);
+}
+
+TEST(NgramTest, EmptyEvalIsZero) {
+  NgramModel model(4);
+  EXPECT_DOUBLE_EQ(model.Top1Recall({}), 0.0);
+}
+
+TEST(NgramTest, BeatsChanceOnSyntheticKeyboardText) {
+  TextWorkloadParams params;
+  params.vocab_size = 32;
+  TextWorkload workload(params, 5);
+  NgramModel model(params.vocab_size);
+  for (std::uint64_t user = 0; user < 100; ++user) {
+    model.Train(workload.UserExamples(user, 20, SimTime{0}));
+  }
+  const auto eval = workload.UserExamples(9999, 100, SimTime{0});
+  const double recall = model.Top1Recall(eval);
+  EXPECT_GT(recall, 3.0 / params.vocab_size);  // far above chance
+}
+
+}  // namespace
+}  // namespace fl::data

@@ -1,0 +1,77 @@
+#include "src/data/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fl::data {
+namespace {
+
+TEST(RankingTest, ExamplesShapedCorrectly) {
+  RankingWorkload workload({}, 1);
+  const auto examples = workload.UserExamples(7, 50, SimTime{3});
+  ASSERT_EQ(examples.size(), 50u);
+  for (const auto& e : examples) {
+    EXPECT_EQ(e.features.size(), workload.params().feature_dim);
+    EXPECT_TRUE(e.label == 0.0f || e.label == 1.0f);
+    EXPECT_EQ(e.timestamp.millis, 3);
+  }
+}
+
+TEST(RankingTest, ClicksCorrelateWithGlobalPreference) {
+  RankingWorkloadParams params;
+  params.label_noise = 0.0;
+  params.user_spread = 0.1;
+  RankingWorkload workload(params, 2);
+  const auto& pref = workload.global_preference();
+
+  double clicked_score = 0, skipped_score = 0;
+  std::size_t clicked = 0, skipped = 0;
+  for (std::uint64_t user = 0; user < 30; ++user) {
+    for (const auto& e : workload.UserExamples(user, 50, SimTime{0})) {
+      double s = 0;
+      for (std::size_t d = 0; d < pref.size(); ++d) {
+        s += e.features[d] * pref[d];
+      }
+      if (e.label > 0.5f) {
+        clicked_score += s;
+        ++clicked;
+      } else {
+        skipped_score += s;
+        ++skipped;
+      }
+    }
+  }
+  ASSERT_GT(clicked, 100u);
+  ASSERT_GT(skipped, 100u);
+  EXPECT_GT(clicked_score / clicked, skipped_score / skipped + 0.3);
+}
+
+TEST(RankingTest, DeterministicPerUser) {
+  RankingWorkload workload({}, 3);
+  const auto a = workload.UserExamples(5, 10, SimTime{0});
+  const auto b = workload.UserExamples(5, 10, SimTime{0});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].features, b[i].features);
+    EXPECT_EQ(a[i].label, b[i].label);
+  }
+}
+
+TEST(RankingTest, LabelNoiseFlipsSomeLabels) {
+  RankingWorkloadParams clean_params;
+  clean_params.label_noise = 0.0;
+  RankingWorkloadParams noisy_params;
+  noisy_params.label_noise = 0.5;
+  const RankingWorkload clean(clean_params, 4);
+  const RankingWorkload noisy(noisy_params, 4);
+  const auto a = clean.UserExamples(1, 200, SimTime{0});
+  const auto b = noisy.UserExamples(1, 200, SimTime{0});
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].label != b[i].label) ++diff;
+  }
+  EXPECT_GT(diff, 50u);
+}
+
+}  // namespace
+}  // namespace fl::data

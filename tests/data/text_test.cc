@@ -1,0 +1,135 @@
+#include "src/data/text.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fl::data {
+namespace {
+
+TEST(TextWorkloadTest, ExamplesHaveContextAndLabel) {
+  TextWorkload workload({}, 1);
+  const auto examples = workload.UserExamples(42, 10, SimTime{5});
+  ASSERT_FALSE(examples.empty());
+  for (const auto& e : examples) {
+    EXPECT_EQ(e.features.size(), workload.params().context);
+    EXPECT_GE(e.label, 0.0f);
+    EXPECT_LT(e.label, static_cast<float>(workload.params().vocab_size));
+    EXPECT_EQ(e.timestamp.millis, 5);
+    for (float f : e.features) {
+      EXPECT_GE(f, 0.0f);
+      EXPECT_LT(f, static_cast<float>(workload.params().vocab_size));
+    }
+  }
+}
+
+TEST(TextWorkloadTest, DeterministicPerUserSeed) {
+  TextWorkload workload({}, 7);
+  const auto a = workload.UserExamples(1, 5, SimTime{0});
+  const auto b = workload.UserExamples(1, 5, SimTime{0});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].features, b[i].features);
+    EXPECT_EQ(a[i].label, b[i].label);
+  }
+}
+
+TEST(TextWorkloadTest, UsersDiffer) {
+  TextWorkload workload({}, 7);
+  const auto a = workload.UserExamples(1, 20, SimTime{0});
+  const auto b = workload.UserExamples(2, 20, SimTime{0});
+  std::size_t shared_prefix = 0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i].label == b[i].label) ++shared_prefix;
+  }
+  EXPECT_LT(static_cast<double>(shared_prefix) / n, 0.9);
+}
+
+TEST(TextWorkloadTest, SecondOrderGrammarIsLearnable) {
+  // Conditioned on (prev, prev2), the most frequent next token over a large
+  // pooled sample should be the grammar's rule output — the signal a
+  // context-aware model must pick up.
+  TextWorkloadParams params;
+  params.vocab_size = 16;
+  params.context = 3;
+  params.personalization = 0.0;  // pure global grammar
+  params.noise = 0.05;
+  TextWorkload workload(params, 11);
+  std::map<std::pair<std::size_t, std::size_t>, std::map<std::size_t, int>>
+      counts;
+  for (std::uint64_t user = 0; user < 200; ++user) {
+    for (const auto& e : workload.UserExamples(user, 40, SimTime{0})) {
+      const auto prev = static_cast<std::size_t>(e.features.back());
+      const auto prev2 =
+          static_cast<std::size_t>(e.features[e.features.size() - 2]);
+      counts[{prev, prev2}][static_cast<std::size_t>(e.label)]++;
+    }
+  }
+  int matches = 0, total = 0;
+  for (const auto& [ctx, nexts] : counts) {
+    int sum = 0;
+    for (const auto& [tok, c] : nexts) sum += c;
+    if (sum < 40) continue;  // need enough evidence
+    std::size_t best = 0;
+    int best_count = -1;
+    for (const auto& [tok, c] : nexts) {
+      if (c > best_count) {
+        best_count = c;
+        best = tok;
+      }
+    }
+    ++total;
+    if (best == workload.GlobalArgmaxSuccessor(ctx.first, ctx.second)) {
+      ++matches;
+    }
+  }
+  ASSERT_GT(total, 5);
+  EXPECT_GT(static_cast<double>(matches) / total, 0.8);
+}
+
+TEST(TextWorkloadTest, BigramOnlySeesTheMarginal) {
+  // The second-order rule means P(next | prev) is split ~evenly over three
+  // successors: the best bigram predictor is far from the Bayes optimum.
+  TextWorkloadParams params;
+  params.vocab_size = 16;
+  params.personalization = 0.0;
+  params.noise = 0.0;
+  TextWorkload workload(params, 13);
+  std::map<std::size_t, std::map<std::size_t, int>> bigram;
+  std::size_t total = 0, rule_hits = 0;
+  for (std::uint64_t user = 0; user < 300; ++user) {
+    for (const auto& e : workload.UserExamples(user, 30, SimTime{0})) {
+      const auto prev = static_cast<std::size_t>(e.features.back());
+      const auto prev2 =
+          static_cast<std::size_t>(e.features[e.features.size() - 2]);
+      bigram[prev][static_cast<std::size_t>(e.label)]++;
+      ++total;
+      if (workload.GlobalArgmaxSuccessor(prev, prev2) ==
+          static_cast<std::size_t>(e.label)) {
+        ++rule_hits;
+      }
+    }
+  }
+  // Bayes (rule-aware) accuracy ~80%; bigram argmax accuracy much lower.
+  std::size_t bigram_hits = 0;
+  for (const auto& [prev, nexts] : bigram) {
+    int best = 0;
+    for (const auto& [tok, c] : nexts) best = std::max(best, c);
+    bigram_hits += static_cast<std::size_t>(best);
+  }
+  const double rule_acc = static_cast<double>(rule_hits) / total;
+  const double bigram_acc = static_cast<double>(bigram_hits) / total;
+  EXPECT_GT(rule_acc, 0.7);
+  EXPECT_LT(bigram_acc, rule_acc - 0.2);
+}
+
+TEST(TextWorkloadTest, SentenceCountScalesExamples) {
+  TextWorkload workload({}, 3);
+  const auto few = workload.UserExamples(1, 2, SimTime{0});
+  const auto many = workload.UserExamples(1, 50, SimTime{0});
+  EXPECT_GT(many.size(), few.size() * 10);
+}
+
+}  // namespace
+}  // namespace fl::data

@@ -1,0 +1,51 @@
+#include "src/device/attestation.h"
+
+#include <gtest/gtest.h>
+
+namespace fl::device {
+namespace {
+
+TEST(AttestationTest, GenuineTokenVerifies) {
+  AttestationAuthority authority(12345);
+  const auto token = authority.Issue(DeviceId{7}, 999);
+  EXPECT_TRUE(authority.Verify(token));
+}
+
+TEST(AttestationTest, ForgedTokenRejected) {
+  AttestationAuthority authority(12345);
+  const auto forged = authority.Forge(DeviceId{7}, 999, 54321);
+  EXPECT_FALSE(authority.Verify(forged));
+}
+
+TEST(AttestationTest, TokenBoundToDevice) {
+  AttestationAuthority authority(1);
+  auto token = authority.Issue(DeviceId{7}, 999);
+  token.device = DeviceId{8};  // replay under a different identity
+  EXPECT_FALSE(authority.Verify(token));
+}
+
+TEST(AttestationTest, TokenBoundToNonce) {
+  AttestationAuthority authority(1);
+  auto token = authority.Issue(DeviceId{7}, 999);
+  token.nonce = 1000;
+  EXPECT_FALSE(authority.Verify(token));
+}
+
+TEST(AttestationTest, DifferentAuthoritiesDisagree) {
+  AttestationAuthority a(1), b(2);
+  const auto token = a.Issue(DeviceId{7}, 1);
+  EXPECT_FALSE(b.Verify(token));
+}
+
+TEST(AttestationTest, LuckyForgeryRequiresExactSecret) {
+  AttestationAuthority authority(0xABCDEF);
+  // Forging with the true secret works (that is the defended boundary:
+  // compromise of the platform key, out of scope per Sec. 3).
+  const auto forged_right = authority.Forge(DeviceId{3}, 5, 0xABCDEF);
+  EXPECT_TRUE(authority.Verify(forged_right));
+  const auto forged_close = authority.Forge(DeviceId{3}, 5, 0xABCDEE);
+  EXPECT_FALSE(authority.Verify(forged_close));
+}
+
+}  // namespace
+}  // namespace fl::device

@@ -1,0 +1,120 @@
+#include "src/fedavg/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/fedavg/client_update.h"
+
+namespace fl::fedavg {
+namespace {
+
+TEST(P2QuantileTest, ExactForSmallSamples) {
+  P2Quantile median(0.5);
+  median.Add(5);
+  EXPECT_DOUBLE_EQ(median.Get(), 5);
+  median.Add(1);
+  median.Add(9);
+  EXPECT_DOUBLE_EQ(median.Get(), 5);
+}
+
+TEST(P2QuantileTest, MedianOfUniformApproachesHalf) {
+  P2Quantile median(0.5);
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) median.Add(rng.NextDouble());
+  EXPECT_NEAR(median.Get(), 0.5, 0.02);
+}
+
+TEST(P2QuantileTest, P90OfUniform) {
+  P2Quantile p90(0.9);
+  Rng rng(2);
+  for (int i = 0; i < 100000; ++i) p90.Add(rng.NextDouble());
+  EXPECT_NEAR(p90.Get(), 0.9, 0.02);
+}
+
+TEST(P2QuantileTest, MedianOfNormalApproachesMean) {
+  P2Quantile median(0.5);
+  Rng rng(3);
+  for (int i = 0; i < 50000; ++i) median.Add(rng.Normal(10.0, 2.0));
+  EXPECT_NEAR(median.Get(), 10.0, 0.15);
+}
+
+TEST(P2QuantileTest, ComparedAgainstExactQuantile) {
+  // Skewed distribution: exponential.
+  Rng rng(4);
+  std::vector<double> values;
+  P2Quantile p90(0.9);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.Exponential(1.0);
+    values.push_back(v);
+    p90.Add(v);
+  }
+  std::sort(values.begin(), values.end());
+  const double exact = values[static_cast<std::size_t>(0.9 * values.size())];
+  EXPECT_NEAR(p90.Get(), exact, 0.15 * exact);
+}
+
+TEST(StreamingMomentsTest, MeanVarianceMinMax) {
+  StreamingMoments m;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) m.Add(v);
+  EXPECT_DOUBLE_EQ(m.Mean(), 5.0);
+  EXPECT_NEAR(m.Variance(), 32.0 / 7.0, 1e-9);  // sample variance
+  EXPECT_DOUBLE_EQ(m.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(m.Max(), 9.0);
+  EXPECT_EQ(m.Count(), 8u);
+}
+
+TEST(StreamingMomentsTest, EmptyIsZero) {
+  StreamingMoments m;
+  EXPECT_DOUBLE_EQ(m.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(m.Variance(), 0.0);
+}
+
+TEST(MetricsAccumulatorTest, SummaryAggregatesNamedSeries) {
+  MetricsAccumulator acc;
+  for (int i = 1; i <= 100; ++i) {
+    acc.Add("loss", static_cast<double>(i));
+  }
+  const auto s = acc.Get("loss");
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.median, 50.5, 3.0);
+  EXPECT_NEAR(s.p90, 90.0, 5.0);
+}
+
+TEST(MetricsAccumulatorTest, MissingMetricIsZeroSummary) {
+  MetricsAccumulator acc;
+  const auto s = acc.Get("never");
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_FALSE(acc.Has("never"));
+}
+
+TEST(MetricsAccumulatorTest, ClientMetricsFanOut) {
+  MetricsAccumulator acc;
+  ClientMetrics m;
+  m.mean_loss = 0.5;
+  m.mean_accuracy = 0.8;
+  m.example_count = 42;
+  acc.AddClientMetrics(m);
+  EXPECT_TRUE(acc.Has("loss"));
+  EXPECT_TRUE(acc.Has("accuracy"));
+  EXPECT_TRUE(acc.Has("example_count"));
+  EXPECT_DOUBLE_EQ(acc.Get("example_count").mean, 42.0);
+}
+
+TEST(MetricsAccumulatorTest, AllReturnsEverySeries) {
+  MetricsAccumulator acc;
+  acc.Add("a", 1);
+  acc.Add("b", 2);
+  const auto all = acc.All();
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_TRUE(all.count("a"));
+  EXPECT_TRUE(all.count("b"));
+}
+
+}  // namespace
+}  // namespace fl::fedavg

@@ -1,0 +1,157 @@
+#include "src/fedavg/server_aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/fedavg/client_update.h"
+
+namespace fl::fedavg {
+namespace {
+
+Checkpoint Schema() {
+  Checkpoint c;
+  c.Put("w", Tensor::FromVector({1.0f, 2.0f}));
+  return c;
+}
+
+Checkpoint DeltaOf(float a, float b) {
+  Checkpoint c;
+  c.Put("w", Tensor::FromVector({a, b}));
+  return c;
+}
+
+ClientMetrics Metrics(double loss) {
+  ClientMetrics m;
+  m.mean_loss = loss;
+  m.mean_accuracy = 0.5;
+  m.example_count = 10;
+  return m;
+}
+
+TEST(FedAvgAccumulatorTest, WeightedMeanMatchesAlgorithmOne) {
+  // Two clients: n=2 with delta 2*(+1,+1); n=8 with delta 8*(-1, 0).
+  // w_{t+1} = w_t + (sum deltas) / (sum n) = w_t + (2-8, 2+0)/10.
+  FedAvgAccumulator acc(plan::AggregationOp::kWeightedFedAvg, Schema());
+  ASSERT_TRUE(acc.Accumulate(DeltaOf(2, 2), 2, Metrics(1.0)).ok());
+  ASSERT_TRUE(acc.Accumulate(DeltaOf(-8, 0), 8, Metrics(2.0)).ok());
+  EXPECT_EQ(acc.contributions(), 2u);
+  EXPECT_FLOAT_EQ(acc.total_weight(), 10.0f);
+
+  const auto next = acc.Finalize(Schema());
+  ASSERT_TRUE(next.ok());
+  const Tensor& w = *(*next->Get("w"));
+  EXPECT_FLOAT_EQ(w.at(0), 1.0f + (2.0f - 8.0f) / 10.0f);
+  EXPECT_FLOAT_EQ(w.at(1), 2.0f + (2.0f + 0.0f) / 10.0f);
+}
+
+TEST(FedAvgAccumulatorTest, UnweightedMeanIgnoresWeights) {
+  FedAvgAccumulator acc(plan::AggregationOp::kUnweightedMean, Schema());
+  // Client deltas (already weighted by n on device): n=2 delta/ n = (1,1);
+  // n=100 delta/n = (3,3). Unweighted mean of per-client mean deltas = (2,2).
+  ASSERT_TRUE(acc.Accumulate(DeltaOf(2, 2), 2, Metrics(1)).ok());
+  ASSERT_TRUE(acc.Accumulate(DeltaOf(300, 300), 100, Metrics(1)).ok());
+  const auto next = acc.Finalize(Schema());
+  ASSERT_TRUE(next.ok());
+  EXPECT_FLOAT_EQ((*next->Get("w"))->at(0), 1.0f + 2.0f);
+}
+
+TEST(FedAvgAccumulatorTest, MetricsOnlyNeverMovesModel) {
+  FedAvgAccumulator acc(plan::AggregationOp::kMetricsOnly, Schema());
+  ASSERT_TRUE(acc.Accumulate(Checkpoint{}, 1, Metrics(0.7)).ok());
+  ASSERT_TRUE(acc.Accumulate(Checkpoint{}, 1, Metrics(0.9)).ok());
+  const Checkpoint global = Schema();
+  const auto next = acc.Finalize(global);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, global);
+  EXPECT_NEAR(acc.metrics().Get("loss").mean, 0.8, 1e-9);
+}
+
+TEST(FedAvgAccumulatorTest, EmptyFinalizeFails) {
+  FedAvgAccumulator acc(plan::AggregationOp::kWeightedFedAvg, Schema());
+  EXPECT_FALSE(acc.Finalize(Schema()).ok());
+}
+
+TEST(FedAvgAccumulatorTest, NonPositiveWeightRejected) {
+  FedAvgAccumulator acc(plan::AggregationOp::kWeightedFedAvg, Schema());
+  EXPECT_FALSE(acc.Accumulate(DeltaOf(1, 1), 0, Metrics(1)).ok());
+  EXPECT_FALSE(acc.Accumulate(DeltaOf(1, 1), -2, Metrics(1)).ok());
+}
+
+TEST(FedAvgAccumulatorTest, SchemaMismatchRejected) {
+  FedAvgAccumulator acc(plan::AggregationOp::kWeightedFedAvg, Schema());
+  Checkpoint wrong;
+  wrong.Put("other", Tensor::FromVector({1.0f}));
+  EXPECT_FALSE(acc.Accumulate(std::move(wrong), 1, Metrics(1)).ok());
+}
+
+TEST(FedAvgAccumulatorTest, HierarchicalAggregationMatchesFlat) {
+  // Master-aggregator semantics (Sec. 6): combining two intermediate sums
+  // must equal accumulating all four updates directly.
+  Rng rng(1);
+  std::vector<std::pair<Checkpoint, float>> updates;
+  for (int i = 0; i < 4; ++i) {
+    const float w = static_cast<float>(rng.UniformInt(1, 20));
+    updates.emplace_back(
+        DeltaOf(static_cast<float>(rng.Normal(0, 2)) * w,
+                static_cast<float>(rng.Normal(0, 2)) * w),
+        w);
+  }
+
+  FedAvgAccumulator flat(plan::AggregationOp::kWeightedFedAvg, Schema());
+  for (auto& [d, w] : updates) {
+    Checkpoint copy = d;
+    ASSERT_TRUE(flat.Accumulate(std::move(copy), w, Metrics(1)).ok());
+  }
+
+  FedAvgAccumulator left(plan::AggregationOp::kWeightedFedAvg, Schema());
+  FedAvgAccumulator right(plan::AggregationOp::kWeightedFedAvg, Schema());
+  for (int i = 0; i < 2; ++i) {
+    Checkpoint copy = updates[i].first;
+    ASSERT_TRUE(left.Accumulate(std::move(copy), updates[i].second,
+                                Metrics(1)).ok());
+  }
+  for (int i = 2; i < 4; ++i) {
+    Checkpoint copy = updates[i].first;
+    ASSERT_TRUE(right.Accumulate(std::move(copy), updates[i].second,
+                                 Metrics(1)).ok());
+  }
+  FedAvgAccumulator master(plan::AggregationOp::kWeightedFedAvg, Schema());
+  Checkpoint ls = left.delta_sum();
+  Checkpoint rs = right.delta_sum();
+  ASSERT_TRUE(master.AccumulateSum(std::move(ls), left.weight_sum(),
+                                   left.contributions()).ok());
+  ASSERT_TRUE(master.AccumulateSum(std::move(rs), right.weight_sum(),
+                                   right.contributions()).ok());
+
+  const auto flat_model = flat.Finalize(Schema());
+  const auto tree_model = master.Finalize(Schema());
+  ASSERT_TRUE(flat_model.ok() && tree_model.ok());
+  const Tensor& a = *(*flat_model->Get("w"));
+  const Tensor& b = *(*tree_model->Get("w"));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a.at(i), b.at(i), 1e-5);
+  }
+  EXPECT_EQ(master.contributions(), 4u);
+}
+
+TEST(FedAvgAccumulatorTest, OnlineAccumulationKeepsNoPerClientState) {
+  // The accumulator's memory footprint is one checkpoint regardless of how
+  // many clients report (Sec. 10's scalability rebuttal).
+  FedAvgAccumulator acc(plan::AggregationOp::kWeightedFedAvg, Schema());
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(acc.Accumulate(DeltaOf(1, 1), 1, Metrics(1)).ok());
+  }
+  EXPECT_EQ(acc.contributions(), 1000u);
+  EXPECT_EQ(acc.delta_sum().TotalParameters(), 2u);  // just the sum
+}
+
+TEST(FedAvgAccumulatorTest, AddMetricsSeparateFromSums) {
+  FedAvgAccumulator acc(plan::AggregationOp::kWeightedFedAvg, Schema());
+  acc.AddMetrics(Metrics(0.25));
+  acc.AddMetrics(Metrics(0.75));
+  EXPECT_NEAR(acc.metrics().Get("loss").mean, 0.5, 1e-9);
+  EXPECT_EQ(acc.contributions(), 0u);  // metrics do not count as updates
+}
+
+}  // namespace
+}  // namespace fl::fedavg

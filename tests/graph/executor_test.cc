@@ -1,0 +1,263 @@
+#include "src/graph/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/graph/model_zoo.h"
+#include "src/graph/registry.h"
+
+namespace fl::graph {
+namespace {
+
+// Numerical-vs-analytical gradient check: the canonical autodiff property.
+void CheckGradients(const Model& model, const Feeds& feeds,
+                    double tolerance = 2e-2) {
+  const Executor exec(kCurrentRuntimeVersion);
+  auto grads = exec.Backward(model.graph, model.init_params, feeds);
+  ASSERT_TRUE(grads.ok()) << grads.status();
+
+  const double eps = 1e-3;
+  for (const auto& [name, grad] : *grads) {
+    Checkpoint params = model.init_params;
+    Tensor* t = *params.GetMutable(name);
+    // Spot-check a handful of coordinates per parameter.
+    const std::size_t stride = std::max<std::size_t>(1, t->size() / 5);
+    for (std::size_t i = 0; i < t->size(); i += stride) {
+      const float original = t->at(i);
+      t->at(i) = original + static_cast<float>(eps);
+      const double loss_plus =
+          exec.Forward(model.graph, params, feeds)->loss;
+      t->at(i) = original - static_cast<float>(eps);
+      const double loss_minus =
+          exec.Forward(model.graph, params, feeds)->loss;
+      t->at(i) = original;
+      const double numeric = (loss_plus - loss_minus) / (2 * eps);
+      EXPECT_NEAR(grad.at(i), numeric,
+                  tolerance * std::max(1.0, std::fabs(numeric)))
+          << name << "[" << i << "]";
+    }
+  }
+}
+
+Feeds ClassifierFeeds(std::size_t batch, std::size_t dim, std::size_t classes,
+                      Rng& rng) {
+  Tensor x({batch, dim});
+  Tensor y({batch, 1});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.at(i) = static_cast<float>(rng.Normal(0, 1));
+  }
+  for (std::size_t i = 0; i < batch; ++i) {
+    y.at(i, 0) = static_cast<float>(rng.UniformInt(classes));
+  }
+  return Feeds{{"features", std::move(x)}, {"labels", std::move(y)}};
+}
+
+TEST(ExecutorTest, LogisticRegressionForwardShapesAndLoss) {
+  Rng rng(1);
+  const Model m = BuildLogisticRegression(4, 3, rng);
+  const Feeds feeds = ClassifierFeeds(8, 4, 3, rng);
+  const Executor exec(1);
+  const auto fwd = exec.Forward(m.graph, m.init_params, feeds);
+  ASSERT_TRUE(fwd.ok()) << fwd.status();
+  EXPECT_TRUE(std::isfinite(fwd->loss));
+  // Random init on 3 classes: loss in the vicinity of ln(3).
+  EXPECT_GT(fwd->loss, 0.3);
+  EXPECT_LT(fwd->loss, 3.0);
+  EXPECT_TRUE(fwd->has_accuracy);
+}
+
+TEST(ExecutorTest, SoftmaxProbabilitiesSumToOne) {
+  Rng rng(2);
+  const Model m = BuildLogisticRegression(4, 5, rng);
+  const Feeds feeds = ClassifierFeeds(6, 4, 5, rng);
+  const Executor exec(1);
+  const auto fwd = exec.Forward(m.graph, m.init_params, feeds);
+  ASSERT_TRUE(fwd.ok());
+  const Tensor& probs = fwd->values.back();
+  for (std::size_t i = 0; i < 6; ++i) {
+    double row = 0;
+    for (std::size_t j = 0; j < 5; ++j) row += probs.at(i, j);
+    EXPECT_NEAR(row, 1.0, 1e-5);
+  }
+}
+
+TEST(ExecutorTest, GradientsMatchNumericalLogReg) {
+  Rng rng(3);
+  const Model m = BuildLogisticRegression(3, 2, rng);
+  CheckGradients(m, ClassifierFeeds(4, 3, 2, rng));
+}
+
+TEST(ExecutorTest, GradientsMatchNumericalMlp) {
+  Rng rng(4);
+  const Model m = BuildMlp(3, 5, 2, rng);
+  CheckGradients(m, ClassifierFeeds(4, 3, 2, rng));
+}
+
+TEST(ExecutorTest, GradientsMatchNumericalRanking) {
+  Rng rng(5);
+  const Model m = BuildRankingModel(4, 6, rng);
+  Tensor x({3, 4});
+  Tensor y({3, 1});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.at(i) = static_cast<float>(rng.Normal(0, 1));
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    y.at(i, 0) = rng.Bernoulli(0.5) ? 1.0f : 0.0f;
+  }
+  CheckGradients(m, Feeds{{"features", x}, {"labels", y}}, 5e-2);
+}
+
+TEST(ExecutorTest, GradientsMatchNumericalNextWord) {
+  Rng rng(6);
+  const Model m = BuildNextWordModel(12, 2, 3, 5, rng);
+  Tensor ids({4, 2});
+  Tensor y({4, 1});
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids.at(i) = static_cast<float>(rng.UniformInt(std::uint64_t{12}));
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    y.at(i, 0) = static_cast<float>(rng.UniformInt(std::uint64_t{12}));
+  }
+  CheckGradients(m, Feeds{{"context_ids", ids}, {"labels", y}}, 5e-2);
+}
+
+TEST(ExecutorTest, SgdStepReducesLoss) {
+  Rng rng(7);
+  const Model m = BuildLogisticRegression(6, 3, rng);
+  const Feeds feeds = ClassifierFeeds(32, 6, 3, rng);
+  const Executor exec(1);
+  Checkpoint params = m.init_params;
+  double prev = exec.Forward(m.graph, params, feeds)->loss;
+  for (int step = 0; step < 20; ++step) {
+    auto grads = exec.Backward(m.graph, params, feeds);
+    ASSERT_TRUE(grads.ok());
+    ASSERT_TRUE(ApplySgd(params, *grads, 0.5f).ok());
+  }
+  const double after = exec.Forward(m.graph, params, feeds)->loss;
+  EXPECT_LT(after, prev * 0.9);
+}
+
+TEST(ExecutorTest, MissingFeedReported) {
+  Rng rng(8);
+  const Model m = BuildLogisticRegression(4, 2, rng);
+  const Executor exec(1);
+  const auto fwd = exec.Forward(m.graph, m.init_params, {});
+  ASSERT_FALSE(fwd.ok());
+  EXPECT_EQ(fwd.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(ExecutorTest, FeedDimMismatchReported) {
+  Rng rng(9);
+  const Model m = BuildLogisticRegression(4, 2, rng);
+  const Executor exec(1);
+  Feeds feeds;
+  feeds.emplace("features", Tensor({2, 5}));  // wrong feature dim
+  feeds.emplace("labels", Tensor({2, 1}));
+  EXPECT_FALSE(exec.Forward(m.graph, m.init_params, feeds).ok());
+}
+
+TEST(ExecutorTest, MissingParamReported) {
+  Rng rng(10);
+  const Model m = BuildLogisticRegression(4, 2, rng);
+  const Executor exec(1);
+  Checkpoint empty;
+  const Feeds feeds = ClassifierFeeds(2, 4, 2, rng);
+  EXPECT_FALSE(exec.Forward(m.graph, empty, feeds).ok());
+}
+
+TEST(ExecutorTest, LabelOutOfRangeReported) {
+  Rng rng(11);
+  const Model m = BuildLogisticRegression(4, 2, rng);
+  const Executor exec(1);
+  Feeds feeds = ClassifierFeeds(2, 4, 2, rng);
+  feeds.at("labels").at(0, 0) = 99.0f;
+  EXPECT_FALSE(exec.Forward(m.graph, m.init_params, feeds).ok());
+}
+
+TEST(ExecutorTest, OldRuntimeRejectsNewOps) {
+  Rng rng(12);
+  const Model m = BuildNextWordModel(8, 2, 3, 4, rng);  // uses v2/v3 ops
+  const Executor old_exec(1);
+  Feeds feeds;
+  feeds.emplace("context_ids", Tensor({1, 2}));
+  feeds.emplace("labels", Tensor({1, 1}));
+  const auto fwd = old_exec.Forward(m.graph, m.init_params, feeds);
+  ASSERT_FALSE(fwd.ok());
+  EXPECT_EQ(fwd.status().code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST(ExecutorTest, FastTanhApproximatesTanh) {
+  GraphBuilder fast_b;
+  fast_b.FastTanh(fast_b.Input("x", {0, 1}));
+  const Graph fast = std::move(fast_b).Build();
+  GraphBuilder exact_b;
+  exact_b.Tanh(exact_b.Input("x", {0, 1}));
+  const Graph exact = std::move(exact_b).Build();
+
+  const Executor exec(kCurrentRuntimeVersion);
+  for (float x : {-3.0f, -1.0f, -0.2f, 0.0f, 0.5f, 2.0f, 4.0f}) {
+    Feeds feeds;
+    feeds.emplace("x", Tensor({1, 1}, {x}));
+    const float f = exec.Forward(fast, {}, feeds)->values.back().at(0);
+    const float e = exec.Forward(exact, {}, feeds)->values.back().at(0);
+    EXPECT_NEAR(f, e, 0.03) << "x=" << x;
+  }
+}
+
+TEST(ExecutorTest, MeanSquaredErrorLossAndGradient) {
+  GraphBuilder b;
+  const NodeId x = b.Input("x", {0, 2});
+  const NodeId t = b.Input("t", {0, 2});
+  const NodeId w = b.Param("w", {2, 2});
+  b.MeanSquaredError(b.MatMul(x, w), t);
+  const Graph g = std::move(b).Build();
+  Checkpoint params;
+  params.Put("w", Tensor({2, 2}, {1, 0, 0, 1}));  // identity
+  Feeds feeds;
+  feeds.emplace("x", Tensor({1, 2}, {1.0f, 2.0f}));
+  feeds.emplace("t", Tensor({1, 2}, {0.0f, 0.0f}));
+  const Executor exec(1);
+  const auto fwd = exec.Forward(g, params, feeds);
+  ASSERT_TRUE(fwd.ok());
+  EXPECT_NEAR(fwd->loss, (1.0 + 4.0) / 2.0, 1e-6);
+  const auto grads = exec.Backward(g, params, feeds);
+  ASSERT_TRUE(grads.ok());
+  EXPECT_GT(grads->at("w").L2Norm(), 0.0);
+}
+
+TEST(ExecutorTest, BackwardRequiresLossFinalNode) {
+  GraphBuilder b;
+  b.Relu(b.Input("x", {0, 2}));
+  const Graph g = std::move(b).Build();
+  Feeds feeds;
+  feeds.emplace("x", Tensor({1, 2}, {1.0f, -1.0f}));
+  const Executor exec(1);
+  EXPECT_FALSE(exec.Backward(g, {}, feeds).ok());
+}
+
+TEST(ExecutorTest, EmbeddingGradientOnlyTouchesUsedRows) {
+  Rng rng(13);
+  const Model m = BuildNextWordModel(10, 1, 2, 3, rng);
+  Tensor ids({1, 1}, {4.0f});
+  Tensor y({1, 1}, {7.0f});
+  const Executor exec(kCurrentRuntimeVersion);
+  const auto grads = exec.Backward(m.graph, m.init_params,
+                                   {{"context_ids", ids}, {"labels", y}});
+  ASSERT_TRUE(grads.ok());
+  const Tensor& demb = grads->at("embedding");
+  for (std::size_t row = 0; row < 10; ++row) {
+    double norm = 0;
+    for (std::size_t k = 0; k < 2; ++k) {
+      norm += std::fabs(demb.at(row, k));
+    }
+    if (row == 4) {
+      EXPECT_GT(norm, 0.0);
+    } else {
+      EXPECT_EQ(norm, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fl::graph

@@ -1,0 +1,118 @@
+#include "src/graph/model_zoo.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/executor.h"
+#include "src/graph/registry.h"
+
+namespace fl::graph {
+namespace {
+
+TEST(ModelZooTest, LogisticRegressionSchema) {
+  Rng rng(1);
+  const Model m = BuildLogisticRegression(8, 4, rng);
+  EXPECT_EQ(m.init_params.tensor_count(), 2u);
+  EXPECT_EQ((*m.init_params.Get("w"))->shape(), (Shape{8, 4}));
+  EXPECT_EQ((*m.init_params.Get("b"))->shape(), (Shape{4}));
+  EXPECT_EQ(m.feature_input, "features");
+  EXPECT_EQ(m.label_input, "labels");
+}
+
+TEST(ModelZooTest, MlpParameterCount) {
+  Rng rng(2);
+  const Model m = BuildMlp(10, 16, 3, rng);
+  EXPECT_EQ(m.init_params.TotalParameters(),
+            10u * 16 + 16 + 16 * 3 + 3);
+}
+
+TEST(ModelZooTest, NextWordModelParameterCount) {
+  Rng rng(3);
+  const std::size_t vocab = 32, ctx = 3, emb = 8, hidden = 16;
+  const Model m = BuildNextWordModel(vocab, ctx, emb, hidden, rng);
+  EXPECT_EQ(m.init_params.TotalParameters(),
+            vocab * emb + ctx * emb * hidden + hidden + hidden * vocab +
+                vocab);
+  EXPECT_EQ(RequiredRuntimeVersion(m.graph), 3u);
+}
+
+TEST(ModelZooTest, RankingModelOutputsProbability) {
+  Rng rng(4);
+  const Model m = BuildRankingModel(6, 8, rng);
+  Tensor x({5, 6});
+  Tensor y({5, 1});
+  Rng data(5);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.at(i) = static_cast<float>(data.Normal(0, 1));
+  }
+  for (std::size_t i = 0; i < 5; ++i) y.at(i, 0) = 1.0f;
+  const Executor exec(1);
+  const auto fwd =
+      exec.Forward(m.graph, m.init_params, {{"features", x}, {"labels", y}});
+  ASSERT_TRUE(fwd.ok()) << fwd.status();
+  // The node before the loss holds sigmoid scores in (0, 1).
+  const Tensor& scores = fwd->values[fwd->values.size() - 2];
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_GT(scores.at(i), 0.0f);
+    EXPECT_LT(scores.at(i), 1.0f);
+  }
+}
+
+TEST(ModelZooTest, AllModelsTrainOneStep) {
+  Rng rng(6);
+  struct Case {
+    Model model;
+    Feeds feeds;
+  };
+  std::vector<Case> cases;
+  {
+    Model m = BuildLogisticRegression(4, 2, rng);
+    Feeds f{{"features", Tensor({2, 4}, {1, 0, 0, 1, 0, 1, 1, 0})},
+            {"labels", Tensor({2, 1}, {0, 1})}};
+    cases.push_back({std::move(m), std::move(f)});
+  }
+  {
+    Model m = BuildMlp(4, 6, 2, rng);
+    Feeds f{{"features", Tensor({2, 4}, {1, 0, 0, 1, 0, 1, 1, 0})},
+            {"labels", Tensor({2, 1}, {0, 1})}};
+    cases.push_back({std::move(m), std::move(f)});
+  }
+  {
+    Model m = BuildNextWordModel(8, 2, 3, 4, rng);
+    Feeds f{{"context_ids", Tensor({2, 2}, {1, 2, 3, 4})},
+            {"labels", Tensor({2, 1}, {5, 6})}};
+    cases.push_back({std::move(m), std::move(f)});
+  }
+  {
+    Model m = BuildRankingModel(4, 5, rng);
+    Feeds f{{"features", Tensor({2, 4}, {1, 0, 0, 1, 0, 1, 1, 0})},
+            {"labels", Tensor({2, 1}, {1, 0})}};
+    cases.push_back({std::move(m), std::move(f)});
+  }
+
+  const Executor exec(kCurrentRuntimeVersion);
+  for (auto& c : cases) {
+    Checkpoint params = c.model.init_params;
+    const double before = exec.Forward(c.model.graph, params, c.feeds)->loss;
+    for (int i = 0; i < 30; ++i) {
+      auto grads = exec.Backward(c.model.graph, params, c.feeds);
+      ASSERT_TRUE(grads.ok()) << grads.status();
+      ASSERT_TRUE(ApplySgd(params, *grads, 0.3f).ok());
+    }
+    const double after = exec.Forward(c.model.graph, params, c.feeds)->loss;
+    EXPECT_LT(after, before);
+  }
+}
+
+TEST(ModelZooTest, ModelsSerializeThroughGraphFormat) {
+  Rng rng(7);
+  for (const Model& m :
+       {BuildLogisticRegression(4, 2, rng), BuildMlp(4, 8, 2, rng),
+        BuildNextWordModel(16, 2, 4, 8, rng), BuildRankingModel(5, 6, rng)}) {
+    const auto back = Graph::Deserialize(m.graph.Serialize());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->Fingerprint(), m.graph.Fingerprint());
+  }
+}
+
+}  // namespace
+}  // namespace fl::graph

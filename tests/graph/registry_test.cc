@@ -1,0 +1,110 @@
+#include "src/graph/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/executor.h"
+#include "src/graph/model_zoo.h"
+
+namespace fl::graph {
+namespace {
+
+TEST(RegistryTest, BaseOpsAvailableFromVersionOne) {
+  EXPECT_EQ(MinRuntimeVersion(OpType::kMatMul), 1u);
+  EXPECT_EQ(MinRuntimeVersion(OpType::kTanh), 1u);
+  EXPECT_EQ(MinRuntimeVersion(OpType::kSoftmaxXent), 1u);
+}
+
+TEST(RegistryTest, NewOpsRequireNewerRuntimes) {
+  EXPECT_EQ(MinRuntimeVersion(OpType::kFusedMatMulBias), 2u);
+  EXPECT_EQ(MinRuntimeVersion(OpType::kFastTanh), 3u);
+}
+
+TEST(RegistryTest, RequiredVersionIsMaxOverNodes) {
+  Rng rng(1);
+  const Model old_model = BuildLogisticRegression(4, 2, rng);
+  EXPECT_EQ(RequiredRuntimeVersion(old_model.graph), 1u);
+  const Model new_model = BuildNextWordModel(8, 2, 3, 4, rng);
+  EXPECT_EQ(RequiredRuntimeVersion(new_model.graph), 3u);
+}
+
+TEST(RegistryTest, TransformLowersToTargetVersion) {
+  Rng rng(2);
+  const Model m = BuildNextWordModel(8, 2, 3, 4, rng);
+  for (std::uint32_t v = 1; v <= 3; ++v) {
+    const auto lowered = TransformForVersion(m.graph, v);
+    ASSERT_TRUE(lowered.ok()) << "v" << v << ": " << lowered.status();
+    EXPECT_LE(RequiredRuntimeVersion(*lowered), v);
+  }
+}
+
+TEST(RegistryTest, LoweringPreservesSemantics) {
+  // "Versioned and unversioned plans ... are therefore treated as
+  // semantically equivalent" (Sec. 7.3): losses must agree closely.
+  Rng rng(3);
+  const Model m = BuildNextWordModel(10, 2, 3, 4, rng);
+  Tensor ids({4, 2});
+  Tensor y({4, 1});
+  Rng data_rng(4);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids.at(i) = static_cast<float>(data_rng.UniformInt(std::uint64_t{10}));
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    y.at(i, 0) = static_cast<float>(data_rng.UniformInt(std::uint64_t{10}));
+  }
+  const Feeds feeds{{"context_ids", ids}, {"labels", y}};
+
+  const Executor exec_v3(3);
+  const double native_loss =
+      exec_v3.Forward(m.graph, m.init_params, feeds)->loss;
+
+  const auto v1 = TransformForVersion(m.graph, 1);
+  ASSERT_TRUE(v1.ok());
+  const Executor exec_v1(1);
+  const auto fwd = exec_v1.Forward(*v1, m.init_params, feeds);
+  ASSERT_TRUE(fwd.ok()) << fwd.status();
+  EXPECT_NEAR(fwd->loss, native_loss, 0.02 * std::max(1.0, native_loss));
+}
+
+TEST(RegistryTest, LoweredGraphKeepsParamsAndInputs) {
+  Rng rng(5);
+  const Model m = BuildNextWordModel(8, 2, 3, 4, rng);
+  const auto v1 = TransformForVersion(m.graph, 1);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->Params().size(), m.graph.Params().size());
+  EXPECT_EQ(v1->Inputs().size(), m.graph.Inputs().size());
+  // Fused ops split: the lowered graph has more nodes.
+  EXPECT_GT(v1->size(), m.graph.size());
+}
+
+TEST(RegistryTest, AlreadyCompatibleGraphUnchangedInSize) {
+  Rng rng(6);
+  const Model m = BuildLogisticRegression(4, 2, rng);
+  const auto same = TransformForVersion(m.graph, 1);
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(same->size(), m.graph.size());
+  EXPECT_EQ(same->Fingerprint(), m.graph.Fingerprint());
+}
+
+TEST(RegistryTest, GradientsAgreeAfterLowering) {
+  Rng rng(7);
+  const Model m = BuildNextWordModel(8, 2, 3, 4, rng);
+  const auto v1 = TransformForVersion(m.graph, 1);
+  ASSERT_TRUE(v1.ok());
+  Tensor ids({2, 2}, {1, 2, 3, 4});
+  Tensor y({2, 1}, {5, 6});
+  const Feeds feeds{{"context_ids", ids}, {"labels", y}};
+  const Executor e3(3), e1(1);
+  const auto g3 = e3.Backward(m.graph, m.init_params, feeds);
+  const auto g1 = e1.Backward(*v1, m.init_params, feeds);
+  ASSERT_TRUE(g3.ok() && g1.ok());
+  for (const auto& [name, grad] : *g3) {
+    const Tensor& other = g1->at(name);
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+      EXPECT_NEAR(grad.at(i), other.at(i), 0.02)
+          << name << "[" << i << "]";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fl::graph

@@ -1,0 +1,96 @@
+#include "src/plan/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/registry.h"
+
+namespace fl::plan {
+namespace {
+
+graph::Model TestModel(Rng& rng) {
+  return graph::BuildLogisticRegression(4, 2, rng);
+}
+
+TEST(PlanTest, TrainingPlanCarriesModelAndConfig) {
+  Rng rng(1);
+  const graph::Model m = TestModel(rng);
+  TrainingHyperparams hyper;
+  hyper.batch_size = 16;
+  hyper.epochs = 2;
+  hyper.learning_rate = 0.05f;
+  ExampleSelector selector;
+  selector.store_name = "keyboard";
+  selector.min_examples = 10;
+  const FLPlan p = MakeTrainingPlan(m, "train-task", hyper, selector);
+
+  EXPECT_EQ(p.task_name, "train-task");
+  EXPECT_EQ(p.device.batch_size, 16u);
+  EXPECT_EQ(p.device.epochs, 2u);
+  EXPECT_FLOAT_EQ(p.device.learning_rate, 0.05f);
+  EXPECT_EQ(p.device.selector.store_name, "keyboard");
+  EXPECT_EQ(p.device.kind, TaskKind::kTraining);
+  EXPECT_EQ(p.server.aggregation, AggregationOp::kWeightedFedAvg);
+  EXPECT_EQ(p.min_runtime_version, 1u);
+  EXPECT_EQ(p.device.graph.Fingerprint(), m.graph.Fingerprint());
+}
+
+TEST(PlanTest, EvaluationPlanAggregatesMetricsOnly) {
+  Rng rng(2);
+  const FLPlan p = MakeEvaluationPlan(TestModel(rng), "eval", {});
+  EXPECT_EQ(p.device.kind, TaskKind::kEvaluation);
+  EXPECT_EQ(p.server.aggregation, AggregationOp::kMetricsOnly);
+  EXPECT_FLOAT_EQ(p.device.learning_rate, 0.0f);
+}
+
+TEST(PlanTest, NewOpsRaiseMinRuntimeVersion) {
+  Rng rng(3);
+  const graph::Model m = graph::BuildNextWordModel(8, 2, 3, 4, rng);
+  const FLPlan p = MakeTrainingPlan(m, "lm", {}, {});
+  EXPECT_EQ(p.min_runtime_version, 3u);
+}
+
+TEST(PlanTest, SerializeRoundTrip) {
+  Rng rng(4);
+  TrainingHyperparams hyper;
+  hyper.batch_size = 8;
+  ExampleSelector sel;
+  sel.max_example_age = Hours(48);
+  sel.min_examples = 3;
+  sel.max_examples = 77;
+  const FLPlan p = MakeTrainingPlan(TestModel(rng), "rt", hyper, sel);
+  const auto back = FLPlan::Deserialize(p.Serialize());
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->task_name, "rt");
+  EXPECT_EQ(back->device.batch_size, 8u);
+  EXPECT_EQ(back->device.selector.max_example_age, Hours(48));
+  EXPECT_EQ(back->device.selector.min_examples, 3u);
+  EXPECT_EQ(back->device.selector.max_examples, 77u);
+  EXPECT_EQ(back->device.graph.Fingerprint(),
+            p.device.graph.Fingerprint());
+  EXPECT_EQ(back->server.aggregation, p.server.aggregation);
+}
+
+TEST(PlanTest, CorruptPlanRejected) {
+  Rng rng(5);
+  Bytes bytes = MakeTrainingPlan(TestModel(rng), "x", {}, {}).Serialize();
+  bytes[1] = 'q';
+  EXPECT_FALSE(FLPlan::Deserialize(bytes).ok());
+}
+
+TEST(PlanTest, TruncatedPlanRejected) {
+  Rng rng(6);
+  const Bytes bytes = MakeTrainingPlan(TestModel(rng), "x", {}, {}).Serialize();
+  const auto r = FLPlan::Deserialize(
+      std::span<const std::uint8_t>(bytes.data(), bytes.size() - 5));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(PlanTest, SerializedSizeIsPositiveAndStable) {
+  Rng rng(7);
+  const FLPlan p = MakeTrainingPlan(TestModel(rng), "x", {}, {});
+  EXPECT_GT(p.SerializedSize(), 50u);
+  EXPECT_EQ(p.SerializedSize(), p.Serialize().size());
+}
+
+}  // namespace
+}  // namespace fl::plan

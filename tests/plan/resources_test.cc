@@ -1,0 +1,88 @@
+#include "src/plan/resources.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/model_zoo.h"
+
+namespace fl::plan {
+namespace {
+
+TEST(ResourcesTest, ParameterBytesMatchModel) {
+  Rng rng(1);
+  const graph::Model m = graph::BuildMlp(10, 16, 3, rng);
+  const FLPlan p = MakeTrainingPlan(m, "x", {}, {});
+  const ResourceEstimate est = EstimateResources(p, m.init_params);
+  EXPECT_EQ(est.parameter_bytes,
+            m.init_params.TotalParameters() * sizeof(float));
+  EXPECT_GT(est.activation_bytes, 0u);
+  EXPECT_GT(est.flops_per_example, 10u * 16);
+  EXPECT_GE(est.total_ram_bytes, est.parameter_bytes * 3);
+}
+
+TEST(ResourcesTest, DownloadIncludesPlanAndModel) {
+  Rng rng(2);
+  const graph::Model m = graph::BuildLogisticRegression(8, 4, rng);
+  const FLPlan p = MakeTrainingPlan(m, "x", {}, {});
+  const ResourceEstimate est = EstimateResources(p, m.init_params);
+  EXPECT_GE(est.download_bytes,
+            p.SerializedSize() + m.init_params.SerializedSize());
+}
+
+TEST(ResourcesTest, BiggerBatchCostsMoreActivationRam) {
+  Rng rng(3);
+  const graph::Model m = graph::BuildMlp(10, 16, 3, rng);
+  TrainingHyperparams small;
+  small.batch_size = 8;
+  TrainingHyperparams big;
+  big.batch_size = 256;
+  const auto est_small = EstimateResources(
+      MakeTrainingPlan(m, "x", small, {}), m.init_params);
+  const auto est_big =
+      EstimateResources(MakeTrainingPlan(m, "x", big, {}), m.init_params);
+  EXPECT_GT(est_big.activation_bytes, est_small.activation_bytes * 16);
+}
+
+TEST(ResourcesTest, EvaluationUploadsAreSmall) {
+  Rng rng(4);
+  const graph::Model m = graph::BuildLogisticRegression(128, 16, rng);
+  const FLPlan train = MakeTrainingPlan(m, "t", {}, {});
+  const FLPlan eval = MakeEvaluationPlan(m, "e", {});
+  const auto est_train = EstimateResources(train, m.init_params);
+  const auto est_eval = EstimateResources(eval, m.init_params);
+  EXPECT_LT(est_eval.upload_bytes, est_train.upload_bytes);
+}
+
+TEST(ResourcesTest, LimitsEnforced) {
+  Rng rng(5);
+  const graph::Model m = graph::BuildMlp(64, 128, 10, rng);
+  const FLPlan p = MakeTrainingPlan(m, "x", {}, {});
+  const ResourceEstimate est = EstimateResources(p, m.init_params);
+
+  ResourceLimits generous;
+  EXPECT_TRUE(CheckWithinLimits(est, generous).ok());
+
+  ResourceLimits tiny_ram;
+  tiny_ram.max_ram_bytes = 1024;
+  EXPECT_EQ(CheckWithinLimits(est, tiny_ram).code(),
+            ErrorCode::kResourceExhausted);
+
+  ResourceLimits tiny_download;
+  tiny_download.max_download_bytes = 10;
+  EXPECT_FALSE(CheckWithinLimits(est, tiny_download).ok());
+
+  ResourceLimits tiny_flops;
+  tiny_flops.max_flops_per_example = 10;
+  EXPECT_FALSE(CheckWithinLimits(est, tiny_flops).ok());
+}
+
+TEST(ResourcesTest, EmbeddingModelsEstimated) {
+  Rng rng(6);
+  const graph::Model m = graph::BuildNextWordModel(128, 3, 16, 32, rng);
+  const FLPlan p = MakeTrainingPlan(m, "lm", {}, {});
+  const ResourceEstimate est = EstimateResources(p, m.init_params);
+  EXPECT_GT(est.flops_per_example, 3u * 16 * 32);  // at least the first dense
+  EXPECT_GT(est.parameter_bytes, 128u * 16 * 4);
+}
+
+}  // namespace
+}  // namespace fl::plan

@@ -1,0 +1,88 @@
+#include "src/plan/versioning.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/registry.h"
+
+namespace fl::plan {
+namespace {
+
+TEST(VersioningTest, GeneratesPlanPerLowerableVersion) {
+  Rng rng(1);
+  const graph::Model m = graph::BuildNextWordModel(8, 2, 3, 4, rng);
+  const FLPlan p = MakeTrainingPlan(m, "lm", {}, {});
+  const auto set = VersionedPlanSet::Generate(p, 1);
+  ASSERT_TRUE(set.ok());
+  // Native v3 plus lowered v1 and v2.
+  EXPECT_EQ(set->plans().size(), 3u);
+  EXPECT_TRUE(set->plans().count(1));
+  EXPECT_TRUE(set->plans().count(2));
+  EXPECT_TRUE(set->plans().count(3));
+}
+
+TEST(VersioningTest, V1OnlyModelYieldsSinglePlan) {
+  Rng rng(2);
+  const graph::Model m = graph::BuildLogisticRegression(4, 2, rng);
+  const FLPlan p = MakeTrainingPlan(m, "lr", {}, {});
+  const auto set = VersionedPlanSet::Generate(p, 1);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->plans().size(), 1u);
+}
+
+TEST(VersioningTest, PlanForPicksNewestCompatible) {
+  Rng rng(3);
+  const graph::Model m = graph::BuildNextWordModel(8, 2, 3, 4, rng);
+  const auto set =
+      VersionedPlanSet::Generate(MakeTrainingPlan(m, "lm", {}, {}), 1);
+  ASSERT_TRUE(set.ok());
+  // Device running v2 gets the v2 plan (not v1, not v3).
+  const auto for_v2 = set->PlanFor(2);
+  ASSERT_TRUE(for_v2.ok());
+  EXPECT_EQ((*for_v2)->min_runtime_version, 2u);
+  // Very new device gets the native plan.
+  const auto for_v9 = set->PlanFor(9);
+  ASSERT_TRUE(for_v9.ok());
+  EXPECT_EQ((*for_v9)->min_runtime_version, 3u);
+}
+
+TEST(VersioningTest, TooOldDeviceGetsNotFound) {
+  Rng rng(4);
+  const graph::Model m = graph::BuildNextWordModel(8, 2, 3, 4, rng);
+  const auto set =
+      VersionedPlanSet::Generate(MakeTrainingPlan(m, "lm", {}, {}), 2);
+  ASSERT_TRUE(set.ok());
+  const auto r = set->PlanFor(1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(VersioningTest, LoweredPlansKeepTaskConfiguration) {
+  Rng rng(5);
+  const graph::Model m = graph::BuildNextWordModel(8, 2, 3, 4, rng);
+  TrainingHyperparams hyper;
+  hyper.batch_size = 11;
+  const auto set =
+      VersionedPlanSet::Generate(MakeTrainingPlan(m, "lm", hyper, {}), 1);
+  ASSERT_TRUE(set.ok());
+  for (const auto& [v, plan] : set->plans()) {
+    EXPECT_EQ(plan.task_name, "lm");
+    EXPECT_EQ(plan.device.batch_size, 11u);
+    EXPECT_LE(graph::RequiredRuntimeVersion(plan.device.graph), v);
+  }
+}
+
+TEST(VersioningTest, EveryVersionedPlanSerializes) {
+  Rng rng(6);
+  const graph::Model m = graph::BuildNextWordModel(8, 2, 3, 4, rng);
+  const auto set =
+      VersionedPlanSet::Generate(MakeTrainingPlan(m, "lm", {}, {}), 1);
+  ASSERT_TRUE(set.ok());
+  for (const auto& [v, plan] : set->plans()) {
+    const auto back = FLPlan::Deserialize(plan.Serialize());
+    ASSERT_TRUE(back.ok()) << "v" << v;
+    EXPECT_EQ(back->min_runtime_version, v);
+  }
+}
+
+}  // namespace
+}  // namespace fl::plan

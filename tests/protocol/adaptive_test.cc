@@ -1,0 +1,132 @@
+#include "src/protocol/adaptive.h"
+
+#include <gtest/gtest.h>
+
+namespace fl::protocol {
+namespace {
+
+RoundObservation Committed(std::size_t completed, std::size_t dropped,
+                           Duration selection = Minutes(2),
+                           Duration round = Minutes(5)) {
+  RoundObservation obs;
+  obs.outcome = RoundOutcome::kCommitted;
+  obs.completed = completed;
+  obs.dropped = dropped;
+  obs.selection_duration = selection;
+  obs.round_duration = round;
+  return obs;
+}
+
+TEST(AdaptiveTest, HighDropoutRaisesOverselectionAndDeadline) {
+  AdaptiveWindowController controller;
+  RoundConfig config;
+  config.overselection = 1.3;
+  const Duration deadline = config.reporting_deadline;
+  RoundConfig next = config;
+  for (int i = 0; i < 10; ++i) {
+    next = controller.Update(next, Committed(70, 30));  // 30% drop-out
+  }
+  EXPECT_GT(next.overselection, config.overselection);
+  EXPECT_GT(next.reporting_deadline.millis, deadline.millis);
+  EXPECT_GT(controller.dropout_estimate(), 0.25);
+}
+
+TEST(AdaptiveTest, LowDropoutReclaimsHeadroom) {
+  AdaptiveWindowController controller;
+  RoundConfig config;
+  config.overselection = 1.5;
+  RoundConfig next = config;
+  for (int i = 0; i < 10; ++i) {
+    next = controller.Update(next, Committed(100, 1));  // ~1% drop-out
+  }
+  EXPECT_LT(next.overselection, config.overselection);
+}
+
+TEST(AdaptiveTest, SelectionAbandonExtendsWindow) {
+  AdaptiveWindowController controller;
+  RoundConfig config;
+  config.selection_timeout = Minutes(5);
+  RoundObservation obs;
+  obs.outcome = RoundOutcome::kAbandonedSelection;
+  const RoundConfig next = controller.Update(config, obs);
+  EXPECT_GT(next.selection_timeout.millis, config.selection_timeout.millis);
+}
+
+TEST(AdaptiveTest, ReportingAbandonExtendsDeadline) {
+  AdaptiveWindowController controller;
+  RoundConfig config;
+  RoundObservation obs;
+  obs.outcome = RoundOutcome::kAbandonedReporting;
+  const RoundConfig next = controller.Update(config, obs);
+  EXPECT_GT(next.reporting_deadline.millis, config.reporting_deadline.millis);
+  EXPECT_GT(next.overselection, config.overselection);
+}
+
+TEST(AdaptiveTest, FastSelectionShrinksTimeout) {
+  AdaptiveWindowController controller;
+  RoundConfig config;
+  config.selection_timeout = Minutes(20);
+  RoundConfig next = config;
+  for (int i = 0; i < 20; ++i) {
+    // Rounds fill in 30 seconds: the 20-minute window is waste.
+    next = controller.Update(next, Committed(95, 8, Seconds(30)));
+  }
+  EXPECT_LT(next.selection_timeout.millis, Minutes(5).millis);
+}
+
+TEST(AdaptiveTest, ClampsHold) {
+  AdaptiveWindowController::Params params;
+  params.max_overselection = 1.6;
+  params.min_reporting_deadline = Minutes(2);
+  AdaptiveWindowController controller(params);
+  RoundConfig config;
+  RoundConfig next = config;
+  // Pathological streaks cannot push past the clamps.
+  for (int i = 0; i < 100; ++i) {
+    next = controller.Update(next, Committed(10, 90));
+  }
+  EXPECT_LE(next.overselection, 1.6);
+  EXPECT_LE(next.reporting_deadline.millis, Minutes(60).millis);
+  for (int i = 0; i < 100; ++i) {
+    next = controller.Update(next, Committed(100, 0));
+  }
+  EXPECT_GE(next.overselection, params.min_overselection);
+  EXPECT_GE(next.reporting_deadline.millis, Minutes(2).millis);
+}
+
+TEST(AdaptiveTest, InfrastructureFailureIsNeutral) {
+  AdaptiveWindowController controller;
+  RoundConfig config;
+  RoundObservation obs;
+  obs.outcome = RoundOutcome::kFailed;
+  const RoundConfig next = controller.Update(config, obs);
+  EXPECT_DOUBLE_EQ(next.overselection, config.overselection);
+  EXPECT_EQ(next.reporting_deadline, config.reporting_deadline);
+}
+
+TEST(AdaptiveTest, DropoutEstimateIsSmoothed) {
+  AdaptiveWindowController controller;
+  RoundConfig config;
+  (void)controller.Update(config, Committed(90, 10));
+  EXPECT_NEAR(controller.dropout_estimate(), 0.10, 1e-9);
+  (void)controller.Update(config, Committed(50, 50));
+  // EMA, not a jump to 0.5.
+  EXPECT_LT(controller.dropout_estimate(), 0.30);
+  EXPECT_GT(controller.dropout_estimate(), 0.10);
+}
+
+TEST(AdaptiveTest, ParticipationCapNeverExceedsDeadline) {
+  AdaptiveWindowController controller;
+  RoundConfig config;
+  config.device_participation_cap = Minutes(30);
+  config.reporting_deadline = Minutes(10);
+  RoundConfig next = config;
+  for (int i = 0; i < 10; ++i) {
+    next = controller.Update(next, Committed(100, 0));
+  }
+  EXPECT_LE(next.device_participation_cap.millis,
+            next.reporting_deadline.millis);
+}
+
+}  // namespace
+}  // namespace fl::protocol

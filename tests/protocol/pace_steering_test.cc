@@ -1,0 +1,138 @@
+#include "src/protocol/pace_steering.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fl::protocol {
+namespace {
+
+PaceSteeringPolicy::Params TestParams() {
+  PaceSteeringPolicy::Params p;
+  p.small_population_threshold = 1000;
+  p.rendezvous_period = Minutes(5);
+  p.rendezvous_width = Seconds(30);
+  p.round_period = Minutes(3);
+  p.target_checkins_per_period = 400;
+  return p;
+}
+
+TEST(PaceSteeringTest, SmallPopulationsSynchronizeOnRendezvousGrid) {
+  const PaceSteeringPolicy policy(TestParams(), nullptr);
+  Rng rng(1);
+  // Many rejected devices at scattered times within one rendezvous period
+  // should be told to come back in the SAME window.
+  std::vector<ReconnectWindow> windows;
+  for (int i = 0; i < 50; ++i) {
+    const SimTime now{Minutes(2).millis + i * 1000};
+    windows.push_back(policy.SuggestWindow(now, 200, Duration{}, rng));
+  }
+  for (const auto& w : windows) {
+    EXPECT_EQ(w.earliest.millis, windows[0].earliest.millis);
+    EXPECT_EQ(w.width().millis, Seconds(30).millis);
+  }
+  // The rendezvous lands on the period grid.
+  EXPECT_EQ(windows[0].earliest.millis % Minutes(5).millis, 0);
+}
+
+TEST(PaceSteeringTest, ImminentRendezvousSkipsToNext) {
+  const PaceSteeringPolicy policy(TestParams(), nullptr);
+  Rng rng(2);
+  // 1 second before a grid point: too late to join it.
+  const SimTime now{Minutes(5).millis - 1000};
+  const auto w = policy.SuggestWindow(now, 10, Duration{}, rng);
+  EXPECT_GE(w.earliest.millis - now.millis, TestParams().min_wait.millis);
+}
+
+TEST(PaceSteeringTest, LargePopulationsSpreadLoad) {
+  const PaceSteeringPolicy policy(TestParams(), nullptr);
+  Rng rng(3);
+  // 100k devices, 400 per 3 min wanted: window should cover hours.
+  const auto w = policy.SuggestWindow(SimTime{0}, 100'000, Duration{}, rng);
+  const double periods = 100'000.0 / 400.0;
+  const double expect_ms = periods * Minutes(3).millis;
+  EXPECT_GT(w.width().millis, static_cast<std::int64_t>(expect_ms * 0.4));
+}
+
+TEST(PaceSteeringTest, LargePopulationArrivalsAreDecorrelated) {
+  // Simulate the arrival histogram: 5000 devices rejected at t=0 pick times
+  // in their windows; the peak minute should hold a small fraction of them
+  // (no thundering herd).
+  const PaceSteeringPolicy policy(TestParams(), nullptr);
+  Rng server_rng(4);
+  Rng device_rng(5);
+  std::map<std::int64_t, int> per_minute;
+  const std::size_t n = 5000;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto w =
+        policy.SuggestWindow(SimTime{0}, 100'000, Duration{}, server_rng);
+    const SimTime pick = PaceSteeringPolicy::PickWithinWindow(w, device_rng);
+    ++per_minute[pick.millis / Minutes(1).millis];
+  }
+  int peak = 0;
+  for (const auto& [minute, count] : per_minute) peak = std::max(peak, count);
+  EXPECT_LT(static_cast<double>(peak) / n, 0.05);
+}
+
+TEST(PaceSteeringTest, WindowsRespectMinAndMaxWait) {
+  PaceSteeringPolicy::Params params = TestParams();
+  params.max_wait = Hours(1);
+  const PaceSteeringPolicy policy(params, nullptr);
+  Rng rng(6);
+  for (std::size_t pop : {2000u, 100'000u, 10'000'000u}) {
+    const auto w = policy.SuggestWindow(SimTime{0}, pop, Duration{}, rng);
+    EXPECT_GE(w.earliest.millis, params.min_wait.millis);
+    EXPECT_LE(w.width().millis, Hours(1).millis + 1);
+  }
+}
+
+TEST(PaceSteeringTest, DiurnalCompensationStretchesPeakWindows) {
+  sim::DiurnalCurve curve;
+  PaceSteeringPolicy::Params params = TestParams();
+  params.diurnal_compensation = true;
+  const PaceSteeringPolicy with(params, &curve);
+  params.diurnal_compensation = false;
+  const PaceSteeringPolicy without(params, &curve);
+  Rng rng(7);
+
+  // Average window width at the availability peak (2am).
+  auto mean_width = [&](const PaceSteeringPolicy& policy, Duration at) {
+    Rng local(8);
+    double total = 0;
+    for (int i = 0; i < 200; ++i) {
+      total += static_cast<double>(
+          policy.SuggestWindow(SimTime{0} + at, 50'000, Duration{}, local)
+              .width()
+              .millis);
+    }
+    return total / 200;
+  };
+
+  const double peak_with = mean_width(with, Hours(2));
+  const double trough_with = mean_width(with, Hours(14));
+  // Peak-hour windows stretch relative to trough-hour windows.
+  EXPECT_GT(peak_with, trough_with * 1.5);
+
+  const double peak_without = mean_width(without, Hours(2));
+  const double trough_without = mean_width(without, Hours(14));
+  EXPECT_NEAR(peak_without / trough_without, 1.0, 0.3);
+}
+
+TEST(PaceSteeringTest, PickWithinWindowStaysInside) {
+  Rng rng(9);
+  const ReconnectWindow w{SimTime{1000}, SimTime{5000}};
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime t = PaceSteeringPolicy::PickWithinWindow(w, rng);
+    EXPECT_GE(t.millis, 1000);
+    EXPECT_LE(t.millis, 5000);
+  }
+}
+
+TEST(PaceSteeringTest, DegenerateWindowHandled) {
+  Rng rng(10);
+  const ReconnectWindow w{SimTime{42}, SimTime{42}};
+  EXPECT_GE(PaceSteeringPolicy::PickWithinWindow(w, rng).millis, 42);
+}
+
+}  // namespace
+}  // namespace fl::protocol

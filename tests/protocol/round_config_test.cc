@@ -1,0 +1,44 @@
+#include "src/protocol/round_config.h"
+
+#include <gtest/gtest.h>
+
+namespace fl::protocol {
+namespace {
+
+TEST(RoundConfigTest, SelectionTargetAppliesOverselection) {
+  RoundConfig config;
+  config.goal_count = 100;
+  config.overselection = 1.3;  // the paper's 130% (Sec. 9)
+  EXPECT_EQ(config.SelectionTarget(), 130u);
+}
+
+TEST(RoundConfigTest, MinimumCountsRound) {
+  RoundConfig config;
+  config.goal_count = 100;
+  config.min_selection_fraction = 0.8;
+  config.min_reporting_fraction = 0.75;
+  EXPECT_EQ(config.MinSelectionCount(), 80u);
+  EXPECT_EQ(config.MinReportCount(), 75u);
+}
+
+TEST(RoundConfigTest, SmallGoalCountsStillSane) {
+  RoundConfig config;
+  config.goal_count = 3;
+  config.overselection = 1.3;
+  EXPECT_EQ(config.SelectionTarget(), 4u);  // rounds to nearest
+  config.min_selection_fraction = 0.5;
+  EXPECT_EQ(config.MinSelectionCount(), 2u);
+}
+
+TEST(RoundConfigTest, OutcomeNamesDistinct) {
+  EXPECT_STREQ(RoundOutcomeName(RoundOutcome::kCommitted), "committed");
+  EXPECT_STRNE(RoundOutcomeName(RoundOutcome::kAbandonedSelection),
+               RoundOutcomeName(RoundOutcome::kAbandonedReporting));
+  EXPECT_STREQ(ParticipantOutcomeName(ParticipantOutcome::kDropped),
+               "dropped");
+  EXPECT_STRNE(ParticipantOutcomeName(ParticipantOutcome::kCompleted),
+               ParticipantOutcomeName(ParticipantOutcome::kAborted));
+}
+
+}  // namespace
+}  // namespace fl::protocol

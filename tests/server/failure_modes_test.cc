@@ -1,0 +1,130 @@
+// Failure-mode tests at the system level (Sec. 4.4): "In all failure cases
+// the system will continue to make progress, either by completing the
+// current round or restarting from the results of the previously committed
+// round."
+#include <gtest/gtest.h>
+
+#include "src/core/fl_system.h"
+#include "src/data/blobs.h"
+#include "src/graph/model_zoo.h"
+
+namespace fl::core {
+namespace {
+
+FLSystemConfig SmallConfig(std::uint64_t seed) {
+  FLSystemConfig config;
+  config.seed = seed;
+  config.population.device_count = 200;
+  config.population.mean_examples_per_sec = 200;
+  config.selector_count = 3;
+  config.coordinator_tick = Seconds(10);
+  config.stats_bucket = Minutes(10);
+  config.pace.rendezvous_period = Minutes(3);
+  return config;
+}
+
+protocol::RoundConfig SmallRound() {
+  protocol::RoundConfig rc;
+  rc.goal_count = 10;
+  rc.overselection = 1.3;
+  rc.selection_timeout = Minutes(4);
+  rc.min_selection_fraction = 0.5;
+  rc.reporting_deadline = Minutes(8);
+  rc.min_reporting_fraction = 0.5;
+  rc.devices_per_aggregator = 8;
+  return rc;
+}
+
+graph::Model TestModel() {
+  Rng rng(1);
+  return graph::BuildLogisticRegression(8, 4, rng);
+}
+
+FLSystem::DataProvisioner BlobsProvisioner() {
+  auto blobs = std::make_shared<data::BlobsWorkload>(
+      data::BlobsParams{.classes = 4, .feature_dim = 8}, 5);
+  return [blobs](const sim::DeviceProfile& profile, DeviceAgent& agent,
+                 Rng&, SimTime now) {
+    agent.GetOrCreateStore("default").AddBatch(
+        blobs->UserExamples(profile.id.value, 40, now));
+  };
+}
+
+std::unique_ptr<FLSystem> MakeSystem(std::uint64_t seed) {
+  auto system = std::make_unique<FLSystem>(SmallConfig(seed));
+  system->AddTrainingTask("train", TestModel(), {}, {}, SmallRound(),
+                          Seconds(30));
+  system->ProvisionData(BlobsProvisioner());
+  system->Start();
+  return system;
+}
+
+TEST(FailureModesTest, CoordinatorCrashRespawnsExactlyOnce) {
+  auto system = MakeSystem(51);
+  system->RunFor(Hours(1));
+  const ActorId original = system->coordinator_id();
+  ASSERT_TRUE(system->actor_system().IsAlive(original));
+
+  system->CrashCoordinator();
+  system->RunFor(Minutes(5));
+
+  // "if the Coordinator dies, the Selector layer will detect this and
+  // respawn it. Because the Coordinators are registered in a shared locking
+  // service, this will happen exactly once."
+  const ActorId respawned = system->coordinator_id();
+  EXPECT_NE(respawned, original);
+  EXPECT_TRUE(system->actor_system().IsAlive(respawned));
+
+  // The system keeps committing rounds after the failover.
+  const std::size_t before = system->stats().rounds_committed();
+  system->RunFor(Hours(2));
+  EXPECT_GT(system->stats().rounds_committed(), before);
+}
+
+TEST(FailureModesTest, MasterCrashFailsRoundButNextRoundsCommit) {
+  auto system = MakeSystem(53);
+  // Run until a round is active, then kill its master.
+  bool crashed = false;
+  for (int i = 0; i < 600 && !crashed; ++i) {
+    system->RunFor(Seconds(30));
+    crashed = system->CrashActiveMaster();
+  }
+  ASSERT_TRUE(crashed) << "no round ever became active";
+
+  system->RunFor(Minutes(2));
+  const std::size_t committed_at_crash = system->stats().rounds_committed();
+  // "the current round of the FL task it manages will fail, but will then
+  // be restarted by the Coordinator."
+  system->RunFor(Hours(2));
+  EXPECT_GT(system->stats().rounds_committed(), committed_at_crash);
+}
+
+TEST(FailureModesTest, SelectorCrashLosesOnlyItsDevices) {
+  auto system = MakeSystem(57);
+  system->RunFor(Hours(1));
+  const std::size_t before = system->stats().rounds_committed();
+  system->CrashRandomSelector();
+  // Devices routed to the dead selector hit give-up timeouts and retry;
+  // the remaining selectors keep the population progressing.
+  system->RunFor(Hours(2));
+  EXPECT_GT(system->stats().rounds_committed(), before);
+}
+
+TEST(FailureModesTest, RepeatedFailuresNeverWedgeTheSystem) {
+  auto system = MakeSystem(59);
+  for (int wave = 0; wave < 3; ++wave) {
+    system->RunFor(Minutes(40));
+    system->CrashRandomSelector();
+    system->RunFor(Minutes(10));
+    system->CrashActiveMaster();  // may be a no-op between rounds
+    system->RunFor(Minutes(10));
+    system->CrashCoordinator();
+    system->RunFor(Minutes(10));
+  }
+  system->RunFor(Hours(2));
+  EXPECT_GT(system->stats().rounds_committed(), 0u);
+  EXPECT_TRUE(system->actor_system().IsAlive(system->coordinator_id()));
+}
+
+}  // namespace
+}  // namespace fl::core

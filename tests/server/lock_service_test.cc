@@ -1,0 +1,104 @@
+#include "src/server/lock_service.h"
+
+#include <gtest/gtest.h>
+
+namespace fl::server {
+namespace {
+
+TEST(LockServiceTest, AcquireGrantsEpoch) {
+  LockService locks(Minutes(2));
+  const auto epoch = locks.Acquire("pop/a", "coord-1", SimTime{0});
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_GT(*epoch, 0u);
+  EXPECT_TRUE(locks.IsHeld("pop/a", SimTime{0}));
+  EXPECT_EQ(*locks.Owner("pop/a", SimTime{0}), "coord-1");
+}
+
+TEST(LockServiceTest, SecondOwnerRejectedWhileLive) {
+  LockService locks(Minutes(2));
+  ASSERT_TRUE(locks.Acquire("pop/a", "coord-1", SimTime{0}).ok());
+  const auto second = locks.Acquire("pop/a", "coord-2", SimTime{1000});
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), ErrorCode::kAlreadyExists);
+}
+
+TEST(LockServiceTest, ReentrantAcquireKeepsEpoch) {
+  LockService locks(Minutes(2));
+  const auto first = locks.Acquire("pop/a", "coord-1", SimTime{0});
+  const auto again = locks.Acquire("pop/a", "coord-1", SimTime{1000});
+  ASSERT_TRUE(first.ok() && again.ok());
+  EXPECT_EQ(*first, *again);
+}
+
+TEST(LockServiceTest, ExpiredLeaseCanBeTaken) {
+  LockService locks(Minutes(2));
+  const auto first = locks.Acquire("pop/a", "coord-1", SimTime{0});
+  ASSERT_TRUE(first.ok());
+  // After TTL the lock is up for grabs — with a NEW fencing epoch.
+  const auto second =
+      locks.Acquire("pop/a", "coord-2", SimTime{Minutes(3).millis});
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(*second, *first);
+  EXPECT_EQ(*locks.Owner("pop/a", SimTime{Minutes(3).millis}), "coord-2");
+}
+
+TEST(LockServiceTest, RenewExtendsLease) {
+  LockService locks(Minutes(2));
+  const auto epoch = locks.Acquire("pop/a", "coord-1", SimTime{0});
+  ASSERT_TRUE(epoch.ok());
+  ASSERT_TRUE(
+      locks.Renew("pop/a", "coord-1", *epoch, SimTime{Minutes(1).millis})
+          .ok());
+  // Would have expired at 2min without the renewal.
+  EXPECT_TRUE(locks.IsHeld("pop/a", SimTime{Minutes(2).millis + 1}));
+}
+
+TEST(LockServiceTest, StaleEpochCannotRenew) {
+  LockService locks(Minutes(2));
+  const auto old_epoch = locks.Acquire("pop/a", "coord-1", SimTime{0});
+  ASSERT_TRUE(old_epoch.ok());
+  // Lease expires; another coordinator takes over.
+  const auto new_epoch =
+      locks.Acquire("pop/a", "coord-2", SimTime{Minutes(3).millis});
+  ASSERT_TRUE(new_epoch.ok());
+  // The zombie's renewal is fenced off.
+  const Status s = locks.Renew("pop/a", "coord-1", *old_epoch,
+                               SimTime{Minutes(3).millis + 1});
+  EXPECT_EQ(s.code(), ErrorCode::kPermissionDenied);
+}
+
+TEST(LockServiceTest, ReleaseRequiresOwnership) {
+  LockService locks(Minutes(2));
+  const auto epoch = locks.Acquire("pop/a", "coord-1", SimTime{0});
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_FALSE(locks.Release("pop/a", "intruder", *epoch).ok());
+  EXPECT_FALSE(locks.Release("pop/a", "coord-1", *epoch + 99).ok());
+  EXPECT_TRUE(locks.Release("pop/a", "coord-1", *epoch).ok());
+  EXPECT_FALSE(locks.IsHeld("pop/a", SimTime{1}));
+}
+
+TEST(LockServiceTest, ExactlyOnceRespawnRace) {
+  // Sec. 4.4: several Selectors race to respawn the Coordinator; the lock
+  // admits exactly one winner.
+  LockService locks(Minutes(2));
+  int winners = 0;
+  for (int selector = 0; selector < 5; ++selector) {
+    if (locks.Acquire("pop/a", "selector-" + std::to_string(selector),
+                      SimTime{0})
+            .ok()) {
+      ++winners;
+    }
+  }
+  EXPECT_EQ(winners, 1);
+}
+
+TEST(LockServiceTest, IndependentLocksDoNotInterfere) {
+  LockService locks(Minutes(2));
+  EXPECT_TRUE(locks.Acquire("pop/a", "c1", SimTime{0}).ok());
+  EXPECT_TRUE(locks.Acquire("pop/b", "c2", SimTime{0}).ok());
+  EXPECT_EQ(*locks.Owner("pop/a", SimTime{0}), "c1");
+  EXPECT_EQ(*locks.Owner("pop/b", SimTime{0}), "c2");
+}
+
+}  // namespace
+}  // namespace fl::server

@@ -1,0 +1,57 @@
+#include "src/server/model_store.h"
+
+#include <gtest/gtest.h>
+
+namespace fl::server {
+namespace {
+
+Checkpoint ModelWith(float v) {
+  Checkpoint c;
+  c.Put("w", Tensor::FromVector({v, v}));
+  return c;
+}
+
+RoundRecord Record(const std::string& task, std::uint64_t round,
+                   double loss) {
+  RoundRecord r;
+  r.task = TaskId{1};
+  r.task_name = task;
+  r.round_number = round;
+  fedavg::MetricsAccumulator acc;
+  acc.Add("loss", loss);
+  r.metrics = acc.All();
+  return r;
+}
+
+TEST(ModelStoreTest, InitialModelIsLatest) {
+  ModelStore store(ModelWith(1.0f));
+  EXPECT_EQ(store.version(), 0u);
+  EXPECT_FLOAT_EQ((*store.Latest().Get("w"))->at(0), 1.0f);
+}
+
+TEST(ModelStoreTest, CommitAdvancesVersionAndModel) {
+  ModelStore store(ModelWith(1.0f));
+  store.Commit(ModelWith(2.0f), Record("train", 1, 0.9));
+  EXPECT_EQ(store.version(), 1u);
+  EXPECT_FLOAT_EQ((*store.Latest().Get("w"))->at(0), 2.0f);
+  ASSERT_EQ(store.history().size(), 1u);
+  EXPECT_EQ(store.history()[0].round_number, 1u);
+}
+
+TEST(ModelStoreTest, MetricHistoryFiltersByTaskAndMetric) {
+  ModelStore store(ModelWith(0.0f));
+  store.Commit(ModelWith(1.0f), Record("train", 1, 0.9));
+  store.Commit(ModelWith(2.0f), Record("eval", 1, 0.8));
+  store.Commit(ModelWith(3.0f), Record("train", 2, 0.7));
+  const auto history = store.MetricHistory("train", "loss");
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].first, 1u);
+  EXPECT_NEAR(history[0].second, 0.9, 1e-9);
+  EXPECT_EQ(history[1].first, 2u);
+  EXPECT_NEAR(history[1].second, 0.7, 1e-9);
+  EXPECT_TRUE(store.MetricHistory("train", "unknown").empty());
+  EXPECT_TRUE(store.MetricHistory("nope", "loss").empty());
+}
+
+}  // namespace
+}  // namespace fl::server

@@ -1,0 +1,177 @@
+#include "src/sim/availability.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fl::sim {
+namespace {
+
+TEST(DiurnalCurveTest, PeaksAtPeakHour) {
+  DiurnalCurve curve;
+  const auto& p = curve.params();
+  const double at_peak = curve.Occupancy(p.peak_hour);
+  EXPECT_NEAR(at_peak, p.peak_occupancy, 1e-9);
+  for (double h = 0; h < 24; h += 0.5) {
+    EXPECT_LE(curve.Occupancy(h), at_peak + 1e-9);
+  }
+}
+
+TEST(DiurnalCurveTest, SwingMatchesConfiguration) {
+  DiurnalCurve::Params params;
+  params.swing = 4.0;
+  DiurnalCurve curve(params);
+  const double peak = curve.Occupancy(params.peak_hour);
+  const double trough = curve.Occupancy(params.peak_hour + 12.0);
+  EXPECT_NEAR(peak / trough, 4.0, 1e-6);
+}
+
+TEST(DiurnalCurveTest, TimezoneShiftsPhase) {
+  DiurnalCurve curve;
+  const SimTime t = SimTime{0} + Hours(2);  // 2am UTC
+  const double local = curve.OccupancyAt(t, Hours(0));
+  const double shifted = curve.OccupancyAt(t + Hours(3), Hours(-3));
+  EXPECT_NEAR(local, shifted, 1e-9);
+}
+
+TEST(PopulationTest, GeneratesRequestedCount) {
+  Rng rng(1);
+  PopulationParams params;
+  params.device_count = 500;
+  const auto fleet = GeneratePopulation(params, rng);
+  ASSERT_EQ(fleet.size(), 500u);
+  // Ids unique and 1-based.
+  EXPECT_EQ(fleet.front().id.value, 1u);
+  EXPECT_EQ(fleet.back().id.value, 500u);
+}
+
+TEST(PopulationTest, HeterogeneousButPositiveResources) {
+  Rng rng(2);
+  PopulationParams params;
+  params.device_count = 300;
+  const auto fleet = GeneratePopulation(params, rng);
+  double min_bw = 1e18, max_bw = 0;
+  for (const auto& d : fleet) {
+    EXPECT_GT(d.download_bps, 0);
+    EXPECT_GT(d.upload_bps, 0);
+    EXPECT_GT(d.examples_per_sec, 0);
+    min_bw = std::min(min_bw, d.download_bps);
+    max_bw = std::max(max_bw, d.download_bps);
+  }
+  EXPECT_GT(max_bw / min_bw, 2.0);  // real spread
+}
+
+TEST(PopulationTest, TimezoneWeightsRespected) {
+  Rng rng(3);
+  PopulationParams params;
+  params.device_count = 4000;
+  params.tz_weights = {0.75, 0.25};
+  params.tz_offsets = {Hours(0), Hours(-8)};
+  const auto fleet = GeneratePopulation(params, rng);
+  std::size_t zone0 = 0;
+  for (const auto& d : fleet) {
+    if (d.tz_offset == Hours(0)) ++zone0;
+  }
+  EXPECT_NEAR(static_cast<double>(zone0) / fleet.size(), 0.75, 0.03);
+}
+
+TEST(PopulationTest, NonGenuineFraction) {
+  Rng rng(4);
+  PopulationParams params;
+  params.device_count = 2000;
+  params.non_genuine_fraction = 0.1;
+  const auto fleet = GeneratePopulation(params, rng);
+  std::size_t bad = 0;
+  for (const auto& d : fleet) {
+    if (!d.genuine) ++bad;
+  }
+  EXPECT_NEAR(static_cast<double>(bad) / fleet.size(), 0.1, 0.02);
+}
+
+TEST(PopulationTest, OsVersionsWithinRange) {
+  Rng rng(5);
+  PopulationParams params;
+  params.device_count = 500;
+  params.min_os_version = 1;
+  params.max_os_version = 3;
+  bool saw_old = false, saw_new = false;
+  for (const auto& d : GeneratePopulation(params, rng)) {
+    EXPECT_GE(d.os_version, 1u);
+    EXPECT_LE(d.os_version, 3u);
+    saw_old |= d.os_version == 1;
+    saw_new |= d.os_version == 3;
+  }
+  EXPECT_TRUE(saw_old);
+  EXPECT_TRUE(saw_new);
+}
+
+// Long-run occupancy of the availability process should follow the diurnal
+// curve: more devices eligible at night than by day.
+TEST(AvailabilityProcessTest, OccupancyTracksDiurnalCurve) {
+  Rng rng(6);
+  PopulationParams params;
+  params.device_count = 300;
+  params.tz_weights = {1.0};
+  params.tz_offsets = {Hours(0)};
+  const auto fleet = GeneratePopulation(params, rng);
+  DiurnalCurve curve;
+
+  std::vector<AvailabilityProcess> procs;
+  procs.reserve(fleet.size());
+  for (const auto& d : fleet) procs.emplace_back(curve, d);
+
+  auto count_eligible_at = [&](SimTime target) {
+    std::size_t eligible = 0;
+    for (std::size_t i = 0; i < procs.size(); ++i) {
+      // Walk each process up to (not past) the target time: the state at
+      // `target` is the state before the first toggle beyond it.
+      AvailabilityProcess p(curve, fleet[i]);
+      bool state = p.eligible();
+      SimTime t{0};
+      while (true) {
+        const SimTime next = p.NextToggleAfter(t);
+        if (next > target) break;
+        state = p.eligible();
+        t = next;
+      }
+      if (state) ++eligible;
+    }
+    return eligible;
+  };
+
+  // 2am (peak) vs 2pm (trough), after a day of burn-in.
+  const std::size_t night = count_eligible_at(SimTime{0} + Hours(26));
+  const std::size_t day = count_eligible_at(SimTime{0} + Hours(38));
+  EXPECT_GT(night, day);
+  EXPECT_GT(static_cast<double>(night) / std::max<std::size_t>(1, day), 1.6);
+}
+
+TEST(AvailabilityProcessTest, TogglesStrictlyAdvanceTime) {
+  Rng rng(7);
+  PopulationParams params;
+  params.device_count = 1;
+  const auto fleet = GeneratePopulation(params, rng);
+  DiurnalCurve curve;
+  AvailabilityProcess p(curve, fleet[0]);
+  SimTime t{0};
+  for (int i = 0; i < 200; ++i) {
+    const SimTime next = p.NextToggleAfter(t);
+    EXPECT_GT(next, t);
+    t = next;
+  }
+}
+
+TEST(AvailabilityProcessTest, InterruptRateHigherByDay) {
+  Rng rng(8);
+  PopulationParams params;
+  params.device_count = 1;
+  const auto fleet = GeneratePopulation(params, rng);
+  DiurnalCurve curve;
+  AvailabilityProcess p(curve, fleet[0]);
+  const double day = p.InterruptRateAt(SimTime{0} + Hours(14));
+  const double night = p.InterruptRateAt(SimTime{0} + Hours(2));
+  EXPECT_GT(day, night);
+}
+
+}  // namespace
+}  // namespace fl::sim

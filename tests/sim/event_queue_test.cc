@@ -1,0 +1,134 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fl::sim {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.At(SimTime{30}, [&] { order.push_back(3); });
+  q.At(SimTime{10}, [&] { order.push_back(1); });
+  q.At(SimTime{20}, [&] { order.push_back(2); });
+  EXPECT_EQ(q.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now().millis, 30);
+}
+
+TEST(EventQueueTest, FifoAmongEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.At(SimTime{100}, [&, i] { order.push_back(i); });
+  }
+  q.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, AfterSchedulesRelative) {
+  EventQueue q;
+  SimTime fired{};
+  q.After(Seconds(5), [&] { fired = q.now(); });
+  q.Run();
+  EXPECT_EQ(fired.millis, 5000);
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) q.After(Millis(1), recurse);
+  };
+  q.After(Millis(1), recurse);
+  q.Run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(q.now().millis, 10);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventHandle h = q.After(Seconds(1), [&] { ran = true; });
+  EXPECT_TRUE(q.Cancel(h));
+  q.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const EventHandle h = q.After(Seconds(1), [] {});
+  EXPECT_TRUE(q.Cancel(h));
+  EXPECT_FALSE(q.Cancel(h));
+}
+
+TEST(EventQueueTest, CancelAfterRunReturnsFalse) {
+  EventQueue q;
+  const EventHandle h = q.After(Millis(1), [] {});
+  q.Run();
+  EXPECT_FALSE(q.Cancel(h));
+}
+
+TEST(EventQueueTest, PendingTracksLiveEvents) {
+  EventQueue q;
+  const EventHandle a = q.After(Millis(1), [] {});
+  q.After(Millis(2), [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.pending(), 1u);
+  q.Run();
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  EventQueue q;
+  int count = 0;
+  q.At(SimTime{10}, [&] { ++count; });
+  q.At(SimTime{20}, [&] { ++count; });
+  q.At(SimTime{30}, [&] { ++count; });
+  EXPECT_EQ(q.RunUntil(SimTime{20}), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(q.now().millis, 20);
+  // Deadline beyond all events still moves the clock to the deadline.
+  EXPECT_EQ(q.RunUntil(SimTime{100}), 1u);
+  EXPECT_EQ(q.now().millis, 100);
+}
+
+TEST(EventQueueTest, StepExecutesOne) {
+  EventQueue q;
+  int count = 0;
+  q.After(Millis(1), [&] { ++count; });
+  q.After(Millis(2), [&] { ++count; });
+  EXPECT_TRUE(q.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(q.Step());
+  EXPECT_FALSE(q.Step());
+}
+
+TEST(EventQueueTest, SchedulingIntoThePastRejected) {
+  EventQueue q;
+  q.At(SimTime{100}, [] {});
+  q.Run();
+  EXPECT_THROW(q.At(SimTime{50}, [] {}), std::logic_error);
+}
+
+TEST(EventQueueTest, DeterministicReplay) {
+  auto run = [] {
+    EventQueue q;
+    std::vector<std::int64_t> times;
+    for (int i = 0; i < 100; ++i) {
+      q.After(Millis((i * 37) % 50), [&times, &q] {
+        times.push_back(q.now().millis);
+      });
+    }
+    q.Run();
+    return times;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace fl::sim

@@ -1,0 +1,97 @@
+#include "src/sim/network.h"
+
+#include <gtest/gtest.h>
+
+namespace fl::sim {
+namespace {
+
+DeviceProfile TestDevice() {
+  DeviceProfile d;
+  d.id = DeviceId{1};
+  d.download_bps = 8e6;  // 1 MB/s
+  d.upload_bps = 2e6;
+  d.seed = 99;
+  return d;
+}
+
+TEST(NetworkTest, TransferTimeScalesWithBytes) {
+  NetworkModel::Params params;
+  params.transfer_failure_prob = 0;
+  params.corruption_prob = 0;
+  params.rtt_jitter_sigma = 1e-6;
+  NetworkModel net(params, 1);
+  const auto small = net.Transfer(TestDevice(), Direction::kDownload, 10'000);
+  const auto large =
+      net.Transfer(TestDevice(), Direction::kDownload, 10'000'000);
+  ASSERT_TRUE(small.success);
+  ASSERT_TRUE(large.success);
+  EXPECT_GT(large.duration.millis, small.duration.millis * 50);
+}
+
+TEST(NetworkTest, UploadSlowerThanDownloadForAsymmetricLink) {
+  NetworkModel::Params params;
+  params.transfer_failure_prob = 0;
+  params.rtt_jitter_sigma = 1e-6;
+  NetworkModel net(params, 2);
+  const auto down =
+      net.Transfer(TestDevice(), Direction::kDownload, 1'000'000);
+  const auto up = net.Transfer(TestDevice(), Direction::kUpload, 1'000'000);
+  EXPECT_GT(up.duration.millis, down.duration.millis);
+}
+
+TEST(NetworkTest, FailureRateApproximatelyConfigured) {
+  NetworkModel::Params params;
+  params.transfer_failure_prob = 0.2;
+  NetworkModel net(params, 3);
+  int failures = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (!net.Transfer(TestDevice(), Direction::kUpload, 1000).success) {
+      ++failures;
+    }
+  }
+  EXPECT_NEAR(failures / static_cast<double>(n), 0.2, 0.03);
+}
+
+TEST(NetworkTest, FailedTransfersStillCostTimeAndBytes) {
+  NetworkModel::Params params;
+  params.transfer_failure_prob = 1.0;
+  NetworkModel net(params, 4);
+  const auto t = net.Transfer(TestDevice(), Direction::kUpload, 1'000'000);
+  EXPECT_FALSE(t.success);
+  EXPECT_GT(t.duration.millis, 0);
+  EXPECT_GT(t.bytes_on_wire, 0u);
+  EXPECT_LE(t.bytes_on_wire, 1'000'000u);
+}
+
+TEST(NetworkTest, CorruptionMarksDeliveredTransfers) {
+  NetworkModel::Params params;
+  params.transfer_failure_prob = 0.0;
+  params.corruption_prob = 1.0;
+  NetworkModel net(params, 5);
+  const auto t = net.Transfer(TestDevice(), Direction::kDownload, 1000);
+  EXPECT_TRUE(t.success);
+  EXPECT_TRUE(t.corrupted);
+  EXPECT_EQ(t.bytes_on_wire, 1000u);
+}
+
+TEST(NetworkTest, RttAlwaysPositive) {
+  NetworkModel net({}, 6);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(net.SampleRtt().millis, 0);
+  }
+}
+
+TEST(NetworkTest, DeterministicForSeed) {
+  NetworkModel a({}, 7);
+  NetworkModel b({}, 7);
+  for (int i = 0; i < 100; ++i) {
+    const auto ta = a.Transfer(TestDevice(), Direction::kUpload, 5000);
+    const auto tb = b.Transfer(TestDevice(), Direction::kUpload, 5000);
+    EXPECT_EQ(ta.success, tb.success);
+    EXPECT_EQ(ta.duration.millis, tb.duration.millis);
+  }
+}
+
+}  // namespace
+}  // namespace fl::sim

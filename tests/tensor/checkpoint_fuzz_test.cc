@@ -1,0 +1,96 @@
+// Robustness sweep over the checkpoint/graph/plan wire formats: random
+// corruption must surface as kDataLoss (or decode to a valid object when
+// the flip cancels in CRC-free regions) — never crash or UB. Devices decode
+// server bytes over real radios (Sec. 5); defensiveness is part of the
+// contract.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/graph/model_zoo.h"
+#include "src/plan/plan.h"
+#include "src/tensor/checkpoint.h"
+
+namespace fl {
+namespace {
+
+class CorruptionSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CorruptionSweep, CheckpointNeverCrashesOnCorruptBytes) {
+  Rng model_rng(1);
+  Checkpoint c;
+  c.Put("w", Tensor::RandomNormal({16, 8}, model_rng));
+  c.Put("b", Tensor::RandomNormal({8}, model_rng));
+  const Bytes clean = c.Serialize();
+
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes bad = clean;
+    const int flips = 1 + static_cast<int>(rng.UniformInt(4));
+    for (int f = 0; f < flips; ++f) {
+      bad[rng.UniformInt(bad.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.UniformInt(255));
+    }
+    const auto result = Checkpoint::Deserialize(bad);  // must not crash
+    if (result.ok()) {
+      // CRC collision is cosmically unlikely with random flips; if decode
+      // succeeded the flips must have cancelled exactly.
+      EXPECT_EQ(bad, clean);
+    } else {
+      EXPECT_EQ(result.status().code(), ErrorCode::kDataLoss);
+    }
+  }
+}
+
+TEST_P(CorruptionSweep, CheckpointNeverCrashesOnTruncation) {
+  Rng model_rng(2);
+  Checkpoint c;
+  c.Put("w", Tensor::RandomNormal({8, 8}, model_rng));
+  const Bytes clean = c.Serialize();
+  Rng rng(GetParam() ^ 0xfeed);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t cut = rng.UniformInt(clean.size());
+    const auto result = Checkpoint::Deserialize(
+        std::span<const std::uint8_t>(clean.data(), cut));
+    EXPECT_FALSE(result.ok());
+  }
+}
+
+TEST_P(CorruptionSweep, PlanDecodeToleratesGarbage) {
+  Rng model_rng(3);
+  const graph::Model m = graph::BuildMlp(6, 8, 3, model_rng);
+  const Bytes clean = plan::MakeTrainingPlan(m, "fuzz", {}, {}).Serialize();
+  Rng rng(GetParam() ^ 0xbeef);
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes bad = clean;
+    bad[rng.UniformInt(bad.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.UniformInt(255));
+    // Plans carry no global CRC (graphs inside validate structure); decode
+    // must either fail cleanly or produce an object with intact invariants
+    // (the graph parser enforces topological input references).
+    const auto result = plan::FLPlan::Deserialize(bad);
+    if (result.ok()) {
+      for (const auto& node : result->device.graph.nodes()) {
+        for (const auto in : node.inputs) {
+          EXPECT_LT(in, node.id);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(CorruptionSweep, PureGarbageRejected) {
+  Rng rng(GetParam() ^ 0x60 + 7);
+  for (int trial = 0; trial < 100; ++trial) {
+    Bytes garbage(rng.UniformInt(1, 2048));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.Next());
+    EXPECT_FALSE(Checkpoint::Deserialize(garbage).ok());
+    (void)plan::FLPlan::Deserialize(garbage);          // no crash
+    (void)graph::Graph::Deserialize(garbage);          // no crash
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionSweep,
+                         ::testing::Values(11ull, 222ull, 3333ull));
+
+}  // namespace
+}  // namespace fl

@@ -1,0 +1,141 @@
+#include "src/tensor/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace fl {
+namespace {
+
+Checkpoint MakeCheckpoint(Rng& rng) {
+  Checkpoint c;
+  c.Put("w", Tensor::RandomNormal({4, 3}, rng));
+  c.Put("b", Tensor::RandomNormal({3}, rng));
+  c.Put("embedding", Tensor::RandomNormal({10, 2}, rng));
+  return c;
+}
+
+TEST(CheckpointTest, PutGetContains) {
+  Rng rng(1);
+  Checkpoint c = MakeCheckpoint(rng);
+  EXPECT_TRUE(c.Contains("w"));
+  EXPECT_FALSE(c.Contains("nope"));
+  ASSERT_TRUE(c.Get("w").ok());
+  EXPECT_EQ((*c.Get("w"))->shape(), (Shape{4, 3}));
+  EXPECT_EQ(c.Get("nope").status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(c.tensor_count(), 3u);
+  EXPECT_EQ(c.TotalParameters(), 12u + 3u + 20u);
+}
+
+TEST(CheckpointTest, SerializeDeserializeRoundTrip) {
+  Rng rng(2);
+  const Checkpoint c = MakeCheckpoint(rng);
+  const Bytes bytes = c.Serialize();
+  const auto back = Checkpoint::Deserialize(bytes);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, c);
+}
+
+TEST(CheckpointTest, CorruptionDetectedByCrc) {
+  Rng rng(3);
+  Bytes bytes = MakeCheckpoint(rng).Serialize();
+  bytes[bytes.size() / 2] ^= 0x40;
+  const auto back = Checkpoint::Deserialize(bytes);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), ErrorCode::kDataLoss);
+}
+
+TEST(CheckpointTest, TruncationDetected) {
+  Rng rng(4);
+  const Bytes bytes = MakeCheckpoint(rng).Serialize();
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, bytes.size() - 1}) {
+    const auto back = Checkpoint::Deserialize(
+        std::span<const std::uint8_t>(bytes.data(), cut));
+    EXPECT_FALSE(back.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(CheckpointTest, BadMagicRejected) {
+  Rng rng(5);
+  Bytes bytes = MakeCheckpoint(rng).Serialize();
+  bytes[0] = 'X';
+  EXPECT_FALSE(Checkpoint::Deserialize(bytes).ok());
+}
+
+TEST(CheckpointTest, CompatibilityChecksNamesAndShapes) {
+  Rng rng(6);
+  const Checkpoint a = MakeCheckpoint(rng);
+  Checkpoint b = MakeCheckpoint(rng);
+  EXPECT_TRUE(a.CompatibleWith(b));
+  b.Put("extra", Tensor::Zeros({1}));
+  EXPECT_FALSE(a.CompatibleWith(b));
+  Checkpoint c = a;
+  c.Put("w", Tensor::Zeros({4, 4}));  // wrong shape
+  EXPECT_FALSE(a.CompatibleWith(c));
+}
+
+TEST(CheckpointTest, AddInPlaceAndScale) {
+  Rng rng(7);
+  Checkpoint a = MakeCheckpoint(rng);
+  const Checkpoint b = a;
+  ASSERT_TRUE(a.AddInPlace(b, 1.0f).ok());
+  a.Scale(0.5f);
+  // a should now equal b again.
+  for (const auto& [name, t] : a.tensors()) {
+    const Tensor& other = *(*b.Get(name));
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      EXPECT_NEAR(t.at(i), other.at(i), 1e-6);
+    }
+  }
+}
+
+TEST(CheckpointTest, AddInPlaceSchemaMismatchFails) {
+  Rng rng(8);
+  Checkpoint a = MakeCheckpoint(rng);
+  Checkpoint b;
+  b.Put("other", Tensor::Zeros({2}));
+  EXPECT_EQ(a.AddInPlace(b).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(CheckpointTest, FlattenUnflattenRoundTrip) {
+  Rng rng(9);
+  const Checkpoint c = MakeCheckpoint(rng);
+  const std::vector<float> flat = c.Flatten();
+  EXPECT_EQ(flat.size(), c.TotalParameters());
+  const auto back = c.Unflatten(flat);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, c);
+}
+
+TEST(CheckpointTest, UnflattenSizeMismatchFails) {
+  Rng rng(10);
+  const Checkpoint c = MakeCheckpoint(rng);
+  std::vector<float> flat = c.Flatten();
+  flat.pop_back();
+  EXPECT_FALSE(c.Unflatten(flat).ok());
+}
+
+TEST(CheckpointTest, FlattenOrderIsDeterministicByName) {
+  Checkpoint c;
+  c.Put("z", Tensor::FromVector({3.0f}));
+  c.Put("a", Tensor::FromVector({1.0f}));
+  c.Put("m", Tensor::FromVector({2.0f}));
+  const std::vector<float> flat = c.Flatten();
+  EXPECT_EQ(flat, (std::vector<float>{1.0f, 2.0f, 3.0f}));
+}
+
+TEST(CheckpointTest, SerializedSizeMatchesSerialize) {
+  Rng rng(11);
+  const Checkpoint c = MakeCheckpoint(rng);
+  EXPECT_EQ(c.SerializedSize(), c.Serialize().size());
+}
+
+TEST(CheckpointTest, EmptyCheckpointRoundTrips) {
+  const Checkpoint empty;
+  const auto back = Checkpoint::Deserialize(empty.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->tensor_count(), 0u);
+}
+
+}  // namespace
+}  // namespace fl

@@ -1,0 +1,131 @@
+#include "src/tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace fl {
+namespace {
+
+TEST(TensorTest, ZerosShapeAndContents) {
+  const Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.size(), 6u);
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TensorTest, FullFillsValue) {
+  const Tensor t = Tensor::Full({4}, 2.5f);
+  for (float v : t.data()) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(TensorTest, FromVectorIsRankOne) {
+  const Tensor t = Tensor::FromVector({1, 2, 3});
+  EXPECT_EQ(t.rank(), 1u);
+  EXPECT_EQ(t.at(1), 2.0f);
+}
+
+TEST(TensorTest, TwoDimAccessRowMajor) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 7.0f;
+  EXPECT_EQ(t.at(5), 7.0f);  // row-major flattening
+}
+
+TEST(TensorTest, ShapeMismatchConstructionThrows) {
+  EXPECT_THROW(Tensor({2, 2}, {1.0f, 2.0f, 3.0f}), std::logic_error);
+}
+
+TEST(TensorTest, OutOfBoundsAccessThrows) {
+  Tensor t({2, 2});
+  EXPECT_THROW(t.at(4), std::logic_error);
+  EXPECT_THROW(t.at(2, 0), std::logic_error);
+}
+
+TEST(TensorTest, AddInPlaceWithAlpha) {
+  Tensor a = Tensor::Full({3}, 1.0f);
+  const Tensor b = Tensor::Full({3}, 2.0f);
+  a.AddInPlace(b, 0.5f);
+  for (float v : a.data()) EXPECT_FLOAT_EQ(v, 2.0f);
+}
+
+TEST(TensorTest, AddShapeMismatchThrows) {
+  Tensor a({2});
+  const Tensor b({3});
+  EXPECT_THROW(a.AddInPlace(b), std::logic_error);
+}
+
+TEST(TensorTest, ScaleAndNorms) {
+  Tensor t = Tensor::FromVector({3.0f, -4.0f});
+  EXPECT_DOUBLE_EQ(t.L2Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(t.AbsMax(), 4.0);
+  EXPECT_DOUBLE_EQ(t.Sum(), -1.0);
+  t.Scale(2.0f);
+  EXPECT_DOUBLE_EQ(t.L2Norm(), 10.0);
+}
+
+TEST(TensorTest, MatMulKnownValues) {
+  const Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  const Tensor c = Tensor::MatMul(a, b);
+  ASSERT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154);
+}
+
+TEST(TensorTest, MatMulDimMismatchThrows) {
+  const Tensor a({2, 3});
+  const Tensor b({2, 2});
+  EXPECT_THROW(Tensor::MatMul(a, b), std::logic_error);
+}
+
+TEST(TensorTest, TransposedMatMulsAgreeWithExplicit) {
+  Rng rng(3);
+  const Tensor a = Tensor::RandomNormal({4, 5}, rng);
+  const Tensor b = Tensor::RandomNormal({4, 6}, rng);
+  // A^T * B via MatMulTransA should equal transpose(A) * B done manually.
+  const Tensor c = Tensor::MatMulTransA(a, b);
+  ASSERT_EQ(c.shape(), (Shape{5, 6}));
+  Tensor at({5, 4});
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) at.at(j, i) = a.at(i, j);
+  }
+  const Tensor expected = Tensor::MatMul(at, b);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.at(i), expected.at(i), 1e-4);
+  }
+}
+
+TEST(TensorTest, MatMulTransBAgreesWithExplicit) {
+  Rng rng(4);
+  const Tensor a = Tensor::RandomNormal({3, 5}, rng);
+  const Tensor b = Tensor::RandomNormal({4, 5}, rng);
+  const Tensor c = Tensor::MatMulTransB(a, b);  // a * b^T -> [3,4]
+  ASSERT_EQ(c.shape(), (Shape{3, 4}));
+  Tensor bt({5, 4});
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) bt.at(j, i) = b.at(i, j);
+  }
+  const Tensor expected = Tensor::MatMul(a, bt);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.at(i), expected.at(i), 1e-4);
+  }
+}
+
+TEST(TensorTest, GlorotUniformWithinLimit) {
+  Rng rng(5);
+  const Tensor t = Tensor::GlorotUniform({64, 32}, rng);
+  const double limit = std::sqrt(6.0 / (64 + 32));
+  EXPECT_LE(t.AbsMax(), limit + 1e-6);
+  EXPECT_GT(t.L2Norm(), 0.0);
+}
+
+TEST(TensorTest, EqualityIsValueBased) {
+  const Tensor a({2}, {1, 2});
+  const Tensor b({2}, {1, 2});
+  const Tensor c({2}, {1, 3});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace fl

@@ -1,0 +1,139 @@
+#include "src/tools/deployment_gate.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/blobs.h"
+#include "src/data/text.h"
+#include "src/graph/model_zoo.h"
+#include "src/graph/registry.h"
+
+namespace fl::tools {
+namespace {
+
+struct GateFixture : public ::testing::Test {
+  void SetUp() override {
+    Rng model_rng(1);
+    model = graph::BuildLogisticRegression(8, 4, model_rng);
+    data::BlobsWorkload blobs({.classes = 4, .feature_dim = 8}, 5);
+    proxy = blobs.GlobalExamples(2, 200, SimTime{0});
+  }
+
+  DeploymentCandidate GoodCandidate() {
+    DeploymentCandidate c;
+    plan::TrainingHyperparams hyper;
+    hyper.epochs = 3;
+    hyper.learning_rate = 0.2f;
+    c.plan = plan::MakeTrainingPlan(model, "task", hyper, {});
+    c.init_params = model.init_params;
+    c.proxy_data = proxy;
+    c.tests = {LossFinite(), LossDecreases()};
+    c.code_reviewed = true;
+    return c;
+  }
+
+  graph::Model model;
+  std::vector<data::Example> proxy;
+  Rng rng{11};
+};
+
+TEST_F(GateFixture, GoodCandidateAccepted) {
+  const DeploymentReport report =
+      RunDeploymentGate(GoodCandidate(), 1, rng);
+  EXPECT_TRUE(report.accepted) << [&] {
+    std::string all;
+    for (const auto& f : report.failures) all += f + "; ";
+    return all;
+  }();
+  EXPECT_FALSE(report.versioned_plans.plans().empty());
+  EXPECT_FALSE(report.loss_by_version.empty());
+}
+
+TEST_F(GateFixture, UnreviewedCodeRejected) {
+  DeploymentCandidate c = GoodCandidate();
+  c.code_reviewed = false;
+  const auto report = RunDeploymentGate(c, 1, rng);
+  EXPECT_FALSE(report.accepted);
+}
+
+TEST_F(GateFixture, MissingTestsRejected) {
+  DeploymentCandidate c = GoodCandidate();
+  c.tests.clear();
+  EXPECT_FALSE(RunDeploymentGate(c, 1, rng).accepted);
+}
+
+TEST_F(GateFixture, MissingProxyDataRejected) {
+  DeploymentCandidate c = GoodCandidate();
+  c.proxy_data.clear();
+  EXPECT_FALSE(RunDeploymentGate(c, 1, rng).accepted);
+}
+
+TEST_F(GateFixture, ResourceHogRejected) {
+  DeploymentCandidate c = GoodCandidate();
+  c.limits.max_ram_bytes = 100;  // nothing fits
+  const auto report = RunDeploymentGate(c, 1, rng);
+  EXPECT_FALSE(report.accepted);
+  bool found = false;
+  for (const auto& f : report.failures) {
+    if (f.find("RESOURCE_EXHAUSTED") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(GateFixture, FailingPredicateBlocksDeployment) {
+  DeploymentCandidate c = GoodCandidate();
+  c.tests.push_back([](const TestRunContext&) -> Status {
+    return FailedPreconditionError("engineer-defined expectation violated");
+  });
+  const auto report = RunDeploymentGate(c, 1, rng);
+  EXPECT_FALSE(report.accepted);
+  ASSERT_FALSE(report.failures.empty());
+}
+
+TEST_F(GateFixture, AccuracyPredicateChecksBound) {
+  DeploymentCandidate c = GoodCandidate();
+  c.tests.push_back(AccuracyAtLeast(0.3));  // reachable on separable blobs
+  EXPECT_TRUE(RunDeploymentGate(c, 1, rng).accepted);
+}
+
+TEST_F(GateFixture, VersionedPlansAllTested) {
+  // A v3 model produces v1/v2/v3 plans; the gate must run tests on all.
+  Rng model_rng(2);
+  const graph::Model lm = graph::BuildNextWordModel(16, 2, 4, 8, model_rng);
+  data::TextWorkloadParams tparams;
+  tparams.vocab_size = 16;
+  tparams.context = 2;
+  data::TextWorkload text(tparams, 3);
+
+  DeploymentCandidate c;
+  plan::TrainingHyperparams hyper;
+  hyper.epochs = 2;
+  c.plan = plan::MakeTrainingPlan(lm, "lm", hyper, {});
+  c.init_params = lm.init_params;
+  c.proxy_data = text.UserExamples(1, 50, SimTime{0});
+  c.tests = {LossFinite()};
+  c.code_reviewed = true;
+  const auto report = RunDeploymentGate(c, 1, rng);
+  EXPECT_TRUE(report.accepted) << [&] {
+    std::string all;
+    for (const auto& f : report.failures) all += f + "; ";
+    return all;
+  }();
+  EXPECT_EQ(report.loss_by_version.size(), 3u);
+  // Semantic equivalence: losses agree across versions (within the gate's
+  // own tolerance, or it would have failed).
+  const double base = report.loss_by_version.at(1);
+  EXPECT_NEAR(report.loss_by_version.at(3), base, 0.05 * std::max(1.0, base));
+}
+
+TEST_F(GateFixture, EvaluationPlansPassWithoutTraining) {
+  DeploymentCandidate c;
+  c.plan = plan::MakeEvaluationPlan(model, "eval", {});
+  c.init_params = model.init_params;
+  c.proxy_data = proxy;
+  c.tests = {LossFinite()};
+  c.code_reviewed = true;
+  EXPECT_TRUE(RunDeploymentGate(c, 1, rng).accepted);
+}
+
+}  // namespace
+}  // namespace fl::tools

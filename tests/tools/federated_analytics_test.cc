@@ -1,0 +1,114 @@
+#include "src/tools/federated_analytics.h"
+
+#include <gtest/gtest.h>
+
+namespace fl::tools {
+namespace {
+
+std::vector<std::vector<std::uint32_t>> MakeClients(std::size_t n,
+                                                    std::size_t buckets,
+                                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<std::uint32_t>> clients(n);
+  for (auto& h : clients) {
+    h.resize(buckets);
+    for (auto& v : h) v = static_cast<std::uint32_t>(rng.UniformInt(20));
+  }
+  return clients;
+}
+
+std::vector<std::uint64_t> PlainSum(
+    const std::vector<std::vector<std::uint32_t>>& clients) {
+  std::vector<std::uint64_t> sum(clients[0].size(), 0);
+  for (const auto& h : clients) {
+    for (std::size_t b = 0; b < h.size(); ++b) sum[b] += h[b];
+  }
+  return sum;
+}
+
+TEST(FederatedAnalyticsTest, InsecureSumMatchesPlainSum) {
+  const auto clients = MakeClients(20, 8, 1);
+  HistogramQueryConfig config;
+  config.buckets = 8;
+  config.secure = false;
+  const auto result = RunFederatedHistogram(clients, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->counts, PlainSum(clients));
+  EXPECT_EQ(result->clients_contributing, 20u);
+}
+
+TEST(FederatedAnalyticsTest, SecureSumMatchesPlainSumWithoutDropouts) {
+  const auto clients = MakeClients(24, 8, 2);
+  HistogramQueryConfig config;
+  config.buckets = 8;
+  config.secure = true;
+  config.group_size = 8;
+  const auto result = RunFederatedHistogram(clients, config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->counts, PlainSum(clients));
+  EXPECT_EQ(result->groups, 3u);
+  EXPECT_EQ(result->clients_contributing, 24u);
+}
+
+TEST(FederatedAnalyticsTest, SecureSumSurvivesDropouts) {
+  const auto clients = MakeClients(30, 4, 3);
+  HistogramQueryConfig config;
+  config.buckets = 4;
+  config.secure = true;
+  config.group_size = 10;
+  config.dropout_rate = 0.2;
+  const auto result = RunFederatedHistogram(clients, config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Committed clients' counts are exact: total <= plain sum, > 0,
+  // and matches the contributing count property (sums of uint32s).
+  const auto full = PlainSum(clients);
+  std::uint64_t got = 0, all = 0;
+  for (std::size_t b = 0; b < 4; ++b) {
+    got += result->counts[b];
+    all += full[b];
+  }
+  EXPECT_GT(got, 0u);
+  EXPECT_LE(got, all);
+  EXPECT_LT(result->clients_contributing, 30u);
+}
+
+TEST(FederatedAnalyticsTest, WidthMismatchRejected) {
+  auto clients = MakeClients(5, 8, 4);
+  clients[2].resize(7);
+  HistogramQueryConfig config;
+  config.buckets = 8;
+  EXPECT_FALSE(RunFederatedHistogram(clients, config).ok());
+}
+
+TEST(FederatedAnalyticsTest, EmptyInputRejected) {
+  EXPECT_FALSE(RunFederatedHistogram({}, {}).ok());
+}
+
+TEST(FederatedAnalyticsTest, LeftoverClientsBelowGroupMinimumAreSkipped) {
+  // 10 clients with group size 8: trailing 2 cannot form a secure group.
+  const auto clients = MakeClients(10, 4, 5);
+  HistogramQueryConfig config;
+  config.buckets = 4;
+  config.secure = true;
+  config.group_size = 8;
+  const auto result = RunFederatedHistogram(clients, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->groups, 1u);
+  EXPECT_EQ(result->clients_contributing, 8u);
+}
+
+TEST(FederatedAnalyticsTest, BucketizeHelper) {
+  struct Rec { int value; };
+  const std::vector<Rec> records{{1}, {3}, {3}, {9}, {100}};
+  const auto hist = Bucketize<Rec>(
+      records, 10, [](const Rec& r) { return static_cast<std::size_t>(r.value); });
+  EXPECT_EQ(hist[1], 1u);
+  EXPECT_EQ(hist[3], 2u);
+  EXPECT_EQ(hist[9], 1u);  // 100 falls outside and is dropped
+  std::uint32_t total = 0;
+  for (auto v : hist) total += v;
+  EXPECT_EQ(total, 4u);
+}
+
+}  // namespace
+}  // namespace fl::tools

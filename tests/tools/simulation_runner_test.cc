@@ -1,0 +1,120 @@
+#include "src/tools/simulation_runner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/blobs.h"
+
+namespace fl::tools {
+namespace {
+
+struct SimFixture : public ::testing::Test {
+  void SetUp() override {
+    Rng model_rng(1);
+    model = graph::BuildLogisticRegression(8, 4, model_rng);
+    data::BlobsWorkload blobs({.classes = 4, .feature_dim = 8}, 2);
+    for (std::uint64_t u = 0; u < 30; ++u) {
+      clients.push_back(blobs.UserExamples(u, 40, SimTime{0}));
+    }
+    eval = blobs.GlobalExamples(99, 400, SimTime{0});
+    plan::TrainingHyperparams hyper;
+    hyper.learning_rate = 0.3f;
+    hyper.epochs = 2;
+    hyper.batch_size = 20;
+    plan = plan::MakeTrainingPlan(model, "sim", hyper, {});
+  }
+
+  graph::Model model;
+  std::vector<std::vector<data::Example>> clients;
+  std::vector<data::Example> eval;
+  plan::FLPlan plan;
+};
+
+TEST_F(SimFixture, FedAvgConverges) {
+  SimulationConfig config;
+  config.clients_per_round = 10;
+  config.rounds = 40;
+  config.eval_every = 10;
+  const auto result =
+      RunFedAvgSimulation(plan, model.init_params, clients, eval, config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rounds_run, 40u);
+  ASSERT_EQ(result->trajectory.size(), 40u);
+  // Final eval accuracy far above chance (25%).
+  const auto& last = result->trajectory.back();
+  ASSERT_TRUE(last.has_eval);
+  EXPECT_GT(last.eval_accuracy, 0.6);
+  // Loss trends down.
+  EXPECT_LT(last.eval_loss, result->trajectory[9].eval_loss);
+}
+
+TEST_F(SimFixture, ClientFailuresToleratedByResampling) {
+  SimulationConfig config;
+  config.clients_per_round = 10;
+  config.rounds = 10;
+  config.client_failure_rate = 0.3;
+  const auto result =
+      RunFedAvgSimulation(plan, model.init_params, clients, eval, config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rounds_run, 10u);
+}
+
+TEST_F(SimFixture, DeterministicForSeed) {
+  SimulationConfig config;
+  config.clients_per_round = 5;
+  config.rounds = 5;
+  config.seed = 99;
+  const auto a =
+      RunFedAvgSimulation(plan, model.init_params, clients, eval, config);
+  const auto b =
+      RunFedAvgSimulation(plan, model.init_params, clients, eval, config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->final_model, b->final_model);
+}
+
+TEST_F(SimFixture, NoClientsRejected) {
+  SimulationConfig config;
+  const auto result =
+      RunFedAvgSimulation(plan, model.init_params, {}, eval, config);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(SimFixture, CentralizedBaselineConverges) {
+  std::vector<data::Example> pooled;
+  for (const auto& c : clients) {
+    pooled.insert(pooled.end(), c.begin(), c.end());
+  }
+  SimulationConfig config;
+  config.eval_every = 5;
+  const auto result = RunCentralizedBaseline(plan, model.init_params, pooled,
+                                             eval, 20, config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto& last = result->trajectory.back();
+  ASSERT_TRUE(last.has_eval);
+  EXPECT_GT(last.eval_accuracy, 0.6);
+}
+
+TEST_F(SimFixture, FedAvgApproachesCentralizedQuality) {
+  // The Sec. 8 comparison shape: FL reaches (approximately) the
+  // server-trained model's quality.
+  std::vector<data::Example> pooled;
+  for (const auto& c : clients) {
+    pooled.insert(pooled.end(), c.begin(), c.end());
+  }
+  SimulationConfig config;
+  config.clients_per_round = 10;
+  config.rounds = 60;
+  config.eval_every = 60;
+  const auto fl_result =
+      RunFedAvgSimulation(plan, model.init_params, clients, eval, config);
+  SimulationConfig central_config;
+  central_config.eval_every = 30;
+  const auto central = RunCentralizedBaseline(plan, model.init_params, pooled,
+                                              eval, 30, central_config);
+  ASSERT_TRUE(fl_result.ok() && central.ok());
+  const double fl_acc = fl_result->trajectory.back().eval_accuracy;
+  const double central_acc = central->trajectory.back().eval_accuracy;
+  EXPECT_GT(fl_acc, central_acc - 0.1);
+}
+
+}  // namespace
+}  // namespace fl::tools
