@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_actor_throughput.dir/bench_actor_throughput.cc.o"
+  "CMakeFiles/bench_actor_throughput.dir/bench_actor_throughput.cc.o.d"
+  "bench_actor_throughput"
+  "bench_actor_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_actor_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive_windows.dir/bench_adaptive_windows.cc.o"
+  "CMakeFiles/bench_adaptive_windows.dir/bench_adaptive_windows.cc.o.d"
+  "bench_adaptive_windows"
+  "bench_adaptive_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

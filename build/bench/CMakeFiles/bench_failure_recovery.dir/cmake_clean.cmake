@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_failure_recovery.dir/bench_failure_recovery.cc.o"
+  "CMakeFiles/bench_failure_recovery.dir/bench_failure_recovery.cc.o.d"
+  "bench_failure_recovery"
+  "bench_failure_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failure_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_diurnal.cc" "bench/CMakeFiles/bench_fig5_diurnal.dir/bench_fig5_diurnal.cc.o" "gcc" "bench/CMakeFiles/bench_fig5_diurnal.dir/bench_fig5_diurnal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/fl_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/fl_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/fl_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/fl_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/actor/CMakeFiles/fl_actor.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/fl_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/secagg/CMakeFiles/fl_secagg.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedavg/CMakeFiles/fl_fedavg.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/fl_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_device_states.dir/bench_fig6_device_states.cc.o"
+  "CMakeFiles/bench_fig6_device_states.dir/bench_fig6_device_states.cc.o.d"
+  "bench_fig6_device_states"
+  "bench_fig6_device_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_device_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig6_device_states.
+# This may be replaced when dependencies are built.

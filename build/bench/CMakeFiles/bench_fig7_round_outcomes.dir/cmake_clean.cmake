@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_round_outcomes.dir/bench_fig7_round_outcomes.cc.o"
+  "CMakeFiles/bench_fig7_round_outcomes.dir/bench_fig7_round_outcomes.cc.o.d"
+  "bench_fig7_round_outcomes"
+  "bench_fig7_round_outcomes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_round_outcomes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_traffic.dir/bench_fig9_traffic.cc.o"
+  "CMakeFiles/bench_fig9_traffic.dir/bench_fig9_traffic.cc.o.d"
+  "bench_fig9_traffic"
+  "bench_fig9_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

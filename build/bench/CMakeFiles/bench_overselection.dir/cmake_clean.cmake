@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overselection.dir/bench_overselection.cc.o"
+  "CMakeFiles/bench_overselection.dir/bench_overselection.cc.o.d"
+  "bench_overselection"
+  "bench_overselection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overselection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

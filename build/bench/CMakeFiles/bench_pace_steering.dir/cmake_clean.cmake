@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pace_steering.dir/bench_pace_steering.cc.o"
+  "CMakeFiles/bench_pace_steering.dir/bench_pace_steering.cc.o.d"
+  "bench_pace_steering"
+  "bench_pace_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pace_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

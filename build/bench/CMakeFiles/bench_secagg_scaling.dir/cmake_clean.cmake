@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_secagg_scaling.dir/bench_secagg_scaling.cc.o"
+  "CMakeFiles/bench_secagg_scaling.dir/bench_secagg_scaling.cc.o.d"
+  "bench_secagg_scaling"
+  "bench_secagg_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secagg_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_comparison.dir/ab_comparison.cpp.o"
+  "CMakeFiles/ab_comparison.dir/ab_comparison.cpp.o.d"
+  "ab_comparison"
+  "ab_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

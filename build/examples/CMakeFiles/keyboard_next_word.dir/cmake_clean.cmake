@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyboard_next_word.dir/keyboard_next_word.cpp.o"
+  "CMakeFiles/keyboard_next_word.dir/keyboard_next_word.cpp.o.d"
+  "keyboard_next_word"
+  "keyboard_next_word.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyboard_next_word.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

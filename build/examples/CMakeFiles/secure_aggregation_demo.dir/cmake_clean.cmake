@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_aggregation_demo.dir/secure_aggregation_demo.cpp.o"
+  "CMakeFiles/secure_aggregation_demo.dir/secure_aggregation_demo.cpp.o.d"
+  "secure_aggregation_demo"
+  "secure_aggregation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_aggregation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

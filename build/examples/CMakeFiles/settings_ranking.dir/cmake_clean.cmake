@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/settings_ranking.dir/settings_ranking.cpp.o"
+  "CMakeFiles/settings_ranking.dir/settings_ranking.cpp.o.d"
+  "settings_ranking"
+  "settings_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/settings_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("tensor")
+subdirs("graph")
+subdirs("crypto")
+subdirs("actor")
+subdirs("plan")
+subdirs("protocol")
+subdirs("device")
+subdirs("server")
+subdirs("secagg")
+subdirs("analytics")
+subdirs("fedavg")
+subdirs("data")
+subdirs("core")
+subdirs("tools")

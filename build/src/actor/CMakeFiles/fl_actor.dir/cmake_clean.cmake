@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_actor.dir/actor.cc.o"
+  "CMakeFiles/fl_actor.dir/actor.cc.o.d"
+  "CMakeFiles/fl_actor.dir/context.cc.o"
+  "CMakeFiles/fl_actor.dir/context.cc.o.d"
+  "libfl_actor.a"
+  "libfl_actor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_actor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

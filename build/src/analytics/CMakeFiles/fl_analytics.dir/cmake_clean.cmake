@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_analytics.dir/dashboard.cc.o"
+  "CMakeFiles/fl_analytics.dir/dashboard.cc.o.d"
+  "CMakeFiles/fl_analytics.dir/events.cc.o"
+  "CMakeFiles/fl_analytics.dir/events.cc.o.d"
+  "CMakeFiles/fl_analytics.dir/monitor.cc.o"
+  "CMakeFiles/fl_analytics.dir/monitor.cc.o.d"
+  "CMakeFiles/fl_analytics.dir/timeseries.cc.o"
+  "CMakeFiles/fl_analytics.dir/timeseries.cc.o.d"
+  "libfl_analytics.a"
+  "libfl_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

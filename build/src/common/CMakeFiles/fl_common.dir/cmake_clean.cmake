@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_common.dir/bytes.cc.o"
+  "CMakeFiles/fl_common.dir/bytes.cc.o.d"
+  "CMakeFiles/fl_common.dir/crc32.cc.o"
+  "CMakeFiles/fl_common.dir/crc32.cc.o.d"
+  "CMakeFiles/fl_common.dir/logging.cc.o"
+  "CMakeFiles/fl_common.dir/logging.cc.o.d"
+  "CMakeFiles/fl_common.dir/status.cc.o"
+  "CMakeFiles/fl_common.dir/status.cc.o.d"
+  "libfl_common.a"
+  "libfl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

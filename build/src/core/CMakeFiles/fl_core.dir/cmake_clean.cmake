@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_core.dir/device_agent.cc.o"
+  "CMakeFiles/fl_core.dir/device_agent.cc.o.d"
+  "CMakeFiles/fl_core.dir/fl_system.cc.o"
+  "CMakeFiles/fl_core.dir/fl_system.cc.o.d"
+  "CMakeFiles/fl_core.dir/fleet_stats.cc.o"
+  "CMakeFiles/fl_core.dir/fleet_stats.cc.o.d"
+  "libfl_core.a"
+  "libfl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

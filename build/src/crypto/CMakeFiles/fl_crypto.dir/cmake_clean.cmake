@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_crypto.dir/aead.cc.o"
+  "CMakeFiles/fl_crypto.dir/aead.cc.o.d"
+  "CMakeFiles/fl_crypto.dir/chacha20.cc.o"
+  "CMakeFiles/fl_crypto.dir/chacha20.cc.o.d"
+  "CMakeFiles/fl_crypto.dir/dh.cc.o"
+  "CMakeFiles/fl_crypto.dir/dh.cc.o.d"
+  "CMakeFiles/fl_crypto.dir/sha256.cc.o"
+  "CMakeFiles/fl_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/fl_crypto.dir/shamir.cc.o"
+  "CMakeFiles/fl_crypto.dir/shamir.cc.o.d"
+  "libfl_crypto.a"
+  "libfl_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

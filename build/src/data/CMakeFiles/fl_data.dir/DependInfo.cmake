@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/blobs.cc" "src/data/CMakeFiles/fl_data.dir/blobs.cc.o" "gcc" "src/data/CMakeFiles/fl_data.dir/blobs.cc.o.d"
+  "/root/repo/src/data/ngram.cc" "src/data/CMakeFiles/fl_data.dir/ngram.cc.o" "gcc" "src/data/CMakeFiles/fl_data.dir/ngram.cc.o.d"
+  "/root/repo/src/data/ranking.cc" "src/data/CMakeFiles/fl_data.dir/ranking.cc.o" "gcc" "src/data/CMakeFiles/fl_data.dir/ranking.cc.o.d"
+  "/root/repo/src/data/text.cc" "src/data/CMakeFiles/fl_data.dir/text.cc.o" "gcc" "src/data/CMakeFiles/fl_data.dir/text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/fl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_data.dir/blobs.cc.o"
+  "CMakeFiles/fl_data.dir/blobs.cc.o.d"
+  "CMakeFiles/fl_data.dir/ngram.cc.o"
+  "CMakeFiles/fl_data.dir/ngram.cc.o.d"
+  "CMakeFiles/fl_data.dir/ranking.cc.o"
+  "CMakeFiles/fl_data.dir/ranking.cc.o.d"
+  "CMakeFiles/fl_data.dir/text.cc.o"
+  "CMakeFiles/fl_data.dir/text.cc.o.d"
+  "libfl_data.a"
+  "libfl_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_device.dir/attestation.cc.o"
+  "CMakeFiles/fl_device.dir/attestation.cc.o.d"
+  "CMakeFiles/fl_device.dir/example_store.cc.o"
+  "CMakeFiles/fl_device.dir/example_store.cc.o.d"
+  "CMakeFiles/fl_device.dir/runtime.cc.o"
+  "CMakeFiles/fl_device.dir/runtime.cc.o.d"
+  "CMakeFiles/fl_device.dir/scheduler.cc.o"
+  "CMakeFiles/fl_device.dir/scheduler.cc.o.d"
+  "libfl_device.a"
+  "libfl_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fedavg/client_update.cc" "src/fedavg/CMakeFiles/fl_fedavg.dir/client_update.cc.o" "gcc" "src/fedavg/CMakeFiles/fl_fedavg.dir/client_update.cc.o.d"
+  "/root/repo/src/fedavg/compression.cc" "src/fedavg/CMakeFiles/fl_fedavg.dir/compression.cc.o" "gcc" "src/fedavg/CMakeFiles/fl_fedavg.dir/compression.cc.o.d"
+  "/root/repo/src/fedavg/metrics.cc" "src/fedavg/CMakeFiles/fl_fedavg.dir/metrics.cc.o" "gcc" "src/fedavg/CMakeFiles/fl_fedavg.dir/metrics.cc.o.d"
+  "/root/repo/src/fedavg/server_aggregate.cc" "src/fedavg/CMakeFiles/fl_fedavg.dir/server_aggregate.cc.o" "gcc" "src/fedavg/CMakeFiles/fl_fedavg.dir/server_aggregate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plan/CMakeFiles/fl_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_fedavg.dir/client_update.cc.o"
+  "CMakeFiles/fl_fedavg.dir/client_update.cc.o.d"
+  "CMakeFiles/fl_fedavg.dir/compression.cc.o"
+  "CMakeFiles/fl_fedavg.dir/compression.cc.o.d"
+  "CMakeFiles/fl_fedavg.dir/metrics.cc.o"
+  "CMakeFiles/fl_fedavg.dir/metrics.cc.o.d"
+  "CMakeFiles/fl_fedavg.dir/server_aggregate.cc.o"
+  "CMakeFiles/fl_fedavg.dir/server_aggregate.cc.o.d"
+  "libfl_fedavg.a"
+  "libfl_fedavg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_fedavg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

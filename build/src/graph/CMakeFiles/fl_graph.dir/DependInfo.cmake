@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/executor.cc" "src/graph/CMakeFiles/fl_graph.dir/executor.cc.o" "gcc" "src/graph/CMakeFiles/fl_graph.dir/executor.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/fl_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/fl_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/model_zoo.cc" "src/graph/CMakeFiles/fl_graph.dir/model_zoo.cc.o" "gcc" "src/graph/CMakeFiles/fl_graph.dir/model_zoo.cc.o.d"
+  "/root/repo/src/graph/registry.cc" "src/graph/CMakeFiles/fl_graph.dir/registry.cc.o" "gcc" "src/graph/CMakeFiles/fl_graph.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/fl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

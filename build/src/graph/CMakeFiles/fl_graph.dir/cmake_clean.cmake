@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_graph.dir/executor.cc.o"
+  "CMakeFiles/fl_graph.dir/executor.cc.o.d"
+  "CMakeFiles/fl_graph.dir/graph.cc.o"
+  "CMakeFiles/fl_graph.dir/graph.cc.o.d"
+  "CMakeFiles/fl_graph.dir/model_zoo.cc.o"
+  "CMakeFiles/fl_graph.dir/model_zoo.cc.o.d"
+  "CMakeFiles/fl_graph.dir/registry.cc.o"
+  "CMakeFiles/fl_graph.dir/registry.cc.o.d"
+  "libfl_graph.a"
+  "libfl_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

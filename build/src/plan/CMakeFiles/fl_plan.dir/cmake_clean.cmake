@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_plan.dir/plan.cc.o"
+  "CMakeFiles/fl_plan.dir/plan.cc.o.d"
+  "CMakeFiles/fl_plan.dir/resources.cc.o"
+  "CMakeFiles/fl_plan.dir/resources.cc.o.d"
+  "CMakeFiles/fl_plan.dir/versioning.cc.o"
+  "CMakeFiles/fl_plan.dir/versioning.cc.o.d"
+  "libfl_plan.a"
+  "libfl_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

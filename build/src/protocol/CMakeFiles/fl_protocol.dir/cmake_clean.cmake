@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_protocol.dir/adaptive.cc.o"
+  "CMakeFiles/fl_protocol.dir/adaptive.cc.o.d"
+  "CMakeFiles/fl_protocol.dir/pace_steering.cc.o"
+  "CMakeFiles/fl_protocol.dir/pace_steering.cc.o.d"
+  "CMakeFiles/fl_protocol.dir/round_config.cc.o"
+  "CMakeFiles/fl_protocol.dir/round_config.cc.o.d"
+  "libfl_protocol.a"
+  "libfl_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

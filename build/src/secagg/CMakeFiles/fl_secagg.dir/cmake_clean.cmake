@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_secagg.dir/client.cc.o"
+  "CMakeFiles/fl_secagg.dir/client.cc.o.d"
+  "CMakeFiles/fl_secagg.dir/server.cc.o"
+  "CMakeFiles/fl_secagg.dir/server.cc.o.d"
+  "libfl_secagg.a"
+  "libfl_secagg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_secagg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_server.dir/aggregator.cc.o"
+  "CMakeFiles/fl_server.dir/aggregator.cc.o.d"
+  "CMakeFiles/fl_server.dir/coordinator.cc.o"
+  "CMakeFiles/fl_server.dir/coordinator.cc.o.d"
+  "CMakeFiles/fl_server.dir/frontend.cc.o"
+  "CMakeFiles/fl_server.dir/frontend.cc.o.d"
+  "CMakeFiles/fl_server.dir/lock_service.cc.o"
+  "CMakeFiles/fl_server.dir/lock_service.cc.o.d"
+  "CMakeFiles/fl_server.dir/master_aggregator.cc.o"
+  "CMakeFiles/fl_server.dir/master_aggregator.cc.o.d"
+  "CMakeFiles/fl_server.dir/model_store.cc.o"
+  "CMakeFiles/fl_server.dir/model_store.cc.o.d"
+  "CMakeFiles/fl_server.dir/selector.cc.o"
+  "CMakeFiles/fl_server.dir/selector.cc.o.d"
+  "libfl_server.a"
+  "libfl_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_sim.dir/availability.cc.o"
+  "CMakeFiles/fl_sim.dir/availability.cc.o.d"
+  "CMakeFiles/fl_sim.dir/event_queue.cc.o"
+  "CMakeFiles/fl_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/fl_sim.dir/network.cc.o"
+  "CMakeFiles/fl_sim.dir/network.cc.o.d"
+  "libfl_sim.a"
+  "libfl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

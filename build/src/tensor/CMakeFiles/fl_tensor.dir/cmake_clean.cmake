@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_tensor.dir/checkpoint.cc.o"
+  "CMakeFiles/fl_tensor.dir/checkpoint.cc.o.d"
+  "CMakeFiles/fl_tensor.dir/tensor.cc.o"
+  "CMakeFiles/fl_tensor.dir/tensor.cc.o.d"
+  "libfl_tensor.a"
+  "libfl_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tools/deployment_gate.cc" "src/tools/CMakeFiles/fl_tools.dir/deployment_gate.cc.o" "gcc" "src/tools/CMakeFiles/fl_tools.dir/deployment_gate.cc.o.d"
+  "/root/repo/src/tools/federated_analytics.cc" "src/tools/CMakeFiles/fl_tools.dir/federated_analytics.cc.o" "gcc" "src/tools/CMakeFiles/fl_tools.dir/federated_analytics.cc.o.d"
+  "/root/repo/src/tools/simulation_runner.cc" "src/tools/CMakeFiles/fl_tools.dir/simulation_runner.cc.o" "gcc" "src/tools/CMakeFiles/fl_tools.dir/simulation_runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plan/CMakeFiles/fl_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/fedavg/CMakeFiles/fl_fedavg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/secagg/CMakeFiles/fl_secagg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/fl_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

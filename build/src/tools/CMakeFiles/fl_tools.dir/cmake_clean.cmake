@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_tools.dir/deployment_gate.cc.o"
+  "CMakeFiles/fl_tools.dir/deployment_gate.cc.o.d"
+  "CMakeFiles/fl_tools.dir/federated_analytics.cc.o"
+  "CMakeFiles/fl_tools.dir/federated_analytics.cc.o.d"
+  "CMakeFiles/fl_tools.dir/simulation_runner.cc.o"
+  "CMakeFiles/fl_tools.dir/simulation_runner.cc.o.d"
+  "libfl_tools.a"
+  "libfl_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actor_actor_test.dir/actor/actor_test.cc.o"
+  "CMakeFiles/actor_actor_test.dir/actor/actor_test.cc.o.d"
+  "actor_actor_test"
+  "actor_actor_test.pdb"
+  "actor_actor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actor_actor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

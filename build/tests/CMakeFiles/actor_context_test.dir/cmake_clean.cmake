@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actor_context_test.dir/actor/context_test.cc.o"
+  "CMakeFiles/actor_context_test.dir/actor/context_test.cc.o.d"
+  "actor_context_test"
+  "actor_context_test.pdb"
+  "actor_context_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actor_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

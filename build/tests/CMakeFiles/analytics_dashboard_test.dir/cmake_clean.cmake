@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_dashboard_test.dir/analytics/dashboard_test.cc.o"
+  "CMakeFiles/analytics_dashboard_test.dir/analytics/dashboard_test.cc.o.d"
+  "analytics_dashboard_test"
+  "analytics_dashboard_test.pdb"
+  "analytics_dashboard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_dashboard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_events_test.dir/analytics/events_test.cc.o"
+  "CMakeFiles/analytics_events_test.dir/analytics/events_test.cc.o.d"
+  "analytics_events_test"
+  "analytics_events_test.pdb"
+  "analytics_events_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_events_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

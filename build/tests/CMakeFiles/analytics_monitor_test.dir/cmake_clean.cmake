@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_monitor_test.dir/analytics/monitor_test.cc.o"
+  "CMakeFiles/analytics_monitor_test.dir/analytics/monitor_test.cc.o.d"
+  "analytics_monitor_test"
+  "analytics_monitor_test.pdb"
+  "analytics_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

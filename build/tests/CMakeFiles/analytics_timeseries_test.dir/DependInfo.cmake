@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analytics/timeseries_test.cc" "tests/CMakeFiles/analytics_timeseries_test.dir/analytics/timeseries_test.cc.o" "gcc" "tests/CMakeFiles/analytics_timeseries_test.dir/analytics/timeseries_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analytics/CMakeFiles/fl_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/fl_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/fl_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fl_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_timeseries_test.dir/analytics/timeseries_test.cc.o"
+  "CMakeFiles/analytics_timeseries_test.dir/analytics/timeseries_test.cc.o.d"
+  "analytics_timeseries_test"
+  "analytics_timeseries_test.pdb"
+  "analytics_timeseries_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_timeseries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

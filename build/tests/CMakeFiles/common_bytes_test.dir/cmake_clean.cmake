@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_bytes_test.dir/common/bytes_test.cc.o"
+  "CMakeFiles/common_bytes_test.dir/common/bytes_test.cc.o.d"
+  "common_bytes_test"
+  "common_bytes_test.pdb"
+  "common_bytes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_bytes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

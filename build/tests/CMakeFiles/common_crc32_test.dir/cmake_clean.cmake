@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_crc32_test.dir/common/crc32_test.cc.o"
+  "CMakeFiles/common_crc32_test.dir/common/crc32_test.cc.o.d"
+  "common_crc32_test"
+  "common_crc32_test.pdb"
+  "common_crc32_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_crc32_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

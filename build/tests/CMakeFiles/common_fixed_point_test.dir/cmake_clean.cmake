@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_fixed_point_test.dir/common/fixed_point_test.cc.o"
+  "CMakeFiles/common_fixed_point_test.dir/common/fixed_point_test.cc.o.d"
+  "common_fixed_point_test"
+  "common_fixed_point_test.pdb"
+  "common_fixed_point_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_fixed_point_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

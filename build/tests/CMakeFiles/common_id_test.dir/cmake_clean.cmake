@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_id_test.dir/common/id_test.cc.o"
+  "CMakeFiles/common_id_test.dir/common/id_test.cc.o.d"
+  "common_id_test"
+  "common_id_test.pdb"
+  "common_id_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_id_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

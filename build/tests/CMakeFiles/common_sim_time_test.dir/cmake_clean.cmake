@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_sim_time_test.dir/common/sim_time_test.cc.o"
+  "CMakeFiles/common_sim_time_test.dir/common/sim_time_test.cc.o.d"
+  "common_sim_time_test"
+  "common_sim_time_test.pdb"
+  "common_sim_time_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_sim_time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

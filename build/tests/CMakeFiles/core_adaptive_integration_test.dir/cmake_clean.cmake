@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_adaptive_integration_test.dir/core/adaptive_integration_test.cc.o"
+  "CMakeFiles/core_adaptive_integration_test.dir/core/adaptive_integration_test.cc.o.d"
+  "core_adaptive_integration_test"
+  "core_adaptive_integration_test.pdb"
+  "core_adaptive_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_adaptive_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

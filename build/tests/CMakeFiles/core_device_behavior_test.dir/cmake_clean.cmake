@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_device_behavior_test.dir/core/device_behavior_test.cc.o"
+  "CMakeFiles/core_device_behavior_test.dir/core/device_behavior_test.cc.o.d"
+  "core_device_behavior_test"
+  "core_device_behavior_test.pdb"
+  "core_device_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_device_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_fl_system_test.dir/core/fl_system_test.cc.o"
+  "CMakeFiles/core_fl_system_test.dir/core/fl_system_test.cc.o.d"
+  "core_fl_system_test"
+  "core_fl_system_test.pdb"
+  "core_fl_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_fl_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_fleet_stats_test.dir/core/fleet_stats_test.cc.o"
+  "CMakeFiles/core_fleet_stats_test.dir/core/fleet_stats_test.cc.o.d"
+  "core_fleet_stats_test"
+  "core_fleet_stats_test.pdb"
+  "core_fleet_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_fleet_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

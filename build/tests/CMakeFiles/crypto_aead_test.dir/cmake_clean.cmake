@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_aead_test.dir/crypto/aead_test.cc.o"
+  "CMakeFiles/crypto_aead_test.dir/crypto/aead_test.cc.o.d"
+  "crypto_aead_test"
+  "crypto_aead_test.pdb"
+  "crypto_aead_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_aead_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_chacha20_test.dir/crypto/chacha20_test.cc.o"
+  "CMakeFiles/crypto_chacha20_test.dir/crypto/chacha20_test.cc.o.d"
+  "crypto_chacha20_test"
+  "crypto_chacha20_test.pdb"
+  "crypto_chacha20_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_chacha20_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

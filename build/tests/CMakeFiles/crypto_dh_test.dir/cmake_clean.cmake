@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_dh_test.dir/crypto/dh_test.cc.o"
+  "CMakeFiles/crypto_dh_test.dir/crypto/dh_test.cc.o.d"
+  "crypto_dh_test"
+  "crypto_dh_test.pdb"
+  "crypto_dh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_dh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_sha256_test.dir/crypto/sha256_test.cc.o"
+  "CMakeFiles/crypto_sha256_test.dir/crypto/sha256_test.cc.o.d"
+  "crypto_sha256_test"
+  "crypto_sha256_test.pdb"
+  "crypto_sha256_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_sha256_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_shamir_test.dir/crypto/shamir_test.cc.o"
+  "CMakeFiles/crypto_shamir_test.dir/crypto/shamir_test.cc.o.d"
+  "crypto_shamir_test"
+  "crypto_shamir_test.pdb"
+  "crypto_shamir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_shamir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_blobs_test.dir/data/blobs_test.cc.o"
+  "CMakeFiles/data_blobs_test.dir/data/blobs_test.cc.o.d"
+  "data_blobs_test"
+  "data_blobs_test.pdb"
+  "data_blobs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_blobs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

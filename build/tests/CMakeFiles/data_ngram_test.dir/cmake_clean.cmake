@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_ngram_test.dir/data/ngram_test.cc.o"
+  "CMakeFiles/data_ngram_test.dir/data/ngram_test.cc.o.d"
+  "data_ngram_test"
+  "data_ngram_test.pdb"
+  "data_ngram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_ngram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

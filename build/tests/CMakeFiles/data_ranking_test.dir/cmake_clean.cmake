@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_ranking_test.dir/data/ranking_test.cc.o"
+  "CMakeFiles/data_ranking_test.dir/data/ranking_test.cc.o.d"
+  "data_ranking_test"
+  "data_ranking_test.pdb"
+  "data_ranking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_ranking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_text_test.dir/data/text_test.cc.o"
+  "CMakeFiles/data_text_test.dir/data/text_test.cc.o.d"
+  "data_text_test"
+  "data_text_test.pdb"
+  "data_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

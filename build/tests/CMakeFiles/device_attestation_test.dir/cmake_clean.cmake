@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_attestation_test.dir/device/attestation_test.cc.o"
+  "CMakeFiles/device_attestation_test.dir/device/attestation_test.cc.o.d"
+  "device_attestation_test"
+  "device_attestation_test.pdb"
+  "device_attestation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_attestation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

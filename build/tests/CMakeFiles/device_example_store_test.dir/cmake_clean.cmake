@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_example_store_test.dir/device/example_store_test.cc.o"
+  "CMakeFiles/device_example_store_test.dir/device/example_store_test.cc.o.d"
+  "device_example_store_test"
+  "device_example_store_test.pdb"
+  "device_example_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_example_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_runtime_test.dir/device/runtime_test.cc.o"
+  "CMakeFiles/device_runtime_test.dir/device/runtime_test.cc.o.d"
+  "device_runtime_test"
+  "device_runtime_test.pdb"
+  "device_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

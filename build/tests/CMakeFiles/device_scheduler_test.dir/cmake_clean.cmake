@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_scheduler_test.dir/device/scheduler_test.cc.o"
+  "CMakeFiles/device_scheduler_test.dir/device/scheduler_test.cc.o.d"
+  "device_scheduler_test"
+  "device_scheduler_test.pdb"
+  "device_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedavg_client_update_test.dir/fedavg/client_update_test.cc.o"
+  "CMakeFiles/fedavg_client_update_test.dir/fedavg/client_update_test.cc.o.d"
+  "fedavg_client_update_test"
+  "fedavg_client_update_test.pdb"
+  "fedavg_client_update_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedavg_client_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fedavg_client_update_test.
+# This may be replaced when dependencies are built.

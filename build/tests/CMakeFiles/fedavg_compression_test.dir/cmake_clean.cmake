@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedavg_compression_test.dir/fedavg/compression_test.cc.o"
+  "CMakeFiles/fedavg_compression_test.dir/fedavg/compression_test.cc.o.d"
+  "fedavg_compression_test"
+  "fedavg_compression_test.pdb"
+  "fedavg_compression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedavg_compression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

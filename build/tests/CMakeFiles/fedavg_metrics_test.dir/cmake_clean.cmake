@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedavg_metrics_test.dir/fedavg/metrics_test.cc.o"
+  "CMakeFiles/fedavg_metrics_test.dir/fedavg/metrics_test.cc.o.d"
+  "fedavg_metrics_test"
+  "fedavg_metrics_test.pdb"
+  "fedavg_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedavg_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

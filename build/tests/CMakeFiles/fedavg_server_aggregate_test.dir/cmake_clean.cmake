@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedavg_server_aggregate_test.dir/fedavg/server_aggregate_test.cc.o"
+  "CMakeFiles/fedavg_server_aggregate_test.dir/fedavg/server_aggregate_test.cc.o.d"
+  "fedavg_server_aggregate_test"
+  "fedavg_server_aggregate_test.pdb"
+  "fedavg_server_aggregate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedavg_server_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

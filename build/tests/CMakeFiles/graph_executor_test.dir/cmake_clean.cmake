@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_executor_test.dir/graph/executor_test.cc.o"
+  "CMakeFiles/graph_executor_test.dir/graph/executor_test.cc.o.d"
+  "graph_executor_test"
+  "graph_executor_test.pdb"
+  "graph_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_graph_test.dir/graph/graph_test.cc.o"
+  "CMakeFiles/graph_graph_test.dir/graph/graph_test.cc.o.d"
+  "graph_graph_test"
+  "graph_graph_test.pdb"
+  "graph_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

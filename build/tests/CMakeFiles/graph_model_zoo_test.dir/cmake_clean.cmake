@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_model_zoo_test.dir/graph/model_zoo_test.cc.o"
+  "CMakeFiles/graph_model_zoo_test.dir/graph/model_zoo_test.cc.o.d"
+  "graph_model_zoo_test"
+  "graph_model_zoo_test.pdb"
+  "graph_model_zoo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_model_zoo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_registry_test.dir/graph/registry_test.cc.o"
+  "CMakeFiles/graph_registry_test.dir/graph/registry_test.cc.o.d"
+  "graph_registry_test"
+  "graph_registry_test.pdb"
+  "graph_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

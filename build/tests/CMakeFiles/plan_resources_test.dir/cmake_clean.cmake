@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_resources_test.dir/plan/resources_test.cc.o"
+  "CMakeFiles/plan_resources_test.dir/plan/resources_test.cc.o.d"
+  "plan_resources_test"
+  "plan_resources_test.pdb"
+  "plan_resources_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_resources_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

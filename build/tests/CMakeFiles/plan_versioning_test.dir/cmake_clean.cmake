@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_versioning_test.dir/plan/versioning_test.cc.o"
+  "CMakeFiles/plan_versioning_test.dir/plan/versioning_test.cc.o.d"
+  "plan_versioning_test"
+  "plan_versioning_test.pdb"
+  "plan_versioning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_versioning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_adaptive_test.dir/protocol/adaptive_test.cc.o"
+  "CMakeFiles/protocol_adaptive_test.dir/protocol/adaptive_test.cc.o.d"
+  "protocol_adaptive_test"
+  "protocol_adaptive_test.pdb"
+  "protocol_adaptive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_adaptive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_pace_steering_test.dir/protocol/pace_steering_test.cc.o"
+  "CMakeFiles/protocol_pace_steering_test.dir/protocol/pace_steering_test.cc.o.d"
+  "protocol_pace_steering_test"
+  "protocol_pace_steering_test.pdb"
+  "protocol_pace_steering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_pace_steering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

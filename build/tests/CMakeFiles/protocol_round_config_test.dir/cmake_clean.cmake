@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_round_config_test.dir/protocol/round_config_test.cc.o"
+  "CMakeFiles/protocol_round_config_test.dir/protocol/round_config_test.cc.o.d"
+  "protocol_round_config_test"
+  "protocol_round_config_test.pdb"
+  "protocol_round_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_round_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

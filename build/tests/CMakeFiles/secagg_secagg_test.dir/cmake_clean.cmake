@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secagg_secagg_test.dir/secagg/secagg_test.cc.o"
+  "CMakeFiles/secagg_secagg_test.dir/secagg/secagg_test.cc.o.d"
+  "secagg_secagg_test"
+  "secagg_secagg_test.pdb"
+  "secagg_secagg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secagg_secagg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_actors_test.dir/server/actors_test.cc.o"
+  "CMakeFiles/server_actors_test.dir/server/actors_test.cc.o.d"
+  "server_actors_test"
+  "server_actors_test.pdb"
+  "server_actors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_actors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_failure_modes_test.dir/server/failure_modes_test.cc.o"
+  "CMakeFiles/server_failure_modes_test.dir/server/failure_modes_test.cc.o.d"
+  "server_failure_modes_test"
+  "server_failure_modes_test.pdb"
+  "server_failure_modes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_failure_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

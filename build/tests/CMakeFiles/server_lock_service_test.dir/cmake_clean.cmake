@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_lock_service_test.dir/server/lock_service_test.cc.o"
+  "CMakeFiles/server_lock_service_test.dir/server/lock_service_test.cc.o.d"
+  "server_lock_service_test"
+  "server_lock_service_test.pdb"
+  "server_lock_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_lock_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

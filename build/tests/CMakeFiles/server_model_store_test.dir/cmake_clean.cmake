@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_model_store_test.dir/server/model_store_test.cc.o"
+  "CMakeFiles/server_model_store_test.dir/server/model_store_test.cc.o.d"
+  "server_model_store_test"
+  "server_model_store_test.pdb"
+  "server_model_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_model_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

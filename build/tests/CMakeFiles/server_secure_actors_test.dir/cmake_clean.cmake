@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_secure_actors_test.dir/server/secure_actors_test.cc.o"
+  "CMakeFiles/server_secure_actors_test.dir/server/secure_actors_test.cc.o.d"
+  "server_secure_actors_test"
+  "server_secure_actors_test.pdb"
+  "server_secure_actors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_secure_actors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_availability_test.dir/sim/availability_test.cc.o"
+  "CMakeFiles/sim_availability_test.dir/sim/availability_test.cc.o.d"
+  "sim_availability_test"
+  "sim_availability_test.pdb"
+  "sim_availability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_availability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_checkpoint_test.dir/tensor/checkpoint_test.cc.o"
+  "CMakeFiles/tensor_checkpoint_test.dir/tensor/checkpoint_test.cc.o.d"
+  "tensor_checkpoint_test"
+  "tensor_checkpoint_test.pdb"
+  "tensor_checkpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tools_deployment_gate_test.dir/tools/deployment_gate_test.cc.o"
+  "CMakeFiles/tools_deployment_gate_test.dir/tools/deployment_gate_test.cc.o.d"
+  "tools_deployment_gate_test"
+  "tools_deployment_gate_test.pdb"
+  "tools_deployment_gate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tools_deployment_gate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

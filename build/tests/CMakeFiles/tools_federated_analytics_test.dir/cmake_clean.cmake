@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tools_federated_analytics_test.dir/tools/federated_analytics_test.cc.o"
+  "CMakeFiles/tools_federated_analytics_test.dir/tools/federated_analytics_test.cc.o.d"
+  "tools_federated_analytics_test"
+  "tools_federated_analytics_test.pdb"
+  "tools_federated_analytics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tools_federated_analytics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

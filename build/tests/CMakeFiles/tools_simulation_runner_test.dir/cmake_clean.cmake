@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tools_simulation_runner_test.dir/tools/simulation_runner_test.cc.o"
+  "CMakeFiles/tools_simulation_runner_test.dir/tools/simulation_runner_test.cc.o.d"
+  "tools_simulation_runner_test"
+  "tools_simulation_runner_test.pdb"
+  "tools_simulation_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tools_simulation_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
