@@ -1,15 +1,112 @@
-// Shared deployment builders for the figure-reproduction benches.
+// Shared deployment builders for the figure-reproduction benches, plus a
+// tiny JSON emitter so benches can record machine-readable results
+// (BENCH_*.json) alongside their printed tables.
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/core/fl_system.h"
 #include "src/data/blobs.h"
 #include "src/graph/model_zoo.h"
 
 namespace fl::bench {
+
+// Minimal streaming JSON writer: enough for flat result records and arrays
+// of them. Handles comma placement and string escaping; numbers print with
+// enough digits to round-trip.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject(const std::string& key = "") {
+    Prefix(key);
+    out_ += '{';
+    need_comma_.push_back(false);
+    return *this;
+  }
+  JsonWriter& EndObject() {
+    need_comma_.pop_back();
+    out_ += '}';
+    return *this;
+  }
+  JsonWriter& BeginArray(const std::string& key = "") {
+    Prefix(key);
+    out_ += '[';
+    need_comma_.push_back(false);
+    return *this;
+  }
+  JsonWriter& EndArray() {
+    need_comma_.pop_back();
+    out_ += ']';
+    return *this;
+  }
+  JsonWriter& Field(const std::string& key, const std::string& value) {
+    Prefix(key);
+    AppendString(value);
+    return *this;
+  }
+  JsonWriter& Field(const std::string& key, const char* value) {
+    return Field(key, std::string(value));
+  }
+  JsonWriter& Field(const std::string& key, double value) {
+    Prefix(key);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& Field(const std::string& key, std::size_t value) {
+    Prefix(key);
+    out_ += std::to_string(value);
+    return *this;
+  }
+  JsonWriter& Field(const std::string& key, bool value) {
+    Prefix(key);
+    out_ += value ? "true" : "false";
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+
+  // Writes the document to `path` (with a trailing newline); returns false
+  // on I/O failure.
+  bool WriteFile(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    f << out_ << "\n";
+    return static_cast<bool>(f);
+  }
+
+ private:
+  void Prefix(const std::string& key) {
+    if (!need_comma_.empty()) {
+      if (need_comma_.back()) out_ += ',';
+      need_comma_.back() = true;
+    }
+    if (!key.empty()) {
+      AppendString(key);
+      out_ += ':';
+    }
+  }
+  void AppendString(const std::string& s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        default: out_ += c;
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> need_comma_;
+};
 
 // A US-centric, single-dominant-timezone population (Appendix A: "the
 // subject FL population primarily comes from the same time zone").

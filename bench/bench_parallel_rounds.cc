@@ -1,0 +1,138 @@
+// Parallel round engine throughput: sweeps SimulationConfig::threads over
+// {1, 2, 4, 8} on a nextword-convergence-sized workload (100 clients per
+// round) and reports simulated-round throughput. The paper scales a round
+// by fanning client updates across ephemeral Aggregators under a Master
+// Aggregator (Sec. 4.2); here the same reduction tree runs in-process with
+// one accumulator shard per worker thread.
+//
+// Results go to stdout and, machine-readable, to BENCH_parallel_rounds.json
+// in the current directory (threads, seconds, rounds/sec, client updates/s,
+// speedup vs threads=1, plus the host's hardware_concurrency — speedups are
+// bounded by physical cores, not by the requested thread count).
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "src/data/text.h"
+#include "src/tools/simulation_runner.h"
+
+using namespace fl;
+
+namespace {
+
+struct SweepPoint {
+  std::size_t threads = 0;
+  double seconds = 0;
+  double rounds_per_sec = 0;
+  double updates_per_sec = 0;
+  double final_train_loss = 0;
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Parallel round engine — thread sweep on a 100-client/round workload",
+      "Sec. 4.2: rounds fan out across ephemeral Aggregators under a Master "
+      "Aggregator; per-round wall clock should drop near-linearly with "
+      "workers.");
+
+  // nextword-convergence-sized: Markov keyboard corpus, embedding+tanh LM.
+  data::TextWorkloadParams text_params;
+  text_params.vocab_size = 64;
+  text_params.context = 3;
+  data::TextWorkload corpus(text_params, 4242);
+
+  const std::size_t users = 200;
+  std::vector<std::vector<data::Example>> per_user;
+  per_user.reserve(users);
+  for (std::uint64_t u = 0; u < users; ++u) {
+    per_user.push_back(corpus.UserExamples(u, 25, SimTime{0}));
+  }
+
+  Rng model_rng(9);
+  const graph::Model model = graph::BuildNextWordModel(
+      text_params.vocab_size, text_params.context, 16, 64, model_rng);
+  plan::TrainingHyperparams hyper;
+  hyper.batch_size = 32;
+  hyper.epochs = 2;
+  hyper.learning_rate = 0.4f;
+  const plan::FLPlan plan = plan::MakeTrainingPlan(model, "lm", hyper, {});
+
+  tools::SimulationConfig base;
+  base.clients_per_round = 100;
+  base.rounds = 4;
+  base.eval_every = 0;  // measure the round engine, not evaluation
+  base.seed = 71;
+
+  const std::size_t hw = std::thread::hardware_concurrency();
+  std::printf("\nhardware_concurrency = %zu\n", hw);
+  std::printf("%8s %10s %12s %14s %10s %14s\n", "threads", "seconds",
+              "rounds/s", "updates/s", "speedup", "train loss");
+
+  std::vector<SweepPoint> points;
+  for (std::size_t threads : {1, 2, 4, 8}) {
+    tools::SimulationConfig config = base;
+    config.threads = threads;
+    // Warm-up pass (page-in, allocator steady state), then the timed run.
+    {
+      tools::SimulationConfig warm = config;
+      warm.rounds = 1;
+      FL_CHECK(tools::RunFedAvgSimulation(plan, model.init_params, per_user,
+                                          {}, warm)
+                   .ok());
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = tools::RunFedAvgSimulation(plan, model.init_params,
+                                                   per_user, {}, config);
+    const auto t1 = std::chrono::steady_clock::now();
+    FL_CHECK(result.ok());
+
+    SweepPoint p;
+    p.threads = threads;
+    p.seconds = std::chrono::duration<double>(t1 - t0).count();
+    p.rounds_per_sec = static_cast<double>(config.rounds) / p.seconds;
+    p.updates_per_sec = p.rounds_per_sec *
+                        static_cast<double>(config.clients_per_round);
+    p.final_train_loss = result->trajectory.back().train_loss;
+    points.push_back(p);
+
+    const double speedup = points.front().seconds / p.seconds;
+    std::printf("%8zu %10.3f %12.2f %14.1f %9.2fx %14.4f\n", p.threads,
+                p.seconds, p.rounds_per_sec, p.updates_per_sec, speedup,
+                p.final_train_loss);
+  }
+
+  bench::JsonWriter json;
+  json.BeginObject()
+      .Field("bench", "parallel_rounds")
+      .Field("workload", "nextword LM, 200 users, 100 clients/round, "
+                         "25 examples/client, 2 epochs, batch 32")
+      .Field("clients_per_round", std::size_t{100})
+      .Field("rounds_timed", base.rounds)
+      .Field("hardware_concurrency", hw)
+      .BeginArray("results");
+  for (const SweepPoint& p : points) {
+    json.BeginObject()
+        .Field("threads", p.threads)
+        .Field("seconds", p.seconds)
+        .Field("rounds_per_sec", p.rounds_per_sec)
+        .Field("client_updates_per_sec", p.updates_per_sec)
+        .Field("speedup_vs_1_thread", points.front().seconds / p.seconds)
+        .Field("final_train_loss", p.final_train_loss)
+        .EndObject();
+  }
+  json.EndArray().EndObject();
+
+  const char* out = "BENCH_parallel_rounds.json";
+  if (json.WriteFile(out)) {
+    std::printf("\nwrote %s\n", out);
+  } else {
+    std::printf("\nFAILED to write %s\n", out);
+    return 1;
+  }
+  std::printf("(speedup saturates at the host's physical core count; "
+              "threads=1 is the bit-exact sequential baseline)\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+#include "src/common/thread_pool.h"
+
+#include <memory>
+
+namespace fl::common {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    shutdown_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      queue_cv_.wait(lk, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutdown with nothing left to run
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::RunIterations(ForState& s) {
+  for (;;) {
+    std::size_t i;
+    {
+      std::lock_guard<std::mutex> lk(s.mu);
+      if (s.stop || s.next >= s.n) return;
+      i = s.next++;
+      ++s.in_flight;
+    }
+    try {
+      (*s.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(s.mu);
+      if (!s.error) s.error = std::current_exception();
+      s.stop = true;
+    }
+    {
+      std::lock_guard<std::mutex> lk(s.mu);
+      --s.in_flight;
+      if (s.in_flight == 0 && (s.stop || s.next >= s.n)) {
+        s.done_cv.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Shared state is kept alive by each queued helper: a helper may start
+  // after the caller has already drained the loop and returned.
+  auto state = std::make_shared<ForState>();
+  state->fn = &fn;
+  state->n = n;
+
+  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    for (std::size_t h = 0; h < helpers; ++h) {
+      tasks_.emplace([state] { RunIterations(*state); });
+    }
+  }
+  queue_cv_.notify_all();
+
+  RunIterations(*state);
+
+  std::unique_lock<std::mutex> lk(state->mu);
+  state->done_cv.wait(lk, [&] {
+    return state->in_flight == 0 && (state->stop || state->next >= state->n);
+  });
+  // All fn(i) calls have returned; late-starting helpers will see next >= n
+  // and exit without touching fn (which dies with this frame).
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace fl::common

@@ -1,0 +1,66 @@
+// Fixed-size worker pool with a blocking ParallelFor — the compute substrate
+// for the parallel round engine (simulation_runner) and any other data-
+// parallel fan-out that mirrors the paper's Aggregator tree (Sec. 4.2):
+// independent work items execute concurrently, results are merged by the
+// caller in a fixed order so a given (seed, thread-count) pair is
+// reproducible regardless of scheduling.
+//
+// Distinct from actor::ThreadPoolContext on purpose: the actor context is a
+// fire-and-forget task executor for message-driven actors; this pool is a
+// synchronous fork-join primitive for bulk numeric work.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fl::common {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (0 is allowed: ParallelFor then runs inline on
+  // the calling thread).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Runs fn(i) for every i in [0, n) across the workers; the calling thread
+  // participates too. Blocks until every iteration has finished. Iterations
+  // are claimed dynamically, so callers that need determinism must make each
+  // fn(i) independent of execution order (see simulation_runner's fixed
+  // shard-merge). If an iteration throws, remaining unclaimed iterations are
+  // skipped and the first exception is rethrown here.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct ForState {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::size_t next = 0;       // next unclaimed iteration
+    std::size_t in_flight = 0;  // claimed but not yet finished
+    bool stop = false;          // set on first exception
+    std::exception_ptr error;
+  };
+
+  static void RunIterations(ForState& s);
+  void WorkerLoop();
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fl::common

@@ -9,8 +9,7 @@ FedAvgAccumulator::FedAvgAccumulator(plan::AggregationOp op,
     : op_(op) {
   if (op_ != plan::AggregationOp::kMetricsOnly) {
     // Zero-initialized running sum with the model's schema.
-    sum_ = schema;
-    sum_.Scale(0.0f);
+    sum_ = Checkpoint::ZerosLike(schema);
   }
 }
 
@@ -49,6 +48,23 @@ Status FedAvgAccumulator::AccumulateSum(Checkpoint&& delta_sum,
   return Status::Ok();
 }
 
+Status FedAvgAccumulator::MergeFrom(FedAvgAccumulator&& shard) {
+  if (shard.op_ != op_) {
+    return InvalidArgumentError("cannot merge accumulators with different "
+                                "aggregation ops");
+  }
+  if (op_ == plan::AggregationOp::kMetricsOnly) {
+    contributions_ += shard.contributions_;
+    return Status::Ok();
+  }
+  if (shard.contributions_ == 0) return Status::Ok();
+  // Metric summaries are NOT merged here: per-report metrics reach the
+  // master separately (AddMetrics), matching the paper's progress-message
+  // flow; P² quantile states cannot be combined exactly anyway.
+  return AccumulateSum(std::move(shard.sum_), shard.total_weight_,
+                       shard.contributions_);
+}
+
 void FedAvgAccumulator::AddMetrics(const ClientMetrics& m) {
   metrics_.AddClientMetrics(m);
 }
@@ -61,11 +77,11 @@ Result<Checkpoint> FedAvgAccumulator::Finalize(
   if (contributions_ == 0 || total_weight_ <= 0) {
     return FailedPreconditionError("no updates accumulated");
   }
-  // w_{t+1} = w_t + (sum_k Delta_k) / (sum_k n_k)
+  // w_{t+1} = w_t + (sum_k Delta_k) / (sum_k n_k). The scaled add folds the
+  // division into AddInPlace's alpha — no copy-then-Scale round trip over
+  // the full parameter vector.
   Checkpoint next = current_global;
-  Checkpoint mean = sum_;
-  mean.Scale(1.0f / total_weight_);
-  FL_RETURN_IF_ERROR(next.AddInPlace(mean));
+  FL_RETURN_IF_ERROR(next.AddInPlace(sum_, 1.0f / total_weight_));
   return next;
 }
 

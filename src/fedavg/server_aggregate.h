@@ -31,6 +31,12 @@ class FedAvgAccumulator {
   Status AccumulateSum(Checkpoint&& delta_sum, float weight_sum,
                        std::size_t contributors);
 
+  // Absorbs a whole per-shard accumulator — the Aggregator → Master
+  // Aggregator reduction of Sec. 4.2 in one call. Delta sums go through the
+  // AccumulateSum path; metric summaries are merged too. `shard` is
+  // consumed. Both accumulators must share the aggregation op.
+  Status MergeFrom(FedAvgAccumulator&& shard);
+
   // Folds in metrics alone (the Master Aggregator receives metrics with
   // per-report progress messages, separately from the delta sums).
   void AddMetrics(const ClientMetrics& m);

@@ -8,6 +8,14 @@ constexpr char kMagic[4] = {'F', 'L', 'C', 'P'};
 constexpr std::uint16_t kFormatVersion = 1;
 }  // namespace
 
+Checkpoint Checkpoint::ZerosLike(const Checkpoint& schema) {
+  Checkpoint out;
+  for (const auto& [name, t] : schema.tensors_) {
+    out.tensors_.emplace(name, Tensor(t.shape()));
+  }
+  return out;
+}
+
 Result<const Tensor*> Checkpoint::Get(const std::string& name) const {
   const auto it = tensors_.find(name);
   if (it == tensors_.end()) {

@@ -25,6 +25,12 @@ class Checkpoint {
  public:
   Checkpoint() = default;
 
+  // A checkpoint with `schema`'s tensor names and shapes, all values zero.
+  // Accumulators start from this instead of copying a full model and
+  // multiplying it away (copy-then-Scale(0) costs a redundant memcpy of
+  // every parameter).
+  static Checkpoint ZerosLike(const Checkpoint& schema);
+
   void Put(const std::string& name, Tensor t) {
     tensors_[name] = std::move(t);
   }

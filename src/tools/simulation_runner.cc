@@ -1,8 +1,105 @@
 #include "src/tools/simulation_runner.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "src/common/thread_pool.h"
 
 namespace fl::tools {
+namespace {
+
+// One pre-drawn round participant: which client trains and the RNG its
+// local shuffle uses. Drawn sequentially from the round RNG before any
+// dispatch so the draw sequence is independent of thread scheduling.
+struct PlannedClient {
+  std::size_t client = 0;
+  Rng shuffle{0};
+};
+
+// Runs the sequential selection loop's RNG draws (candidate index, drop-out
+// coin, per-client fork) without training, collecting up to `want`
+// survivors. Consumes exactly the same draws as the inline sequential loop
+// does when every dispatched update succeeds.
+std::vector<PlannedClient> PlanRound(
+    Rng& rng, const std::vector<std::vector<data::Example>>& client_data,
+    const SimulationConfig& config) {
+  const std::size_t want = config.clients_per_round;
+  std::vector<PlannedClient> planned;
+  planned.reserve(want);
+  for (std::size_t attempts = 0;
+       planned.size() < want && attempts < want * 4; ++attempts) {
+    const std::size_t c = rng.UniformInt(client_data.size());
+    if (client_data[c].empty()) continue;
+    if (rng.Bernoulli(config.client_failure_rate)) continue;  // drop-out
+    planned.push_back(PlannedClient{c, rng.Fork()});
+  }
+  return planned;
+}
+
+// Per-worker aggregation shard — the in-process analogue of one ephemeral
+// Aggregator actor (Sec. 4.2). Each shard owns its accumulator; shards are
+// merged into the master in fixed index order after the join.
+struct RoundShard {
+  explicit RoundShard(plan::AggregationOp op, const Checkpoint& schema)
+      : acc(op, schema) {}
+  fedavg::FedAvgAccumulator acc;
+  double train_loss = 0;
+  std::size_t got = 0;
+  Status status = Status::Ok();
+};
+
+// Executes one round's client updates on the pool: candidate i runs on
+// shard i % shards, each shard processing its candidates in ascending
+// order. Returns (train_loss_sum, got) after the fixed-order shard merge.
+Result<std::pair<double, std::size_t>> RunRoundOnPool(
+    common::ThreadPool& pool, const plan::FLPlan& plan,
+    const Checkpoint& global, std::uint32_t runtime,
+    const std::vector<std::vector<data::Example>>& client_data,
+    const std::vector<PlannedClient>& planned,
+    fedavg::FedAvgAccumulator& master) {
+  const std::size_t shard_count =
+      std::max<std::size_t>(1, std::min(pool.size(), planned.size()));
+  std::vector<RoundShard> shards;
+  shards.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    shards.emplace_back(plan.server.aggregation, global);
+  }
+
+  pool.ParallelFor(shard_count, [&](std::size_t s) {
+    RoundShard& shard = shards[s];
+    for (std::size_t i = s; i < planned.size(); i += shard_count) {
+      // Copy the pre-drawn fork: the planned state itself stays pristine.
+      Rng shuffle = planned[i].shuffle;
+      auto update = fedavg::RunClientUpdate(plan.device, global,
+                                            client_data[planned[i].client],
+                                            runtime, shuffle);
+      // A failed update is dropped without resampling (the sequential path
+      // resamples; see the determinism contract in DESIGN.md).
+      if (!update.ok()) continue;
+      shard.train_loss += update->metrics.mean_loss;
+      Status st = shard.acc.Accumulate(std::move(update->weighted_delta),
+                                       update->weight, update->metrics);
+      if (!st.ok()) {
+        shard.status = st;
+        return;
+      }
+      ++shard.got;
+    }
+  });
+
+  double train_loss = 0;
+  std::size_t got = 0;
+  for (RoundShard& shard : shards) {
+    FL_RETURN_IF_ERROR(shard.status);
+    train_loss += shard.train_loss;
+    got += shard.got;
+    FL_RETURN_IF_ERROR(master.MergeFrom(std::move(shard.acc)));
+  }
+  return std::make_pair(train_loss, got);
+}
+
+}  // namespace
 
 Result<SimulationResult> RunFedAvgSimulation(
     const plan::FLPlan& plan, const Checkpoint& init,
@@ -17,25 +114,43 @@ Result<SimulationResult> RunFedAvgSimulation(
   Checkpoint global = init;
   const std::uint32_t runtime = plan.min_runtime_version;
 
+  // The pool outlives every round; threads==1 keeps the exact sequential
+  // code path (and RNG consumption pattern) of earlier versions.
+  const std::size_t threads = std::max<std::size_t>(1, config.threads);
+  std::unique_ptr<common::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<common::ThreadPool>(threads);
+
   for (std::size_t round = 1; round <= config.rounds; ++round) {
     fedavg::FedAvgAccumulator acc(plan.server.aggregation, global);
     // Select 1.3K, keep the first K survivors (Algorithm 1's header).
     const std::size_t want = config.clients_per_round;
     std::size_t got = 0;
     double train_loss = 0;
-    for (std::size_t attempts = 0;
-         got < want && attempts < want * 4; ++attempts) {
-      const std::size_t c = rng.UniformInt(client_data.size());
-      if (client_data[c].empty()) continue;
-      if (rng.Bernoulli(config.client_failure_rate)) continue;  // drop-out
-      Rng shuffle = rng.Fork();
-      auto update = fedavg::RunClientUpdate(plan.device, global,
-                                            client_data[c], runtime, shuffle);
-      if (!update.ok()) continue;
-      train_loss += update->metrics.mean_loss;
-      FL_RETURN_IF_ERROR(acc.Accumulate(std::move(update->weighted_delta),
-                                        update->weight, update->metrics));
-      ++got;
+    if (pool == nullptr) {
+      for (std::size_t attempts = 0;
+           got < want && attempts < want * 4; ++attempts) {
+        const std::size_t c = rng.UniformInt(client_data.size());
+        if (client_data[c].empty()) continue;
+        if (rng.Bernoulli(config.client_failure_rate)) continue;  // drop-out
+        Rng shuffle = rng.Fork();
+        auto update = fedavg::RunClientUpdate(plan.device, global,
+                                              client_data[c], runtime,
+                                              shuffle);
+        if (!update.ok()) continue;
+        train_loss += update->metrics.mean_loss;
+        FL_RETURN_IF_ERROR(acc.Accumulate(std::move(update->weighted_delta),
+                                          update->weight, update->metrics));
+        ++got;
+      }
+    } else {
+      const std::vector<PlannedClient> planned =
+          PlanRound(rng, client_data, config);
+      FL_ASSIGN_OR_RETURN(
+          auto outcome,
+          RunRoundOnPool(*pool, plan, global, runtime, client_data, planned,
+                         acc));
+      train_loss = outcome.first;
+      got = outcome.second;
     }
     if (got == 0) {
       return AbortedError("round " + std::to_string(round) +
@@ -84,9 +199,8 @@ Result<SimulationResult> RunCentralizedBaseline(
     auto update = fedavg::RunClientUpdate(device, global, train_data,
                                           runtime, shuffle);
     if (!update.ok()) return update.status();
-    Checkpoint delta = std::move(update->weighted_delta);
-    delta.Scale(1.0f / update->weight);
-    FL_RETURN_IF_ERROR(global.AddInPlace(delta));
+    FL_RETURN_IF_ERROR(
+        global.AddInPlace(update->weighted_delta, 1.0f / update->weight));
 
     RoundPoint point;
     point.round = epoch;

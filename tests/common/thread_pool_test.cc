@@ -1,0 +1,64 @@
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace fl::common {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIterationsIsNoOp) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [&](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 0u);
+  std::vector<int> hits(64, 0);
+  pool.ParallelFor(hits.size(), [&](std::size_t i) { hits[i]++; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+}
+
+TEST(ThreadPoolTest, ConcurrentAccumulationIsComplete) {
+  ThreadPool pool(8);
+  std::atomic<std::int64_t> sum{0};
+  const std::size_t n = 10'000;
+  pool.ParallelFor(n, [&](std::size_t i) {
+    sum += static_cast<std::int64_t>(i);
+  });
+  EXPECT_EQ(sum.load(), static_cast<std::int64_t>(n * (n - 1) / 2));
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [&](std::size_t i) {
+                                  if (i == 37) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyLoops) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(20, [&](std::size_t) { total++; });
+  }
+  EXPECT_EQ(total.load(), 50 * 20);
+}
+
+}  // namespace
+}  // namespace fl::common

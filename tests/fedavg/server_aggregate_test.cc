@@ -134,6 +134,45 @@ TEST(FedAvgAccumulatorTest, HierarchicalAggregationMatchesFlat) {
   EXPECT_EQ(master.contributions(), 4u);
 }
 
+TEST(FedAvgAccumulatorTest, MergeFromMatchesFlatAccumulation) {
+  // Shard merge (the parallel round engine's reduction) must equal flat
+  // accumulation exactly: same adds in the same order.
+  FedAvgAccumulator flat(plan::AggregationOp::kWeightedFedAvg, Schema());
+  ASSERT_TRUE(flat.Accumulate(DeltaOf(2, 4), 2, Metrics(1)).ok());
+  ASSERT_TRUE(flat.Accumulate(DeltaOf(-6, 3), 3, Metrics(1)).ok());
+
+  FedAvgAccumulator shard_a(plan::AggregationOp::kWeightedFedAvg, Schema());
+  FedAvgAccumulator shard_b(plan::AggregationOp::kWeightedFedAvg, Schema());
+  ASSERT_TRUE(shard_a.Accumulate(DeltaOf(2, 4), 2, Metrics(1)).ok());
+  ASSERT_TRUE(shard_b.Accumulate(DeltaOf(-6, 3), 3, Metrics(1)).ok());
+
+  FedAvgAccumulator master(plan::AggregationOp::kWeightedFedAvg, Schema());
+  ASSERT_TRUE(master.MergeFrom(std::move(shard_a)).ok());
+  ASSERT_TRUE(master.MergeFrom(std::move(shard_b)).ok());
+
+  EXPECT_EQ(master.contributions(), flat.contributions());
+  EXPECT_FLOAT_EQ(master.total_weight(), flat.total_weight());
+  const auto a = flat.Finalize(Schema());
+  const auto b = master.Finalize(Schema());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(FedAvgAccumulatorTest, MergeFromEmptyShardIsNoOp) {
+  FedAvgAccumulator master(plan::AggregationOp::kWeightedFedAvg, Schema());
+  ASSERT_TRUE(master.Accumulate(DeltaOf(1, 1), 1, Metrics(1)).ok());
+  FedAvgAccumulator empty(plan::AggregationOp::kWeightedFedAvg, Schema());
+  ASSERT_TRUE(master.MergeFrom(std::move(empty)).ok());
+  EXPECT_EQ(master.contributions(), 1u);
+  EXPECT_FLOAT_EQ(master.total_weight(), 1.0f);
+}
+
+TEST(FedAvgAccumulatorTest, MergeFromRejectsOpMismatch) {
+  FedAvgAccumulator master(plan::AggregationOp::kWeightedFedAvg, Schema());
+  FedAvgAccumulator shard(plan::AggregationOp::kUnweightedMean, Schema());
+  EXPECT_FALSE(master.MergeFrom(std::move(shard)).ok());
+}
+
 TEST(FedAvgAccumulatorTest, OnlineAccumulationKeepsNoPerClientState) {
   // The accumulator's memory footprint is one checkpoint regardless of how
   // many clients report (Sec. 10's scalability rebuttal).

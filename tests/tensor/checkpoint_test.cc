@@ -137,5 +137,20 @@ TEST(CheckpointTest, EmptyCheckpointRoundTrips) {
   EXPECT_EQ(back->tensor_count(), 0u);
 }
 
+TEST(CheckpointTest, ZerosLikeCopiesSchemaNotValues) {
+  Rng rng(12);
+  const Checkpoint c = MakeCheckpoint(rng);
+  const Checkpoint z = Checkpoint::ZerosLike(c);
+  ASSERT_TRUE(z.CompatibleWith(c));
+  EXPECT_EQ(z.TotalParameters(), c.TotalParameters());
+  for (const auto& [name, t] : z.tensors()) {
+    for (float v : t.data()) ASSERT_EQ(v, 0.0f) << name;
+  }
+}
+
+TEST(CheckpointTest, ZerosLikeOfEmptyIsEmpty) {
+  EXPECT_EQ(Checkpoint::ZerosLike(Checkpoint{}).tensor_count(), 0u);
+}
+
 }  // namespace
 }  // namespace fl

@@ -111,6 +111,104 @@ TEST(TensorTest, MatMulTransBAgreesWithExplicit) {
   }
 }
 
+// Straightforward reference kernels: the cache-blocked production kernels
+// must reproduce these bit-for-bit (same per-element accumulation order).
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float s = 0;
+      for (std::size_t p = 0; p < k; ++p) s += a.at(i, p) * b.at(p, j);
+      c.at(i, j) = s;
+    }
+  }
+  return c;
+}
+
+Tensor NaiveMatMulTransA(const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
+  Tensor c({k, n});
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float s = 0;
+      for (std::size_t i = 0; i < m; ++i) s += a.at(i, p) * b.at(i, j);
+      c.at(p, j) = s;
+    }
+  }
+  return c;
+}
+
+Tensor NaiveMatMulTransB(const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.shape()[0], n = a.shape()[1], k = b.shape()[0];
+  Tensor c({m, k});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      double s = 0;
+      for (std::size_t j = 0; j < n; ++j) s += a.at(i, j) * b.at(p, j);
+      c.at(i, p) = static_cast<float>(s);
+    }
+  }
+  return c;
+}
+
+// Ragged shapes straddle the kernels' block boundaries (64-deep, 128-wide
+// blocks): dims chosen to exercise full blocks, remainder blocks, and
+// degenerate 1-wide edges.
+TEST(TensorTest, BlockedMatMulMatchesNaiveOnRaggedShapes) {
+  Rng rng(11);
+  const struct { std::size_t m, k, n; } cases[] = {
+      {7, 13, 5}, {1, 130, 1}, {33, 65, 129}, {2, 64, 128}, {65, 1, 9},
+  };
+  for (const auto& [m, k, n] : cases) {
+    const Tensor a = Tensor::RandomNormal({m, k}, rng);
+    const Tensor b = Tensor::RandomNormal({k, n}, rng);
+    const Tensor got = Tensor::MatMul(a, b);
+    const Tensor want = NaiveMatMul(a, b);
+    ASSERT_EQ(got.shape(), want.shape());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_FLOAT_EQ(got.at(i), want.at(i))
+          << "shape " << m << "x" << k << "x" << n << " at " << i;
+    }
+  }
+}
+
+TEST(TensorTest, BlockedMatMulTransAMatchesNaiveOnRaggedShapes) {
+  Rng rng(12);
+  const struct { std::size_t m, k, n; } cases[] = {
+      {13, 7, 5}, {130, 1, 3}, {65, 33, 129}, {64, 2, 128},
+  };
+  for (const auto& [m, k, n] : cases) {
+    const Tensor a = Tensor::RandomNormal({m, k}, rng);
+    const Tensor b = Tensor::RandomNormal({m, n}, rng);
+    const Tensor got = Tensor::MatMulTransA(a, b);
+    const Tensor want = NaiveMatMulTransA(a, b);
+    ASSERT_EQ(got.shape(), want.shape());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_FLOAT_EQ(got.at(i), want.at(i))
+          << "shape " << m << "x" << k << "x" << n << " at " << i;
+    }
+  }
+}
+
+TEST(TensorTest, BlockedMatMulTransBMatchesNaiveOnRaggedShapes) {
+  Rng rng(13);
+  const struct { std::size_t m, n, k; } cases[] = {
+      {7, 13, 5}, {1, 130, 3}, {33, 129, 65}, {2, 128, 64},
+  };
+  for (const auto& [m, n, k] : cases) {
+    const Tensor a = Tensor::RandomNormal({m, n}, rng);
+    const Tensor b = Tensor::RandomNormal({k, n}, rng);
+    const Tensor got = Tensor::MatMulTransB(a, b);
+    const Tensor want = NaiveMatMulTransB(a, b);
+    ASSERT_EQ(got.shape(), want.shape());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_FLOAT_EQ(got.at(i), want.at(i))
+          << "shape " << m << "x" << n << "x" << k << " at " << i;
+    }
+  }
+}
+
 TEST(TensorTest, GlorotUniformWithinLimit) {
   Rng rng(5);
   const Tensor t = Tensor::GlorotUniform({64, 32}, rng);
