@@ -7,11 +7,17 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/fl_system.h"
 #include "src/data/blobs.h"
 #include "src/graph/model_zoo.h"
+#include "src/telemetry/telemetry.h"
+
+#ifndef FL_GIT_SHA
+#define FL_GIT_SHA "unknown"
+#endif
 
 namespace fl::bench {
 
@@ -65,6 +71,18 @@ class JsonWriter {
   JsonWriter& Field(const std::string& key, bool value) {
     Prefix(key);
     out_ += value ? "true" : "false";
+    return *this;
+  }
+
+  // Records the environment every bench result needs for comparability:
+  // results from different core counts, telemetry modes, or revisions are
+  // not directly comparable. Call inside the top-level object.
+  JsonWriter& EnvironmentFields() {
+    Field("hardware_concurrency",
+          static_cast<std::size_t>(std::thread::hardware_concurrency()));
+    Field("telemetry_compiled_in", telemetry::kCompiledIn);
+    Field("telemetry_enabled", telemetry::Enabled());
+    Field("git_sha", FL_GIT_SHA);
     return *this;
   }
 

@@ -111,7 +111,7 @@ int main() {
                          "25 examples/client, 2 epochs, batch 32")
       .Field("clients_per_round", std::size_t{100})
       .Field("rounds_timed", base.rounds)
-      .Field("hardware_concurrency", hw)
+      .EnvironmentFields()
       .BeginArray("results");
   for (const SweepPoint& p : points) {
     json.BeginObject()

@@ -1,0 +1,200 @@
+// Telemetry overhead: proves the "off by default means off" contract. Two
+// measurements:
+//
+//  1. Micro: a counter/histogram/span instrumentation site executed in a
+//     tight loop with telemetry disabled vs enabled, against an
+//     uninstrumented baseline loop. Disabled instrumentation must cost
+//     about one predicted branch per site.
+//  2. Macro: the parallel round engine (RunFedAvgSimulation) timed with
+//     telemetry disabled and enabled. The disabled run is the shipping
+//     configuration; its overhead target vs an uninstrumented build is
+//     <= 2% — approximated here by the enabled/disabled delta staying
+//     attributable to the instrumentation alone.
+//
+// Results go to stdout and BENCH_telemetry_overhead.json.
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/data/text.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
+#include "src/tools/simulation_runner.h"
+
+using namespace fl;
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// The uninstrumented baseline: the same arithmetic the instrumented loop
+// does around its telemetry sites.
+double BaselineLoop(std::size_t iters, std::uint64_t& sink) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < iters; ++i) {
+    acc += i ^ (acc >> 3);
+  }
+  sink += acc;
+  return SecondsSince(t0);
+}
+
+// One guarded counter bump + one guarded histogram observation per
+// iteration: the pattern used at every hot instrumentation site.
+double InstrumentedLoop(std::size_t iters, std::uint64_t& sink,
+                        telemetry::Counter* counter,
+                        telemetry::Histogram* hist) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < iters; ++i) {
+    acc += i ^ (acc >> 3);
+    if (telemetry::Enabled()) {
+      counter->Add();
+      hist->Observe(static_cast<double>(i & 1023));
+    }
+  }
+  sink += acc;
+  return SecondsSince(t0);
+}
+
+double MacroSimSeconds(const plan::FLPlan& plan, const Checkpoint& init,
+                       const std::vector<std::vector<data::Example>>& data,
+                       std::size_t threads) {
+  tools::SimulationConfig config;
+  config.clients_per_round = 50;
+  config.rounds = 3;
+  config.eval_every = 0;
+  config.seed = 97;
+  config.threads = threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  FL_CHECK(tools::RunFedAvgSimulation(plan, init, data, {}, config).ok());
+  return SecondsSince(t0);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Telemetry overhead — disabled must cost ~one branch per site",
+      "Production monitoring (Sec. 5) may not tax the round engine: "
+      "instrumentation compiled in but switched off stays within 2% of an "
+      "uninstrumented loop.");
+
+  telemetry::SetEnabled(false);
+  auto& reg = telemetry::MetricsRegistry::Global();
+  auto* counter = reg.GetCounter("bench_overhead_ops_total");
+  auto* hist = reg.GetHistogram("bench_overhead_value",
+                                telemetry::HistogramOptions{1.0, 2.0, 16});
+
+  // --- micro ---
+  const std::size_t iters = 20'000'000;
+  std::uint64_t sink = 0;
+  BaselineLoop(iters, sink);  // warm-up
+  const double base_s = BaselineLoop(iters, sink);
+  const double off_s = InstrumentedLoop(iters, sink, counter, hist);
+  telemetry::SetEnabled(true);
+  const double on_s = InstrumentedLoop(iters, sink, counter, hist);
+  telemetry::SetEnabled(false);
+
+  // Per-site absolute cost of the disabled path: the branch itself. The
+  // baseline loop is ~1 cycle, so a percentage against it would be
+  // meaningless — the contract is stated in ns/site and then held against
+  // the real per-client-update cost below.
+  const double base_ns = base_s / static_cast<double>(iters) * 1e9;
+  const double disabled_site_ns =
+      (off_s - base_s) / static_cast<double>(iters) * 1e9;
+  const double enabled_site_ns =
+      (on_s - base_s) / static_cast<double>(iters) * 1e9;
+  std::printf("\nmicro loop (%zu iters, 1 counter + 1 histogram site):\n",
+              iters);
+  std::printf("  %-28s %8.2f ns/op\n", "uninstrumented", base_ns);
+  std::printf("  %-28s %8.2f ns/site added\n", "telemetry disabled",
+              disabled_site_ns);
+  std::printf("  %-28s %8.2f ns/site added\n", "telemetry enabled",
+              enabled_site_ns);
+
+  // --- macro: the round engine end to end ---
+  data::TextWorkloadParams text_params;
+  text_params.vocab_size = 64;
+  text_params.context = 3;
+  data::TextWorkload corpus(text_params, 4242);
+  const std::size_t users = 100;
+  std::vector<std::vector<data::Example>> per_user;
+  per_user.reserve(users);
+  for (std::uint64_t u = 0; u < users; ++u) {
+    per_user.push_back(corpus.UserExamples(u, 20, SimTime{0}));
+  }
+  Rng model_rng(9);
+  const graph::Model model = graph::BuildNextWordModel(
+      text_params.vocab_size, text_params.context, 16, 64, model_rng);
+  plan::TrainingHyperparams hyper;
+  hyper.batch_size = 32;
+  hyper.epochs = 1;
+  hyper.learning_rate = 0.4f;
+  const plan::FLPlan plan = plan::MakeTrainingPlan(model, "lm", hyper, {});
+
+  const std::size_t threads = 2;
+  MacroSimSeconds(plan, model.init_params, per_user, threads);  // warm-up
+  const double sim_off_s =
+      MacroSimSeconds(plan, model.init_params, per_user, threads);
+  telemetry::SetEnabled(true);
+  const double sim_on_s =
+      MacroSimSeconds(plan, model.init_params, per_user, threads);
+  telemetry::SetEnabled(false);
+  const double sim_on_pct = (sim_on_s - sim_off_s) / sim_off_s * 100.0;
+
+  std::printf("\nmacro round engine (50 clients/round x 3 rounds, "
+              "%zu threads):\n", threads);
+  std::printf("  %-28s %8.3f s\n", "telemetry disabled", sim_off_s);
+  std::printf("  %-28s %8.3f s  (%+.2f%% vs disabled)\n",
+              "telemetry enabled", sim_on_s, sim_on_pct);
+
+  // The acceptance gate: the round-engine hot loop has ~4 disabled sites
+  // per client update (span branch, 2 counter checks, observer check);
+  // their measured cost as a fraction of one real client update must stay
+  // under 2%.
+  constexpr double kSitesPerUpdate = 4.0;
+  const double update_cost_ns =
+      sim_off_s / (3.0 * 50.0) * 1e9;  // rounds * clients/round
+  const double hot_loop_overhead_pct =
+      kSitesPerUpdate * disabled_site_ns / update_cost_ns * 100.0;
+  const bool micro_ok = hot_loop_overhead_pct <= 2.0;
+  std::printf("\ndisabled sites cost %.2f ns x %.0f per client update of "
+              "%.0f us -> %.5f%% of the hot loop — target <= 2%%: %s\n",
+              disabled_site_ns, kSitesPerUpdate, update_cost_ns / 1000.0,
+              hot_loop_overhead_pct, micro_ok ? "PASS" : "FAIL");
+
+  bench::JsonWriter json;
+  json.BeginObject()
+      .Field("bench", "telemetry_overhead")
+      .EnvironmentFields()
+      .BeginObject("micro")
+      .Field("iters", iters)
+      .Field("baseline_ns_per_op", base_ns)
+      .Field("disabled_site_ns", disabled_site_ns)
+      .Field("enabled_site_ns", enabled_site_ns)
+      .EndObject()
+      .BeginObject("macro")
+      .Field("threads", threads)
+      .Field("disabled_seconds", sim_off_s)
+      .Field("enabled_seconds", sim_on_s)
+      .Field("enabled_overhead_pct", sim_on_pct)
+      .EndObject()
+      .Field("hot_loop_disabled_overhead_pct", hot_loop_overhead_pct)
+      .Field("disabled_within_2pct", micro_ok)
+      .EndObject();
+
+  const char* out = "BENCH_telemetry_overhead.json";
+  if (json.WriteFile(out)) {
+    std::printf("wrote %s\n", out);
+  } else {
+    std::printf("FAILED to write %s\n", out);
+    return 1;
+  }
+  // Timing noise on loaded CI machines can push the micro number past the
+  // gate; the JSON records the verdict, the bench itself always exits 0.
+  return 0;
+}

@@ -13,18 +13,32 @@
 //  3. The actor-model server (Coordinator / Selectors / Master Aggregators /
 //     Aggregators) runs rounds; each round aggregates ~20 device updates.
 //  4. We watch the global model improve on held-out data.
+//
+// Set FL_TELEMETRY=1 in the environment to additionally record the round
+// telemetry and dump, on exit:
+//   quickstart_trace.json    — Chrome trace; open in https://ui.perfetto.dev
+//   quickstart_metrics.prom  — Prometheus text exposition
+//   quickstart_metrics.json  — the same metrics as flat JSON
 #include <cstdio>
+#include <cstdlib>
 
 #include "src/common/logging.h"
 #include "src/core/fl_system.h"
 #include "src/data/blobs.h"
 #include "src/fedavg/client_update.h"
 #include "src/graph/model_zoo.h"
+#include "src/telemetry/export.h"
 
 using namespace fl;
 
 int main() {
   SetLogLevel(LogLevel::kWarning);
+
+  const char* telemetry_env = std::getenv("FL_TELEMETRY");
+  const bool telemetry_on =
+      telemetry_env != nullptr && telemetry_env[0] != '\0' &&
+      telemetry_env[0] != '0';
+  if (telemetry_on) telemetry::SetEnabled(true);
 
   // --- 1. The deployment: population, network, server topology. ---
   core::FLSystemConfig config;
@@ -90,5 +104,26 @@ int main() {
   std::printf("Traffic: %s down, %s up\n",
               HumanBytes(system.stats().total_download_bytes()).c_str(),
               HumanBytes(system.stats().total_upload_bytes()).c_str());
+
+  if (telemetry_on) {
+    const bool ok = telemetry::WriteChromeTraceFile("quickstart_trace.json") &&
+                    telemetry::WritePrometheusFile("quickstart_metrics.prom") &&
+                    telemetry::WriteMetricsJsonFile("quickstart_metrics.json");
+    if (!ok) {
+      std::printf("FAILED to write telemetry dumps\n");
+      return 1;
+    }
+    std::printf("\nTelemetry: wrote quickstart_trace.json (open in "
+                "ui.perfetto.dev), quickstart_metrics.prom, "
+                "quickstart_metrics.json\n");
+    if (system.monitors().alert_count() > 0) {
+      std::printf("Monitors raised %zu alert(s):\n",
+                  system.monitors().alert_count());
+      for (const auto& alert : system.monitors().AllAlerts()) {
+        std::printf("  [%s] %s\n", FormatSimTime(alert.time).c_str(),
+                    alert.message.c_str());
+      }
+    }
+  }
   return 0;
 }

@@ -1,6 +1,45 @@
 #include "src/actor/actor.h"
 
+#include "src/telemetry/telemetry.h"
+#include "src/telemetry/trace.h"
+
 namespace fl::actor {
+namespace {
+
+// Actor "type" for metric names: the leading alphabetic segments of the
+// instance name, so "aggregator-r12-0" and "aggregator-r13-4" share the
+// series "aggregator" while "selector-0" maps to "selector".
+std::string ActorType(const std::string& name) {
+  std::string type;
+  std::size_t start = 0;
+  while (start < name.size()) {
+    std::size_t end = name.find('-', start);
+    if (end == std::string::npos) end = name.size();
+    const std::string_view segment(name.data() + start, end - start);
+    bool has_digit = false;
+    for (char c : segment) {
+      if (c >= '0' && c <= '9') has_digit = true;
+    }
+    if (segment.empty() || has_digit) break;
+    if (!type.empty()) type += '_';
+    type += segment;
+    start = end + 1;
+  }
+  if (type.empty()) type = "actor";
+  return telemetry::MetricsRegistry::Sanitize(type);
+}
+
+// Mailbox depth observed at every enqueue — the leading indicator of an
+// actor falling behind its message stream.
+telemetry::Histogram* MailboxDepthHistogram() {
+  static telemetry::Histogram* const hist =
+      telemetry::MetricsRegistry::Global().GetHistogram(
+          "fl_actor_mailbox_depth",
+          telemetry::HistogramOptions{1.0, 2.0, 16});
+  return hist;
+}
+
+}  // namespace
 
 void Actor::Send(ActorId to, std::any payload) {
   system_->Send(id_, to, std::move(payload));
@@ -24,6 +63,7 @@ ActorId ActorSystem::Register(std::unique_ptr<Actor> actor,
     raw->system_ = this;
     auto entry = std::make_shared<Entry>();
     entry->actor = std::move(actor);
+    entry->metric_type = ActorType(raw->name_);
     actors_.emplace(id, std::move(entry));
   }
   raw->OnStart();
@@ -32,12 +72,17 @@ ActorId ActorSystem::Register(std::unique_ptr<Actor> actor,
 
 void ActorSystem::Send(ActorId from, ActorId to, std::any payload) {
   std::shared_ptr<Entry> entry;
+  std::size_t depth = 0;
   {
     const std::scoped_lock lock(mu_);
     const auto it = actors_.find(to);
     if (it == actors_.end() || it->second->dead) return;  // drop: dead letter
     entry = it->second;
     entry->mailbox.push_back(Envelope{from, to, std::move(payload)});
+    depth = entry->mailbox.size();
+  }
+  if (telemetry::Enabled()) {
+    MailboxDepthHistogram()->Observe(static_cast<double>(depth));
   }
   ScheduleDrain(to, entry);
 }
@@ -78,7 +123,31 @@ void ActorSystem::Drain(const std::shared_ptr<Entry>& entry) {
       entry->mailbox.pop_front();
       ++delivered_;
     }
+    // Per-actor-type dispatch metrics: one Enabled() branch when telemetry
+    // is off; instrument pointers are resolved once per entry and cached.
+    telemetry::Histogram* dispatch = nullptr;
+    std::int64_t t0 = 0;
+    if (telemetry::Enabled()) {
+      dispatch = entry->dispatch_hist.load(std::memory_order_relaxed);
+      if (dispatch == nullptr) {
+        auto& registry = telemetry::MetricsRegistry::Global();
+        dispatch = registry.GetHistogram(
+            "fl_actor_dispatch_micros_" + entry->metric_type,
+            telemetry::HistogramOptions{1.0, 2.0, 24});
+        entry->dispatch_hist.store(dispatch, std::memory_order_relaxed);
+        entry->msg_counter.store(
+            registry.GetCounter("fl_actor_messages_total_" +
+                                entry->metric_type),
+            std::memory_order_relaxed);
+      }
+      entry->msg_counter.load(std::memory_order_relaxed)->Add();
+      t0 = telemetry::WallMicros();
+    }
     entry->actor->OnMessage(env);
+    if (dispatch != nullptr) {
+      dispatch->Observe(
+          static_cast<double>(telemetry::WallMicros() - t0));
+    }
   }
 }
 

@@ -26,6 +26,7 @@
 #include "src/actor/context.h"
 #include "src/common/id.h"
 #include "src/common/status.h"
+#include "src/telemetry/metrics.h"
 
 namespace fl::actor {
 
@@ -122,6 +123,13 @@ class ActorSystem {
     bool draining = false;
     bool dead = false;
     std::vector<ActorId> watchers;
+    // Telemetry (Sec. 5): per-actor-type dispatch instruments, resolved
+    // lazily on first use so registration order vs. SetEnabled() never
+    // matters. Atomic because Drain may run on a ThreadPoolContext; both
+    // racers resolve to the same registry pointer.
+    std::string metric_type;  // sanitized type slug, e.g. "aggregator"
+    std::atomic<telemetry::Counter*> msg_counter{nullptr};
+    std::atomic<telemetry::Histogram*> dispatch_hist{nullptr};
   };
 
   ActorId Register(std::unique_ptr<Actor> actor, std::string name);

@@ -22,9 +22,15 @@ bool DeviationMonitor::Observe(SimTime t, double value) {
       alerted = true;
     }
   }
-  window_.push_back(value);
-  if (window_.size() > params_.window) {
-    window_.erase(window_.begin());
+  // Alerting samples are excluded from the baseline: folding an outlier into
+  // the window would drag the trailing mean toward it and inflate sigma,
+  // masking follow-up anomalies (a sustained incident would self-normalize
+  // after one alert). The baseline tracks normal behavior only.
+  if (!alerted) {
+    window_.push_back(value);
+    if (window_.size() > params_.window) {
+      window_.erase(window_.begin());
+    }
   }
   return alerted;
 }

@@ -1,0 +1,87 @@
+#include "src/analytics/monitor_hub.h"
+
+namespace fl::analytics {
+
+void MonitorHub::WatchCounterDelta(const std::string& counter_name,
+                                   DeviationMonitor::Params params) {
+  watches_.push_back(Watch{Kind::kCounterDeltaDeviation, counter_name,
+                           DeviationMonitor(counter_name + "_delta", params),
+                           ThresholdMonitor(counter_name, 0), 0, false});
+}
+
+void MonitorHub::WatchCounterDeltaThreshold(const std::string& counter_name,
+                                            double max_delta) {
+  watches_.push_back(
+      Watch{Kind::kCounterDeltaThreshold, counter_name,
+            DeviationMonitor(counter_name, DeviationMonitor::Params{}),
+            ThresholdMonitor(counter_name + "_delta", max_delta), 0, false});
+}
+
+void MonitorHub::WatchGauge(const std::string& gauge_name,
+                            DeviationMonitor::Params params) {
+  watches_.push_back(Watch{Kind::kGauge, gauge_name,
+                           DeviationMonitor(gauge_name, params),
+                           ThresholdMonitor(gauge_name, 0), 0, false});
+}
+
+std::size_t MonitorHub::Poll(SimTime now,
+                             const telemetry::MetricsSnapshot& snapshot) {
+  std::size_t raised = 0;
+  for (Watch& w : watches_) {
+    switch (w.kind) {
+      case Kind::kCounterDeltaDeviation:
+      case Kind::kCounterDeltaThreshold: {
+        const auto* c = snapshot.FindCounter(w.metric);
+        if (c == nullptr) break;
+        if (!w.seeded) {
+          // First sight of the counter: establish the base so a large
+          // pre-existing total doesn't read as one giant delta.
+          w.last_counter = c->value;
+          w.seeded = true;
+          break;
+        }
+        const double delta =
+            static_cast<double>(c->value - w.last_counter);
+        w.last_counter = c->value;
+        if (w.kind == Kind::kCounterDeltaDeviation) {
+          if (w.deviation.Observe(now, delta)) ++raised;
+        } else {
+          if (w.threshold.Observe(now, delta)) ++raised;
+        }
+        break;
+      }
+      case Kind::kGauge: {
+        const auto* g = snapshot.FindGauge(w.metric);
+        if (g == nullptr) break;
+        if (w.deviation.Observe(now, g->value)) ++raised;
+        break;
+      }
+    }
+  }
+  return raised;
+}
+
+std::size_t MonitorHub::Poll(SimTime now) {
+  return Poll(now, telemetry::MetricsRegistry::Global().Snapshot());
+}
+
+std::size_t MonitorHub::alert_count() const {
+  std::size_t n = 0;
+  for (const Watch& w : watches_) {
+    n += w.deviation.alerts().size() + w.threshold.alerts().size();
+  }
+  return n;
+}
+
+std::vector<Alert> MonitorHub::AllAlerts() const {
+  std::vector<Alert> out;
+  for (const Watch& w : watches_) {
+    out.insert(out.end(), w.deviation.alerts().begin(),
+               w.deviation.alerts().end());
+    out.insert(out.end(), w.threshold.alerts().begin(),
+               w.threshold.alerts().end());
+  }
+  return out;
+}
+
+}  // namespace fl::analytics

@@ -1,0 +1,61 @@
+// MonitorHub closes the Sec. 5 loop: the paper's health metrics are "fed
+// into automatic time-series monitors that trigger alerts on substantial
+// deviations". Here the metrics come straight from the telemetry
+// MetricsRegistry — the hub is polled periodically (the fleet sim's stats
+// sampler tick), diffs counter values against the previous poll, and feeds
+// the resulting rates plus gauge levels into Deviation/Threshold monitors.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/analytics/monitor.h"
+#include "src/telemetry/metrics.h"
+
+namespace fl::analytics {
+
+class MonitorHub {
+ public:
+  // Alerts when a counter's per-poll increment deviates from its trailing
+  // baseline (e.g. a spike in rejections between two samples).
+  void WatchCounterDelta(const std::string& counter_name,
+                         DeviationMonitor::Params params);
+
+  // Alerts when a counter's per-poll increment exceeds a fixed ceiling.
+  void WatchCounterDeltaThreshold(const std::string& counter_name,
+                                  double max_delta);
+
+  // Alerts when a gauge's sampled level deviates from its trailing baseline.
+  void WatchGauge(const std::string& gauge_name,
+                  DeviationMonitor::Params params);
+
+  // Feeds one snapshot to every watch; returns alerts raised by this poll.
+  // Metrics absent from the snapshot are skipped (counters that have not
+  // been touched yet simply don't advance their watch).
+  std::size_t Poll(SimTime now, const telemetry::MetricsSnapshot& snapshot);
+
+  // Convenience: snapshots the global registry and polls with it.
+  std::size_t Poll(SimTime now);
+
+  std::size_t watch_count() const { return watches_.size(); }
+  std::size_t alert_count() const;
+  // All alerts across all watches, in watch order.
+  std::vector<Alert> AllAlerts() const;
+
+ private:
+  enum class Kind { kCounterDeltaDeviation, kCounterDeltaThreshold, kGauge };
+
+  struct Watch {
+    Kind kind;
+    std::string metric;
+    // Exactly one of the monitors is active, per `kind`.
+    DeviationMonitor deviation;
+    ThresholdMonitor threshold;
+    std::uint64_t last_counter = 0;
+    bool seeded = false;  // first counter poll only seeds last_counter
+  };
+
+  std::vector<Watch> watches_;
+};
+
+}  // namespace fl::analytics

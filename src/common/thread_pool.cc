@@ -1,5 +1,6 @@
 #include "src/common/thread_pool.h"
 
+#include <chrono>
 #include <memory>
 
 namespace fl::common {
@@ -77,7 +78,21 @@ void ThreadPool::ParallelFor(std::size_t n,
   {
     std::lock_guard<std::mutex> lk(queue_mu_);
     for (std::size_t h = 0; h < helpers; ++h) {
-      tasks_.emplace([state] { RunIterations(*state); });
+      if (queue_wait_observer_) {
+        // Queue-wait telemetry: time from enqueue to a worker picking the
+        // task up. A helper that starts after the loop already drained
+        // still reports — that delay is real scheduling latency.
+        const auto enqueued = std::chrono::steady_clock::now();
+        tasks_.emplace([this, state, enqueued] {
+          queue_wait_observer_(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - enqueued)
+                  .count());
+          RunIterations(*state);
+        });
+      } else {
+        tasks_.emplace([state] { RunIterations(*state); });
+      }
     }
   }
   queue_cv_.notify_all();

@@ -12,6 +12,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -41,6 +42,17 @@ class ThreadPool {
   // skipped and the first exception is rethrown here.
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  // Observer for queue wait: called once per pool task ParallelFor enqueues,
+  // with the microseconds between enqueue and the moment a worker dequeued
+  // it (telemetry feeds this into its thread-pool queue-wait histogram).
+  // Not synchronized against in-flight ParallelFor calls — install it while
+  // the pool is quiescent (right after construction). The observer itself
+  // may be invoked from several workers concurrently. Null (the default)
+  // costs one branch per ParallelFor.
+  void SetQueueWaitObserver(std::function<void(std::int64_t)> observer) {
+    queue_wait_observer_ = std::move(observer);
+  }
+
  private:
   struct ForState {
     std::mutex mu;
@@ -61,6 +73,7 @@ class ThreadPool {
   std::queue<std::function<void()>> tasks_;
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
+  std::function<void(std::int64_t)> queue_wait_observer_;
 };
 
 }  // namespace fl::common

@@ -26,10 +26,25 @@ FLSystem::FLSystem(FLSystemConfig config)
       actors_.get(), &server_context_, &attestation_);
 
   server_context_.locks = &locks_;
-  server_context_.stats = stats_.get();
+  // Server actors report through the telemetry tee: every event still lands
+  // in FleetStats (Fig. 5–9 analytics), and — when telemetry is enabled —
+  // is mirrored into the MetricsRegistry for Prometheus/trace exports.
+  telemetry_sink_ = std::make_unique<server::TelemetryStatsSink>(stats_.get());
+  server_context_.stats = telemetry_sink_.get();
   server_context_.pace = pace_.get();
   server_context_.rng = &rng_;
   server_context_.estimated_population = config_.population.device_count;
+
+  // Default Sec. 5 watch: a spike in per-sample device rejections is the
+  // paper's canonical anomaly ("drop out rates ... much higher than
+  // expected"). min_sigma floors the noise band well above single-device
+  // blips — a healthy deployment's baseline is near zero, where the
+  // default 1e-6 floor would alert on every stray rejection. Users can add
+  // more watches via monitors().
+  analytics::DeviationMonitor::Params reject_watch;
+  reject_watch.min_sigma = 10.0;
+  monitor_hub_.WatchCounterDelta("fl_server_devices_rejected_total",
+                                 reject_watch);
 }
 
 FLSystem::~FLSystem() = default;
@@ -222,6 +237,14 @@ void FLSystem::ScheduleStatsSampler() {
       std::min(Minutes(1), Duration{config_.stats_bucket.millis / 2});
   queue_.After(period, [this] {
     stats_->SampleStates(queue_.now());
+    if (telemetry::Enabled()) {
+      auto& registry = telemetry::MetricsRegistry::Global();
+      registry.GetGauge("fl_sim_live_actors")
+          ->Set(static_cast<double>(actors_->live_actors()));
+      registry.GetGauge("fl_sim_event_queue_pending")
+          ->Set(static_cast<double>(queue_.pending()));
+      monitor_hub_.Poll(queue_.now(), registry.Snapshot());
+    }
     ScheduleStatsSampler();
   });
 }

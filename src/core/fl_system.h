@@ -19,12 +19,14 @@
 #include <string>
 #include <vector>
 
+#include "src/analytics/monitor_hub.h"
 #include "src/core/config.h"
 #include "src/core/device_agent.h"
 #include "src/core/fleet_stats.h"
 #include "src/protocol/adaptive.h"
 #include "src/server/coordinator.h"
 #include "src/server/selector.h"
+#include "src/server/telemetry_sink.h"
 
 namespace fl::core {
 
@@ -88,6 +90,12 @@ class FLSystem {
   // --- introspection ---
   FleetStats& stats() { return *stats_; }
   const FleetStats& stats() const { return *stats_; }
+  // Sec. 5 automatic monitors, fed from MetricsRegistry snapshots on each
+  // stats-sampler tick (only advances while telemetry is enabled). A default
+  // watch on the device-rejection rate is installed at construction; add
+  // more watches before Start().
+  analytics::MonitorHub& monitors() { return monitor_hub_; }
+  const analytics::MonitorHub& monitors() const { return monitor_hub_; }
   server::ModelStore& model_store() { return *model_store_; }
   actor::ActorSystem& actor_system() { return *actors_; }
   server::ServerFrontend& frontend() { return *frontend_; }
@@ -115,6 +123,8 @@ class FLSystem {
   server::LockService locks_;
   std::unique_ptr<server::ModelStore> model_store_;
   std::unique_ptr<FleetStats> stats_;
+  std::unique_ptr<server::TelemetryStatsSink> telemetry_sink_;
+  analytics::MonitorHub monitor_hub_;
   std::unique_ptr<protocol::PaceSteeringPolicy> pace_;
   server::ServerContext server_context_;
   device::AttestationAuthority attestation_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/server/aggregator.h"
+#include "src/telemetry/trace.h"
 
 namespace fl::server {
 namespace {
@@ -22,6 +23,7 @@ MasterAggregatorActor::MasterAggregatorActor(Init init)
 
 void MasterAggregatorActor::OnStart() {
   started_at_ = Now();
+  OpenRoundSpans();
   SendAfter(init_.config.selection_timeout, id(),
             MsgSelectionTimeout{init_.round});
   // Ephemeral end of life: outlive the reporting window (plus straggler
@@ -90,9 +92,48 @@ void MasterAggregatorActor::HandleForwarded(std::vector<DeviceLink> links) {
   }
 }
 
+void MasterAggregatorActor::OpenRoundSpans() {
+  if (!telemetry::Enabled()) return;
+  auto& tracer = telemetry::Tracer::Global();
+  round_span_ = tracer.Begin("round", Now(), telemetry::Tracer::kNoParent);
+  tracer.AddAttr(round_span_, "round", std::to_string(init_.round.value));
+  tracer.AddAttr(round_span_, "task", std::to_string(init_.task.value));
+  selection_span_ = tracer.Begin("phase:selection", Now(), round_span_);
+}
+
+void MasterAggregatorActor::CloseRoundSpans(const char* outcome,
+                                            std::size_t contributors) {
+  if (round_span_ == 0) return;
+  auto& tracer = telemetry::Tracer::Global();
+  if (selection_span_ != 0) {
+    tracer.End(selection_span_, Now());
+    selection_span_ = 0;
+  }
+  if (reporting_span_ != 0) {
+    tracer.End(reporting_span_, Now());
+    reporting_span_ = 0;
+  }
+  tracer.AddAttr(round_span_, "outcome", outcome);
+  tracer.AddAttr(round_span_, "contributors", std::to_string(contributors));
+  tracer.End(round_span_, Now());
+  round_span_ = 0;
+}
+
 void MasterAggregatorActor::BeginReporting() {
   phase_ = Phase::kReporting;
   configured_at_ = Now();
+  // The configuration phase (plan/model push to the cohort) is a single
+  // simulated instant here: the span pair still marks the boundary between
+  // the Sec. 2.2 windows in the trace.
+  std::uint64_t config_span = 0;
+  if (round_span_ != 0) {
+    auto& tracer = telemetry::Tracer::Global();
+    tracer.End(selection_span_, Now());
+    selection_span_ = 0;
+    config_span = tracer.Begin("phase:configuration", Now(), round_span_);
+    tracer.AddAttr(config_span, "devices",
+                   std::to_string(pending_links_.size()));
+  }
   // Dynamic fan-out: one Aggregator per devices_per_aggregator slice.
   const std::size_t per = std::max<std::size_t>(
       1, init_.config.devices_per_aggregator);
@@ -123,6 +164,13 @@ void MasterAggregatorActor::BeginReporting() {
     Send(agg, std::move(cfg));
   }
   pending_links_.clear();
+  if (config_span != 0) {
+    auto& tracer = telemetry::Tracer::Global();
+    tracer.AddAttr(config_span, "aggregators",
+                   std::to_string(aggregators_.size()));
+    tracer.End(config_span, Now());
+    reporting_span_ = tracer.Begin("phase:reporting", Now(), round_span_);
+  }
   SendAfter(init_.config.reporting_deadline, id(),
             MsgReportingDeadline{init_.round});
 }
@@ -206,6 +254,7 @@ void MasterAggregatorActor::MaybeFinishRound() {
     done.metrics = combined_->metrics();
     done.selection_duration = configured_at_ - started_at_;
     done.round_duration = Now() - started_at_;
+    CloseRoundSpans("committed", contributors);
     Send(init_.coordinator, std::move(done));
   } else {
     Abandon(protocol::RoundOutcome::kAbandonedReporting,
@@ -217,6 +266,8 @@ void MasterAggregatorActor::MaybeFinishRound() {
 void MasterAggregatorActor::Abandon(protocol::RoundOutcome outcome,
                                     const std::string& reason) {
   phase_ = Phase::kDone;
+  CloseRoundSpans(protocol::RoundOutcomeName(outcome),
+                  combined_->contributions());
   // Turn away anything still buffered from selection.
   for (DeviceLink& link : pending_links_) {
     link.reject(RejectionNotice{

@@ -48,6 +48,10 @@ class MasterAggregatorActor final : public actor::Actor {
 
   void HandleForwarded(std::vector<DeviceLink> links);
   void BeginReporting();
+  // Opens the round/phase spans (telemetry on) — Sec. 2.2's Selection →
+  // Configuration → Reporting windows become nested Perfetto slices.
+  void OpenRoundSpans();
+  void CloseRoundSpans(const char* outcome, std::size_t contributors);
   void HandleProgress(const MsgReportingProgress& msg);
   void HandleAggregatorResult(const MsgAggregatorResult& msg);
   void HandleAggregatorDeath(ActorId who);
@@ -72,6 +76,12 @@ class MasterAggregatorActor final : public actor::Actor {
   bool flushed_ = false;
 
   std::optional<fedavg::FedAvgAccumulator> combined_;
+
+  // Telemetry span ids (0 = not recording). The round span covers the whole
+  // actor lifetime; exactly one phase span is open at a time under it.
+  std::uint64_t round_span_ = 0;
+  std::uint64_t selection_span_ = 0;
+  std::uint64_t reporting_span_ = 0;
 };
 
 }  // namespace fl::server

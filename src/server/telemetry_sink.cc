@@ -1,0 +1,109 @@
+#include "src/server/telemetry_sink.h"
+
+namespace fl::server {
+
+TelemetryStatsSink::TelemetryStatsSink(ServerStatsSink* inner)
+    : inner_(inner) {
+  auto& r = telemetry::MetricsRegistry::Global();
+  rounds_committed_ = r.GetCounter("fl_server_rounds_committed_total");
+  rounds_abandoned_ = r.GetCounter("fl_server_rounds_abandoned_total");
+  participants_completed_ =
+      r.GetCounter("fl_server_participants_completed_total");
+  participants_aborted_ =
+      r.GetCounter("fl_server_participants_aborted_total");
+  participants_dropped_ =
+      r.GetCounter("fl_server_participants_dropped_total");
+  participants_rejected_late_ =
+      r.GetCounter("fl_server_participants_rejected_late_total");
+  devices_accepted_ = r.GetCounter("fl_server_devices_accepted_total");
+  devices_rejected_ = r.GetCounter("fl_server_devices_rejected_total");
+  download_bytes_ = r.GetCounter("fl_server_download_bytes_total");
+  upload_bytes_ = r.GetCounter("fl_server_upload_bytes_total");
+  errors_ = r.GetCounter("fl_server_errors_total");
+  // Contributors per round: rounds commit with tens-to-hundreds of reports.
+  round_contributors_ = r.GetHistogram(
+      "fl_server_round_contributors", telemetry::HistogramOptions{1, 2, 12});
+  // Phase durations in seconds; rounds run minutes (Sec. 8: 2–3 min).
+  selection_seconds_ = r.GetHistogram(
+      "fl_server_selection_seconds", telemetry::HistogramOptions{1, 2, 16});
+  round_seconds_ = r.GetHistogram("fl_server_round_seconds",
+                                  telemetry::HistogramOptions{1, 2, 16});
+}
+
+void TelemetryStatsSink::OnRoundOutcome(SimTime t, RoundId round,
+                                        protocol::RoundOutcome outcome,
+                                        std::size_t contributors) {
+  if (telemetry::Enabled()) {
+    if (outcome == protocol::RoundOutcome::kCommitted) {
+      rounds_committed_->Add();
+      round_contributors_->Observe(static_cast<double>(contributors));
+    } else {
+      rounds_abandoned_->Add();
+    }
+  }
+  if (inner_ != nullptr) {
+    inner_->OnRoundOutcome(t, round, outcome, contributors);
+  }
+}
+
+void TelemetryStatsSink::OnParticipantOutcome(
+    SimTime t, RoundId round, DeviceId device,
+    protocol::ParticipantOutcome outcome) {
+  if (telemetry::Enabled()) {
+    switch (outcome) {
+      case protocol::ParticipantOutcome::kCompleted:
+        participants_completed_->Add();
+        break;
+      case protocol::ParticipantOutcome::kAborted:
+        participants_aborted_->Add();
+        break;
+      case protocol::ParticipantOutcome::kDropped:
+        participants_dropped_->Add();
+        break;
+      case protocol::ParticipantOutcome::kRejectedLate:
+        participants_rejected_late_->Add();
+        break;
+    }
+  }
+  if (inner_ != nullptr) {
+    inner_->OnParticipantOutcome(t, round, device, outcome);
+  }
+}
+
+void TelemetryStatsSink::OnRoundTiming(SimTime t, RoundId round,
+                                       Duration selection_duration,
+                                       Duration round_duration) {
+  if (telemetry::Enabled()) {
+    selection_seconds_->Observe(selection_duration.Seconds());
+    round_seconds_->Observe(round_duration.Seconds());
+  }
+  if (inner_ != nullptr) {
+    inner_->OnRoundTiming(t, round, selection_duration, round_duration);
+  }
+}
+
+void TelemetryStatsSink::OnDeviceAccepted(SimTime t) {
+  if (telemetry::Enabled()) devices_accepted_->Add();
+  if (inner_ != nullptr) inner_->OnDeviceAccepted(t);
+}
+
+void TelemetryStatsSink::OnDeviceRejected(SimTime t) {
+  if (telemetry::Enabled()) devices_rejected_->Add();
+  if (inner_ != nullptr) inner_->OnDeviceRejected(t);
+}
+
+void TelemetryStatsSink::OnTraffic(SimTime t, std::uint64_t download_bytes,
+                                   std::uint64_t upload_bytes) {
+  if (telemetry::Enabled()) {
+    if (download_bytes > 0) download_bytes_->Add(download_bytes);
+    if (upload_bytes > 0) upload_bytes_->Add(upload_bytes);
+  }
+  if (inner_ != nullptr) inner_->OnTraffic(t, download_bytes, upload_bytes);
+}
+
+void TelemetryStatsSink::OnError(SimTime t, const std::string& what) {
+  if (telemetry::Enabled()) errors_->Add();
+  if (inner_ != nullptr) inner_->OnError(t, what);
+}
+
+}  // namespace fl::server

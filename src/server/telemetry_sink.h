@@ -1,0 +1,56 @@
+// Adapter that bridges the ServerStatsSink interface into the telemetry
+// MetricsRegistry, so the Fig. 5–9 benches (FleetStats) and the
+// Prometheus/JSON dumps consume ONE data path: every server actor keeps
+// reporting through ServerStatsSink, and this sink tees each event into
+// registry counters/histograms before forwarding to the wrapped sink.
+//
+// With telemetry disabled the adapter is a single branch per event and the
+// inner sink sees exactly what it always saw; wrapping a NullStatsSink (or
+// nothing) keeps null behavior intact.
+#pragma once
+
+#include "src/server/stats.h"
+#include "src/telemetry/metrics.h"
+
+namespace fl::server {
+
+class TelemetryStatsSink final : public ServerStatsSink {
+ public:
+  // `inner` may be null (events are then only mirrored into the registry).
+  explicit TelemetryStatsSink(ServerStatsSink* inner = nullptr);
+
+  void OnRoundOutcome(SimTime t, RoundId round,
+                      protocol::RoundOutcome outcome,
+                      std::size_t contributors) override;
+  void OnParticipantOutcome(SimTime t, RoundId round, DeviceId device,
+                            protocol::ParticipantOutcome outcome) override;
+  void OnRoundTiming(SimTime t, RoundId round, Duration selection_duration,
+                     Duration round_duration) override;
+  void OnDeviceAccepted(SimTime t) override;
+  void OnDeviceRejected(SimTime t) override;
+  void OnTraffic(SimTime t, std::uint64_t download_bytes,
+                 std::uint64_t upload_bytes) override;
+  void OnError(SimTime t, const std::string& what) override;
+
+ private:
+  ServerStatsSink* inner_;
+
+  // Resolved once in the constructor; registry instruments are never
+  // deallocated, so the raw pointers stay valid for the sink's lifetime.
+  telemetry::Counter* rounds_committed_;
+  telemetry::Counter* rounds_abandoned_;
+  telemetry::Counter* participants_completed_;
+  telemetry::Counter* participants_aborted_;
+  telemetry::Counter* participants_dropped_;
+  telemetry::Counter* participants_rejected_late_;
+  telemetry::Counter* devices_accepted_;
+  telemetry::Counter* devices_rejected_;
+  telemetry::Counter* download_bytes_;
+  telemetry::Counter* upload_bytes_;
+  telemetry::Counter* errors_;
+  telemetry::Histogram* round_contributors_;
+  telemetry::Histogram* selection_seconds_;
+  telemetry::Histogram* round_seconds_;
+};
+
+}  // namespace fl::server

@@ -1,0 +1,175 @@
+#include "src/telemetry/export.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace fl::telemetry {
+namespace {
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendDouble(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+bool WriteFile(const std::string& path, const std::string& body) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << body << "\n";
+  return static_cast<bool>(f);
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans) {
+  bool use_sim = false;
+  for (const SpanRecord& s : spans) {
+    if (s.sim_start.millis != 0 || s.sim_end.millis != 0) {
+      use_sim = true;
+      break;
+    }
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    const std::int64_t ts =
+        use_sim ? s.sim_start.millis * 1000 : s.wall_start_us;
+    const std::int64_t end =
+        use_sim ? s.sim_end.millis * 1000 : s.wall_end_us;
+    const std::int64_t dur = end > ts ? end - ts : 0;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    AppendJsonString(out, s.name);
+    out += ",\"cat\":\"fl\",\"ph\":\"X\",\"ts\":";
+    out += std::to_string(ts);
+    out += ",\"dur\":";
+    out += std::to_string(dur);
+    out += ",\"pid\":0,\"tid\":";
+    out += std::to_string(s.tid);
+    out += ",\"args\":{\"span_id\":\"";
+    out += std::to_string(s.id);
+    out += "\",\"parent\":\"";
+    out += std::to_string(s.parent);
+    out += '"';
+    for (const auto& [k, v] : s.attrs) {
+      out += ',';
+      AppendJsonString(out, k);
+      out += ':';
+      AppendJsonString(out, v);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string PrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& c : snapshot.counters) {
+    out += "# TYPE " + c.name + " counter\n";
+    out += c.name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    out += "# TYPE " + g.name + " gauge\n";
+    out += g.name + " ";
+    AppendDouble(out, g.value);
+    out += "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    out += "# TYPE " + h.name + " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cum += h.counts[i];
+      out += h.name + "_bucket{le=\"";
+      AppendDouble(out, h.bounds[i]);
+      out += "\"} " + std::to_string(cum) + "\n";
+    }
+    cum += h.counts.empty() ? 0 : h.counts.back();
+    out += h.name + "_bucket{le=\"+Inf\"} " + std::to_string(cum) + "\n";
+    out += h.name + "_sum ";
+    AppendDouble(out, h.sum);
+    out += "\n";
+    out += h.name + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& c : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(out, c.name);
+    out += ':' + std::to_string(c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& g : snapshot.gauges) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(out, g.name);
+    out += ':';
+    AppendDouble(out, g.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snapshot.histograms) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(out, h.name);
+    out += ":{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ',';
+      AppendDouble(out, h.bounds[i]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(h.counts[i]);
+    }
+    out += "],\"count\":" + std::to_string(h.count) + ",\"sum\":";
+    AppendDouble(out, h.sum);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+bool WriteChromeTraceFile(const std::string& path) {
+  return WriteFile(path, ChromeTraceJson(Tracer::Global().Completed()));
+}
+
+bool WritePrometheusFile(const std::string& path) {
+  return WriteFile(path, PrometheusText(MetricsRegistry::Global().Snapshot()));
+}
+
+bool WriteMetricsJsonFile(const std::string& path) {
+  return WriteFile(path, MetricsJson(MetricsRegistry::Global().Snapshot()));
+}
+
+}  // namespace fl::telemetry

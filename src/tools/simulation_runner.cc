@@ -5,9 +5,27 @@
 #include <utility>
 
 #include "src/common/thread_pool.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace fl::tools {
 namespace {
+
+// Telemetry handles for one simulation run; null/0 when telemetry is
+// disabled at simulation start (the hot loops then pay one null check).
+struct SimTelemetry {
+  telemetry::Counter* updates_total = nullptr;
+  telemetry::Counter* update_failures = nullptr;
+};
+
+SimTelemetry ResolveSimTelemetry() {
+  SimTelemetry t;
+  if (!telemetry::Enabled()) return t;
+  auto& reg = telemetry::MetricsRegistry::Global();
+  t.updates_total = reg.GetCounter("fl_sim_client_updates_total");
+  t.update_failures = reg.GetCounter("fl_sim_client_update_failures_total");
+  return t;
+}
 
 // One pre-drawn round participant: which client trains and the RNG its
 // local shuffle uses. Drawn sequentially from the round RNG before any
@@ -57,7 +75,8 @@ Result<std::pair<double, std::size_t>> RunRoundOnPool(
     const Checkpoint& global, std::uint32_t runtime,
     const std::vector<std::vector<data::Example>>& client_data,
     const std::vector<PlannedClient>& planned,
-    fedavg::FedAvgAccumulator& master) {
+    fedavg::FedAvgAccumulator& master, const SimTelemetry& telem,
+    std::uint64_t round_span) {
   const std::size_t shard_count =
       std::max<std::size_t>(1, std::min(pool.size(), planned.size()));
   std::vector<RoundShard> shards;
@@ -69,14 +88,24 @@ Result<std::pair<double, std::size_t>> RunRoundOnPool(
   pool.ParallelFor(shard_count, [&](std::size_t s) {
     RoundShard& shard = shards[s];
     for (std::size_t i = s; i < planned.size(); i += shard_count) {
+      // Worker threads have no thread-local span context: parent the
+      // client-update span on the round span explicitly.
+      telemetry::ScopedSpan span("client_update", round_span);
+      if (span.id() != 0) {
+        span.AddAttr("client", std::to_string(planned[i].client));
+      }
       // Copy the pre-drawn fork: the planned state itself stays pristine.
       Rng shuffle = planned[i].shuffle;
       auto update = fedavg::RunClientUpdate(plan.device, global,
                                             client_data[planned[i].client],
                                             runtime, shuffle);
+      if (telem.updates_total != nullptr) telem.updates_total->Add();
       // A failed update is dropped without resampling (the sequential path
       // resamples; see the determinism contract in DESIGN.md).
-      if (!update.ok()) continue;
+      if (!update.ok()) {
+        if (telem.update_failures != nullptr) telem.update_failures->Add();
+        continue;
+      }
       shard.train_loss += update->metrics.mean_loss;
       Status st = shard.acc.Accumulate(std::move(update->weighted_delta),
                                        update->weight, update->metrics);
@@ -118,9 +147,28 @@ Result<SimulationResult> RunFedAvgSimulation(
   // code path (and RNG consumption pattern) of earlier versions.
   const std::size_t threads = std::max<std::size_t>(1, config.threads);
   std::unique_ptr<common::ThreadPool> pool;
-  if (threads > 1) pool = std::make_unique<common::ThreadPool>(threads);
+  if (threads > 1) {
+    pool = std::make_unique<common::ThreadPool>(threads);
+    if (telemetry::Enabled()) {
+      // Queue-wait (enqueue -> dequeue) per pool task, in microseconds:
+      // sustained growth here means the pool is oversubscribed.
+      auto* wait_hist = telemetry::MetricsRegistry::Global().GetHistogram(
+          "fl_sim_pool_queue_wait_micros",
+          telemetry::HistogramOptions{1.0, 2.0, 24});
+      pool->SetQueueWaitObserver([wait_hist](std::int64_t micros) {
+        wait_hist->Observe(static_cast<double>(micros));
+      });
+    }
+  }
+  const SimTelemetry telem = ResolveSimTelemetry();
 
   for (std::size_t round = 1; round <= config.rounds; ++round) {
+    // Wall-clock span over the whole round; client-update spans nest under
+    // it (workers parent on it explicitly, see RunRoundOnPool).
+    telemetry::ScopedSpan round_span("sim_round");
+    if (round_span.id() != 0) {
+      round_span.AddAttr("round", std::to_string(round));
+    }
     fedavg::FedAvgAccumulator acc(plan.server.aggregation, global);
     // Select 1.3K, keep the first K survivors (Algorithm 1's header).
     const std::size_t want = config.clients_per_round;
@@ -133,10 +181,15 @@ Result<SimulationResult> RunFedAvgSimulation(
         if (client_data[c].empty()) continue;
         if (rng.Bernoulli(config.client_failure_rate)) continue;  // drop-out
         Rng shuffle = rng.Fork();
+        telemetry::ScopedSpan span("client_update", round_span.id());
         auto update = fedavg::RunClientUpdate(plan.device, global,
                                               client_data[c], runtime,
                                               shuffle);
-        if (!update.ok()) continue;
+        if (telem.updates_total != nullptr) telem.updates_total->Add();
+        if (!update.ok()) {
+          if (telem.update_failures != nullptr) telem.update_failures->Add();
+          continue;
+        }
         train_loss += update->metrics.mean_loss;
         FL_RETURN_IF_ERROR(acc.Accumulate(std::move(update->weighted_delta),
                                           update->weight, update->metrics));
@@ -148,7 +201,7 @@ Result<SimulationResult> RunFedAvgSimulation(
       FL_ASSIGN_OR_RETURN(
           auto outcome,
           RunRoundOnPool(*pool, plan, global, runtime, client_data, planned,
-                         acc));
+                         acc, telem, round_span.id()));
       train_loss = outcome.first;
       got = outcome.second;
     }

@@ -1,0 +1,87 @@
+#include "src/analytics/monitor_hub.h"
+
+#include <gtest/gtest.h>
+
+namespace fl::analytics {
+namespace {
+
+class MonitorHubTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::SetEnabled(true);
+    telemetry::MetricsRegistry::Global().ResetValuesForTest();
+  }
+  void TearDown() override { telemetry::SetEnabled(false); }
+};
+
+TEST_F(MonitorHubTest, CounterDeltaDeviationAlertsOnSpike) {
+  auto& reg = telemetry::MetricsRegistry::Global();
+  auto* rejected = reg.GetCounter("hub_test_rejected_total");
+
+  MonitorHub hub;
+  DeviationMonitor::Params params;
+  params.warmup = 5;
+  params.window = 10;
+  hub.WatchCounterDelta("hub_test_rejected_total", params);
+  EXPECT_EQ(hub.watch_count(), 1u);
+
+  // Steady rejection rate: ~10 per poll. First poll only seeds the base.
+  for (int tick = 0; tick < 10; ++tick) {
+    rejected->Add(10);
+    EXPECT_EQ(hub.Poll(SimTime{tick * 1000}, reg.Snapshot()), 0u);
+  }
+  // A 50x spike between two polls is the Sec. 5 anomaly.
+  rejected->Add(500);
+  EXPECT_EQ(hub.Poll(SimTime{11000}, reg.Snapshot()), 1u);
+  ASSERT_EQ(hub.alert_count(), 1u);
+  const auto alerts = hub.AllAlerts();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_NEAR(alerts[0].observed, 500.0, 1e-9);
+  EXPECT_NEAR(alerts[0].expected_mean, 10.0, 1.0);
+}
+
+TEST_F(MonitorHubTest, FirstPollSeedsWithoutGiantDelta) {
+  auto& reg = telemetry::MetricsRegistry::Global();
+  auto* c = reg.GetCounter("hub_test_preexisting_total");
+  c->Add(1000000);  // large total accumulated before the hub was attached
+
+  MonitorHub hub;
+  hub.WatchCounterDeltaThreshold("hub_test_preexisting_total", 50.0);
+  EXPECT_EQ(hub.Poll(SimTime{0}, reg.Snapshot()), 0u);  // seed only
+  c->Add(10);
+  EXPECT_EQ(hub.Poll(SimTime{1000}, reg.Snapshot()), 0u);
+  c->Add(100);
+  EXPECT_EQ(hub.Poll(SimTime{2000}, reg.Snapshot()), 1u);
+  const auto alerts = hub.AllAlerts();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_NEAR(alerts[0].observed, 100.0, 1e-9);
+}
+
+TEST_F(MonitorHubTest, GaugeWatchFeedsSampledLevels) {
+  auto& reg = telemetry::MetricsRegistry::Global();
+  auto* g = reg.GetGauge("hub_test_queue_depth");
+
+  MonitorHub hub;
+  DeviationMonitor::Params params;
+  params.warmup = 4;
+  hub.WatchGauge("hub_test_queue_depth", params);
+  for (int tick = 0; tick < 8; ++tick) {
+    g->Set(100.0 + tick % 3);
+    EXPECT_EQ(hub.Poll(SimTime{tick}, reg.Snapshot()), 0u);
+  }
+  g->Set(5000.0);
+  EXPECT_EQ(hub.Poll(SimTime{100}, reg.Snapshot()), 1u);
+}
+
+TEST_F(MonitorHubTest, AbsentMetricIsSkipped) {
+  MonitorHub hub;
+  hub.WatchCounterDelta("hub_test_never_registered", {});
+  hub.WatchGauge("hub_test_never_registered_gauge", {});
+  EXPECT_EQ(hub.Poll(SimTime{0},
+                     telemetry::MetricsRegistry::Global().Snapshot()),
+            0u);
+  EXPECT_EQ(hub.alert_count(), 0u);
+}
+
+}  // namespace
+}  // namespace fl::analytics

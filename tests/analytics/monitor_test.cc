@@ -56,6 +56,25 @@ TEST(DeviationMonitorTest, AdaptsToSlowDrift) {
   EXPECT_LE(alerts, 5);
 }
 
+TEST(DeviationMonitorTest, OutliersDoNotContaminateBaseline) {
+  // An alerting sample must stay out of the rolling window: otherwise one
+  // spike drags the mean up and inflates sigma, so a sustained incident
+  // stops alerting after its first sample ("self-normalizes").
+  DeviationMonitor::Params params;
+  params.warmup = 4;
+  params.window = 4;
+  params.sigma_threshold = 4.0;
+  DeviationMonitor m("reject_rate", params);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(m.Observe(SimTime{i}, 10.0 + 0.1 * (i % 2)));
+  }
+  EXPECT_TRUE(m.Observe(SimTime{100}, 100.0));
+  // Follow-up anomalies keep alerting against the clean 10.0 baseline.
+  EXPECT_TRUE(m.Observe(SimTime{101}, 100.0));
+  ASSERT_EQ(m.alerts().size(), 2u);
+  EXPECT_NEAR(m.alerts()[1].expected_mean, 10.05, 0.1);
+}
+
 TEST(ThresholdMonitorTest, AlertsAboveCeiling) {
   ThresholdMonitor m("dropout", 0.15);
   EXPECT_FALSE(m.Observe(SimTime{1}, 0.10));

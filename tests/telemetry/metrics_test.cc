@@ -1,0 +1,199 @@
+#include "src/telemetry/metrics.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/telemetry/export.h"
+
+namespace fl::telemetry {
+namespace {
+
+// Global operator new/delete instrumented to count allocations, so the
+// disabled-path zero-allocation contract is testable. The counter toggles
+// only inside the guarded sections of the AllocationCounting test.
+std::atomic<bool> g_count_allocs{false};
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+}  // namespace
+}  // namespace fl::telemetry
+
+void* operator new(std::size_t size) {
+  if (fl::telemetry::g_count_allocs.load(std::memory_order_relaxed)) {
+    fl::telemetry::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace fl::telemetry {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(true);
+    MetricsRegistry::Global().ResetValuesForTest();
+  }
+  void TearDown() override { SetEnabled(false); }
+};
+
+TEST_F(MetricsTest, ConcurrentCounterIncrementsSumExactly) {
+  Counter* c = MetricsRegistry::Global().GetCounter("test_concurrent_total");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c->Add();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c->Value(), kThreads * kPerThread);
+}
+
+TEST_F(MetricsTest, ConcurrentHistogramObservationsSumExactly) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "test_concurrent_hist", HistogramOptions{1.0, 2.0, 10});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([h] {
+      for (int i = 0; i < kPerThread; ++i) h->Observe(2.0);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h->Count(), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(h->Sum(), 2.0 * kThreads * kPerThread);
+}
+
+TEST_F(MetricsTest, GaugeSetAndAdd) {
+  Gauge* g = MetricsRegistry::Global().GetGauge("test_gauge");
+  g->Set(2.5);
+  EXPECT_DOUBLE_EQ(g->Value(), 2.5);
+  g->Add(-1.0);
+  EXPECT_DOUBLE_EQ(g->Value(), 1.5);
+}
+
+TEST_F(MetricsTest, HistogramBucketBoundaries) {
+  // bounds: 1, 2, 4, 8 — `le` semantics: v <= bound owns the bucket.
+  Histogram h(HistogramOptions{1.0, 2.0, 4});
+  h.Observe(0.5);  // bucket 0
+  h.Observe(1.0);  // bucket 0 (le)
+  h.Observe(1.5);  // bucket 1
+  h.Observe(2.0);  // bucket 1 (le)
+  h.Observe(3.0);  // bucket 2
+  h.Observe(8.0);  // bucket 3 (le)
+  h.Observe(9.0);  // overflow
+  const std::vector<std::uint64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 5u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(counts[4], 1u);  // overflow
+  EXPECT_EQ(h.Count(), 7u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.5 + 1.0 + 1.5 + 2.0 + 3.0 + 8.0 + 9.0);
+}
+
+TEST_F(MetricsTest, HistogramQuantiles) {
+  Histogram h(HistogramOptions{1.0, 2.0, 8});
+  // 100 observations spread evenly over bucket 2 (2, 4]: the interpolated
+  // median must land inside that bucket.
+  for (int i = 0; i < 100; ++i) {
+    h.Observe(2.0 + 2.0 * (static_cast<double>(i) + 0.5) / 100.0);
+  }
+  const double p50 = h.Quantile(50);
+  EXPECT_GT(p50, 2.0);
+  EXPECT_LE(p50, 4.0);
+  // All mass in one bucket: p1 and p99 stay inside it too.
+  EXPECT_GT(h.Quantile(1), 2.0);
+  EXPECT_LE(h.Quantile(99), 4.0);
+  // Overflow values clamp to the last configured bound.
+  Histogram over(HistogramOptions{1.0, 2.0, 3});  // bounds 1, 2, 4
+  over.Observe(1000.0);
+  EXPECT_DOUBLE_EQ(over.Quantile(50), 4.0);
+}
+
+TEST_F(MetricsTest, RegistryReturnsStablePointersAndSnapshot) {
+  auto& reg = MetricsRegistry::Global();
+  Counter* a = reg.GetCounter("test_stable");
+  Counter* b = reg.GetCounter("test_stable");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  reg.GetGauge("test_snap_gauge")->Set(7.0);
+  reg.GetHistogram("test_snap_hist")->Observe(1.0);
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  const auto* cv = snap.FindCounter("test_stable");
+  ASSERT_NE(cv, nullptr);
+  EXPECT_EQ(cv->value, 3u);
+  const auto* gv = snap.FindGauge("test_snap_gauge");
+  ASSERT_NE(gv, nullptr);
+  EXPECT_DOUBLE_EQ(gv->value, 7.0);
+  const auto* hv = snap.FindHistogram("test_snap_hist");
+  ASSERT_NE(hv, nullptr);
+  EXPECT_EQ(hv->count, 1u);
+  EXPECT_EQ(snap.FindCounter("test_absent"), nullptr);
+
+  reg.ResetValuesForTest();
+  EXPECT_EQ(a->Value(), 0u);  // same pointer, zeroed value
+}
+
+TEST_F(MetricsTest, SanitizeMapsArbitraryNames) {
+  EXPECT_EQ(MetricsRegistry::Sanitize("aggregator-r12-0"),
+            "aggregator_r12_0");
+  EXPECT_EQ(MetricsRegistry::Sanitize("UPPER case!"), "upper_case_");
+  EXPECT_EQ(MetricsRegistry::Sanitize("9lives"), "_9lives");
+}
+
+TEST_F(MetricsTest, PrometheusTextContainsCumulativeBuckets) {
+  auto& reg = MetricsRegistry::Global();
+  reg.GetCounter("test_prom_total")->Add(5);
+  Histogram* h =
+      reg.GetHistogram("test_prom_hist", HistogramOptions{1.0, 2.0, 2});
+  h->Observe(0.5);
+  h->Observe(1.5);
+  h->Observe(100.0);
+  const std::string text = PrometheusText(reg.Snapshot());
+  EXPECT_NE(text.find("test_prom_total 5"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"2\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_count 3"), std::string::npos);
+}
+
+TEST_F(MetricsTest, DisabledInstrumentationSiteAllocatesNothing) {
+  SetEnabled(false);
+  Counter* c = MetricsRegistry::Global().GetCounter("test_noalloc_total");
+  Histogram* h = MetricsRegistry::Global().GetHistogram("test_noalloc_hist");
+
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    // The canonical guarded site, as used in the round engine hot loop.
+    if (Enabled()) {
+      c->Add();
+      h->Observe(static_cast<double>(i));
+    }
+  }
+  g_count_allocs.store(false, std::memory_order_relaxed);
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), 0u);
+  EXPECT_EQ(c->Value(), 0u);
+}
+
+}  // namespace
+}  // namespace fl::telemetry
