@@ -19,9 +19,14 @@
 //   quickstart_trace.json    — Chrome trace; open in https://ui.perfetto.dev
 //   quickstart_metrics.prom  — Prometheus text exposition
 //   quickstart_metrics.json  — the same metrics as flat JSON
+//
+// Set FL_JOURNAL=<path> to additionally write the durable event journal
+// (one line per device/server lifecycle event); analyze it offline with
+//   ./src/tools/fl_analyze <path>
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/analytics/journal.h"
 #include "src/common/logging.h"
 #include "src/core/fl_system.h"
 #include "src/data/blobs.h"
@@ -39,6 +44,17 @@ int main() {
       telemetry_env != nullptr && telemetry_env[0] != '\0' &&
       telemetry_env[0] != '0';
   if (telemetry_on) telemetry::SetEnabled(true);
+
+  const char* journal_path = std::getenv("FL_JOURNAL");
+  const bool journal_on = journal_path != nullptr && journal_path[0] != '\0';
+  if (journal_on) {
+    const Status s = analytics::Journal::Global().Open(journal_path);
+    if (!s.ok()) {
+      std::printf("FAILED to open journal %s: %s\n", journal_path,
+                  s.ToString().c_str());
+      return 1;
+    }
+  }
 
   // --- 1. The deployment: population, network, server topology. ---
   core::FLSystemConfig config;
@@ -124,6 +140,15 @@ int main() {
                     alert.message.c_str());
       }
     }
+  }
+  if (journal_on) {
+    auto& journal = analytics::Journal::Global();
+    std::printf("\nJournal: wrote %llu events (%llu bytes) to %s — inspect "
+                "with fl_analyze\n",
+                static_cast<unsigned long long>(journal.events_written()),
+                static_cast<unsigned long long>(journal.bytes_written()),
+                journal_path);
+    journal.Close();
   }
   return 0;
 }

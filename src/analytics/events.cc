@@ -30,6 +30,28 @@ const char* DeviceStateName(DeviceState s) {
   return "unknown";
 }
 
+Result<std::vector<SessionEvent>> ParseShape(std::string_view shape) {
+  std::vector<SessionEvent> events;
+  events.reserve(shape.size());
+  for (char c : shape) {
+    switch (c) {
+      case '-': events.push_back(SessionEvent::kCheckin); break;
+      case 'v': events.push_back(SessionEvent::kDownloadedPlan); break;
+      case '[': events.push_back(SessionEvent::kTrainingStarted); break;
+      case ']': events.push_back(SessionEvent::kTrainingCompleted); break;
+      case '+': events.push_back(SessionEvent::kUploadStarted); break;
+      case '^': events.push_back(SessionEvent::kUploadCompleted); break;
+      case '#': events.push_back(SessionEvent::kUploadRejected); break;
+      case '!': events.push_back(SessionEvent::kInterrupted); break;
+      case '*': events.push_back(SessionEvent::kError); break;
+      default:
+        return InvalidArgumentError(std::string("unknown shape glyph '") +
+                                    c + "'");
+    }
+  }
+  return events;
+}
+
 std::string SessionTrace::Shape() const {
   std::string s;
   s.reserve(events.size());

@@ -14,10 +14,12 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/id.h"
 #include "src/common/sim_time.h"
+#include "src/common/status.h"
 
 namespace fl::analytics {
 
@@ -34,6 +36,11 @@ enum class SessionEvent : std::uint8_t {
 };
 
 char SessionEventGlyph(SessionEvent e);
+
+// Inverse of SessionTrace::Shape(): decodes a Table 1 glyph string back into
+// the event sequence (kInvalidArgument on an unknown glyph). The offline log
+// analyzer uses this to rebuild traces from recorded shapes.
+Result<std::vector<SessionEvent>> ParseShape(std::string_view shape);
 
 // Device activity states charted over time (Fig. 6): the paper plots
 // "participating" and "waiting" (plus rare "closing" and "attesting").

@@ -87,7 +87,20 @@ void DeviceAgent::SetState(DeviceState s) {
 }
 
 void DeviceAgent::AddTrace(SessionEvent e) {
-  if (session_) session_->trace.events.push_back(e);
+  if (!session_) return;
+  session_->trace.events.push_back(e);
+  if (analytics::JournalEnabled()) {
+    JournalEvent(analytics::JournalEventForSession(e));
+  }
+}
+
+void DeviceAgent::JournalEvent(analytics::JournalEventKind kind,
+                               std::string detail) {
+  if (!analytics::JournalEnabled() || !session_) return;
+  analytics::AppendJournal(
+      services_.queue->now(), analytics::JournalSource::kDevice, kind,
+      profile_.id, session_->id,
+      session_->assigned ? session_->round : RoundId{}, std::move(detail));
 }
 
 void DeviceAgent::ScheduleNextToggle() {
@@ -583,6 +596,10 @@ void DeviceAgent::FailSession(const std::string& why) {
 void DeviceAgent::EndSession(bool completed) {
   if (!session_) return;
   if (completed) ++sessions_completed_;
+  if (analytics::JournalEnabled()) {
+    JournalEvent(analytics::JournalEventKind::kSessionEnd,
+                 completed ? "completed=1" : "completed=0");
+  }
   services_.stats->OnSessionTrace(session_->trace);
   if (session_->assigned) {
     services_.stats->OnParticipationTime(services_.queue->now() -

@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "src/analytics/events.h"
+#include "src/analytics/journal.h"
 #include "src/core/config.h"
 #include "src/core/fleet_stats.h"
 #include "src/device/attestation.h"
@@ -110,6 +111,10 @@ class DeviceAgent {
   // --- bookkeeping ---
   void SetState(analytics::DeviceState s);
   void AddTrace(analytics::SessionEvent e);
+  // Appends a device-sourced record for the live session to the global
+  // event journal (no-op when journaling is disabled or no session).
+  void JournalEvent(analytics::JournalEventKind kind,
+                    std::string detail = {});
   void Interrupt();                // eligibility lost mid-session
   void FailSession(const std::string& why);  // '*' error path
   void EndSession(bool completed);

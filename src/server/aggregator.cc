@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/analytics/journal.h"
 #include "src/common/logging.h"
 
 namespace fl::server {
@@ -14,6 +15,14 @@ const T* Cast(const actor::Envelope& env) {
 }
 
 }  // namespace
+
+void AggregatorActor::JournalReport(const DeviceLink& link,
+                                    analytics::JournalEventKind kind,
+                                    std::string detail) {
+  analytics::AppendJournal(Now(), analytics::JournalSource::kAggregator, kind,
+                           link.device, link.session, init_.round,
+                           std::move(detail));
+}
 
 AggregatorActor::AggregatorActor(Init init) : init_(std::move(init)) {
   FL_CHECK(init_.context != nullptr);
@@ -105,6 +114,10 @@ void AggregatorActor::HandleConfigure(const MsgConfigureDevices& msg) {
     }();
     if (plan_it == init_.plan_bytes->end()) {
       // Device too old for every versioned plan: turn it away.
+      if (analytics::JournalEnabled()) {
+        JournalReport(link, analytics::JournalEventKind::kCheckinRejected,
+                      "reason=runtime_too_old");
+      }
       link.reject(RejectionNotice{NextWindow(), "runtime too old"});
       init_.context->stats->OnDeviceRejected(Now());
       continue;
@@ -144,6 +157,11 @@ void AggregatorActor::HandleReport(const DeviceReport& report) {
   if (it == devices_.end()) return;  // not ours
   if (flushed_ || it->second.state != DeviceStateTag::kAssigned) {
     // Reporting window closed — '#' in the session shape (Table 1).
+    if (analytics::JournalEnabled()) {
+      JournalReport(it->second.link,
+                    analytics::JournalEventKind::kReportRejected,
+                    "reason=late");
+    }
     it->second.link.report_ack(ReportAck{false, NextWindow()});
     RecordParticipant(report.device,
                       protocol::ParticipantOutcome::kRejectedLate);
@@ -157,6 +175,11 @@ void AggregatorActor::HandleReport(const DeviceReport& report) {
     if (!update.ok()) {
       init_.context->stats->OnError(Now(), "corrupt update: " +
                                                update.status().ToString());
+      if (analytics::JournalEnabled()) {
+        JournalReport(it->second.link,
+                      analytics::JournalEventKind::kReportRejected,
+                      "reason=corrupt");
+      }
       it->second.state = DeviceStateTag::kClosed;
       it->second.link.report_ack(ReportAck{false, NextWindow()});
       RecordParticipant(report.device, protocol::ParticipantOutcome::kDropped);
@@ -166,6 +189,11 @@ void AggregatorActor::HandleReport(const DeviceReport& report) {
                                               report.weight, metrics);
     if (!s.ok()) {
       init_.context->stats->OnError(Now(), s.ToString());
+      if (analytics::JournalEnabled()) {
+        JournalReport(it->second.link,
+                      analytics::JournalEventKind::kReportRejected,
+                      "reason=accumulate");
+      }
       it->second.state = DeviceStateTag::kClosed;
       it->second.link.report_ack(ReportAck{false, NextWindow()});
       RecordParticipant(report.device, protocol::ParticipantOutcome::kDropped);
@@ -179,6 +207,11 @@ void AggregatorActor::HandleReport(const DeviceReport& report) {
 
   it->second.state = DeviceStateTag::kReported;
   ++accepted_;
+  if (analytics::JournalEnabled()) {
+    JournalReport(it->second.link,
+                  analytics::JournalEventKind::kReportAccepted,
+                  "weight=" + std::to_string(report.weight));
+  }
   it->second.link.report_ack(ReportAck{true, NextWindow()});
   RecordParticipant(report.device, protocol::ParticipantOutcome::kCompleted);
   Send(init_.master, MsgReportingProgress{id(), accepted_, metrics, true});
@@ -344,6 +377,14 @@ void AggregatorActor::HandleSecAggMasked(const SecAggMaskedInputMsg& msg) {
   it->second.metrics = msg.metrics;  // plaintext metrics; sums stay masked
   it->second.state = DeviceStateTag::kReported;
   ++accepted_;
+  if (analytics::JournalEnabled()) {
+    // Tagged mode=secagg: masked inputs may legally commit after the round's
+    // closing phase (HandleFlush lets phases 2/3 run to completion), so the
+    // analyzer's accept-after-close invariant exempts these records.
+    JournalReport(it->second.link,
+                  analytics::JournalEventKind::kReportAccepted,
+                  "mode=secagg");
+  }
   it->second.link.report_ack(ReportAck{true, NextWindow()});
   RecordParticipant(msg.device, protocol::ParticipantOutcome::kCompleted);
   Send(init_.master,

@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "src/actor/actor.h"
+#include "src/analytics/journal.h"
 #include "src/common/fixed_point.h"
 #include "src/fedavg/server_aggregate.h"
 #include "src/secagg/server.h"
@@ -66,6 +67,10 @@ class AggregatorActor final : public actor::Actor {
   void FinalizeSecAgg();
 
   void RecordParticipant(DeviceId device, protocol::ParticipantOutcome o);
+  // Journals an aggregator-sourced accept/reject for a device report.
+  // Callers pre-check JournalEnabled().
+  void JournalReport(const DeviceLink& link, analytics::JournalEventKind kind,
+                     std::string detail);
   protocol::ReconnectWindow NextWindow();
   void CloseRemaining(const std::string& reason,
                       protocol::ParticipantOutcome outcome);

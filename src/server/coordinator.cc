@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/analytics/journal.h"
 #include "src/common/logging.h"
 #include "src/server/master_aggregator.h"
 
@@ -11,6 +12,12 @@ namespace {
 template <typename T>
 const T* Cast(const actor::Envelope& env) {
   return std::any_cast<T>(&env.payload);
+}
+
+void JournalOutcome(SimTime now, RoundId round, std::string detail) {
+  analytics::AppendJournal(now, analytics::JournalSource::kCoordinator,
+                           analytics::JournalEventKind::kRoundOutcome,
+                           DeviceId{}, SessionId{}, round, std::move(detail));
 }
 
 }  // namespace
@@ -77,6 +84,10 @@ void CoordinatorActor::OnMessage(const actor::Envelope& env) {
                                                " failed");
       init_.context->stats->OnRoundOutcome(Now(), active_->round,
                                            protocol::RoundOutcome::kFailed, 0);
+      if (analytics::JournalEnabled()) {
+        JournalOutcome(Now(), active_->round,
+                       "outcome=failed reason=master_lost");
+      }
       tasks_[active_->task_index].next_due = Now();
       active_.reset();
       BroadcastQuota();
@@ -205,6 +216,11 @@ void CoordinatorActor::HandleComplete(const MsgRoundComplete& msg) {
       init_.context->stats->OnRoundTiming(Now(), msg.round,
                                           msg.selection_duration,
                                           msg.round_duration);
+      if (analytics::JournalEnabled()) {
+        JournalOutcome(Now(), msg.round,
+                       "outcome=committed contributors=" +
+                           std::to_string(msg.contributors));
+      }
     } else {
       s = next_model.status();
     }
@@ -213,6 +229,9 @@ void CoordinatorActor::HandleComplete(const MsgRoundComplete& msg) {
     init_.context->stats->OnError(Now(), "commit failed: " + s.ToString());
     init_.context->stats->OnRoundOutcome(Now(), msg.round,
                                          protocol::RoundOutcome::kFailed, 0);
+    if (analytics::JournalEnabled()) {
+      JournalOutcome(Now(), msg.round, "outcome=failed reason=commit");
+    }
   }
   // Master self-reaps at end of life (it lingers to reject stragglers).
   task.next_due = Now() + task.descriptor.round_cadence;
@@ -223,6 +242,12 @@ void CoordinatorActor::HandleComplete(const MsgRoundComplete& msg) {
 void CoordinatorActor::HandleAbandoned(const MsgRoundAbandoned& msg) {
   if (!active_ || msg.round != active_->round) return;
   init_.context->stats->OnRoundOutcome(Now(), msg.round, msg.outcome, 0);
+  if (analytics::JournalEnabled()) {
+    JournalOutcome(
+        Now(), msg.round,
+        "outcome=" + std::string(protocol::RoundOutcomeName(msg.outcome)) +
+            " reason=" + msg.reason);
+  }
   ++rounds_abandoned_;
   TaskState& task = tasks_[active_->task_index];
   // Back off a little before retrying an abandoned round.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/analytics/journal.h"
 #include "src/server/aggregator.h"
 #include "src/telemetry/trace.h"
 
@@ -11,6 +12,12 @@ namespace {
 template <typename T>
 const T* Cast(const actor::Envelope& env) {
   return std::any_cast<T>(&env.payload);
+}
+
+void JournalRound(SimTime now, RoundId round,
+                  analytics::JournalEventKind kind, std::string detail) {
+  analytics::AppendJournal(now, analytics::JournalSource::kMaster, kind,
+                           DeviceId{}, SessionId{}, round, std::move(detail));
 }
 
 }  // namespace
@@ -24,6 +31,17 @@ MasterAggregatorActor::MasterAggregatorActor(Init init)
 void MasterAggregatorActor::OnStart() {
   started_at_ = Now();
   OpenRoundSpans();
+  if (analytics::JournalEnabled()) {
+    JournalRound(Now(), init_.round, analytics::JournalEventKind::kRoundOpen,
+                 "task=" + std::to_string(init_.task.value) +
+                     " goal=" + std::to_string(init_.config.goal_count) +
+                     " target=" +
+                     std::to_string(init_.config.SelectionTarget()) +
+                     " min_report=" +
+                     std::to_string(init_.config.MinReportCount()));
+    JournalRound(Now(), init_.round, analytics::JournalEventKind::kPhase,
+                 "phase=selection");
+  }
   SendAfter(init_.config.selection_timeout, id(),
             MsgSelectionTimeout{init_.round});
   // Ephemeral end of life: outlive the reporting window (plus straggler
@@ -74,6 +92,12 @@ void MasterAggregatorActor::HandleForwarded(std::vector<DeviceLink> links) {
     if (phase_ != Phase::kSelection ||
         pending_links_.size() >= init_.config.SelectionTarget()) {
       // Over-selection target met; turn extras away with a retry window.
+      if (analytics::JournalEnabled()) {
+        analytics::AppendJournal(
+            Now(), analytics::JournalSource::kMaster,
+            analytics::JournalEventKind::kCheckinRejected, link.device,
+            link.session, init_.round, "reason=round_full");
+      }
       link.reject(RejectionNotice{
           init_.context->pace->SuggestWindow(
               Now(), init_.context->estimated_population, Duration{},
@@ -122,6 +146,11 @@ void MasterAggregatorActor::CloseRoundSpans(const char* outcome,
 void MasterAggregatorActor::BeginReporting() {
   phase_ = Phase::kReporting;
   configured_at_ = Now();
+  if (analytics::JournalEnabled()) {
+    JournalRound(Now(), init_.round, analytics::JournalEventKind::kPhase,
+                 "phase=configuration devices=" +
+                     std::to_string(pending_links_.size()));
+  }
   // The configuration phase (plan/model push to the cohort) is a single
   // simulated instant here: the span pair still marks the boundary between
   // the Sec. 2.2 windows in the trace.
@@ -171,6 +200,11 @@ void MasterAggregatorActor::BeginReporting() {
     tracer.End(config_span, Now());
     reporting_span_ = tracer.Begin("phase:reporting", Now(), round_span_);
   }
+  if (analytics::JournalEnabled()) {
+    JournalRound(Now(), init_.round, analytics::JournalEventKind::kPhase,
+                 "phase=reporting aggregators=" +
+                     std::to_string(aggregators_.size()));
+  }
   SendAfter(init_.config.reporting_deadline, id(),
             MsgReportingDeadline{init_.round});
 }
@@ -194,6 +228,10 @@ void MasterAggregatorActor::FlushAll() {
   if (flushed_) return;
   flushed_ = true;
   phase_ = Phase::kClosing;
+  if (analytics::JournalEnabled()) {
+    JournalRound(Now(), init_.round, analytics::JournalEventKind::kPhase,
+                 "phase=closing accepted=" + std::to_string(total_accepted_));
+  }
   for (const auto& [agg, st] : aggregators_) {
     if (!st.done) Send(agg, MsgFlush{});
   }
@@ -255,6 +293,13 @@ void MasterAggregatorActor::MaybeFinishRound() {
     done.selection_duration = configured_at_ - started_at_;
     done.round_duration = Now() - started_at_;
     CloseRoundSpans("committed", contributors);
+    if (analytics::JournalEnabled()) {
+      JournalRound(Now(), init_.round,
+                   analytics::JournalEventKind::kRoundCommit,
+                   "contributors=" + std::to_string(contributors) +
+                       " min_report=" +
+                       std::to_string(init_.config.MinReportCount()));
+    }
     Send(init_.coordinator, std::move(done));
   } else {
     Abandon(protocol::RoundOutcome::kAbandonedReporting,
@@ -268,8 +313,20 @@ void MasterAggregatorActor::Abandon(protocol::RoundOutcome outcome,
   phase_ = Phase::kDone;
   CloseRoundSpans(protocol::RoundOutcomeName(outcome),
                   combined_->contributions());
+  if (analytics::JournalEnabled()) {
+    JournalRound(Now(), init_.round,
+                 analytics::JournalEventKind::kRoundAbandoned,
+                 "outcome=" + std::string(protocol::RoundOutcomeName(outcome)) +
+                     " reason=" + reason);
+  }
   // Turn away anything still buffered from selection.
   for (DeviceLink& link : pending_links_) {
+    if (analytics::JournalEnabled()) {
+      analytics::AppendJournal(
+          Now(), analytics::JournalSource::kMaster,
+          analytics::JournalEventKind::kCheckinRejected, link.device,
+          link.session, init_.round, "reason=round_abandoned");
+    }
     link.reject(RejectionNotice{
         init_.context->pace->SuggestWindow(
             Now(), init_.context->estimated_population, Duration{},

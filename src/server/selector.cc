@@ -1,5 +1,7 @@
 #include "src/server/selector.h"
 
+#include "src/analytics/journal.h"
+
 namespace fl::server {
 namespace {
 
@@ -48,6 +50,12 @@ void SelectorActor::RejectLink(const DeviceLink& link,
                                const std::string& reason) {
   ++total_rejected_;
   init_.context->stats->OnDeviceRejected(Now());
+  if (analytics::JournalEnabled()) {
+    analytics::AppendJournal(Now(), analytics::JournalSource::kSelector,
+                             analytics::JournalEventKind::kCheckinRejected,
+                             link.device, link.session, RoundId{},
+                             "reason=" + reason);
+  }
   link.reject(RejectionNotice{
       init_.context->pace->SuggestWindow(Now(),
                                          init_.context->estimated_population,
@@ -62,6 +70,11 @@ void SelectorActor::HandleArrival(const MsgDeviceArrived& msg) {
     return;
   }
   ++total_accepted_;
+  if (analytics::JournalEnabled()) {
+    analytics::AppendJournal(Now(), analytics::JournalSource::kSelector,
+                             analytics::JournalEventKind::kCheckinAccepted,
+                             msg.link.device, msg.link.session);
+  }
   waiting_.push_back(msg.link);
 }
 

@@ -1,0 +1,82 @@
+// fl_analyze: offline analysis of a durable event journal (Sec. 5).
+//
+//   fl_analyze <journal>              full report: round timelines, Table 1
+//                                     shape distribution, invariant check
+//   fl_analyze --check <journal>      invariant check only; exit 1 on any
+//                                     violation or parse error (CI gate)
+//   fl_analyze --table <journal>      Table 1 session-shape table only
+//   fl_analyze --timeline <journal>   per-round timelines only
+//   fl_analyze --max-rows N           cap the shape table (default 10)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/tools/log_analyzer.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: fl_analyze [--check|--table|--timeline] "
+               "[--max-rows N] <journal>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  enum class Mode { kFull, kCheck, kTable, kTimeline };
+  Mode mode = Mode::kFull;
+  std::size_t max_rows = 10;
+  std::string path;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--check") == 0) {
+      mode = Mode::kCheck;
+    } else if (std::strcmp(arg, "--table") == 0) {
+      mode = Mode::kTable;
+    } else if (std::strcmp(arg, "--timeline") == 0) {
+      mode = Mode::kTimeline;
+    } else if (std::strcmp(arg, "--max-rows") == 0 && i + 1 < argc) {
+      max_rows = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg[0] == '-') {
+      return Usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (path.empty()) return Usage();
+
+  auto report = fl::tools::AnalyzeJournalFile(path);
+  if (!report.ok()) {
+    std::fprintf(stderr, "fl_analyze: %s\n",
+                 report.status().ToString().c_str());
+    return 2;
+  }
+
+  switch (mode) {
+    case Mode::kFull:
+      std::fputs(fl::tools::RenderAnalysisReport(*report).c_str(), stdout);
+      break;
+    case Mode::kCheck:
+      std::printf("checked %zu records across %zu sessions and %zu rounds\n",
+                  report->records, report->sessions_closed,
+                  report->rounds.size());
+      std::fputs(fl::tools::RenderViolations(*report).c_str(), stdout);
+      break;
+    case Mode::kTable:
+      std::fputs(fl::tools::RenderShapeTable(*report, max_rows).c_str(),
+                 stdout);
+      break;
+    case Mode::kTimeline:
+      std::fputs(fl::tools::RenderRoundTimelines(*report).c_str(), stdout);
+      break;
+  }
+  // --check is the CI gate: violations (including parse errors) fail it.
+  if (mode == Mode::kCheck && !report->violations.empty()) return 1;
+  return 0;
+}

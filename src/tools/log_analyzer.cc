@@ -1,0 +1,425 @@
+#include "src/tools/log_analyzer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "src/analytics/dashboard.h"
+
+namespace fl::tools {
+namespace {
+
+using analytics::JournalEventKind;
+using analytics::JournalRecord;
+using analytics::JournalSource;
+using analytics::SessionEvent;
+
+// Legal device session state machine (Table 1 glyph adjacency). '-' opens
+// every session; '*' may follow any live state (device-side failure), '!'
+// any assigned state (the agent only interrupts after 'v' marks
+// assignment); '^', '#', '!', '*' are terminal.
+bool LegalTransition(SessionEvent from, SessionEvent to) {
+  switch (from) {
+    case SessionEvent::kCheckin:
+      return to == SessionEvent::kDownloadedPlan || to == SessionEvent::kError;
+    case SessionEvent::kDownloadedPlan:
+      return to == SessionEvent::kTrainingStarted ||
+             to == SessionEvent::kInterrupted || to == SessionEvent::kError;
+    case SessionEvent::kTrainingStarted:
+      return to == SessionEvent::kTrainingCompleted ||
+             to == SessionEvent::kInterrupted || to == SessionEvent::kError;
+    case SessionEvent::kTrainingCompleted:
+      return to == SessionEvent::kUploadStarted ||
+             to == SessionEvent::kInterrupted || to == SessionEvent::kError;
+    case SessionEvent::kUploadStarted:
+      return to == SessionEvent::kUploadCompleted ||
+             to == SessionEvent::kUploadRejected ||
+             to == SessionEvent::kInterrupted || to == SessionEvent::kError;
+    case SessionEvent::kUploadCompleted:
+    case SessionEvent::kUploadRejected:
+    case SessionEvent::kInterrupted:
+    case SessionEvent::kError:
+      return false;  // terminal
+  }
+  return false;
+}
+
+// selection -> configuration -> reporting -> closing.
+int PhaseIndex(std::string_view name) {
+  if (name == "selection") return 0;
+  if (name == "configuration") return 1;
+  if (name == "reporting") return 2;
+  if (name == "closing") return 3;
+  return -1;
+}
+
+struct SessionState {
+  DeviceId device;
+  std::vector<SessionEvent> events;
+  SimTime last_time;
+  std::size_t last_line = 0;
+  bool report_accepted = false;  // server-side cross-join flag
+  bool closed = false;           // session_end seen
+};
+
+struct RoundState {
+  RoundTimeline timeline;
+  int last_phase_index = -1;
+  bool has_closing = false;
+  SimTime closing_at;
+  SimTime last_time;
+  std::size_t last_line = 0;
+};
+
+class Analyzer {
+ public:
+  AnalysisReport Run(std::string_view text) {
+    std::size_t line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+      const std::size_t eol = text.find('\n', pos);
+      std::string_view line =
+          text.substr(pos, eol == std::string_view::npos ? text.size() - pos
+                                                         : eol - pos);
+      ++line_no;
+      if (!line.empty() && line.front() != '#') {
+        ++report_.lines;
+        auto rec = JournalRecord::Parse(line);
+        if (!rec.ok()) {
+          ++report_.parse_errors;
+          report_.violations.push_back(InvariantViolation{
+              "parse-error", line_no, DeviceId{}, SessionId{}, RoundId{},
+              rec.status().ToString()});
+        } else {
+          ++report_.records;
+          Ingest(line_no, *rec);
+        }
+      }
+      if (eol == std::string_view::npos) break;
+      pos = eol + 1;
+    }
+    Finish();
+    return std::move(report_);
+  }
+
+ private:
+  void Violate(std::string rule, std::size_t line, const JournalRecord& rec,
+               std::string message) {
+    report_.violations.push_back(InvariantViolation{
+        std::move(rule), line, rec.device, rec.session, rec.round,
+        std::move(message)});
+  }
+
+  RoundState* FindRound(RoundId round) {
+    const auto it = round_index_.find(round);
+    return it == round_index_.end() ? nullptr : &rounds_[it->second];
+  }
+
+  // Per-round server events must arrive in sim-time order; a regression
+  // means records were reordered after the fact.
+  RoundState* TouchRound(std::size_t line, const JournalRecord& rec) {
+    RoundState* round = FindRound(rec.round);
+    if (round == nullptr) {
+      Violate("unknown-round", line, rec,
+              "event references a round with no round_open");
+      return nullptr;
+    }
+    if (round->last_line != 0 && rec.sim_time < round->last_time) {
+      Violate("out-of-order", line, rec,
+              "round event precedes line " +
+                  std::to_string(round->last_line) + " in sim time");
+    }
+    round->last_time = rec.sim_time;
+    round->last_line = line;
+    round->timeline.last_event_at = rec.sim_time;
+    return round;
+  }
+
+  void Ingest(std::size_t line, const JournalRecord& rec) {
+    SessionEvent se;
+    if (analytics::SessionEventForJournal(rec.event, &se)) {
+      IngestDeviceEvent(line, rec, se);
+      return;
+    }
+    switch (rec.event) {
+      case JournalEventKind::kSessionEnd: {
+        SessionState& st = sessions_[rec.session];
+        st.closed = true;
+        ++report_.sessions_closed;
+        // The tally mirrors FleetStats::OnSessionTrace: only sessions with
+        // at least two events enter the Table 1 distribution.
+        if (st.events.size() >= 2) {
+          analytics::SessionTrace trace;
+          trace.session = rec.session;
+          trace.device = st.device;
+          trace.events = st.events;
+          report_.tally.Record(trace);
+        }
+        break;
+      }
+      case JournalEventKind::kRoundOpen: {
+        RoundState state;
+        state.timeline.round = rec.round;
+        state.timeline.opened_at = rec.sim_time;
+        state.timeline.last_event_at = rec.sim_time;
+        state.timeline.goal = static_cast<std::size_t>(
+            analytics::DetailInt(rec.detail, "goal", 0));
+        state.timeline.min_report = static_cast<std::size_t>(
+            analytics::DetailInt(rec.detail, "min_report", 0));
+        state.last_time = rec.sim_time;
+        state.last_line = line;
+        round_index_[rec.round] = rounds_.size();
+        rounds_.push_back(std::move(state));
+        break;
+      }
+      case JournalEventKind::kPhase: {
+        RoundState* round = TouchRound(line, rec);
+        if (round == nullptr) break;
+        std::string phase;
+        analytics::DetailField(rec.detail, "phase", &phase);
+        const int idx = PhaseIndex(phase);
+        if (idx <= round->last_phase_index) {
+          Violate("phase-order", line, rec,
+                  "phase '" + phase + "' out of order (after " +
+                      (round->timeline.phases.empty()
+                           ? std::string("<none>")
+                           : round->timeline.phases.back().name) +
+                      ")");
+        }
+        round->last_phase_index = idx;
+        round->timeline.phases.push_back(
+            RoundTimeline::PhaseSpan{phase, rec.sim_time, Duration{}});
+        if (phase == "closing") {
+          round->has_closing = true;
+          round->closing_at = rec.sim_time;
+        }
+        break;
+      }
+      case JournalEventKind::kReportAccepted: {
+        RoundState* round = TouchRound(line, rec);
+        sessions_[rec.session].report_accepted = true;
+        if (round == nullptr) break;
+        ++round->timeline.reports_accepted;
+        // Plaintext accepts must land inside the reporting window; secagg
+        // commits are exempt (phases 2/3 legitimately outlive the flush).
+        std::string mode;
+        analytics::DetailField(rec.detail, "mode", &mode);
+        if (round->has_closing && rec.sim_time > round->closing_at &&
+            mode != "secagg") {
+          Violate("accept-after-close", line, rec,
+                  "report accepted after the round's closing phase");
+        }
+        break;
+      }
+      case JournalEventKind::kReportRejected: {
+        RoundState* round = TouchRound(line, rec);
+        if (round == nullptr) break;
+        ++round->timeline.reports_rejected;
+        std::string reason;
+        analytics::DetailField(rec.detail, "reason", &reason);
+        if (reason == "late") ++round->timeline.stragglers;
+        break;
+      }
+      case JournalEventKind::kCheckinAccepted:
+        break;  // selector-side; no round yet
+      case JournalEventKind::kCheckinRejected: {
+        // Selector rejections carry no round; master/aggregator ones do.
+        if (rec.round.value == 0) break;
+        RoundState* round = TouchRound(line, rec);
+        if (round != nullptr) ++round->timeline.checkins_rejected;
+        break;
+      }
+      case JournalEventKind::kRoundCommit: {
+        RoundState* round = TouchRound(line, rec);
+        if (round == nullptr) break;
+        round->timeline.committed = true;
+        round->timeline.contributors = static_cast<std::size_t>(
+            analytics::DetailInt(rec.detail, "contributors", 0));
+        const auto min_report = static_cast<std::size_t>(analytics::DetailInt(
+            rec.detail, "min_report",
+            static_cast<std::int64_t>(round->timeline.min_report)));
+        if (round->timeline.contributors < min_report) {
+          Violate("commit-below-goal", line, rec,
+                  "committed with " +
+                      std::to_string(round->timeline.contributors) +
+                      " contributors; needs " + std::to_string(min_report));
+        }
+        break;
+      }
+      case JournalEventKind::kRoundAbandoned: {
+        RoundState* round = TouchRound(line, rec);
+        if (round == nullptr) break;
+        std::string outcome;
+        analytics::DetailField(rec.detail, "outcome", &outcome);
+        round->timeline.outcome = outcome;
+        std::string reason;
+        if (analytics::DetailField(rec.detail, "reason", &reason)) {
+          // The reason value runs to the next space; keep the free-form tail.
+          const std::size_t at = rec.detail.find("reason=");
+          round->timeline.abort_reason = rec.detail.substr(at + 7);
+        }
+        break;
+      }
+      case JournalEventKind::kRoundOutcome: {
+        RoundState* round = TouchRound(line, rec);
+        if (round == nullptr) break;
+        std::string outcome;
+        analytics::DetailField(rec.detail, "outcome", &outcome);
+        round->timeline.outcome = outcome;
+        std::string reason;
+        if (round->timeline.abort_reason.empty() &&
+            analytics::DetailField(rec.detail, "reason", &reason)) {
+          round->timeline.abort_reason = reason;
+        }
+        break;
+      }
+      case JournalEventKind::kSimRoundStart:
+      case JournalEventKind::kSimRoundComplete:
+        break;  // modeling-sim markers; no protocol invariants
+      default:
+        break;
+    }
+  }
+
+  void IngestDeviceEvent(std::size_t line, const JournalRecord& rec,
+                         SessionEvent se) {
+    SessionState& st = sessions_[rec.session];
+    st.device = rec.device;
+    if (st.last_line != 0 && rec.sim_time < st.last_time) {
+      Violate("out-of-order", line, rec,
+              "session event precedes line " + std::to_string(st.last_line) +
+                  " in sim time");
+    }
+    st.last_time = rec.sim_time;
+    st.last_line = line;
+    if (st.closed) {
+      Violate("device-transition", line, rec,
+              std::string("'") + analytics::SessionEventGlyph(se) +
+                  "' after session_end");
+    } else if (st.events.empty()) {
+      if (se != SessionEvent::kCheckin) {
+        Violate("device-transition", line, rec,
+                std::string("session opens with '") +
+                    analytics::SessionEventGlyph(se) + "' instead of '-'");
+      }
+    } else if (!LegalTransition(st.events.back(), se)) {
+      Violate("device-transition", line, rec,
+              std::string("illegal '") +
+                  analytics::SessionEventGlyph(st.events.back()) + "' -> '" +
+                  analytics::SessionEventGlyph(se) + "'");
+    }
+    if (se == SessionEvent::kUploadCompleted && !st.report_accepted) {
+      // Cross-join with the server log: a device-side '^' must have a
+      // matching aggregator report_accepted earlier in the journal.
+      Violate("orphan-upload", line, rec,
+              "upload_complete with no server report_accepted");
+    }
+    st.events.push_back(se);
+  }
+
+  void Finish() {
+    for (const auto& [session, st] : sessions_) {
+      if (!st.closed && !st.events.empty()) ++report_.sessions_open;
+    }
+    report_.rounds.reserve(rounds_.size());
+    for (RoundState& round : rounds_) {
+      // Phase durations: to the next phase, or to the round's last event.
+      auto& phases = round.timeline.phases;
+      for (std::size_t i = 0; i < phases.size(); ++i) {
+        const SimTime end = i + 1 < phases.size()
+                                ? phases[i + 1].entered_at
+                                : round.timeline.last_event_at;
+        phases[i].duration = end - phases[i].entered_at;
+      }
+      report_.rounds.push_back(std::move(round.timeline));
+    }
+  }
+
+  AnalysisReport report_;
+  std::map<SessionId, SessionState> sessions_;
+  std::vector<RoundState> rounds_;
+  std::map<RoundId, std::size_t> round_index_;
+};
+
+}  // namespace
+
+AnalysisReport AnalyzeJournal(std::string_view text) {
+  return Analyzer().Run(text);
+}
+
+Result<AnalysisReport> AnalyzeJournalFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return UnavailableError("cannot open journal: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return AnalyzeJournal(buf.str());
+}
+
+std::string RenderRoundTimelines(const AnalysisReport& report) {
+  std::ostringstream out;
+  out << "Rounds (" << report.rounds.size() << "):\n";
+  for (const RoundTimeline& round : report.rounds) {
+    out << "  round " << round.round.value << " opened "
+        << FormatSimTime(round.opened_at);
+    if (!round.outcome.empty()) out << "  outcome=" << round.outcome;
+    if (round.committed) out << "  contributors=" << round.contributors;
+    if (round.goal != 0) out << "  goal=" << round.goal;
+    out << '\n';
+    for (const auto& phase : round.phases) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "    %-14s %s  +%.1fs\n",
+                    phase.name.c_str(),
+                    FormatSimTime(phase.entered_at).c_str(),
+                    phase.duration.Seconds());
+      out << buf;
+    }
+    out << "    reports: " << round.reports_accepted << " accepted, "
+        << round.reports_rejected << " rejected (" << round.stragglers
+        << " stragglers); checkins rejected: " << round.checkins_rejected
+        << '\n';
+    if (!round.abort_reason.empty()) {
+      out << "    abort: " << round.abort_reason << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string RenderShapeTable(const AnalysisReport& report,
+                             std::size_t max_rows) {
+  return analytics::RenderSessionShapeTable(report.tally, max_rows);
+}
+
+std::string RenderViolations(const AnalysisReport& report) {
+  std::ostringstream out;
+  if (report.violations.empty()) {
+    out << "No invariant violations.\n";
+    return out.str();
+  }
+  out << report.violations.size() << " invariant violation(s):\n";
+  for (const InvariantViolation& v : report.violations) {
+    out << "  line " << v.line << " [" << v.rule << "]";
+    if (v.device.value != 0) out << " device=" << v.device.value;
+    if (v.session.value != 0) out << " session=" << v.session.value;
+    if (v.round.value != 0) out << " round=" << v.round.value;
+    out << ": " << v.message << '\n';
+  }
+  return out.str();
+}
+
+std::string RenderAnalysisReport(const AnalysisReport& report) {
+  std::ostringstream out;
+  out << "Journal: " << report.records << " records on " << report.lines
+      << " lines (" << report.parse_errors << " parse errors), "
+      << report.sessions_closed << " sessions closed, "
+      << report.sessions_open << " still open.\n\n";
+  out << RenderRoundTimelines(report) << '\n';
+  out << "Session shapes (Table 1):\n"
+      << RenderShapeTable(report) << '\n';
+  out << RenderViolations(report);
+  return out.str();
+}
+
+}  // namespace fl::tools

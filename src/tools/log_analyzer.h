@@ -1,0 +1,91 @@
+// Offline journal analysis (Sec. 5): replays a durable event journal
+// (src/analytics/journal.h) written by a previous run and rebuilds, without
+// the process that produced it,
+//   (a) per-round timelines with per-phase durations and straggler/abort
+//       attribution,
+//   (b) the Table 1 session-shape distribution (bit-identical to the
+//       in-process FleetStats tally), and
+//   (c) a state-machine invariant report: device-side event sequences are
+//       checked against the legal session state machine and cross-joined
+//       with server-side accept/commit events, so dropped, reordered, or
+//       contradictory records surface as named violations ("deviations from
+//       the expected state sequences", Sec. 5).
+// The fl_analyze CLI is a thin shell over this library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/analytics/events.h"
+#include "src/analytics/journal.h"
+#include "src/common/status.h"
+
+namespace fl::tools {
+
+// One invariant breach, anchored to the 1-based journal line it was
+// detected on.
+struct InvariantViolation {
+  std::string rule;  // "device-transition", "orphan-upload", ...
+  std::size_t line = 0;
+  DeviceId device;
+  SessionId session;
+  RoundId round;
+  std::string message;
+};
+
+// One server round reconstructed from master/coordinator events.
+struct RoundTimeline {
+  RoundId round;
+  SimTime opened_at;
+  // Phases in journal order (selection, configuration, reporting, closing).
+  struct PhaseSpan {
+    std::string name;
+    SimTime entered_at;
+    Duration duration;  // to the next phase (or last event of the round)
+  };
+  std::vector<PhaseSpan> phases;
+  SimTime last_event_at;
+  std::size_t goal = 0;
+  std::size_t min_report = 0;
+  std::size_t reports_accepted = 0;
+  std::size_t reports_rejected = 0;  // all reasons
+  std::size_t stragglers = 0;        // report_rejected reason=late ('#')
+  std::size_t checkins_rejected = 0; // master-side "round full"/abandon
+  bool committed = false;
+  std::size_t contributors = 0;
+  std::string outcome;  // coordinator verdict ("committed", "failed", ...)
+  std::string abort_reason;  // round_abandoned / failure attribution
+};
+
+struct AnalysisReport {
+  std::size_t lines = 0;          // non-comment journal lines seen
+  std::size_t records = 0;        // successfully parsed records
+  std::size_t parse_errors = 0;
+  std::size_t sessions_closed = 0;  // session_end seen
+  std::size_t sessions_open = 0;    // trailing sessions without session_end
+  // Table 1 distribution over closed sessions with >= 2 events — the same
+  // rule FleetStats::OnSessionTrace applies, so a journal replay of a run
+  // reproduces the in-process tally exactly.
+  analytics::SessionShapeTally tally;
+  std::vector<RoundTimeline> rounds;
+  std::vector<InvariantViolation> violations;
+};
+
+// Analyzes journal text (header + one record per line). Unparseable lines
+// are counted, reported as "parse-error" violations, and skipped.
+AnalysisReport AnalyzeJournal(std::string_view text);
+
+// Reads `path` and analyzes it. Fails only on I/O errors.
+Result<AnalysisReport> AnalyzeJournalFile(const std::string& path);
+
+// Renderers for the CLI: per-round timelines, the Table 1 shape table, and
+// the violation list. RenderAnalysisReport stitches all three together.
+std::string RenderRoundTimelines(const AnalysisReport& report);
+std::string RenderShapeTable(const AnalysisReport& report,
+                             std::size_t max_rows = 10);
+std::string RenderViolations(const AnalysisReport& report);
+std::string RenderAnalysisReport(const AnalysisReport& report);
+
+}  // namespace fl::tools

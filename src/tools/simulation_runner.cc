@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "src/analytics/journal.h"
 #include "src/common/thread_pool.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
@@ -169,6 +170,12 @@ Result<SimulationResult> RunFedAvgSimulation(
     if (round_span.id() != 0) {
       round_span.AddAttr("round", std::to_string(round));
     }
+    if (analytics::JournalEnabled()) {
+      analytics::AppendJournal(
+          SimTime{}, analytics::JournalSource::kSim,
+          analytics::JournalEventKind::kSimRoundStart, DeviceId{}, SessionId{},
+          RoundId{round}, "want=" + std::to_string(config.clients_per_round));
+    }
     fedavg::FedAvgAccumulator acc(plan.server.aggregation, global);
     // Select 1.3K, keep the first K survivors (Algorithm 1's header).
     const std::size_t want = config.clients_per_round;
@@ -210,6 +217,12 @@ Result<SimulationResult> RunFedAvgSimulation(
                           ": no client produced an update");
     }
     FL_ASSIGN_OR_RETURN(global, acc.Finalize(global));
+    if (analytics::JournalEnabled()) {
+      analytics::AppendJournal(
+          SimTime{}, analytics::JournalSource::kSim,
+          analytics::JournalEventKind::kSimRoundComplete, DeviceId{},
+          SessionId{}, RoundId{round}, "got=" + std::to_string(got));
+    }
 
     RoundPoint point;
     point.round = round;

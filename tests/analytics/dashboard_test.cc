@@ -74,5 +74,32 @@ TEST(SessionShapeTableTest, MaxRowsLimits) {
   EXPECT_LE(rows, 8);
 }
 
+TEST(SessionShapeTableTest, EmptyTallyRendersHeaderOnly) {
+  SessionShapeTally tally;
+  const std::string out = RenderSessionShapeTable(tally);
+  EXPECT_NE(out.find("Session Shape"), std::string::npos);
+  EXPECT_EQ(out.find('%'), std::string::npos);  // no data rows
+}
+
+TEST(SessionShapeTableTest, CountTiesRenderDeterministically) {
+  SessionShapeTally tally;
+  tally.RecordShape("-v[]+^");
+  tally.RecordShape("-v[!");
+  const std::string out = RenderSessionShapeTable(tally);
+  // Equal counts: lexicographic order breaks the tie, every run.
+  EXPECT_LT(out.find("-v[!"), out.find("-v[]+^"));
+}
+
+TEST(SessionShapeTableTest, TruncationKeepsMostFrequentRows) {
+  SessionShapeTally tally;
+  for (int i = 0; i < 9; ++i) tally.RecordShape("-v[]+^");
+  for (int i = 0; i < 5; ++i) tally.RecordShape("-v[]+#");
+  tally.RecordShape("-v[!");
+  const std::string out = RenderSessionShapeTable(tally, 2);
+  EXPECT_NE(out.find("-v[]+^"), std::string::npos);
+  EXPECT_NE(out.find("-v[]+#"), std::string::npos);
+  EXPECT_EQ(out.find("-v[!"), std::string::npos);  // truncated
+}
+
 }  // namespace
 }  // namespace fl::analytics

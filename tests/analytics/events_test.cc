@@ -71,6 +71,62 @@ TEST(SessionShapeTallyTest, RecordFromTrace) {
   EXPECT_NEAR(tally.Fraction("-!"), 1.0, 1e-9);
 }
 
+TEST(ParseShapeTest, RoundTripsEveryGlyph) {
+  const std::string all = "-v[]+^#!*";
+  const auto events = ParseShape(all);
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), all.size());
+  SessionTrace t;
+  t.events = *events;
+  EXPECT_EQ(t.Shape(), all);
+}
+
+TEST(ParseShapeTest, RoundTripsPaperShapes) {
+  for (const char* shape : {"-v[]+^", "-v[]+#", "-v[]+*", "-v[*", "-v[!",
+                            "-", "-*"}) {
+    const auto events = ParseShape(shape);
+    ASSERT_TRUE(events.ok()) << shape;
+    SessionTrace t;
+    t.events = *events;
+    EXPECT_EQ(t.Shape(), shape);
+  }
+}
+
+TEST(ParseShapeTest, EmptyShapeIsEmptyTrace) {
+  const auto events = ParseShape("");
+  ASSERT_TRUE(events.ok());
+  EXPECT_TRUE(events->empty());
+}
+
+TEST(ParseShapeTest, RejectsUnknownGlyphs) {
+  const auto bad = ParseShape("-v[x");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find('x'), std::string::npos);
+  EXPECT_FALSE(ParseShape(" -v").ok());
+}
+
+TEST(SessionShapeTallyTest, EmptyTally) {
+  SessionShapeTally tally;
+  EXPECT_EQ(tally.total(), 0u);
+  EXPECT_TRUE(tally.Ranked().empty());
+  EXPECT_NEAR(tally.Fraction("-v[]+^"), 0.0, 1e-12);
+}
+
+TEST(SessionShapeTallyTest, CountTiesRankLexicographically) {
+  SessionShapeTally tally;
+  // Insert in an order that disagrees with the tie-break to prove the rank
+  // is deterministic: equal counts sort by shape string.
+  for (int i = 0; i < 2; ++i) tally.RecordShape("-v[]+#");
+  for (int i = 0; i < 2; ++i) tally.RecordShape("-v[!");
+  for (int i = 0; i < 2; ++i) tally.RecordShape("-v[]+^");
+  const auto ranked = tally.Ranked();
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].first, "-v[!");
+  EXPECT_EQ(ranked[1].first, "-v[]+#");
+  EXPECT_EQ(ranked[2].first, "-v[]+^");
+  EXPECT_EQ(ranked[0].second, 2u);
+}
+
 TEST(DeviceStateTest, NamesForFigSixStates) {
   EXPECT_STREQ(DeviceStateName(DeviceState::kParticipating), "participating");
   EXPECT_STREQ(DeviceStateName(DeviceState::kWaiting), "waiting");
