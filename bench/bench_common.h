@@ -21,6 +21,24 @@
 
 namespace fl::bench {
 
+// Peak resident set size (VmHWM) of this process in bytes, from
+// /proc/self/status. Returns 0 where procfs is unavailable (non-Linux), so
+// callers can record it unconditionally and readers can tell "not measured"
+// from a real value.
+inline std::size_t PeakRssBytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    std::size_t kb = 0;
+    if (std::sscanf(line.c_str(), "VmHWM: %zu kB", &kb) == 1) {
+      return kb * 1024;
+    }
+    break;
+  }
+  return 0;
+}
+
 // Minimal streaming JSON writer: enough for flat result records and arrays
 // of them. Handles comma placement and string escaping; numbers print with
 // enough digits to round-trip.
@@ -83,6 +101,7 @@ class JsonWriter {
     Field("telemetry_compiled_in", telemetry::kCompiledIn);
     Field("telemetry_enabled", telemetry::Enabled());
     Field("git_sha", FL_GIT_SHA);
+    Field("peak_rss_bytes", PeakRssBytes());
     return *this;
   }
 

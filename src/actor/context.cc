@@ -14,7 +14,7 @@ ThreadPoolContext::ThreadPoolContext(std::size_t threads)
 
 ThreadPoolContext::~ThreadPoolContext() { Shutdown(); }
 
-void ThreadPoolContext::Post(std::function<void()> fn) {
+void ThreadPoolContext::Post(TaskFn fn) {
   {
     const std::scoped_lock lock(mu_);
     if (stop_) return;
@@ -23,7 +23,7 @@ void ThreadPoolContext::Post(std::function<void()> fn) {
   cv_.notify_one();
 }
 
-void ThreadPoolContext::PostAfter(Duration d, std::function<void()> fn) {
+void ThreadPoolContext::PostAfter(Duration d, TaskFn fn) {
   const auto when =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(d.millis);
   {
@@ -42,7 +42,7 @@ SimTime ThreadPoolContext::now() const {
 
 void ThreadPoolContext::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    TaskFn task;
     {
       std::unique_lock lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });

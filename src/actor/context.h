@@ -10,25 +10,29 @@
 #pragma once
 
 #include <condition_variable>
-#include <functional>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "src/common/inline_function.h"
 #include "src/common/sim_time.h"
 #include "src/sim/event_queue.h"
 
 namespace fl::actor {
+
+// Tasks are move-only SBO callables (common::TaskFn): posting the typical
+// actor-dispatch capture costs no allocation on either context.
+using TaskFn = common::TaskFn;
 
 class ExecutionContext {
  public:
   virtual ~ExecutionContext() = default;
   // Runs fn as soon as possible (FIFO with respect to other Post calls from
   // the same thread).
-  virtual void Post(std::function<void()> fn) = 0;
+  virtual void Post(TaskFn fn) = 0;
   // Runs fn after a (simulated or real) delay.
-  virtual void PostAfter(Duration d, std::function<void()> fn) = 0;
+  virtual void PostAfter(Duration d, TaskFn fn) = 0;
   virtual SimTime now() const = 0;
 };
 
@@ -37,10 +41,10 @@ class SimContext final : public ExecutionContext {
  public:
   explicit SimContext(sim::EventQueue& queue) : queue_(queue) {}
 
-  void Post(std::function<void()> fn) override {
+  void Post(TaskFn fn) override {
     queue_.After(Millis(0), std::move(fn));
   }
-  void PostAfter(Duration d, std::function<void()> fn) override {
+  void PostAfter(Duration d, TaskFn fn) override {
     queue_.After(d, std::move(fn));
   }
   SimTime now() const override { return queue_.now(); }
@@ -62,8 +66,8 @@ class ThreadPoolContext final : public ExecutionContext {
   ThreadPoolContext(const ThreadPoolContext&) = delete;
   ThreadPoolContext& operator=(const ThreadPoolContext&) = delete;
 
-  void Post(std::function<void()> fn) override;
-  void PostAfter(Duration d, std::function<void()> fn) override;
+  void Post(TaskFn fn) override;
+  void PostAfter(Duration d, TaskFn fn) override;
   SimTime now() const override;
 
   // Blocks until all queued and in-flight tasks have finished.
@@ -73,7 +77,7 @@ class ThreadPoolContext final : public ExecutionContext {
  private:
   struct Timer {
     std::chrono::steady_clock::time_point when;
-    std::function<void()> fn;
+    TaskFn fn;
     bool operator>(const Timer& o) const { return when > o.when; }
   };
 
@@ -84,7 +88,7 @@ class ThreadPoolContext final : public ExecutionContext {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<TaskFn> tasks_;
   std::size_t active_ = 0;
   bool stop_ = false;
 

@@ -19,8 +19,23 @@ namespace fl {
 
 using Bytes = std::vector<std::uint8_t>;
 
+// Encoded length of WriteVarint(v) — lets writers size buffers exactly
+// without serializing twice.
+constexpr std::size_t VarintSize(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
 class BytesWriter {
  public:
+  // Pre-sizes the underlying buffer; one allocation when the final size is
+  // known up front (see Checkpoint::SerializedSize).
+  void Reserve(std::size_t n) { buf_.reserve(n); }
+
   void WriteU8(std::uint8_t v) { buf_.push_back(v); }
   void WriteU16(std::uint16_t v) { WriteLE(v); }
   void WriteU32(std::uint32_t v) { WriteLE(v); }

@@ -9,6 +9,7 @@
 #include "src/graph/registry.h"
 #include "src/protocol/pace_steering.h"
 #include "src/sim/availability.h"
+#include "src/sim/event_queue.h"
 #include "src/sim/network.h"
 
 namespace fl::core {
@@ -16,6 +17,10 @@ namespace fl::core {
 struct FLSystemConfig {
   std::string population_name = "population/default";
   std::uint64_t seed = 42;
+
+  // Event-queue engine; defaults to the FL_EVENT_QUEUE env override (wheel
+  // when unset). Tests pin this to compare schedulers in one process.
+  sim::EventQueue::Impl event_queue_impl = sim::EventQueue::DefaultImpl();
 
   sim::PopulationParams population;
   sim::DiurnalCurve::Params diurnal;

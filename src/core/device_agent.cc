@@ -414,9 +414,13 @@ void DeviceAgent::BeginUpload(std::uint64_t gen) {
     });
     return;
   }
-  services_.queue->After(t.duration, [this, gen, report] {
+  // Move the report into the event: the serialized update (the dominant
+  // per-device buffer) travels device → event node → aggregator without a
+  // single copy.
+  services_.queue->After(
+      t.duration, [this, gen, report = std::move(report)]() mutable {
     if (!Active(gen)) return;
-    services_.frontend->Report(session_->aggregator, report);
+    services_.frontend->Report(session_->aggregator, std::move(report));
     // Ack timeout: a dead Aggregator means silence.
     services_.queue->After(services_.config->ack_timeout, [this, gen] {
       if (!Active(gen)) return;

@@ -14,6 +14,7 @@ constexpr std::uint64_t kAttestSeedSalt = 0x61747465737421ULL;  // "attest!"
 FLSystem::FLSystem(FLSystemConfig config)
     : config_(std::move(config)),
       rng_(config_.seed),
+      queue_(config_.event_queue_impl),
       curve_(config_.diurnal),
       network_(config_.network, config_.seed ^ kNetworkSeedSalt),
       attestation_(config_.seed ^ kAttestSeedSalt) {
@@ -243,6 +244,24 @@ void FLSystem::ScheduleStatsSampler() {
           ->Set(static_cast<double>(actors_->live_actors()));
       registry.GetGauge("fl_sim_event_queue_pending")
           ->Set(static_cast<double>(queue_.pending()));
+      const auto& qs = queue_.stats();
+      registry.GetGauge("fl_sim_events_scheduled_total")
+          ->Set(static_cast<double>(qs.scheduled));
+      registry.GetGauge("fl_sim_events_fired_total")
+          ->Set(static_cast<double>(qs.fired));
+      registry.GetGauge("fl_sim_events_cancelled_total")
+          ->Set(static_cast<double>(qs.cancelled));
+      registry.GetGauge("fl_sim_events_cascaded_total")
+          ->Set(static_cast<double>(qs.cascaded));
+      const auto occupancy = queue_.LevelOccupancy();
+      for (std::size_t level = 0; level < occupancy.size(); ++level) {
+        const std::string name =
+            level < sim::EventQueue::kLevels
+                ? "fl_sim_wheel_level_" + std::to_string(level) + "_live"
+                : "fl_sim_wheel_overflow_live";
+        registry.GetGauge(name)
+            ->Set(static_cast<double>(occupancy[level]));
+      }
       monitor_hub_.Poll(queue_.now(), registry.Snapshot());
     }
     ScheduleStatsSampler();

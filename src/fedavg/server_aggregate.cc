@@ -37,6 +37,12 @@ Status FedAvgAccumulator::Accumulate(Checkpoint&& weighted_delta, float weight,
 Status FedAvgAccumulator::AccumulateSum(Checkpoint&& delta_sum,
                                         float weight_sum,
                                         std::size_t contributors) {
+  return AccumulateSum(delta_sum, weight_sum, contributors);
+}
+
+Status FedAvgAccumulator::AccumulateSum(const Checkpoint& delta_sum,
+                                        float weight_sum,
+                                        std::size_t contributors) {
   if (op_ == plan::AggregationOp::kMetricsOnly) {
     contributions_ += contributors;
     return Status::Ok();
@@ -83,6 +89,23 @@ Result<Checkpoint> FedAvgAccumulator::Finalize(
   Checkpoint next = current_global;
   FL_RETURN_IF_ERROR(next.AddInPlace(sum_, 1.0f / total_weight_));
   return next;
+}
+
+Status FedAvgAccumulator::FinalizeInPlace(Checkpoint& global) const {
+  if (op_ == plan::AggregationOp::kMetricsOnly) {
+    return Status::Ok();  // evaluation rounds do not move the model
+  }
+  if (contributions_ == 0 || total_weight_ <= 0) {
+    return FailedPreconditionError("no updates accumulated");
+  }
+  return global.AddInPlace(sum_, 1.0f / total_weight_);
+}
+
+void FedAvgAccumulator::Reset() {
+  sum_.ZeroFill();
+  total_weight_ = 0;
+  contributions_ = 0;
+  metrics_ = MetricsAccumulator{};
 }
 
 }  // namespace fl::fedavg

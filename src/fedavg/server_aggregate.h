@@ -31,6 +31,13 @@ class FedAvgAccumulator {
   Status AccumulateSum(Checkpoint&& delta_sum, float weight_sum,
                        std::size_t contributors);
 
+  // Non-consuming variant: the caller keeps `delta_sum`. This is the
+  // pooled-shard path of the parallel round engine — shard accumulators are
+  // reused across rounds, so the master must read their sums in place
+  // rather than stealing the buffers.
+  Status AccumulateSum(const Checkpoint& delta_sum, float weight_sum,
+                       std::size_t contributors);
+
   // Absorbs a whole per-shard accumulator — the Aggregator → Master
   // Aggregator reduction of Sec. 4.2 in one call. Delta sums go through the
   // AccumulateSum path; metric summaries are merged too. `shard` is
@@ -50,6 +57,15 @@ class FedAvgAccumulator {
   // Produces w_{t+1} from w_t. Fails if nothing was accumulated (for
   // weight-aggregating ops).
   Result<Checkpoint> Finalize(const Checkpoint& current_global) const;
+
+  // Applies the aggregate to `global` directly (global += sum / weight) —
+  // the allocation-free form of Finalize for long simulation loops.
+  Status FinalizeInPlace(Checkpoint& global) const;
+
+  // Rearms the accumulator for the next round, zero-filling the running
+  // sum in place: the tensor buffers (one full model's worth per shard)
+  // survive, so steady-state rounds allocate nothing here.
+  void Reset();
 
  private:
   plan::AggregationOp op_;

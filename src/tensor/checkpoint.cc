@@ -1,5 +1,7 @@
 #include "src/tensor/checkpoint.h"
 
+#include <algorithm>
+
 #include "src/common/crc32.h"
 
 namespace fl {
@@ -65,6 +67,13 @@ void Checkpoint::Scale(float alpha) {
   for (auto& [name, t] : tensors_) t.Scale(alpha);
 }
 
+void Checkpoint::ZeroFill() {
+  for (auto& [name, t] : tensors_) {
+    auto span = t.mutable_data();
+    std::fill(span.begin(), span.end(), 0.0f);
+  }
+}
+
 std::vector<float> Checkpoint::Flatten() const {
   std::vector<float> flat;
   flat.reserve(TotalParameters());
@@ -94,6 +103,7 @@ Result<Checkpoint> Checkpoint::Unflatten(std::span<const float> flat) const {
 
 Bytes Checkpoint::Serialize() const {
   BytesWriter w;
+  w.Reserve(SerializedSize());  // exact: one allocation for the whole blob
   w.WriteRaw(std::span<const std::uint8_t>(
       reinterpret_cast<const std::uint8_t*>(kMagic), 4));
   w.WriteU16(kFormatVersion);
@@ -159,10 +169,17 @@ Result<Checkpoint> Checkpoint::Deserialize(
 }
 
 std::size_t Checkpoint::SerializedSize() const {
-  // Cheap estimate without materializing: recompute via Serialize would be
-  // exact but allocates; sizes here feed traffic accounting where exactness
-  // matters (Fig. 9), so serialize once.
-  return Serialize().size();
+  // Pure arithmetic mirror of Serialize()'s wire format — exact to the
+  // byte (pinned by the drift test in checkpoint_test), so traffic
+  // accounting (Fig. 9, bytes/device) never has to materialize the blob.
+  std::size_t n = 4 + 2 + VarintSize(tensors_.size());
+  for (const auto& [name, t] : tensors_) {
+    n += VarintSize(name.size()) + name.size();
+    n += VarintSize(t.rank());
+    for (std::size_t d : t.shape()) n += VarintSize(d);
+    n += VarintSize(t.size()) + t.size() * sizeof(float);
+  }
+  return n + 4;  // trailing crc32
 }
 
 }  // namespace fl

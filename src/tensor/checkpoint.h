@@ -53,6 +53,9 @@ class Checkpoint {
   // this += alpha * other; shapes/names must match exactly.
   Status AddInPlace(const Checkpoint& other, float alpha = 1.0f);
   void Scale(float alpha);
+  // Sets every value to zero, keeping names/shapes and — unlike assigning a
+  // fresh ZerosLike — the existing tensor buffers (accumulator reuse).
+  void ZeroFill();
 
   // Flattens all tensors (in name order) into one vector — the input shape
   // Secure Aggregation operates on.

@@ -58,10 +58,18 @@ std::vector<PlannedClient> PlanRound(
 
 // Per-worker aggregation shard — the in-process analogue of one ephemeral
 // Aggregator actor (Sec. 4.2). Each shard owns its accumulator; shards are
-// merged into the master in fixed index order after the join.
+// merged into the master in fixed index order after the join. Shards are
+// pooled across rounds: Rearm zero-fills the accumulator in place, so the
+// steady-state round loop never reallocates a model-sized sum buffer.
 struct RoundShard {
   explicit RoundShard(plan::AggregationOp op, const Checkpoint& schema)
       : acc(op, schema) {}
+  void Rearm() {
+    acc.Reset();
+    train_loss = 0;
+    got = 0;
+    status = Status::Ok();
+  }
   fedavg::FedAvgAccumulator acc;
   double train_loss = 0;
   std::size_t got = 0;
@@ -76,15 +84,14 @@ Result<std::pair<double, std::size_t>> RunRoundOnPool(
     const Checkpoint& global, std::uint32_t runtime,
     const std::vector<std::vector<data::Example>>& client_data,
     const std::vector<PlannedClient>& planned,
-    fedavg::FedAvgAccumulator& master, const SimTelemetry& telem,
-    std::uint64_t round_span) {
+    std::vector<RoundShard>& shards, fedavg::FedAvgAccumulator& master,
+    const SimTelemetry& telem, std::uint64_t round_span) {
   const std::size_t shard_count =
       std::max<std::size_t>(1, std::min(pool.size(), planned.size()));
-  std::vector<RoundShard> shards;
-  shards.reserve(shard_count);
-  for (std::size_t s = 0; s < shard_count; ++s) {
+  while (shards.size() < shard_count) {
     shards.emplace_back(plan.server.aggregation, global);
   }
+  for (std::size_t s = 0; s < shard_count; ++s) shards[s].Rearm();
 
   pool.ParallelFor(shard_count, [&](std::size_t s) {
     RoundShard& shard = shards[s];
@@ -120,11 +127,16 @@ Result<std::pair<double, std::size_t>> RunRoundOnPool(
 
   double train_loss = 0;
   std::size_t got = 0;
-  for (RoundShard& shard : shards) {
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    RoundShard& shard = shards[s];
     FL_RETURN_IF_ERROR(shard.status);
     train_loss += shard.train_loss;
     got += shard.got;
-    FL_RETURN_IF_ERROR(master.MergeFrom(std::move(shard.acc)));
+    // Fold the shard's sum in by reference — unlike MergeFrom, the shard
+    // keeps its buffers for the next round's Rearm.
+    FL_RETURN_IF_ERROR(master.AccumulateSum(shard.acc.delta_sum(),
+                                            shard.acc.weight_sum(),
+                                            shard.acc.contributions()));
   }
   return std::make_pair(train_loss, got);
 }
@@ -163,6 +175,12 @@ Result<SimulationResult> RunFedAvgSimulation(
   }
   const SimTelemetry telem = ResolveSimTelemetry();
 
+  // Round-pooled aggregation state: the master accumulator and the worker
+  // shards are built once and zero-filled per round, so the per-round hot
+  // loop allocates no model-sized buffers.
+  fedavg::FedAvgAccumulator acc(plan.server.aggregation, global);
+  std::vector<RoundShard> shard_pool;
+
   for (std::size_t round = 1; round <= config.rounds; ++round) {
     // Wall-clock span over the whole round; client-update spans nest under
     // it (workers parent on it explicitly, see RunRoundOnPool).
@@ -176,7 +194,7 @@ Result<SimulationResult> RunFedAvgSimulation(
           analytics::JournalEventKind::kSimRoundStart, DeviceId{}, SessionId{},
           RoundId{round}, "want=" + std::to_string(config.clients_per_round));
     }
-    fedavg::FedAvgAccumulator acc(plan.server.aggregation, global);
+    acc.Reset();
     // Select 1.3K, keep the first K survivors (Algorithm 1's header).
     const std::size_t want = config.clients_per_round;
     std::size_t got = 0;
@@ -208,7 +226,7 @@ Result<SimulationResult> RunFedAvgSimulation(
       FL_ASSIGN_OR_RETURN(
           auto outcome,
           RunRoundOnPool(*pool, plan, global, runtime, client_data, planned,
-                         acc, telem, round_span.id()));
+                         shard_pool, acc, telem, round_span.id()));
       train_loss = outcome.first;
       got = outcome.second;
     }
@@ -216,7 +234,7 @@ Result<SimulationResult> RunFedAvgSimulation(
       return AbortedError("round " + std::to_string(round) +
                           ": no client produced an update");
     }
-    FL_ASSIGN_OR_RETURN(global, acc.Finalize(global));
+    FL_RETURN_IF_ERROR(acc.FinalizeInPlace(global));
     if (analytics::JournalEnabled()) {
       analytics::AppendJournal(
           SimTime{}, analytics::JournalSource::kSim,

@@ -1,0 +1,131 @@
+#include "src/common/inline_function.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fl::common {
+namespace {
+
+TEST(InlineFunctionTest, DefaultIsEmpty) {
+  TaskFn f;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InlineFunctionTest, SmallCaptureStaysInline) {
+  int hits = 0;
+  TaskFn f = [&hits] { ++hits; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_TRUE(f.is_inline());
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunctionTest, LargeCaptureFallsBackToHeap) {
+  std::array<std::uint64_t, 32> big{};  // 256 bytes > 48-byte buffer
+  big[0] = 7;
+  big[31] = 9;
+  int sink = 0;
+  TaskFn f = [big, &sink] {
+    sink = static_cast<int>(big[0] + big[31]);
+  };
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_FALSE(f.is_inline());
+  f();
+  EXPECT_EQ(sink, 16);
+}
+
+TEST(InlineFunctionTest, MoveTransfersOwnership) {
+  auto counter = std::make_shared<int>(0);
+  TaskFn a = [counter] { ++*counter; };
+  EXPECT_EQ(counter.use_count(), 2);
+  TaskFn b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(counter.use_count(), 2);   // not copied
+  b();
+  EXPECT_EQ(*counter, 1);
+}
+
+TEST(InlineFunctionTest, MoveAssignDestroysPrevious) {
+  auto first = std::make_shared<int>(0);
+  auto second = std::make_shared<int>(0);
+  TaskFn f = [first] { ++*first; };
+  f = TaskFn([second] { ++*second; });
+  EXPECT_EQ(first.use_count(), 1);  // old callable destroyed
+  f();
+  EXPECT_EQ(*second, 1);
+  EXPECT_EQ(*first, 0);
+}
+
+TEST(InlineFunctionTest, DestructorReleasesCapture) {
+  auto counter = std::make_shared<int>(0);
+  {
+    TaskFn f = [counter] { ++*counter; };
+    EXPECT_EQ(counter.use_count(), 2);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InlineFunctionTest, HeapCaptureReleasedOnDestruction) {
+  auto counter = std::make_shared<int>(0);
+  std::array<std::uint64_t, 32> pad{};
+  {
+    TaskFn f = [counter, pad] { (void)pad; ++*counter; };
+    EXPECT_FALSE(f.is_inline());
+    EXPECT_EQ(counter.use_count(), 2);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InlineFunctionTest, MoveOnlyCaptureWorks) {
+  auto p = std::make_unique<int>(41);
+  InlineFunction<int()> f = [q = std::move(p)] { return *q + 1; };
+  EXPECT_EQ(f(), 42);
+  InlineFunction<int()> g = std::move(f);
+  EXPECT_EQ(g(), 42);
+}
+
+TEST(InlineFunctionTest, ArgumentsAndReturnValues) {
+  InlineFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+  std::string log;
+  InlineFunction<void(const std::string&)> append =
+      [&log](const std::string& s) { log += s; };
+  append("x");
+  append("y");
+  EXPECT_EQ(log, "xy");
+}
+
+TEST(InlineFunctionTest, WrapsStdFunction) {
+  std::function<void()> inner;
+  int hits = 0;
+  inner = [&hits] { ++hits; };
+  TaskFn f = std::move(inner);
+  EXPECT_TRUE(f.is_inline());  // std::function itself fits the buffer
+  f();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFunctionTest, ResetEmptiesTheWrapper) {
+  auto counter = std::make_shared<int>(0);
+  TaskFn f = [counter] { ++*counter; };
+  f.Reset();
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(InlineFunctionTest, ReusedSlotAfterMoveAssign) {
+  std::vector<int> order;
+  TaskFn f = [&order] { order.push_back(1); };
+  f();
+  f = [&order] { order.push_back(2); };
+  f();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace fl::common

@@ -192,5 +192,60 @@ TEST(FedAvgAccumulatorTest, AddMetricsSeparateFromSums) {
   EXPECT_EQ(acc.contributions(), 0u);  // metrics do not count as updates
 }
 
+TEST(FedAvgAccumulatorTest, ResetRearmsForNextRoundBitIdentically) {
+  // A reset accumulator must behave exactly like a fresh one: the pooled
+  // round loop depends on this for (seed, threads) reproducibility.
+  FedAvgAccumulator pooled(plan::AggregationOp::kWeightedFedAvg, Schema());
+  ASSERT_TRUE(pooled.Accumulate(DeltaOf(5, 7), 3, Metrics(1.0)).ok());
+  pooled.Reset();
+  EXPECT_EQ(pooled.contributions(), 0u);
+  EXPECT_FLOAT_EQ(pooled.total_weight(), 0.0f);
+
+  FedAvgAccumulator fresh(plan::AggregationOp::kWeightedFedAvg, Schema());
+  ASSERT_TRUE(pooled.Accumulate(DeltaOf(2, 2), 2, Metrics(1.0)).ok());
+  ASSERT_TRUE(fresh.Accumulate(DeltaOf(2, 2), 2, Metrics(1.0)).ok());
+  const auto a = pooled.Finalize(Schema());
+  const auto b = fresh.Finalize(Schema());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(FedAvgAccumulatorTest, ConstRefAccumulateSumLeavesShardIntact) {
+  FedAvgAccumulator shard(plan::AggregationOp::kWeightedFedAvg, Schema());
+  ASSERT_TRUE(shard.Accumulate(DeltaOf(4, 6), 2, Metrics(1.0)).ok());
+  FedAvgAccumulator master(plan::AggregationOp::kWeightedFedAvg, Schema());
+  ASSERT_TRUE(master
+                  .AccumulateSum(shard.delta_sum(), shard.weight_sum(),
+                                 shard.contributions())
+                  .ok());
+  // The shard still owns its sum (unlike MergeFrom, which consumes it).
+  EXPECT_EQ(shard.delta_sum().TotalParameters(), 2u);
+  EXPECT_FLOAT_EQ((*shard.delta_sum().Get("w"))->at(0), 4.0f);
+  const auto a = master.Finalize(Schema());
+  const auto b = shard.Finalize(Schema());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(FedAvgAccumulatorTest, FinalizeInPlaceMatchesFinalize) {
+  FedAvgAccumulator acc(plan::AggregationOp::kWeightedFedAvg, Schema());
+  ASSERT_TRUE(acc.Accumulate(DeltaOf(2, 2), 2, Metrics(1.0)).ok());
+  ASSERT_TRUE(acc.Accumulate(DeltaOf(-8, 0), 8, Metrics(2.0)).ok());
+  const auto copy_form = acc.Finalize(Schema());
+  ASSERT_TRUE(copy_form.ok());
+  Checkpoint in_place = Schema();
+  ASSERT_TRUE(acc.FinalizeInPlace(in_place).ok());
+  EXPECT_EQ(in_place, *copy_form);
+}
+
+TEST(FedAvgAccumulatorTest, FinalizeInPlaceEmptyFails) {
+  FedAvgAccumulator acc(plan::AggregationOp::kWeightedFedAvg, Schema());
+  Checkpoint global = Schema();
+  EXPECT_FALSE(acc.FinalizeInPlace(global).ok());
+  EXPECT_EQ(global, Schema());  // untouched on failure
+}
+
 }  // namespace
 }  // namespace fl::fedavg

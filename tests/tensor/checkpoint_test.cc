@@ -130,6 +130,51 @@ TEST(CheckpointTest, SerializedSizeMatchesSerialize) {
   EXPECT_EQ(c.SerializedSize(), c.Serialize().size());
 }
 
+// SerializedSize is computed arithmetically (it feeds Fig. 9 traffic
+// accounting and the fleet bench's bytes/device); any drift from the real
+// wire format would silently skew those numbers. Randomized checkpoints
+// cover multi-byte varints in every field: tensor counts, name lengths
+// (incl. >127 chars), ranks, dims, and element counts (incl. >127 and
+// >16383 floats).
+TEST(CheckpointTest, SerializedSizeNeverDriftsFromSerialize) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed * 7919 + 1);
+    Checkpoint c;
+    const std::size_t tensor_count = rng.UniformInt(6);  // 0..5 (incl. empty)
+    for (std::size_t i = 0; i < tensor_count; ++i) {
+      std::string name(1 + rng.UniformInt(200), 'a');  // up to 201 chars
+      name += std::to_string(i);                       // keep names unique
+      const std::size_t rank = rng.UniformInt(4);      // 0..3
+      Shape shape(rank);
+      for (auto& d : shape) d = 1 + rng.UniformInt(24);
+      if (rank == 0) {
+        c.Put(name, Tensor(Shape{1}, {0.5f}));
+        continue;
+      }
+      c.Put(name, Tensor::RandomNormal(shape, rng));
+    }
+    EXPECT_EQ(c.SerializedSize(), c.Serialize().size())
+        << "seed=" << seed << " tensors=" << c.tensor_count()
+        << " params=" << c.TotalParameters();
+  }
+  // Force a >16383-element tensor: its varint length takes 3 bytes.
+  Rng rng(99);
+  Checkpoint big;
+  big.Put("big", Tensor::RandomNormal({130, 130}, rng));
+  EXPECT_EQ(big.SerializedSize(), big.Serialize().size());
+}
+
+TEST(CheckpointTest, ZeroFillKeepsSchemaAndZeroesValues) {
+  Rng rng(13);
+  Checkpoint c = MakeCheckpoint(rng);
+  const Checkpoint schema = c;
+  c.ZeroFill();
+  ASSERT_TRUE(c.CompatibleWith(schema));
+  for (const auto& [name, t] : c.tensors()) {
+    for (float v : t.data()) ASSERT_EQ(v, 0.0f) << name;
+  }
+}
+
 TEST(CheckpointTest, EmptyCheckpointRoundTrips) {
   const Checkpoint empty;
   const auto back = Checkpoint::Deserialize(empty.Serialize());
