@@ -1,149 +1,24 @@
-// Shared deployment builders for the figure-reproduction benches, plus a
-// tiny JSON emitter so benches can record machine-readable results
-// (BENCH_*.json) alongside their printed tables.
+// Shared deployment builders for the figure-reproduction benches. The JSON
+// emitter the benches use for BENCH_*.json lives in src/common/json_writer.h
+// (shared with the live ops plane); aliased here so existing benches keep
+// reading naturally.
 #pragma once
 
 #include <cstdio>
-#include <fstream>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "src/common/json_writer.h"
 #include "src/core/fl_system.h"
 #include "src/data/blobs.h"
 #include "src/graph/model_zoo.h"
 #include "src/telemetry/telemetry.h"
 
-#ifndef FL_GIT_SHA
-#define FL_GIT_SHA "unknown"
-#endif
-
 namespace fl::bench {
 
-// Peak resident set size (VmHWM) of this process in bytes, from
-// /proc/self/status. Returns 0 where procfs is unavailable (non-Linux), so
-// callers can record it unconditionally and readers can tell "not measured"
-// from a real value.
-inline std::size_t PeakRssBytes() {
-  std::ifstream status("/proc/self/status");
-  std::string line;
-  while (std::getline(status, line)) {
-    if (line.rfind("VmHWM:", 0) != 0) continue;
-    std::size_t kb = 0;
-    if (std::sscanf(line.c_str(), "VmHWM: %zu kB", &kb) == 1) {
-      return kb * 1024;
-    }
-    break;
-  }
-  return 0;
-}
-
-// Minimal streaming JSON writer: enough for flat result records and arrays
-// of them. Handles comma placement and string escaping; numbers print with
-// enough digits to round-trip.
-class JsonWriter {
- public:
-  JsonWriter& BeginObject(const std::string& key = "") {
-    Prefix(key);
-    out_ += '{';
-    need_comma_.push_back(false);
-    return *this;
-  }
-  JsonWriter& EndObject() {
-    need_comma_.pop_back();
-    out_ += '}';
-    return *this;
-  }
-  JsonWriter& BeginArray(const std::string& key = "") {
-    Prefix(key);
-    out_ += '[';
-    need_comma_.push_back(false);
-    return *this;
-  }
-  JsonWriter& EndArray() {
-    need_comma_.pop_back();
-    out_ += ']';
-    return *this;
-  }
-  JsonWriter& Field(const std::string& key, const std::string& value) {
-    Prefix(key);
-    AppendString(value);
-    return *this;
-  }
-  JsonWriter& Field(const std::string& key, const char* value) {
-    return Field(key, std::string(value));
-  }
-  JsonWriter& Field(const std::string& key, double value) {
-    Prefix(key);
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", value);
-    out_ += buf;
-    return *this;
-  }
-  JsonWriter& Field(const std::string& key, std::size_t value) {
-    Prefix(key);
-    out_ += std::to_string(value);
-    return *this;
-  }
-  JsonWriter& Field(const std::string& key, bool value) {
-    Prefix(key);
-    out_ += value ? "true" : "false";
-    return *this;
-  }
-
-  // Records the environment every bench result needs for comparability:
-  // results from different core counts, telemetry modes, or revisions are
-  // not directly comparable. Call inside the top-level object.
-  JsonWriter& EnvironmentFields() {
-    Field("hardware_concurrency",
-          static_cast<std::size_t>(std::thread::hardware_concurrency()));
-    Field("telemetry_compiled_in", telemetry::kCompiledIn);
-    Field("telemetry_enabled", telemetry::Enabled());
-    Field("git_sha", FL_GIT_SHA);
-    Field("peak_rss_bytes", PeakRssBytes());
-    return *this;
-  }
-
-  const std::string& str() const { return out_; }
-
-  // Writes the document to `path` (with a trailing newline); returns false
-  // on I/O failure.
-  bool WriteFile(const std::string& path) const {
-    std::ofstream f(path);
-    if (!f) return false;
-    f << out_ << "\n";
-    return static_cast<bool>(f);
-  }
-
- private:
-  void Prefix(const std::string& key) {
-    if (!need_comma_.empty()) {
-      if (need_comma_.back()) out_ += ',';
-      need_comma_.back() = true;
-    }
-    if (!key.empty()) {
-      AppendString(key);
-      out_ += ':';
-    }
-  }
-  void AppendString(const std::string& s) {
-    out_ += '"';
-    for (char c : s) {
-      switch (c) {
-        case '"': out_ += "\\\""; break;
-        case '\\': out_ += "\\\\"; break;
-        case '\n': out_ += "\\n"; break;
-        case '\t': out_ += "\\t"; break;
-        default: out_ += c;
-      }
-    }
-    out_ += '"';
-  }
-
-  std::string out_;
-  std::vector<bool> need_comma_;
-};
+using fl::JsonWriter;
+using fl::PeakRssBytes;
 
 // A US-centric, single-dominant-timezone population (Appendix A: "the
 // subject FL population primarily comes from the same time zone").

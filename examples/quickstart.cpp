@@ -23,6 +23,10 @@
 // Set FL_JOURNAL=<path> to additionally write the durable event journal
 // (one line per device/server lifecycle event); analyze it offline with
 //   ./src/tools/fl_analyze <path>
+//
+// Set FL_STATUSZ=<port> (0 = ephemeral) to serve the live ops plane while
+// the sim runs — /metrics, /statusz, /rounds, /healthz, /tracez on
+// loopback; watch it with  ./src/tools/fl_top --port <port>
 #include <cstdio>
 #include <cstdlib>
 
@@ -95,6 +99,10 @@ int main() {
   });
 
   system.Start();
+  if (system.ops_plane() != nullptr) {
+    std::printf("Ops plane: http://127.0.0.1:%d (try fl_top --port %d)\n",
+                system.ops_plane()->port(), system.ops_plane()->port());
+  }
 
   // --- 4. Run simulated hours; report model quality as rounds commit. ---
   const auto eval = blobs->GlobalExamples(99, 500, SimTime{0});

@@ -1,5 +1,7 @@
 #include "src/analytics/monitor_hub.h"
 
+#include "src/common/status.h"
+
 namespace fl::analytics {
 
 void MonitorHub::WatchCounterDelta(const std::string& counter_name,
@@ -21,7 +23,19 @@ void MonitorHub::WatchGauge(const std::string& gauge_name,
                             DeviationMonitor::Params params) {
   watches_.push_back(Watch{Kind::kGauge, gauge_name,
                            DeviationMonitor(gauge_name, params),
-                           ThresholdMonitor(gauge_name, 0), 0, false});
+                           ThresholdMonitor(gauge_name, 0), 0, false,
+                           Duration{}});
+}
+
+void MonitorHub::WatchCounterWindowRate(const std::string& counter_name,
+                                        Duration window,
+                                        double max_per_window) {
+  FL_CHECK(window.millis > 0);
+  watches_.push_back(
+      Watch{Kind::kCounterWindowRate, counter_name,
+            DeviationMonitor(counter_name, DeviationMonitor::Params{}),
+            ThresholdMonitor(counter_name + "_per_window", max_per_window), 0,
+            false, window});
 }
 
 std::size_t MonitorHub::Poll(SimTime now,
@@ -54,6 +68,16 @@ std::size_t MonitorHub::Poll(SimTime now,
         const auto* g = snapshot.FindGauge(w.metric);
         if (g == nullptr) break;
         if (w.deviation.Observe(now, g->value)) ++raised;
+        break;
+      }
+      case Kind::kCounterWindowRate: {
+        const auto* c = snapshot.FindCounter(w.metric);
+        if (c == nullptr) break;
+        window_store_.Record(w.metric, now.millis,
+                             static_cast<double>(c->value));
+        const double per_window =
+            window_store_.WindowDelta(w.metric, w.window.millis);
+        if (w.threshold.Observe(now, per_window)) ++raised;
         break;
       }
     }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/analytics/monitor.h"
+#include "src/analytics/window_store.h"
 #include "src/telemetry/metrics.h"
 
 namespace fl::analytics {
@@ -29,6 +30,15 @@ class MonitorHub {
   void WatchGauge(const std::string& gauge_name,
                   DeviationMonitor::Params params);
 
+  // Windowed-rate mode, backed by a SlidingWindowStore: alerts when more
+  // than `max_per_window` counter increments land inside the trailing
+  // `window` (e.g. "abandoned rounds per 10 min"), regardless of how large
+  // the cumulative total has grown. Unlike the per-poll delta watches this
+  // is robust to the polling cadence: the window, not the poll interval,
+  // defines the rate.
+  void WatchCounterWindowRate(const std::string& counter_name,
+                              Duration window, double max_per_window);
+
   // Feeds one snapshot to every watch; returns alerts raised by this poll.
   // Metrics absent from the snapshot are skipped (counters that have not
   // been touched yet simply don't advance their watch).
@@ -43,7 +53,12 @@ class MonitorHub {
   std::vector<Alert> AllAlerts() const;
 
  private:
-  enum class Kind { kCounterDeltaDeviation, kCounterDeltaThreshold, kGauge };
+  enum class Kind {
+    kCounterDeltaDeviation,
+    kCounterDeltaThreshold,
+    kGauge,
+    kCounterWindowRate,
+  };
 
   struct Watch {
     Kind kind;
@@ -53,9 +68,12 @@ class MonitorHub {
     ThresholdMonitor threshold;
     std::uint64_t last_counter = 0;
     bool seeded = false;  // first counter poll only seeds last_counter
+    Duration window{};    // kCounterWindowRate only
   };
 
   std::vector<Watch> watches_;
+  // Counter totals recorded at poll time for the window-rate watches.
+  SlidingWindowStore window_store_;
 };
 
 }  // namespace fl::analytics

@@ -64,16 +64,26 @@ void Histogram::Add(double v) {
 
 double Histogram::Percentile(double p) const {
   if (total_ == 0) return lo_;
-  const double target = p / 100.0 * static_cast<double>(total_);
+  const double target =
+      std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(total_);
   double acc = static_cast<double>(underflow_);
-  if (acc >= target) return lo_;
+  // Underflow mass can only ever report the range floor — but only when it
+  // exists. (The old `acc >= target` check returned lo_ for p=0 even on
+  // histograms with no underflow at all, under-reporting the low edge.)
+  if (underflow_ > 0 && acc >= target) return lo_;
   const double bucket_span =
       (hi_ - lo_) / static_cast<double>(buckets_.size());
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    const double next = acc + static_cast<double>(buckets_[i]);
+    const double c = static_cast<double>(buckets_[i]);
+    const double next = acc + c;
     if (next >= target && buckets_[i] > 0) {
-      // Linear interpolation within the bucket.
-      const double frac = (target - acc) / static_cast<double>(buckets_[i]);
+      // Interpolate within the bucket, treating the c samples as sitting at
+      // bucket midpoints: frac is clamped to [0.5/c, 1 - 0.5/c] so edge
+      // quantiles never report the exact bucket boundary and a single-sample
+      // bucket answers its midpoint for every p (raw interpolation let p99
+      // of one sample claim the bucket's top edge and p1 its bottom).
+      double frac = (target - acc) / c;
+      frac = std::clamp(frac, 0.5 / c, 1.0 - 0.5 / c);
       return lo_ + (static_cast<double>(i) + frac) * bucket_span;
     }
     acc = next;

@@ -53,7 +53,10 @@ class Histogram {
 
   void Add(double v);
   std::size_t total() const { return total_; }
-  double Percentile(double p) const;  // p in [0, 100]
+  // Midpoint-clamped interpolation: p in [0, 100]; a single-sample bucket
+  // answers its midpoint for every p, and estimates stay off exact bucket
+  // boundaries.
+  double Percentile(double p) const;
   double Mean() const { return total_ > 0 ? sum_ / static_cast<double>(total_) : 0; }
 
   // Sparkline-style ASCII rendering of the density.

@@ -1,0 +1,204 @@
+#include "src/analytics/window_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/status.h"
+
+namespace fl::analytics {
+
+namespace {
+SlidingWindowStore::Options DefaultOptions() {
+  SlidingWindowStore::Options opts;
+  opts.resolutions = {{1'000, 120}, {10'000, 360}, {300'000, 288}};
+  return opts;
+}
+}  // namespace
+
+SlidingWindowStore::SlidingWindowStore()
+    : SlidingWindowStore(DefaultOptions()) {}
+
+SlidingWindowStore::SlidingWindowStore(Options opts) : opts_(std::move(opts)) {
+  if (opts_.resolutions.empty()) opts_ = DefaultOptions();
+  for (const Resolution& r : opts_.resolutions) {
+    FL_CHECK(r.slot_ms > 0 && r.slots > 0);
+  }
+}
+
+void SlidingWindowStore::Record(std::string_view series, std::int64_t t_ms,
+                                double value) {
+  if (t_ms < 0) return;
+  const std::scoped_lock lock(mu_);
+  auto it = series_.find(series);
+  if (it == series_.end()) {
+    auto data = std::make_unique<SeriesData>();
+    data->rings.resize(opts_.resolutions.size());
+    for (std::size_t i = 0; i < opts_.resolutions.size(); ++i) {
+      data->rings[i].slots.resize(opts_.resolutions[i].slots);
+    }
+    it = series_.emplace(std::string(series), std::move(data)).first;
+  }
+  SeriesData& s = *it->second;
+  s.latest_ms = std::max(s.latest_ms, t_ms);
+  s.latest_value = value;
+  s.any = true;
+  for (std::size_t i = 0; i < opts_.resolutions.size(); ++i) {
+    const Resolution& res = opts_.resolutions[i];
+    const std::int64_t slot_start = t_ms - t_ms % res.slot_ms;
+    Slot& slot = s.rings[i].slots[static_cast<std::size_t>(
+        (t_ms / res.slot_ms) % static_cast<std::int64_t>(res.slots))];
+    if (slot.start_ms != slot_start) {
+      slot = Slot{slot_start, value, value, value, value, value, 1};
+    } else {
+      slot.last = value;
+      slot.min = std::min(slot.min, value);
+      slot.max = std::max(slot.max, value);
+      slot.sum += value;
+      ++slot.count;
+    }
+  }
+}
+
+const SlidingWindowStore::SeriesData* SlidingWindowStore::FindLocked(
+    std::string_view series) const {
+  const auto it = series_.find(series);
+  return it == series_.end() ? nullptr : it->second.get();
+}
+
+std::vector<SlidingWindowStore::Slot> SlidingWindowStore::WindowSlotsLocked(
+    const SeriesData& s, std::int64_t window_ms) const {
+  // Finest resolution whose full span covers the window; fall back to the
+  // coarsest when the window outreaches everything.
+  std::size_t pick = opts_.resolutions.size() - 1;
+  for (std::size_t i = 0; i < opts_.resolutions.size(); ++i) {
+    const Resolution& r = opts_.resolutions[i];
+    if (r.slot_ms * static_cast<std::int64_t>(r.slots) >= window_ms) {
+      pick = i;
+      break;
+    }
+  }
+  const Resolution& res = opts_.resolutions[pick];
+  const std::int64_t from = s.latest_ms - window_ms;
+  std::vector<Slot> out;
+  for (const Slot& slot : s.rings[pick].slots) {
+    if (slot.start_ms < 0 || slot.count == 0) continue;
+    // Stale ring entries from a previous lap are older than the window by
+    // construction; the start_ms check below drops them.
+    if (slot.start_ms + res.slot_ms <= from || slot.start_ms > s.latest_ms) {
+      continue;
+    }
+    out.push_back(slot);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Slot& a, const Slot& b) { return a.start_ms < b.start_ms; });
+  return out;
+}
+
+bool SlidingWindowStore::Latest(std::string_view series, double* value,
+                                std::int64_t* t_ms) const {
+  const std::scoped_lock lock(mu_);
+  const SeriesData* s = FindLocked(series);
+  if (s == nullptr || !s->any) return false;
+  if (value != nullptr) *value = s->latest_value;
+  if (t_ms != nullptr) *t_ms = s->latest_ms;
+  return true;
+}
+
+double SlidingWindowStore::WindowDelta(std::string_view series,
+                                       std::int64_t window_ms) const {
+  const std::scoped_lock lock(mu_);
+  const SeriesData* s = FindLocked(series);
+  if (s == nullptr || !s->any) return 0.0;
+  const std::vector<Slot> slots = WindowSlotsLocked(*s, window_ms);
+  if (slots.empty()) return 0.0;
+  return std::max(0.0, slots.back().last - slots.front().first);
+}
+
+double SlidingWindowStore::WindowRatePerSec(std::string_view series,
+                                            std::int64_t window_ms) const {
+  std::int64_t span_ms = 0;
+  double delta = 0.0;
+  {
+    const std::scoped_lock lock(mu_);
+    const SeriesData* s = FindLocked(series);
+    if (s == nullptr || !s->any) return 0.0;
+    const std::vector<Slot> slots = WindowSlotsLocked(*s, window_ms);
+    if (slots.size() < 2) return 0.0;
+    delta = std::max(0.0, slots.back().last - slots.front().first);
+    span_ms = slots.back().start_ms - slots.front().start_ms;
+  }
+  if (span_ms <= 0) return 0.0;
+  return delta / (static_cast<double>(span_ms) / 1000.0);
+}
+
+double SlidingWindowStore::WindowMean(std::string_view series,
+                                      std::int64_t window_ms) const {
+  const std::scoped_lock lock(mu_);
+  const SeriesData* s = FindLocked(series);
+  if (s == nullptr || !s->any) return 0.0;
+  const std::vector<Slot> slots = WindowSlotsLocked(*s, window_ms);
+  double sum = 0.0;
+  std::uint64_t n = 0;
+  for (const Slot& slot : slots) {
+    sum += slot.sum;
+    n += slot.count;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double SlidingWindowStore::WindowQuantile(std::string_view series, double p,
+                                          std::int64_t window_ms) const {
+  std::vector<double> values;
+  {
+    const std::scoped_lock lock(mu_);
+    const SeriesData* s = FindLocked(series);
+    if (s == nullptr || !s->any) return 0.0;
+    for (const Slot& slot : WindowSlotsLocked(*s, window_ms)) {
+      values.push_back(slot.last);
+    }
+  }
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+std::vector<SlidingWindowStore::Point> SlidingWindowStore::Series(
+    std::string_view series, std::int64_t slot_ms) const {
+  const std::scoped_lock lock(mu_);
+  const SeriesData* s = FindLocked(series);
+  if (s == nullptr || !s->any) return {};
+  std::size_t pick = opts_.resolutions.size();
+  for (std::size_t i = 0; i < opts_.resolutions.size(); ++i) {
+    if (opts_.resolutions[i].slot_ms == slot_ms) pick = i;
+  }
+  if (pick == opts_.resolutions.size()) return {};
+  std::vector<Point> out;
+  for (const Slot& slot : s->rings[pick].slots) {
+    if (slot.start_ms < 0 || slot.count == 0) continue;
+    if (slot.start_ms > s->latest_ms) continue;
+    out.push_back(Point{slot.start_ms, slot.last});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Point& a, const Point& b) { return a.t_ms < b.t_ms; });
+  return out;
+}
+
+std::vector<std::string> SlidingWindowStore::SeriesNames() const {
+  const std::scoped_lock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, s] : series_) out.push_back(name);
+  return out;
+}
+
+std::size_t SlidingWindowStore::series_count() const {
+  const std::scoped_lock lock(mu_);
+  return series_.size();
+}
+
+}  // namespace fl::analytics

@@ -1,0 +1,115 @@
+// Sliding-window metric store (Sec. 5 live ops plane): per-series ring
+// buffers at several downsampled resolutions (1 s / 10 s / 5 min by
+// default), fed by the ops::MetricsSampler and queried by the status-server
+// endpoints, fl_top, and MonitorHub's windowed-rate watches.
+//
+// The store is clock-agnostic: callers stamp every Record() with a
+// millisecond timestamp of whatever clock they live on (the discrete-event
+// sim clock inside FLSystem, the wall clock in the standalone background
+// sampler), so tests drive it with an injected clock.
+//
+// Concurrency: one mutex guards the series map and every ring. Writes are
+// a handful of array stores per resolution (no allocation after a series'
+// first Record), reads copy out small vectors; both sides are far off any
+// hot path (the sampler ticks every few hundred ms, HTTP reads are human-
+// rate), so a single short-held lock is the simple TSan-clean choice.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fl::analytics {
+
+class SlidingWindowStore {
+ public:
+  struct Resolution {
+    std::int64_t slot_ms = 0;  // width of one ring slot
+    std::size_t slots = 0;     // ring capacity (span = slot_ms * slots)
+  };
+
+  struct Options {
+    // Finest-to-coarsest. Defaults: 1 s x 120 (2 min), 10 s x 360 (1 h),
+    // 5 min x 288 (24 h).
+    std::vector<Resolution> resolutions;
+  };
+
+  struct Point {
+    std::int64_t t_ms = 0;  // slot start time
+    double value = 0;       // last recorded value in the slot
+  };
+
+  SlidingWindowStore();
+  explicit SlidingWindowStore(Options opts);
+
+  // Records one sample of `series` at time `t_ms`. Values are treated as
+  // levels (gauges) or cumulative totals (counters) purely by how they are
+  // queried later; the store keeps first/last/min/max/sum/count per slot.
+  void Record(std::string_view series, std::int64_t t_ms, double value);
+
+  // --- queries -----------------------------------------------------------
+  // All window queries look back `window_ms` from the latest recorded time
+  // of the series and pick the finest resolution whose span covers the
+  // window (clamped to the coarsest).
+
+  // Last recorded value / its timestamp; false when the series is unknown.
+  bool Latest(std::string_view series, double* value,
+              std::int64_t* t_ms = nullptr) const;
+
+  // For cumulative counters: latest value minus the earliest value seen in
+  // the window, clamped to >= 0 (a process restart resets totals).
+  double WindowDelta(std::string_view series, std::int64_t window_ms) const;
+  // WindowDelta scaled to events per second over the observed span.
+  double WindowRatePerSec(std::string_view series,
+                          std::int64_t window_ms) const;
+
+  // For gauges: mean of per-slot means over the window.
+  double WindowMean(std::string_view series, std::int64_t window_ms) const;
+  // Sample quantile (p in [0,100]) over the per-slot last-values in the
+  // window — an approximation at the chosen slot resolution.
+  double WindowQuantile(std::string_view series, double p,
+                        std::int64_t window_ms) const;
+
+  // Per-slot last-values at the resolution with `slot_ms` (must be one of
+  // the configured resolutions), oldest first. Empty slots are skipped.
+  std::vector<Point> Series(std::string_view series,
+                            std::int64_t slot_ms) const;
+
+  std::vector<std::string> SeriesNames() const;
+  const std::vector<Resolution>& resolutions() const {
+    return opts_.resolutions;
+  }
+  std::size_t series_count() const;
+
+ private:
+  struct Slot {
+    std::int64_t start_ms = -1;  // -1 = never written
+    double first = 0, last = 0, min = 0, max = 0, sum = 0;
+    std::uint64_t count = 0;
+  };
+  struct Ring {
+    std::vector<Slot> slots;
+  };
+  struct SeriesData {
+    std::vector<Ring> rings;  // parallel to opts_.resolutions
+    std::int64_t latest_ms = 0;
+    double latest_value = 0;
+    bool any = false;
+  };
+
+  // Collects live slots of the finest resolution covering `window_ms`,
+  // oldest first. Caller holds mu_.
+  std::vector<Slot> WindowSlotsLocked(const SeriesData& s,
+                                      std::int64_t window_ms) const;
+  const SeriesData* FindLocked(std::string_view series) const;
+
+  Options opts_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<SeriesData>, std::less<>> series_;
+};
+
+}  // namespace fl::analytics

@@ -7,6 +7,8 @@
 
 #include "src/fedavg/compression.h"
 #include "src/graph/registry.h"
+#include "src/ops/health.h"
+#include "src/ops/ops_plane.h"
 #include "src/protocol/pace_steering.h"
 #include "src/sim/availability.h"
 #include "src/sim/event_queue.h"
@@ -47,6 +49,16 @@ struct FLSystemConfig {
 
   // Analytics resolution.
   Duration stats_bucket = Minutes(15);
+
+  // Live ops plane (Sec. 5): embedded /statusz-/metrics-/healthz server.
+  // nullopt = off (zero listening sockets, recording branches disabled).
+  // Defaults to the FL_STATUSZ env override: FL_STATUSZ=0 binds an
+  // ephemeral loopback port, FL_STATUSZ=8080 a fixed one. Enabling the
+  // plane also turns runtime telemetry on (it serves registry metrics).
+  std::optional<int> statusz_port = ops::StatuszPortFromEnv();
+  // SLO bounds evaluated each ops tick and surfaced on /healthz; the
+  // defaults are lenient enough for a warming-up CI fleet.
+  ops::HealthPolicy health_policy;
 };
 
 }  // namespace fl::core

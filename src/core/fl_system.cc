@@ -2,6 +2,7 @@
 #include <algorithm>
 
 
+#include "src/common/logging.h"
 #include "src/graph/registry.h"
 #include "src/server/master_aggregator.h"
 
@@ -27,10 +28,14 @@ FLSystem::FLSystem(FLSystemConfig config)
       actors_.get(), &server_context_, &attestation_);
 
   server_context_.locks = &locks_;
-  // Server actors report through the telemetry tee: every event still lands
-  // in FleetStats (Fig. 5–9 analytics), and — when telemetry is enabled —
-  // is mirrored into the MetricsRegistry for Prometheus/trace exports.
-  telemetry_sink_ = std::make_unique<server::TelemetryStatsSink>(stats_.get());
+  // Server actors report through a tee chain: TelemetryStatsSink mirrors
+  // each event into the MetricsRegistry (when telemetry is enabled), the
+  // RoundLedger keeps the last-K round records for /rounds (when the ops
+  // plane is up), and every event still lands in FleetStats (Fig. 5–9
+  // analytics). Both tees are one branch each when disabled.
+  round_ledger_ = std::make_unique<ops::RoundLedger>(stats_.get());
+  telemetry_sink_ =
+      std::make_unique<server::TelemetryStatsSink>(round_ledger_.get());
   server_context_.stats = telemetry_sink_.get();
   server_context_.pace = pace_.get();
   server_context_.rng = &rng_;
@@ -48,7 +53,10 @@ FLSystem::FLSystem(FLSystemConfig config)
                                  reject_watch);
 }
 
-FLSystem::~FLSystem() = default;
+FLSystem::~FLSystem() {
+  // Stop HTTP workers before the members their handlers read go away.
+  if (ops_ != nullptr) ops_->Stop();
+}
 
 void FLSystem::AddTrainingTask(const std::string& name,
                                const graph::Model& model,
@@ -181,6 +189,25 @@ void FLSystem::Start() {
   FL_CHECK_MSG(!tasks_.empty(), "no tasks configured");
   started_ = true;
 
+  // Boot the ops plane first so telemetry + the round ledger are recording
+  // before any actor reports. A failed bind (port taken) degrades to
+  // "plane off" rather than failing the deployment.
+  if (config_.statusz_port.has_value()) {
+    ops::OpsPlane::Options ops_opts;
+    ops_opts.port = *config_.statusz_port;
+    ops_opts.population = config_.population_name;
+    ops_opts.health = config_.health_policy;
+    ops_ = std::make_unique<ops::OpsPlane>(std::move(ops_opts),
+                                           round_ledger_.get());
+    if (const Status s = ops_->Start(); !s.ok()) {
+      FL_LOG(Warning) << "ops plane disabled: " << s.ToString();
+      ops_.reset();
+    } else {
+      FL_LOG(Info) << "ops plane serving on http://127.0.0.1:"
+                   << ops_->port();
+    }
+  }
+
   // Selectors first (the coordinator greets them on start).
   for (std::size_t i = 0; i < config_.selector_count; ++i) {
     server::SelectorActor::Init init;
@@ -262,7 +289,11 @@ void FLSystem::ScheduleStatsSampler() {
         registry.GetGauge(name)
             ->Set(static_cast<double>(occupancy[level]));
       }
-      monitor_hub_.Poll(queue_.now(), registry.Snapshot());
+      // One snapshot per tick feeds the monitors AND the ops plane
+      // (window store, health evaluator, /statusz sim clock).
+      const telemetry::MetricsSnapshot snapshot = registry.Snapshot();
+      monitor_hub_.Poll(queue_.now(), snapshot);
+      if (ops_ != nullptr) ops_->Tick(queue_.now(), snapshot);
     }
     ScheduleStatsSampler();
   });

@@ -23,6 +23,8 @@
 #include "src/core/config.h"
 #include "src/core/device_agent.h"
 #include "src/core/fleet_stats.h"
+#include "src/ops/ops_plane.h"
+#include "src/ops/round_ledger.h"
 #include "src/protocol/adaptive.h"
 #include "src/server/coordinator.h"
 #include "src/server/selector.h"
@@ -96,6 +98,13 @@ class FLSystem {
   // more watches before Start().
   analytics::MonitorHub& monitors() { return monitor_hub_; }
   const analytics::MonitorHub& monitors() const { return monitor_hub_; }
+  // The live ops plane; nullptr unless config.statusz_port was set (or
+  // FL_STATUSZ in the environment) and the server started successfully.
+  ops::OpsPlane* ops_plane() { return ops_.get(); }
+  const ops::OpsPlane* ops_plane() const { return ops_.get(); }
+  // Always present in the sink chain (recording only while the ops plane
+  // is up); /rounds serves from it.
+  ops::RoundLedger& round_ledger() { return *round_ledger_; }
   server::ModelStore& model_store() { return *model_store_; }
   actor::ActorSystem& actor_system() { return *actors_; }
   server::ServerFrontend& frontend() { return *frontend_; }
@@ -123,7 +132,9 @@ class FLSystem {
   server::LockService locks_;
   std::unique_ptr<server::ModelStore> model_store_;
   std::unique_ptr<FleetStats> stats_;
+  std::unique_ptr<ops::RoundLedger> round_ledger_;
   std::unique_ptr<server::TelemetryStatsSink> telemetry_sink_;
+  std::unique_ptr<ops::OpsPlane> ops_;
   analytics::MonitorHub monitor_hub_;
   std::unique_ptr<protocol::PaceSteeringPolicy> pace_;
   server::ServerContext server_context_;

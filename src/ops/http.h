@@ -1,0 +1,170 @@
+// Dependency-free blocking HTTP/1.1 server for the live ops plane (Sec. 5:
+// the paper's dashboards/monitors assume an always-on serving surface; this
+// is the embedded /statusz-/metrics plane production servers treat as table
+// stakes).
+//
+// Deliberately tiny: GET/HEAD only, no request bodies, exact-path routing,
+// keep-alive + pipelining, loopback bind by default. One accept thread
+// hands connections to a small worker pool; every socket carries an I/O
+// timeout so a stuck peer cannot wedge a worker, and Stop() shuts down
+// every live fd so teardown is prompt.
+//
+// The request parser is a pure function over a byte buffer (no sockets), so
+// malformed-input behavior is unit-testable without network plumbing.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace fl::ops {
+
+struct HttpRequest {
+  std::string method;   // e.g. "GET"
+  std::string target;   // raw request-target, e.g. "/statusz?format=html"
+  std::string path;     // target up to '?'
+  std::string query;    // after '?', may be empty
+  std::string version;  // "HTTP/1.0" or "HTTP/1.1"
+  // Keys lowercased; values trimmed of surrounding whitespace.
+  std::vector<std::pair<std::string, std::string>> headers;
+  bool keep_alive = true;
+
+  // Lowercase key lookup; nullptr when absent.
+  const std::string* FindHeader(std::string_view lowercase_key) const;
+  // True when `key=value` appears in the query string.
+  bool QueryParamIs(std::string_view key, std::string_view value) const;
+};
+
+struct HttpLimits {
+  std::size_t max_head_bytes = 16 * 1024;  // request line + all headers
+  std::size_t max_headers = 64;
+};
+
+enum class HttpParse {
+  kOk,          // one full request head parsed; *consumed bytes eaten
+  kNeedMore,    // no complete head yet; read more bytes
+  kBadRequest,  // malformed request line / header (respond 400, close)
+  kTooLarge,    // head or header count over limits (respond 431, close)
+};
+
+// Parses one request head from the front of `buffer`. Accepts CRLF and bare
+// LF line endings. Requests carrying a body (Content-Length > 0 or any
+// Transfer-Encoding) are rejected as kBadRequest — the ops plane is
+// read-only.
+HttpParse ParseHttpRequest(std::string_view buffer, HttpRequest* req,
+                           std::size_t* consumed,
+                           const HttpLimits& limits = {});
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+
+  static HttpResponse Text(std::string body, int status = 200);
+  static HttpResponse Json(std::string body, int status = 200);
+  static HttpResponse Html(std::string body, int status = 200);
+};
+
+const char* HttpStatusReason(int status);
+
+// Full wire bytes for a response (status line, Content-Type/-Length,
+// Connection, empty line, body; body omitted for HEAD).
+std::string SerializeHttpResponse(const HttpResponse& resp, bool keep_alive,
+                                  bool head_only = false);
+
+class HttpServer {
+ public:
+  struct Options {
+    int port = 0;                             // 0 = ephemeral
+    std::string bind_address = "127.0.0.1";   // ops plane is loopback-only
+    std::size_t worker_threads = 3;
+    HttpLimits limits;
+    int io_timeout_seconds = 5;               // per-socket send/recv timeout
+    std::size_t max_requests_per_connection = 1000;
+  };
+
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  // (No default argument: a nested aggregate's member initializers are not
+  // usable as a default-arg initializer inside the enclosing class body.)
+  explicit HttpServer(Options opts);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Registers an exact-path handler; call before Start(). Unknown paths
+  // answer 404, non-GET/HEAD methods 405.
+  void Handle(std::string path, Handler handler);
+
+  // Binds + listens and spawns the accept/worker threads. Fails (Status)
+  // when the port is taken or sockets are unavailable on this platform.
+  Status Start();
+  // Stops accepting, shuts down live connections, joins all threads.
+  // Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // The bound port (resolves ephemeral port 0); valid after Start().
+  int port() const { return port_; }
+
+  std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t parse_errors() const {
+    return parse_errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+  void CloseTracked(int fd);
+
+  Options opts_;
+  std::map<std::string, Handler, std::less<>> handlers_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  // Written by Start()/Stop(), read by AcceptLoop() while it blocks in
+  // accept(); atomic so Stop() can invalidate it without a lock.
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::vector<int> pending_fds_;
+
+  std::mutex live_mu_;
+  std::set<int> live_fds_;
+
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> parse_errors_{0};
+};
+
+// Minimal blocking HTTP/1.1 GET client (used by fl_top and the end-to-end
+// tests; doubles as the raw-socket test client the HTTP server is validated
+// with). Fills `status_out` and `body_out` on success.
+Status HttpGet(const std::string& host, int port, const std::string& path,
+               int* status_out, std::string* body_out,
+               int timeout_seconds = 5);
+
+}  // namespace fl::ops

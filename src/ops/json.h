@@ -1,0 +1,68 @@
+// Minimal recursive-descent JSON reader for the ops plane: fl_top parses
+// /statusz and /rounds payloads with it, and the end-to-end tests use it to
+// validate every JSON endpoint. Dependency-free by design (the container
+// bakes no JSON library); supports the full JSON value grammar with the
+// usual escape set (\uXXXX decodes to UTF-8).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace fl::ops {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double AsDouble(double fallback = 0) const {
+    return is_number() ? number_ : fallback;
+  }
+  std::int64_t AsInt(std::int64_t fallback = 0) const {
+    return is_number() ? static_cast<std::int64_t>(number_) : fallback;
+  }
+  const std::string& AsString() const { return string_; }
+
+  const std::vector<JsonValue>& items() const { return items_; }
+  std::size_t size() const { return items_.size(); }
+  const JsonValue& operator[](std::size_t i) const { return items_[i]; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+  // Dotted-path convenience: Find("health.healthy").
+  const JsonValue* FindPath(std::string_view dotted) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  static Result<JsonValue> Parse(std::string_view text);
+
+ private:
+  friend class JsonParser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace fl::ops

@@ -1,0 +1,65 @@
+#include "src/ops/ops_plane.h"
+
+#include <cstdlib>
+
+#include "src/telemetry/telemetry.h"
+
+namespace fl::ops {
+namespace {
+
+StatusServer::Options ServerOptionsFrom(const OpsPlane::Options& opts) {
+  StatusServer::Options server_opts;
+  server_opts.port = opts.port;
+  server_opts.population = opts.population;
+  return server_opts;
+}
+
+}  // namespace
+
+std::optional<int> StatuszPortFromEnv() {
+  const char* raw = std::getenv("FL_STATUSZ");
+  if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+  char* end = nullptr;
+  const long port = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || port < 0 || port > 65535) {
+    return std::nullopt;
+  }
+  return static_cast<int>(port);
+}
+
+OpsPlane::OpsPlane(Options opts, RoundLedger* ledger)
+    : ledger_(ledger),
+      store_(opts.store),
+      sampler_(&store_),
+      health_(opts.health),
+      server_(ServerOptionsFrom(opts),
+              StatusServer::Sources{
+                  .store = &store_,
+                  .sampler = &sampler_,
+                  .ledger = ledger,
+                  .health = &health_,
+                  .sim_now_ms = &sim_now_ms_,
+              }) {}
+
+OpsPlane::~OpsPlane() { Stop(); }
+
+Status OpsPlane::Start() {
+  // The plane serves registry metrics, so it implies runtime telemetry.
+  telemetry::SetEnabled(true);
+  if (ledger_ != nullptr) ledger_->set_enabled(true);
+  return server_.Start();
+}
+
+void OpsPlane::Stop() {
+  server_.Stop();
+  sampler_.Stop();
+}
+
+void OpsPlane::Tick(SimTime now, const telemetry::MetricsSnapshot& snapshot) {
+  sim_now_ms_.store(now.millis, std::memory_order_relaxed);
+  sampler_.SampleSnapshot(now.millis, snapshot);
+  health_.Evaluate(store_, snapshot, now.millis,
+                   sampler_.last_sample_wall_us(), telemetry::WallMicros());
+}
+
+}  // namespace fl::ops

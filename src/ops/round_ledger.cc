@@ -1,0 +1,158 @@
+#include "src/ops/round_ledger.h"
+
+#include "src/common/json_writer.h"
+
+namespace fl::ops {
+
+RoundLedger::RoundLedger(server::ServerStatsSink* inner, std::size_t capacity)
+    : inner_(inner), capacity_(capacity == 0 ? 1 : capacity) {}
+
+void RoundLedger::OnRoundOutcome(SimTime t, RoundId round,
+                                 protocol::RoundOutcome outcome,
+                                 std::size_t contributors) {
+  if (inner_ != nullptr) inner_->OnRoundOutcome(t, round, outcome, contributors);
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  RoundRecord rec;
+  if (auto it = open_.find(round.value); it != open_.end()) {
+    rec = it->second;
+    open_.erase(it);
+  }
+  rec.round = round;
+  rec.finished_at = t;
+  rec.outcome = outcome;
+  rec.contributors = contributors;
+  if (outcome == protocol::RoundOutcome::kCommitted) {
+    ++totals_.rounds_committed;
+  } else {
+    ++totals_.rounds_abandoned;
+  }
+  finished_.push_back(rec);
+  while (finished_.size() > capacity_) finished_.pop_front();
+}
+
+void RoundLedger::OnParticipantOutcome(SimTime t, RoundId round,
+                                       DeviceId device,
+                                       protocol::ParticipantOutcome outcome) {
+  if (inner_ != nullptr) inner_->OnParticipantOutcome(t, round, device, outcome);
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Late rejections can land after the round closed; update the finished
+  // record if it is still retained, else the open (or freshly-staged) one.
+  RoundRecord* rec = FindFinishedLocked(round);
+  if (rec == nullptr) {
+    rec = &open_[round.value];
+    rec->round = round;
+  }
+  switch (outcome) {
+    case protocol::ParticipantOutcome::kCompleted: ++rec->completed; break;
+    case protocol::ParticipantOutcome::kAborted: ++rec->aborted; break;
+    case protocol::ParticipantOutcome::kDropped: ++rec->dropped; break;
+    case protocol::ParticipantOutcome::kRejectedLate:
+      ++rec->rejected_late;
+      break;
+  }
+}
+
+void RoundLedger::OnRoundTiming(SimTime t, RoundId round,
+                                Duration selection_duration,
+                                Duration round_duration) {
+  if (inner_ != nullptr) {
+    inner_->OnRoundTiming(t, round, selection_duration, round_duration);
+  }
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  RoundRecord* rec = FindFinishedLocked(round);
+  if (rec == nullptr) {
+    rec = &open_[round.value];
+    rec->round = round;
+  }
+  rec->selection_duration = selection_duration;
+  rec->round_duration = round_duration;
+  rec->has_timing = true;
+}
+
+void RoundLedger::OnDeviceAccepted(SimTime t) {
+  if (inner_ != nullptr) inner_->OnDeviceAccepted(t);
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++totals_.checkins_accepted;
+}
+
+void RoundLedger::OnDeviceRejected(SimTime t) {
+  if (inner_ != nullptr) inner_->OnDeviceRejected(t);
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++totals_.checkins_rejected;
+}
+
+void RoundLedger::OnTraffic(SimTime t, std::uint64_t download_bytes,
+                            std::uint64_t upload_bytes) {
+  if (inner_ != nullptr) inner_->OnTraffic(t, download_bytes, upload_bytes);
+}
+
+void RoundLedger::OnError(SimTime t, const std::string& what) {
+  if (inner_ != nullptr) inner_->OnError(t, what);
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++totals_.errors;
+}
+
+RoundLedger::Totals RoundLedger::totals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return totals_;
+}
+
+std::vector<RoundRecord> RoundLedger::Recent(std::size_t max) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RoundRecord> out;
+  const std::size_t n = std::min(max, finished_.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(finished_[finished_.size() - 1 - i]);
+  }
+  return out;
+}
+
+std::string RoundLedger::RecentJson(std::size_t max) const {
+  const Totals t = totals();
+  const std::vector<RoundRecord> rounds = Recent(max);
+  JsonWriter w;
+  w.BeginObject();
+  w.BeginObject("totals")
+      .Field("rounds_committed", t.rounds_committed)
+      .Field("rounds_abandoned", t.rounds_abandoned)
+      .Field("checkins_accepted", t.checkins_accepted)
+      .Field("checkins_rejected", t.checkins_rejected)
+      .Field("errors", t.errors)
+      .EndObject();
+  w.BeginArray("rounds");
+  for (const RoundRecord& r : rounds) {
+    w.BeginObject()
+        .Field("round", r.round.value)
+        .Field("finished_at_ms", r.finished_at.millis)
+        .Field("outcome", protocol::RoundOutcomeName(r.outcome))
+        .Field("contributors", r.contributors)
+        .Field("selection_seconds",
+               r.has_timing ? r.selection_duration.millis / 1000.0 : -1.0)
+        .Field("round_seconds",
+               r.has_timing ? r.round_duration.millis / 1000.0 : -1.0)
+        .Field("completed", r.completed)
+        .Field("aborted", r.aborted)
+        .Field("dropped", r.dropped)
+        .Field("rejected_late", r.rejected_late)
+        .EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+RoundRecord* RoundLedger::FindFinishedLocked(RoundId round) {
+  for (auto it = finished_.rbegin(); it != finished_.rend(); ++it) {
+    if (it->round == round) return &*it;
+  }
+  return nullptr;
+}
+
+}  // namespace fl::ops

@@ -1,0 +1,100 @@
+// Per-round ledger for the /rounds endpoint: a ServerStatsSink tee that
+// keeps the last K finished rounds as structured records (phase durations,
+// contributor counts, per-participant outcome tallies, checkin
+// accept/reject totals) while forwarding every event to the wrapped sink
+// unchanged.
+//
+// Sits in the existing sink chain (actors -> TelemetryStatsSink ->
+// RoundLedger -> FleetStats) and is disabled by default: with the ops plane
+// off, every callback is one branch plus the forward, which is what the
+// <=2% overhead gate in bench_ops_plane measures.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/server/stats.h"
+
+namespace fl::ops {
+
+struct RoundRecord {
+  RoundId round{};
+  SimTime finished_at{};  // when the outcome was reported
+  protocol::RoundOutcome outcome = protocol::RoundOutcome::kFailed;
+  std::size_t contributors = 0;
+  Duration selection_duration{};
+  Duration round_duration{};
+  bool has_timing = false;
+  // Per-participant outcome tallies for this round.
+  std::size_t completed = 0;
+  std::size_t aborted = 0;
+  std::size_t dropped = 0;
+  std::size_t rejected_late = 0;
+};
+
+class RoundLedger final : public server::ServerStatsSink {
+ public:
+  // `inner` may be null; `capacity` bounds the retained finished rounds.
+  explicit RoundLedger(server::ServerStatsSink* inner = nullptr,
+                       std::size_t capacity = 256);
+
+  // Recording is off until enabled (FLSystem enables it with the ops
+  // plane); forwarding to the inner sink always happens.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_release);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  void OnRoundOutcome(SimTime t, RoundId round,
+                      protocol::RoundOutcome outcome,
+                      std::size_t contributors) override;
+  void OnParticipantOutcome(SimTime t, RoundId round, DeviceId device,
+                            protocol::ParticipantOutcome outcome) override;
+  void OnRoundTiming(SimTime t, RoundId round, Duration selection_duration,
+                     Duration round_duration) override;
+  void OnDeviceAccepted(SimTime t) override;
+  void OnDeviceRejected(SimTime t) override;
+  void OnTraffic(SimTime t, std::uint64_t download_bytes,
+                 std::uint64_t upload_bytes) override;
+  void OnError(SimTime t, const std::string& what) override;
+
+  // Cumulative totals since enable (checkin accept/reject, commit/abandon).
+  struct Totals {
+    std::uint64_t rounds_committed = 0;
+    std::uint64_t rounds_abandoned = 0;
+    std::uint64_t checkins_accepted = 0;
+    std::uint64_t checkins_rejected = 0;
+    std::uint64_t errors = 0;
+  };
+  Totals totals() const;
+
+  // Most recent finished rounds, newest first, at most `max`.
+  std::vector<RoundRecord> Recent(std::size_t max = SIZE_MAX) const;
+
+  // {"totals":{...},"rounds":[...]} for /rounds; newest first.
+  std::string RecentJson(std::size_t max) const;
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  // Finds a finished round by id (newest first); nullptr when evicted.
+  RoundRecord* FindFinishedLocked(RoundId round);
+
+  server::ServerStatsSink* inner_;
+  const std::size_t capacity_;
+  std::atomic<bool> enabled_{false};
+
+  mutable std::mutex mu_;
+  // Participant tallies for rounds that have not reported an outcome yet.
+  // Timing can also arrive before the outcome, so stage it here too.
+  std::map<std::uint64_t, RoundRecord> open_;
+  std::deque<RoundRecord> finished_;  // oldest at front
+  Totals totals_;
+};
+
+}  // namespace fl::ops

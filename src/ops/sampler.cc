@@ -1,0 +1,65 @@
+#include "src/ops/sampler.h"
+
+#include <chrono>
+
+#include "src/telemetry/telemetry.h"
+
+namespace fl::ops {
+
+MetricsSampler::MetricsSampler(analytics::SlidingWindowStore* store)
+    : store_(store) {}
+
+MetricsSampler::~MetricsSampler() { Stop(); }
+
+void MetricsSampler::SampleOnce(std::int64_t t_ms) {
+  SampleSnapshot(t_ms, telemetry::MetricsRegistry::Global().Snapshot());
+}
+
+void MetricsSampler::SampleSnapshot(
+    std::int64_t t_ms, const telemetry::MetricsSnapshot& snapshot) {
+  for (const auto& c : snapshot.counters) {
+    store_->Record(c.name, t_ms, static_cast<double>(c.value));
+  }
+  for (const auto& g : snapshot.gauges) {
+    store_->Record(g.name, t_ms, g.value);
+  }
+  for (const auto& h : snapshot.histograms) {
+    store_->Record(h.name + "_count", t_ms, static_cast<double>(h.count));
+    store_->Record(h.name + "_sum", t_ms, h.sum);
+  }
+  samples_.fetch_add(1, std::memory_order_relaxed);
+  last_t_ms_.store(t_ms, std::memory_order_relaxed);
+  last_wall_us_.store(telemetry::WallMicros(), std::memory_order_relaxed);
+}
+
+void MetricsSampler::StartBackground(std::int64_t period_ms) {
+  Stop();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this, period_ms] { BackgroundLoop(period_ms); });
+}
+
+void MetricsSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void MetricsSampler::BackgroundLoop(std::int64_t period_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (stop_requested_) return;
+    lock.unlock();
+    SampleOnce(telemetry::WallMicros() / 1000);
+    lock.lock();
+    cv_.wait_for(lock, std::chrono::milliseconds(period_ms),
+                 [this] { return stop_requested_; });
+  }
+}
+
+}  // namespace fl::ops

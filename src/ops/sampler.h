@@ -1,0 +1,74 @@
+// Periodic MetricsRegistry -> SlidingWindowStore bridge. The ops plane
+// samples the registry on a clock (the FLSystem stats tick in sim mode, or
+// an optional background wall-clock thread for processes without a sim
+// loop) and records every instrument into the ring-buffer store:
+// counters and gauges under their own names, histograms as
+// `<name>_count` / `<name>_sum` series so windowed rates of observation
+// volume stay queryable.
+//
+// The sampler also remembers *when* it last ran (wall clock), which is what
+// the health evaluator's staleness check keys off: a wedged sim stops
+// sampling, and /healthz flips to 503.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "src/analytics/window_store.h"
+#include "src/telemetry/metrics.h"
+
+namespace fl::ops {
+
+class MetricsSampler {
+ public:
+  explicit MetricsSampler(analytics::SlidingWindowStore* store);
+  ~MetricsSampler();
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  // Snapshots the global registry and records it at series time `t_ms`
+  // (sim millis in the FLSystem wiring).
+  void SampleOnce(std::int64_t t_ms);
+
+  // Same, but with a snapshot the caller already took (FLSystem shares one
+  // snapshot per tick between the monitor hub, health checks and sampler).
+  void SampleSnapshot(std::int64_t t_ms,
+                      const telemetry::MetricsSnapshot& snapshot);
+
+  // Wall-clock mode for non-sim hosts: spawns a thread sampling every
+  // `period_ms`, stamping series with wall milliseconds. Stop() (or the
+  // destructor) joins it.
+  void StartBackground(std::int64_t period_ms);
+  void Stop();
+
+  std::uint64_t samples() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+  // Wall-clock micros of the most recent sample; 0 before the first.
+  std::int64_t last_sample_wall_us() const {
+    return last_wall_us_.load(std::memory_order_relaxed);
+  }
+  // Series time of the most recent sample.
+  std::int64_t last_sample_t_ms() const {
+    return last_t_ms_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void BackgroundLoop(std::int64_t period_ms);
+
+  analytics::SlidingWindowStore* store_;
+  std::atomic<std::uint64_t> samples_{0};
+  std::atomic<std::int64_t> last_wall_us_{0};
+  std::atomic<std::int64_t> last_t_ms_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+};
+
+}  // namespace fl::ops

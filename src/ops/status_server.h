@@ -1,0 +1,78 @@
+// The five ops-plane endpoints glued onto the embedded HttpServer:
+//
+//   /          tiny HTML index
+//   /metrics   Prometheus text exposition of the global MetricsRegistry
+//   /statusz   build/uptime/fleet gauges + health + chart series (JSON; add
+//              ?format=html for a human-readable page)
+//   /rounds    last-K per-round records from the RoundLedger (?limit=N)
+//   /healthz   200 "healthy" / 503 "unhealthy" with the evaluator's latest
+//              report as the JSON body
+//   /tracez    recent span summaries from the round-phase tracer
+//
+// Handlers run on HTTP worker threads while the sim runs elsewhere, so they
+// only touch thread-safe surfaces: registry snapshots, the window store,
+// the ledger, the cached health report, and atomics published by the
+// OpsPlane tick.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/analytics/window_store.h"
+#include "src/ops/health.h"
+#include "src/ops/http.h"
+#include "src/ops/round_ledger.h"
+#include "src/ops/sampler.h"
+
+namespace fl::ops {
+
+class StatusServer {
+ public:
+  struct Options {
+    int port = 0;  // 0 = ephemeral
+    std::size_t worker_threads = 3;
+    std::size_t default_rounds_limit = 50;
+    std::size_t max_rounds_limit = 500;
+    std::string population;
+  };
+
+  // Non-owning references; all must outlive the server. Any may be null
+  // (the corresponding endpoint degrades gracefully).
+  struct Sources {
+    const analytics::SlidingWindowStore* store = nullptr;
+    const MetricsSampler* sampler = nullptr;
+    const RoundLedger* ledger = nullptr;
+    const HealthEvaluator* health = nullptr;
+    // Latest sim time published by the ops tick (HTTP threads must not
+    // touch the event queue itself).
+    const std::atomic<std::int64_t>* sim_now_ms = nullptr;
+  };
+
+  StatusServer(Options opts, Sources sources);
+
+  Status Start();
+  void Stop();
+  int port() const { return http_.port(); }
+  bool running() const { return http_.running(); }
+  const HttpServer& http() const { return http_; }
+
+  // Endpoint bodies, exposed for direct unit testing without sockets.
+  HttpResponse Metrics(const HttpRequest& req) const;
+  HttpResponse Statusz(const HttpRequest& req) const;
+  HttpResponse Rounds(const HttpRequest& req) const;
+  HttpResponse Healthz(const HttpRequest& req) const;
+  HttpResponse Tracez(const HttpRequest& req) const;
+  HttpResponse Index(const HttpRequest& req) const;
+
+ private:
+  std::string StatuszJson() const;
+  std::string StatuszHtml() const;
+
+  Options opts_;
+  Sources sources_;
+  std::int64_t start_wall_us_ = 0;
+  HttpServer http_;
+};
+
+}  // namespace fl::ops

@@ -60,9 +60,16 @@ double Histogram::Quantile(double p) const {
     if (i == counts.size() - 1) return bounds_.back();  // overflow bucket
     const double lo = i == 0 ? 0.0 : bounds_[i - 1];
     const double hi = bounds_[i];
-    const double frac =
-        (target - static_cast<double>(prev)) / static_cast<double>(counts[i]);
-    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    // Midpoint-clamped interpolation: the c samples in this bucket are
+    // treated as sitting at in-bucket midpoints, so frac stays inside
+    // [0.5/c, 1 - 0.5/c]. Raw interpolation reported the exact bucket
+    // boundary for quantiles landing on a cumulative-count edge, and spread
+    // a single-sample bucket's answers across its whole width (p1 near the
+    // bottom, p99 near the top, for one observation).
+    const double c = static_cast<double>(counts[i]);
+    const double frac = std::clamp((target - static_cast<double>(prev)) / c,
+                                   0.5 / c, 1.0 - 0.5 / c);
+    return lo + (hi - lo) * frac;
   }
   return bounds_.back();
 }

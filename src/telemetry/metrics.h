@@ -105,8 +105,10 @@ class Histogram {
     const std::uint64_t n = Count();
     return n > 0 ? Sum() / static_cast<double>(n) : 0.0;
   }
-  // Linear interpolation inside the owning bucket; p in [0, 100]. The
-  // overflow bucket reports its lower bound (the estimate is clamped to the
+  // Midpoint-clamped linear interpolation inside the owning bucket; p in
+  // [0, 100]. Estimates never sit exactly on a bucket boundary, and a
+  // single-sample bucket reports its midpoint for every p. The overflow
+  // bucket reports its lower bound (the estimate is clamped to the
   // configured range).
   double Quantile(double p) const;
 

@@ -1,0 +1,360 @@
+// fl_top: live terminal dashboard over a running deployment's ops plane
+// (the Sec. 5 dashboards, pointed at the embedded status server instead of
+// a log warehouse). Polls /statusz and /rounds, renders a refreshing page
+// of health checks, fleet gauges, round-rate charts and the most recent
+// round records.
+//
+//   fl_top --port 8080                # attach to a running sim
+//   fl_top --demo                     # boot an in-process demo fleet
+//   fl_top --port 8080 --frames 3 --plain   # CI-friendly finite run
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/analytics/dashboard.h"
+#include "src/analytics/timeseries.h"
+#include "src/core/fl_system.h"
+#include "src/data/blobs.h"
+#include "src/graph/model_zoo.h"
+#include "src/ops/http.h"
+#include "src/ops/json.h"
+
+namespace fl {
+namespace {
+
+struct TopOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int interval_ms = 1000;
+  int frames = 0;  // 0 = until interrupted
+  bool plain = false;
+  bool demo = false;
+  std::size_t demo_devices = 800;
+};
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: fl_top [--host H] [--port N] [--interval-ms N] [--frames N]\n"
+      "              [--once] [--plain] [--demo [--devices N]]\n"
+      "\n"
+      "Attaches to the FL_STATUSZ ops plane of a running deployment and\n"
+      "renders a live dashboard. --demo boots a small in-process fleet\n"
+      "with an ephemeral status port and attaches to it.\n");
+}
+
+bool ParseArgs(int argc, char** argv, TopOptions* opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "fl_top: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      const char* v = next("--host");
+      if (v == nullptr) return false;
+      opts->host = v;
+    } else if (arg == "--port") {
+      const char* v = next("--port");
+      if (v == nullptr) return false;
+      opts->port = std::atoi(v);
+    } else if (arg == "--interval-ms") {
+      const char* v = next("--interval-ms");
+      if (v == nullptr) return false;
+      opts->interval_ms = std::atoi(v);
+    } else if (arg == "--frames") {
+      const char* v = next("--frames");
+      if (v == nullptr) return false;
+      opts->frames = std::atoi(v);
+    } else if (arg == "--devices") {
+      const char* v = next("--devices");
+      if (v == nullptr) return false;
+      opts->demo_devices = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--once") {
+      opts->frames = 1;
+    } else if (arg == "--plain") {
+      opts->plain = true;
+    } else if (arg == "--demo") {
+      opts->demo = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return false;
+    } else {
+      std::fprintf(stderr, "fl_top: unknown flag %s\n", arg.c_str());
+      PrintUsage();
+      return false;
+    }
+  }
+  if (!opts->demo && opts->port == 0) {
+    std::fprintf(stderr, "fl_top: --port (or --demo) is required\n");
+    PrintUsage();
+    return false;
+  }
+  return true;
+}
+
+Result<ops::JsonValue> FetchJson(const TopOptions& opts,
+                                 const std::string& path) {
+  int status = 0;
+  std::string body;
+  if (Status s = ops::HttpGet(opts.host, opts.port, path, &status, &body);
+      !s.ok()) {
+    return s;
+  }
+  // /healthz answers 503 when unhealthy but still carries a JSON body.
+  if (status != 200 && status != 503) {
+    return Status{ErrorCode::kUnavailable,
+                  path + " answered HTTP " + std::to_string(status)};
+  }
+  return ops::JsonValue::Parse(body);
+}
+
+double PathDouble(const ops::JsonValue& root, std::string_view path,
+                  double fallback = 0) {
+  const ops::JsonValue* v = root.FindPath(path);
+  return v != nullptr ? v->AsDouble(fallback) : fallback;
+}
+
+std::string PathString(const ops::JsonValue& root, std::string_view path) {
+  const ops::JsonValue* v = root.FindPath(path);
+  return v != nullptr ? v->AsString() : std::string();
+}
+
+// Reconstructs a counter series from /statusz as a per-slot increment
+// TimeSeries the chart renderer understands.
+bool CounterSeriesFromStatusz(const ops::JsonValue& statusz,
+                              const std::string& name,
+                              std::unique_ptr<analytics::TimeSeries>* out) {
+  const ops::JsonValue* entry = statusz.FindPath("series." + name);
+  if (entry == nullptr) return false;
+  const ops::JsonValue* points = entry->Find("points");
+  const std::int64_t slot_ms =
+      entry->Find("slot_ms") != nullptr ? entry->Find("slot_ms")->AsInt() : 0;
+  if (points == nullptr || points->size() < 2 || slot_ms <= 0) return false;
+  const std::int64_t start = (*points)[0][0].AsInt();
+  *out = std::make_unique<analytics::TimeSeries>(SimTime{start},
+                                                 Duration{slot_ms});
+  for (std::size_t i = 1; i < points->size(); ++i) {
+    const std::int64_t t = (*points)[i][0].AsInt();
+    const double delta =
+        (*points)[i][1].AsDouble() - (*points)[i - 1][1].AsDouble();
+    (*out)->Add(SimTime{t}, delta > 0 ? delta : 0);
+  }
+  return true;
+}
+
+std::string RenderFrame(const ops::JsonValue& statusz,
+                        const ops::JsonValue& rounds) {
+  std::string out;
+  char line[256];
+
+  const std::string population = PathString(statusz, "population");
+  const std::string sim_time = PathString(statusz, "sim_time");
+  const double uptime = PathDouble(statusz, "uptime_wall_seconds");
+  const ops::JsonValue* healthy = statusz.FindPath("health.healthy");
+  std::snprintf(line, sizeof(line),
+                "fl_top  %s  sim %s  up %.0fs  [%s]\n",
+                population.c_str(), sim_time.c_str(), uptime,
+                healthy == nullptr       ? "health n/a"
+                : healthy->AsBool(false) ? "HEALTHY"
+                                         : "UNHEALTHY");
+  out += line;
+
+  if (const ops::JsonValue* checks = statusz.FindPath("health.checks");
+      checks != nullptr && checks->is_array()) {
+    for (const auto& check : checks->items()) {
+      const ops::JsonValue* ok = check.Find("ok");
+      std::snprintf(line, sizeof(line), "  %-20s %-4s %s\n",
+                    check.Find("name") != nullptr
+                        ? check.Find("name")->AsString().c_str()
+                        : "?",
+                    ok != nullptr && ok->AsBool(false) ? "ok" : "FAIL",
+                    check.Find("detail") != nullptr
+                        ? check.Find("detail")->AsString().c_str()
+                        : "");
+      out += line;
+    }
+  }
+
+  analytics::TextTable table({"committed", "abandoned", "commit/10m",
+                              "abandon/10m", "accept/10m", "reject/10m",
+                              "actors", "pending ev"});
+  table.AddRow({
+      analytics::TextTable::Num(
+          PathDouble(statusz, "round_totals.rounds_committed"), 0),
+      analytics::TextTable::Num(
+          PathDouble(statusz, "round_totals.rounds_abandoned"), 0),
+      analytics::TextTable::Num(PathDouble(statusz, "windows.commit_per_10m"),
+                                0),
+      analytics::TextTable::Num(
+          PathDouble(statusz, "windows.abandon_per_10m"), 0),
+      analytics::TextTable::Num(PathDouble(statusz, "windows.accept_per_10m"),
+                                0),
+      analytics::TextTable::Num(PathDouble(statusz, "windows.reject_per_10m"),
+                                0),
+      analytics::TextTable::Num(
+          PathDouble(statusz, "gauges.fl_sim_live_actors"), 0),
+      analytics::TextTable::Num(
+          PathDouble(statusz, "gauges.fl_sim_event_queue_pending"), 0),
+  });
+  out += "\n" + table.Render();
+
+  std::unique_ptr<analytics::TimeSeries> committed;
+  std::unique_ptr<analytics::TimeSeries> abandoned;
+  std::vector<analytics::SeriesSpec> specs;
+  if (CounterSeriesFromStatusz(statusz, "fl_server_rounds_committed_total",
+                               &committed)) {
+    specs.push_back({"commits", committed.get(), false, false});
+  }
+  if (CounterSeriesFromStatusz(statusz, "fl_server_rounds_abandoned_total",
+                               &abandoned)) {
+    specs.push_back({"abandons", abandoned.get(), false, false});
+  }
+  if (!specs.empty()) {
+    out += "\nround rate (per slot)\n";
+    out += analytics::RenderSeriesChart(specs, 64);
+  }
+
+  if (const ops::JsonValue* recent = rounds.Find("rounds");
+      recent != nullptr && recent->is_array() && recent->size() > 0) {
+    analytics::TextTable rt({"round", "outcome", "contrib", "sel s",
+                             "round s", "done", "drop"});
+    const std::size_t take = std::min<std::size_t>(recent->size(), 10);
+    for (std::size_t i = 0; i < take; ++i) {
+      const ops::JsonValue& r = (*recent)[i];
+      rt.AddRow({
+          std::to_string(static_cast<unsigned long long>(
+              PathDouble(r, "round"))),
+          PathString(r, "outcome"),
+          analytics::TextTable::Num(PathDouble(r, "contributors"), 0),
+          analytics::TextTable::Num(PathDouble(r, "selection_seconds"), 1),
+          analytics::TextTable::Num(PathDouble(r, "round_seconds"), 1),
+          analytics::TextTable::Num(PathDouble(r, "completed"), 0),
+          analytics::TextTable::Num(PathDouble(r, "dropped"), 0),
+      });
+    }
+    out += "\nrecent rounds\n" + rt.Render();
+  }
+  return out;
+}
+
+int RunDashboard(const TopOptions& opts) {
+  int frame = 0;
+  int consecutive_failures = 0;
+  while (opts.frames == 0 || frame < opts.frames) {
+    auto statusz = FetchJson(opts, "/statusz");
+    auto rounds = FetchJson(opts, "/rounds?limit=10");
+    if (!statusz.ok() || !rounds.ok()) {
+      if (++consecutive_failures >= 5) {
+        std::fprintf(stderr, "fl_top: lost the ops plane: %s\n",
+                     (!statusz.ok() ? statusz.status() : rounds.status())
+                         .ToString()
+                         .c_str());
+        return 1;
+      }
+    } else {
+      consecutive_failures = 0;
+      const std::string page =
+          RenderFrame(statusz.value(), rounds.value());
+      if (!opts.plain) std::fputs("\x1b[H\x1b[2J", stdout);
+      std::fputs(page.c_str(), stdout);
+      std::fflush(stdout);
+      ++frame;
+      if (opts.frames != 0 && frame >= opts.frames) break;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(opts.interval_ms));
+  }
+  return 0;
+}
+
+// A small self-contained fleet with an ephemeral status port, so
+// `fl_top --demo` works with zero setup.
+std::unique_ptr<core::FLSystem> BootDemo(std::size_t devices) {
+  core::FLSystemConfig config;
+  config.population_name = "population/fl_top_demo";
+  config.seed = 7;
+  config.statusz_port = 0;  // ephemeral, regardless of FL_STATUSZ
+  config.population.device_count = devices;
+  config.population.mean_examples_per_sec = 1.5;
+  config.selector_count = 2;
+  config.coordinator_tick = Seconds(15);
+  config.stats_bucket = Minutes(10);
+  config.device_checkin_cadence = Minutes(10);
+
+  auto system = std::make_unique<core::FLSystem>(config);
+  Rng model_rng(1);
+  const graph::Model model =
+      graph::BuildLogisticRegression(8, 4, model_rng);
+  plan::TrainingHyperparams hyper;
+  hyper.learning_rate = 0.2f;
+  hyper.epochs = 1;
+  protocol::RoundConfig rc;
+  rc.goal_count = 20;
+  rc.overselection = 1.3;
+  rc.selection_timeout = Minutes(5);
+  rc.min_selection_fraction = 0.6;
+  rc.reporting_deadline = Minutes(10);
+  rc.min_reporting_fraction = 0.6;
+  system->AddTrainingTask("demo-train", model, hyper, {}, rc, Seconds(30));
+  auto blobs = std::make_shared<data::BlobsWorkload>(
+      data::BlobsParams{.classes = 4, .feature_dim = 8}, 5);
+  system->ProvisionData([blobs](const sim::DeviceProfile& profile,
+                                core::DeviceAgent& agent, Rng&,
+                                SimTime now) {
+    agent.GetOrCreateStore("default").AddBatch(
+        blobs->UserExamples(profile.id.value, 60, now));
+  });
+  system->Start();
+  return system;
+}
+
+int Main(int argc, char** argv) {
+  TopOptions opts;
+  if (!ParseArgs(argc, argv, &opts)) return 2;
+
+  std::unique_ptr<core::FLSystem> demo;
+  std::atomic<bool> demo_stop{false};
+  std::thread demo_thread;
+  if (opts.demo) {
+    demo = BootDemo(opts.demo_devices);
+    if (demo->ops_plane() == nullptr) {
+      std::fprintf(stderr, "fl_top: demo ops plane failed to start\n");
+      return 1;
+    }
+    opts.host = "127.0.0.1";
+    opts.port = demo->ops_plane()->port();
+    std::fprintf(stderr, "fl_top: demo fleet on port %d\n", opts.port);
+    // Drive the sim on a background thread; the dashboard polls over HTTP
+    // exactly as it would against a separate process.
+    core::FLSystem* sys = demo.get();
+    demo_thread = std::thread([sys, &demo_stop] {
+      while (!demo_stop.load(std::memory_order_relaxed)) {
+        sys->RunFor(Minutes(2));
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
+  }
+
+  const int rc = RunDashboard(opts);
+
+  if (demo_thread.joinable()) {
+    demo_stop.store(true, std::memory_order_relaxed);
+    demo_thread.join();
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace fl
+
+int main(int argc, char** argv) { return fl::Main(argc, argv); }

@@ -73,6 +73,49 @@ TEST_F(MonitorHubTest, GaugeWatchFeedsSampledLevels) {
   EXPECT_EQ(hub.Poll(SimTime{100}, reg.Snapshot()), 1u);
 }
 
+TEST_F(MonitorHubTest, WindowRateAlertsOnBurstNotTotal) {
+  auto& reg = telemetry::MetricsRegistry::Global();
+  auto* abandoned = reg.GetCounter("hub_test_window_abandoned_total");
+
+  MonitorHub hub;
+  // SLO: at most 5 abandoned rounds in any trailing 10 minutes. The clock
+  // is injected: every Poll carries an explicit SimTime.
+  hub.WatchCounterWindowRate("hub_test_window_abandoned_total", Minutes(10),
+                             5.0);
+
+  EXPECT_EQ(hub.Poll(SimTime{0}, reg.Snapshot()), 0u);
+  abandoned->Add(3);
+  EXPECT_EQ(hub.Poll(SimTime{60'000}, reg.Snapshot()), 0u);
+  // 3 in window: under the bound.
+  abandoned->Add(10);  // burst
+  EXPECT_EQ(hub.Poll(SimTime{120'000}, reg.Snapshot()), 1u);
+  const auto alerts = hub.AllAlerts();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_NEAR(alerts[0].observed, 13.0, 1e-9);
+  EXPECT_NEAR(alerts[0].expected_mean, 5.0, 1e-9);  // the bound
+
+  // 15 sim-minutes later the burst has left the window: the unchanged
+  // cumulative total (still 13) no longer alerts. The window, not the
+  // poll cadence or the total, defines the rate.
+  EXPECT_EQ(hub.Poll(SimTime{15 * 60'000}, reg.Snapshot()), 0u);
+  EXPECT_EQ(hub.Poll(SimTime{16 * 60'000}, reg.Snapshot()), 0u);
+  EXPECT_EQ(hub.alert_count(), 1u);
+}
+
+TEST_F(MonitorHubTest, WindowRateSparsePollingStillSeesWindow) {
+  auto& reg = telemetry::MetricsRegistry::Global();
+  auto* c = reg.GetCounter("hub_test_window_sparse_total");
+
+  MonitorHub hub;
+  hub.WatchCounterWindowRate("hub_test_window_sparse_total", Minutes(10),
+                             5.0);
+  // Two polls 9 minutes apart — far sparser than the window — still
+  // attribute the full increment to the trailing window.
+  EXPECT_EQ(hub.Poll(SimTime{0}, reg.Snapshot()), 0u);
+  c->Add(8);
+  EXPECT_EQ(hub.Poll(SimTime{9 * 60'000}, reg.Snapshot()), 1u);
+}
+
 TEST_F(MonitorHubTest, AbsentMetricIsSkipped) {
   MonitorHub hub;
   hub.WatchCounterDelta("hub_test_never_registered", {});

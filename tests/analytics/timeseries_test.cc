@@ -64,6 +64,41 @@ TEST(HistogramTest, OverflowAndUnderflowTracked) {
   EXPECT_DOUBLE_EQ(h.Percentile(99), 10.0);
 }
 
+TEST(HistogramTest, PercentileNeverSitsOnBucketBoundary) {
+  // 5 samples in bucket [2,3), 5 in bucket [7,8): p50's target lands
+  // exactly on the first bucket's cumulative edge. Raw interpolation
+  // reported the boundary (3.0); midpoint-clamping keeps the estimate
+  // strictly inside the owning bucket.
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 5; ++i) h.Add(2.5);
+  for (int i = 0; i < 5; ++i) h.Add(7.5);
+  const double p50 = h.Percentile(50);
+  EXPECT_GT(p50, 2.0);
+  EXPECT_LT(p50, 3.0);
+  EXPECT_DOUBLE_EQ(p50, 2.9);  // frac clamped to 1 - 0.5/5
+
+  // Edge percentiles stay inside the occupied buckets too.
+  EXPECT_GT(h.Percentile(0), 2.0);
+  EXPECT_LT(h.Percentile(100), 8.0);
+}
+
+TEST(HistogramTest, SingleSampleAnswersItsBucketMidpointForEveryP) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(4.2);  // bucket [4,5)
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(p), 4.5) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, NoUnderflowMeansLowPercentilesStayInRange) {
+  // Regression: with zero underflow mass, p=0 used to report the range
+  // floor lo_ instead of a value inside the lowest occupied bucket.
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.Add(6.5);
+  EXPECT_GT(h.Percentile(0), 6.0);
+  EXPECT_LT(h.Percentile(0), 7.0);
+}
+
 TEST(HistogramTest, EmptyHistogramSafe) {
   Histogram h(0.0, 1.0, 4);
   EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);

@@ -1,0 +1,118 @@
+#include "src/analytics/window_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fl::analytics {
+namespace {
+
+SlidingWindowStore::Options SmallOptions() {
+  SlidingWindowStore::Options opts;
+  // 1 s x 10 (10 s span), 10 s x 12 (2 min span).
+  opts.resolutions = {{1'000, 10}, {10'000, 12}};
+  return opts;
+}
+
+TEST(SlidingWindowStoreTest, LatestTracksLastRecord) {
+  SlidingWindowStore store(SmallOptions());
+  double v = 0;
+  std::int64_t t = 0;
+  EXPECT_FALSE(store.Latest("x", &v));
+
+  store.Record("x", 1'000, 5.0);
+  store.Record("x", 2'000, 7.0);
+  ASSERT_TRUE(store.Latest("x", &v, &t));
+  EXPECT_DOUBLE_EQ(v, 7.0);
+  EXPECT_EQ(t, 2'000);
+  EXPECT_EQ(store.series_count(), 1u);
+}
+
+TEST(SlidingWindowStoreTest, WindowDeltaOfCumulativeCounter) {
+  SlidingWindowStore store(SmallOptions());
+  // Counter grows 10/s for 8 seconds.
+  for (int s = 0; s <= 8; ++s) {
+    store.Record("ctr", s * 1'000, 10.0 * s);
+  }
+  // Over the last 5 s: first slot in window holds 30, latest 80.
+  EXPECT_NEAR(store.WindowDelta("ctr", 5'000), 50.0, 1e-9);
+  // Full span: everything.
+  EXPECT_NEAR(store.WindowDelta("ctr", 9'000), 80.0, 1e-9);
+  EXPECT_GT(store.WindowRatePerSec("ctr", 5'000), 0.0);
+}
+
+TEST(SlidingWindowStoreTest, DeltaClampedOnCounterReset) {
+  SlidingWindowStore store(SmallOptions());
+  store.Record("ctr", 1'000, 100.0);
+  store.Record("ctr", 2'000, 5.0);  // process restart: total reset
+  EXPECT_DOUBLE_EQ(store.WindowDelta("ctr", 5'000), 0.0);
+}
+
+TEST(SlidingWindowStoreTest, RingLapEvictsStaleSlots) {
+  SlidingWindowStore store(SmallOptions());
+  store.Record("g", 0, 1.0);
+  // 20 s later: the 1 s ring (10 slots) has fully lapped; the old slot
+  // must not contaminate the window.
+  store.Record("g", 20'000, 3.0);
+  EXPECT_DOUBLE_EQ(store.WindowMean("g", 5'000), 3.0);
+  // The 10 s ring still holds both points (2 min span).
+  const auto pts = store.Series("g", 10'000);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_EQ(pts[0].t_ms, 0);
+  EXPECT_EQ(pts[1].t_ms, 20'000);
+}
+
+TEST(SlidingWindowStoreTest, PicksFinestResolutionCoveringWindow) {
+  SlidingWindowStore store(SmallOptions());
+  for (int s = 0; s <= 60; ++s) {
+    store.Record("g", s * 1'000, static_cast<double>(s));
+  }
+  // A 60 s window exceeds the 1 s ring's 10 s span, so the 10 s ring
+  // serves it: slot last-values are 9, 19, ..., 59 (and 60).
+  EXPECT_NEAR(store.WindowMean("g", 60'000), 34.5, 10.0);
+  // A 5 s window fits the 1 s ring: values 56..60.
+  EXPECT_NEAR(store.WindowMean("g", 5'000), 58.0, 1.0);
+}
+
+TEST(SlidingWindowStoreTest, WindowQuantileOverSlotValues) {
+  SlidingWindowStore store(SmallOptions());
+  for (int s = 0; s < 10; ++s) {
+    store.Record("g", s * 1'000, static_cast<double>(s));
+  }
+  const double p50 = store.WindowQuantile("g", 50, 9'000);
+  EXPECT_GE(p50, 3.0);
+  EXPECT_LE(p50, 6.0);
+  EXPECT_DOUBLE_EQ(store.WindowQuantile("g", 100, 9'000), 9.0);
+  EXPECT_DOUBLE_EQ(store.WindowQuantile("g", 0, 9'000), 0.0);
+}
+
+TEST(SlidingWindowStoreTest, SeriesNamesAndUnknownSeries) {
+  SlidingWindowStore store(SmallOptions());
+  store.Record("b", 0, 1);
+  store.Record("a", 0, 1);
+  const auto names = store.SeriesNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+  EXPECT_DOUBLE_EQ(store.WindowDelta("nope", 1'000), 0.0);
+  EXPECT_DOUBLE_EQ(store.WindowMean("nope", 1'000), 0.0);
+  EXPECT_TRUE(store.Series("nope", 1'000).empty());
+}
+
+TEST(SlidingWindowStoreTest, EmptyOptionsFallBackToDefaults) {
+  SlidingWindowStore store((SlidingWindowStore::Options()));
+  ASSERT_FALSE(store.resolutions().empty());
+  store.Record("x", 1'000, 2.0);
+  double v = 0;
+  EXPECT_TRUE(store.Latest("x", &v));
+  EXPECT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(SlidingWindowStoreTest, NegativeTimestampsIgnored) {
+  SlidingWindowStore store(SmallOptions());
+  store.Record("x", -5, 1.0);
+  EXPECT_EQ(store.series_count(), 0u);
+}
+
+}  // namespace
+}  // namespace fl::analytics

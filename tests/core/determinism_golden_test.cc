@@ -10,6 +10,7 @@
 // disagree on — cascades into RNG draw order, round membership, and model
 // arithmetic, so it cannot hide from all three digests.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -89,7 +90,11 @@ std::uint32_t JournalCrc(const std::string& path, std::uint64_t* lines) {
 }
 
 RunDigest RunSeededFleet(sim::EventQueue::Impl impl) {
-  const std::string path = ::testing::TempDir() + "determinism_golden.log";
+  // Unique per process: both tests in this file run concurrently under
+  // `ctest -j`, and a shared path lets one process's Close()+remove()
+  // truncate the other's in-flight journal.
+  const std::string path = ::testing::TempDir() + "determinism_golden." +
+                           std::to_string(::getpid()) + ".log";
   EXPECT_TRUE(analytics::Journal::Global().Open(path).ok());
 
   RunDigest digest;

@@ -1,0 +1,387 @@
+#include "src/ops/http.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace fl::ops {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parser (pure function; no sockets involved).
+
+TEST(HttpParseTest, SimpleGet) {
+  HttpRequest req;
+  std::size_t consumed = 0;
+  const std::string raw =
+      "GET /statusz?format=html&x=1 HTTP/1.1\r\nHost: a\r\n"
+      "X-Custom: v \r\n\r\n";
+  ASSERT_EQ(ParseHttpRequest(raw, &req, &consumed), HttpParse::kOk);
+  EXPECT_EQ(consumed, raw.size());
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/statusz");
+  EXPECT_EQ(req.query, "format=html&x=1");
+  EXPECT_TRUE(req.QueryParamIs("format", "html"));
+  EXPECT_TRUE(req.QueryParamIs("x", "1"));
+  EXPECT_FALSE(req.QueryParamIs("format", "json"));
+  ASSERT_NE(req.FindHeader("x-custom"), nullptr);
+  EXPECT_EQ(*req.FindHeader("x-custom"), "v");
+  EXPECT_TRUE(req.keep_alive);  // 1.1 default
+}
+
+TEST(HttpParseTest, BareLfLineEndingsAccepted) {
+  HttpRequest req;
+  std::size_t consumed = 0;
+  EXPECT_EQ(ParseHttpRequest("GET / HTTP/1.0\nHost: x\n\n", &req, &consumed),
+            HttpParse::kOk);
+  EXPECT_FALSE(req.keep_alive);  // 1.0 default close
+}
+
+TEST(HttpParseTest, ConnectionHeaderOverridesKeepAlive) {
+  HttpRequest req;
+  std::size_t consumed = 0;
+  ASSERT_EQ(ParseHttpRequest("GET / HTTP/1.1\r\nConnection: close\r\n\r\n",
+                             &req, &consumed),
+            HttpParse::kOk);
+  EXPECT_FALSE(req.keep_alive);
+  ASSERT_EQ(
+      ParseHttpRequest("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n",
+                       &req, &consumed),
+      HttpParse::kOk);
+  EXPECT_TRUE(req.keep_alive);
+}
+
+TEST(HttpParseTest, NeedMoreOnPartialHead) {
+  HttpRequest req;
+  std::size_t consumed = 0;
+  EXPECT_EQ(ParseHttpRequest("GET / HTTP/1.1\r\nHost: x\r\n", &req, &consumed),
+            HttpParse::kNeedMore);
+  EXPECT_EQ(ParseHttpRequest("", &req, &consumed), HttpParse::kNeedMore);
+}
+
+TEST(HttpParseTest, MalformedRequestLines) {
+  HttpRequest req;
+  std::size_t consumed = 0;
+  // Wrong token count.
+  EXPECT_EQ(ParseHttpRequest("GET /\r\n\r\n", &req, &consumed),
+            HttpParse::kBadRequest);
+  EXPECT_EQ(ParseHttpRequest("GET / HTTP/1.1 extra\r\n\r\n", &req, &consumed),
+            HttpParse::kBadRequest);
+  // Bad method token.
+  EXPECT_EQ(ParseHttpRequest("G@T / HTTP/1.1\r\n\r\n", &req, &consumed),
+            HttpParse::kBadRequest);
+  // Target must be origin-form.
+  EXPECT_EQ(
+      ParseHttpRequest("GET example.com HTTP/1.1\r\n\r\n", &req, &consumed),
+      HttpParse::kBadRequest);
+  // Unsupported version.
+  EXPECT_EQ(ParseHttpRequest("GET / HTTP/2.0\r\n\r\n", &req, &consumed),
+            HttpParse::kBadRequest);
+  // Empty request line.
+  EXPECT_EQ(ParseHttpRequest("\r\n\r\n", &req, &consumed),
+            HttpParse::kBadRequest);
+}
+
+TEST(HttpParseTest, MalformedHeaders) {
+  HttpRequest req;
+  std::size_t consumed = 0;
+  EXPECT_EQ(
+      ParseHttpRequest("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n", &req,
+                       &consumed),
+      HttpParse::kBadRequest);
+  // Obsolete line folding.
+  EXPECT_EQ(ParseHttpRequest("GET / HTTP/1.1\r\nA: b\r\n  folded\r\n\r\n",
+                             &req, &consumed),
+            HttpParse::kBadRequest);
+  // Whitespace around the field name.
+  EXPECT_EQ(ParseHttpRequest("GET / HTTP/1.1\r\nA : b\r\n\r\n", &req,
+                             &consumed),
+            HttpParse::kBadRequest);
+}
+
+TEST(HttpParseTest, BodiesRejected) {
+  HttpRequest req;
+  std::size_t consumed = 0;
+  EXPECT_EQ(ParseHttpRequest("GET / HTTP/1.1\r\nContent-Length: 5\r\n\r\n",
+                             &req, &consumed),
+            HttpParse::kBadRequest);
+  EXPECT_EQ(ParseHttpRequest(
+                "GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", &req,
+                &consumed),
+            HttpParse::kBadRequest);
+  // Content-Length: 0 is fine.
+  EXPECT_EQ(ParseHttpRequest("GET / HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+                             &req, &consumed),
+            HttpParse::kOk);
+}
+
+TEST(HttpParseTest, OversizedHeadAndTooManyHeaders) {
+  HttpRequest req;
+  std::size_t consumed = 0;
+  HttpLimits limits;
+  limits.max_head_bytes = 64;
+  // Incomplete but already over budget.
+  EXPECT_EQ(ParseHttpRequest("GET /" + std::string(100, 'a'), &req, &consumed,
+                             limits),
+            HttpParse::kTooLarge);
+  // Complete but over budget.
+  EXPECT_EQ(ParseHttpRequest("GET / HTTP/1.1\r\nA: " + std::string(64, 'b') +
+                                 "\r\n\r\n",
+                             &req, &consumed, limits),
+            HttpParse::kTooLarge);
+  HttpLimits few;
+  few.max_headers = 2;
+  EXPECT_EQ(ParseHttpRequest("GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\n\r\n",
+                             &req, &consumed, few),
+            HttpParse::kTooLarge);
+}
+
+TEST(HttpParseTest, PipelinedRequestsConsumeOneAtATime) {
+  HttpRequest req;
+  std::size_t consumed = 0;
+  const std::string first = "GET /a HTTP/1.1\r\n\r\n";
+  const std::string both = first + "GET /b HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(ParseHttpRequest(both, &req, &consumed), HttpParse::kOk);
+  EXPECT_EQ(req.path, "/a");
+  EXPECT_EQ(consumed, first.size());
+  const std::string rest = both.substr(consumed);
+  ASSERT_EQ(ParseHttpRequest(rest, &req, &consumed), HttpParse::kOk);
+  EXPECT_EQ(req.path, "/b");
+}
+
+TEST(HttpSerializeTest, ResponseWireFormat) {
+  const std::string wire =
+      SerializeHttpResponse(HttpResponse::Json("{\"a\":1}"), true);
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Type: application/json\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 7\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_EQ(wire.substr(wire.size() - 7), "{\"a\":1}");
+
+  const std::string head = SerializeHttpResponse(
+      HttpResponse::Text("body", 404), false, /*head_only=*/true);
+  EXPECT_NE(head.find("HTTP/1.1 404 Not Found\r\n"), std::string::npos);
+  EXPECT_NE(head.find("Content-Length: 4\r\n"), std::string::npos);
+  EXPECT_NE(head.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(head.substr(head.size() - 4), "\r\n\r\n");  // no body
+}
+
+// ---------------------------------------------------------------------------
+// Live server. Raw-socket helpers so tests can speak broken HTTP.
+
+int ConnectLoopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0)
+      << "connect to port " << port;
+  return fd;
+}
+
+std::string ReadUntilClose(int fd) {
+  std::string out;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    out.append(chunk, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+std::string RawRoundTrip(int port, const std::string& bytes) {
+  const int fd = ConnectLoopback(port);
+  EXPECT_EQ(::send(fd, bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+  const std::string out = ReadUntilClose(fd);
+  ::close(fd);
+  return out;
+}
+
+class HttpServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    HttpServer::Options opts;
+    opts.port = 0;  // ephemeral
+    opts.io_timeout_seconds = 2;
+    server_ = std::make_unique<HttpServer>(opts);
+    server_->Handle("/hello", [](const HttpRequest&) {
+      return HttpResponse::Text("hi\n");
+    });
+    server_->Handle("/echo-query", [](const HttpRequest& req) {
+      return HttpResponse::Text(req.query);
+    });
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(HttpServerTest, ServesRegisteredPath) {
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(
+      HttpGet("127.0.0.1", server_->port(), "/hello", &status, &body).ok());
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "hi\n");
+  EXPECT_GE(server_->requests_served(), 1u);
+  EXPECT_GE(server_->connections_accepted(), 1u);
+}
+
+TEST_F(HttpServerTest, QueryStringReachesHandler) {
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(HttpGet("127.0.0.1", server_->port(), "/echo-query?a=1&b=2",
+                      &status, &body)
+                  .ok());
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "a=1&b=2");
+}
+
+TEST_F(HttpServerTest, UnknownPath404KnownMethodOnly) {
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(
+      HttpGet("127.0.0.1", server_->port(), "/nope", &status, &body).ok());
+  EXPECT_EQ(status, 404);
+
+  const std::string resp = RawRoundTrip(
+      server_->port(), "POST /hello HTTP/1.1\r\nConnection: close\r\n\r\n");
+  EXPECT_NE(resp.find("405"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, HeadOmitsBody) {
+  const std::string resp = RawRoundTrip(
+      server_->port(), "HEAD /hello HTTP/1.1\r\nConnection: close\r\n\r\n");
+  EXPECT_NE(resp.find("200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("Content-Length: 3"), std::string::npos);
+  EXPECT_EQ(resp.find("hi\n"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, MalformedRequestLineGets400) {
+  const std::string resp =
+      RawRoundTrip(server_->port(), "BOGUS\r\n\r\n");
+  EXPECT_NE(resp.find("400 Bad Request"), std::string::npos);
+  EXPECT_GE(server_->parse_errors(), 1u);
+}
+
+TEST_F(HttpServerTest, OversizedHeadersGet431) {
+  const std::string resp = RawRoundTrip(
+      server_->port(),
+      "GET /hello HTTP/1.1\r\nBig: " + std::string(20 * 1024, 'x') +
+          "\r\n\r\n");
+  EXPECT_NE(resp.find("431"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, PipelinedRequestsAnsweredInOrder) {
+  const int fd = ConnectLoopback(server_->port());
+  const std::string batch =
+      "GET /hello HTTP/1.1\r\n\r\n"
+      "GET /echo-query?q=2 HTTP/1.1\r\n\r\n"
+      "GET /hello HTTP/1.1\r\nConnection: close\r\n\r\n";
+  ASSERT_EQ(::send(fd, batch.data(), batch.size(), 0),
+            static_cast<ssize_t>(batch.size()));
+  const std::string resp = ReadUntilClose(fd);
+  ::close(fd);
+  // Three responses on one connection; the last closes it.
+  std::size_t count = 0;
+  for (std::size_t pos = resp.find("HTTP/1.1 200");
+       pos != std::string::npos; pos = resp.find("HTTP/1.1 200", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+  EXPECT_NE(resp.find("q=2"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, PrematureCloseMidRequestIsCounted) {
+  const int fd = ConnectLoopback(server_->port());
+  const std::string partial = "GET /hello HTT";
+  ASSERT_EQ(::send(fd, partial.data(), partial.size(), 0),
+            static_cast<ssize_t>(partial.size()));
+  ::close(fd);
+  // The worker notices the close and records a parse error; poll briefly.
+  for (int i = 0; i < 100 && server_->parse_errors() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server_->parse_errors(), 1u);
+  // Server still serves afterwards.
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(
+      HttpGet("127.0.0.1", server_->port(), "/hello", &status, &body).ok());
+  EXPECT_EQ(status, 200);
+}
+
+TEST_F(HttpServerTest, ConcurrentGetHammering) {
+  constexpr int kThreads = 8;
+  constexpr int kRequests = 20;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, &ok] {
+      for (int i = 0; i < kRequests; ++i) {
+        int status = 0;
+        std::string body;
+        if (HttpGet("127.0.0.1", server_->port(), "/hello", &status, &body)
+                .ok() &&
+            status == 200 && body == "hi\n") {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), kThreads * kRequests);
+  EXPECT_GE(server_->requests_served(),
+            static_cast<std::uint64_t>(kThreads * kRequests));
+}
+
+TEST_F(HttpServerTest, StopIsIdempotentAndReleasesPort) {
+  const int port = server_->port();
+  server_->Stop();
+  server_->Stop();
+  EXPECT_FALSE(server_->running());
+  // The port is free again: a second server can bind it.
+  HttpServer::Options opts;
+  opts.port = port;
+  HttpServer second(opts);
+  EXPECT_TRUE(second.Start().ok());
+  second.Stop();
+}
+
+TEST(HttpServerLifecycleTest, PortConflictReportsError) {
+  HttpServer::Options opts;
+  opts.port = 0;
+  HttpServer first(opts);
+  ASSERT_TRUE(first.Start().ok());
+  HttpServer::Options conflict;
+  conflict.port = first.port();
+  HttpServer second(conflict);
+  const Status s = second.Start();
+  EXPECT_FALSE(s.ok());
+  first.Stop();
+}
+
+TEST(HttpServerLifecycleTest, StopWithoutStartIsSafe) {
+  HttpServer::Options opts;
+  HttpServer server(opts);
+  server.Stop();  // no-op
+}
+
+}  // namespace
+}  // namespace fl::ops

@@ -1,0 +1,64 @@
+#include "src/ops/json.h"
+
+#include <gtest/gtest.h>
+
+namespace fl::ops {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::Parse("null").value().is_null());
+  EXPECT_TRUE(JsonValue::Parse("true").value().AsBool());
+  EXPECT_FALSE(JsonValue::Parse("false").value().AsBool(true));
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-3.5e2").value().AsDouble(), -350.0);
+  EXPECT_EQ(JsonValue::Parse("\"hi\"").value().AsString(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedStructure) {
+  auto parsed = JsonValue::Parse(
+      R"({"a": {"b": [1, 2, {"c": "deep"}]}, "d": true})");
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue& root = parsed.value();
+  ASSERT_TRUE(root.is_object());
+  const JsonValue* arr = root.FindPath("a.b");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->size(), 3u);
+  EXPECT_EQ((*arr)[0].AsInt(), 1);
+  EXPECT_EQ((*arr)[2].Find("c")->AsString(), "deep");
+  EXPECT_TRUE(root.FindPath("d")->AsBool());
+  EXPECT_EQ(root.FindPath("a.nope"), nullptr);
+  EXPECT_EQ(root.FindPath("x.y.z"), nullptr);
+}
+
+TEST(JsonTest, DecodesEscapes) {
+  auto parsed = JsonValue::Parse(R"("line\nquote\" tab\t uA")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().AsString(), "line\nquote\" tab\t uA");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("1 2").ok());
+  EXPECT_FALSE(JsonValue::Parse("nul").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1}extra").ok());
+}
+
+TEST(JsonTest, RejectsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+TEST(JsonTest, TypeMismatchesFallBack) {
+  const JsonValue v = JsonValue::Parse("\"str\"").value();
+  EXPECT_DOUBLE_EQ(v.AsDouble(42.0), 42.0);
+  EXPECT_TRUE(v.AsBool(true));
+  EXPECT_EQ(v.Find("k"), nullptr);
+  EXPECT_EQ(v.size(), 0u);
+}
+
+}  // namespace
+}  // namespace fl::ops

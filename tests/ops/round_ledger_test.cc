@@ -1,0 +1,218 @@
+#include "src/ops/round_ledger.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/ops/json.h"
+
+namespace fl::ops {
+namespace {
+
+using protocol::ParticipantOutcome;
+using protocol::RoundOutcome;
+
+// Records every callback so the tee contract is checkable.
+class RecordingSink final : public server::ServerStatsSink {
+ public:
+  void OnRoundOutcome(SimTime, RoundId, RoundOutcome, std::size_t) override {
+    ++round_outcomes;
+  }
+  void OnParticipantOutcome(SimTime, RoundId, DeviceId,
+                            ParticipantOutcome) override {
+    ++participant_outcomes;
+  }
+  void OnRoundTiming(SimTime, RoundId, Duration, Duration) override {
+    ++timings;
+  }
+  void OnDeviceAccepted(SimTime) override { ++accepted; }
+  void OnDeviceRejected(SimTime) override { ++rejected; }
+  void OnTraffic(SimTime, std::uint64_t down, std::uint64_t up) override {
+    download += down;
+    upload += up;
+  }
+  void OnError(SimTime, const std::string&) override { ++errors; }
+
+  int round_outcomes = 0;
+  int participant_outcomes = 0;
+  int timings = 0;
+  int accepted = 0;
+  int rejected = 0;
+  int errors = 0;
+  std::uint64_t download = 0;
+  std::uint64_t upload = 0;
+};
+
+SimTime At(std::int64_t ms) { return SimTime{ms}; }
+
+TEST(RoundLedgerTest, ForwardsEverythingEvenWhenDisabled) {
+  RecordingSink inner;
+  RoundLedger ledger(&inner);
+  ASSERT_FALSE(ledger.enabled());
+
+  ledger.OnDeviceAccepted(At(1));
+  ledger.OnDeviceRejected(At(2));
+  ledger.OnParticipantOutcome(At(3), RoundId{1}, DeviceId{9},
+                              ParticipantOutcome::kCompleted);
+  ledger.OnRoundTiming(At(4), RoundId{1}, Millis(100), Millis(500));
+  ledger.OnRoundOutcome(At(5), RoundId{1}, RoundOutcome::kCommitted, 3);
+  ledger.OnTraffic(At(6), 10, 20);
+  ledger.OnError(At(7), "boom");
+
+  EXPECT_EQ(inner.round_outcomes, 1);
+  EXPECT_EQ(inner.participant_outcomes, 1);
+  EXPECT_EQ(inner.timings, 1);
+  EXPECT_EQ(inner.accepted, 1);
+  EXPECT_EQ(inner.rejected, 1);
+  EXPECT_EQ(inner.errors, 1);
+  EXPECT_EQ(inner.download, 10u);
+  EXPECT_EQ(inner.upload, 20u);
+
+  // Disabled: nothing recorded.
+  EXPECT_TRUE(ledger.Recent().empty());
+  EXPECT_EQ(ledger.totals().rounds_committed, 0u);
+}
+
+TEST(RoundLedgerTest, NullInnerIsFine) {
+  RoundLedger ledger;
+  ledger.set_enabled(true);
+  ledger.OnRoundOutcome(At(1), RoundId{1}, RoundOutcome::kCommitted, 2);
+  EXPECT_EQ(ledger.Recent().size(), 1u);
+}
+
+TEST(RoundLedgerTest, StagesParticipantsAndTimingUntilOutcome) {
+  RoundLedger ledger;
+  ledger.set_enabled(true);
+
+  // Everything about round 7 arrives before its outcome.
+  ledger.OnParticipantOutcome(At(1), RoundId{7}, DeviceId{1},
+                              ParticipantOutcome::kCompleted);
+  ledger.OnParticipantOutcome(At(2), RoundId{7}, DeviceId{2},
+                              ParticipantOutcome::kCompleted);
+  ledger.OnParticipantOutcome(At(3), RoundId{7}, DeviceId{3},
+                              ParticipantOutcome::kDropped);
+  ledger.OnParticipantOutcome(At(4), RoundId{7}, DeviceId{4},
+                              ParticipantOutcome::kAborted);
+  ledger.OnParticipantOutcome(At(5), RoundId{7}, DeviceId{5},
+                              ParticipantOutcome::kRejectedLate);
+  ledger.OnRoundTiming(At(6), RoundId{7}, Millis(250), Millis(1500));
+  EXPECT_TRUE(ledger.Recent().empty());  // not finished yet
+
+  ledger.OnRoundOutcome(At(7), RoundId{7}, RoundOutcome::kCommitted, 2);
+  const auto recent = ledger.Recent();
+  ASSERT_EQ(recent.size(), 1u);
+  const RoundRecord& r = recent[0];
+  EXPECT_EQ(r.round.value, 7u);
+  EXPECT_EQ(r.finished_at.millis, 7);
+  EXPECT_EQ(r.outcome, RoundOutcome::kCommitted);
+  EXPECT_EQ(r.contributors, 2u);
+  EXPECT_TRUE(r.has_timing);
+  EXPECT_EQ(r.selection_duration.millis, 250);
+  EXPECT_EQ(r.round_duration.millis, 1500);
+  EXPECT_EQ(r.completed, 2u);
+  EXPECT_EQ(r.aborted, 1u);
+  EXPECT_EQ(r.dropped, 1u);
+  EXPECT_EQ(r.rejected_late, 1u);
+}
+
+TEST(RoundLedgerTest, LateParticipantOutcomeUpdatesFinishedRecord) {
+  RoundLedger ledger;
+  ledger.set_enabled(true);
+  ledger.OnRoundOutcome(At(1), RoundId{3}, RoundOutcome::kCommitted, 1);
+  // A straggler reports after the round already closed.
+  ledger.OnParticipantOutcome(At(2), RoundId{3}, DeviceId{8},
+                              ParticipantOutcome::kRejectedLate);
+  const auto recent = ledger.Recent();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].rejected_late, 1u);
+}
+
+TEST(RoundLedgerTest, CapacityEvictsOldestAndRecentIsNewestFirst) {
+  RoundLedger ledger(nullptr, /*capacity=*/3);
+  ledger.set_enabled(true);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    ledger.OnRoundOutcome(At(static_cast<std::int64_t>(i)), RoundId{i},
+                          RoundOutcome::kCommitted, i);
+  }
+  const auto recent = ledger.Recent();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0].round.value, 5u);
+  EXPECT_EQ(recent[1].round.value, 4u);
+  EXPECT_EQ(recent[2].round.value, 3u);
+
+  // `max` truncates from the newest end.
+  const auto top1 = ledger.Recent(1);
+  ASSERT_EQ(top1.size(), 1u);
+  EXPECT_EQ(top1[0].round.value, 5u);
+}
+
+TEST(RoundLedgerTest, TotalsTallyOutcomesAndCheckins) {
+  RoundLedger ledger;
+  ledger.set_enabled(true);
+  ledger.OnRoundOutcome(At(1), RoundId{1}, RoundOutcome::kCommitted, 2);
+  ledger.OnRoundOutcome(At(2), RoundId{2}, RoundOutcome::kAbandonedSelection,
+                        0);
+  ledger.OnRoundOutcome(At(3), RoundId{3}, RoundOutcome::kAbandonedReporting,
+                        1);
+  ledger.OnRoundOutcome(At(4), RoundId{4}, RoundOutcome::kFailed, 0);
+  ledger.OnDeviceAccepted(At(5));
+  ledger.OnDeviceAccepted(At(6));
+  ledger.OnDeviceRejected(At(7));
+  ledger.OnError(At(8), "x");
+
+  const RoundLedger::Totals totals = ledger.totals();
+  EXPECT_EQ(totals.rounds_committed, 1u);
+  EXPECT_EQ(totals.rounds_abandoned, 3u);  // kFailed counts as not-committed
+  EXPECT_EQ(totals.checkins_accepted, 2u);
+  EXPECT_EQ(totals.checkins_rejected, 1u);
+  EXPECT_EQ(totals.errors, 1u);
+}
+
+TEST(RoundLedgerTest, RecentJsonIsValidAndNewestFirst) {
+  RoundLedger ledger;
+  ledger.set_enabled(true);
+  ledger.OnRoundTiming(At(1), RoundId{1}, Millis(100), Millis(2000));
+  ledger.OnRoundOutcome(At(2), RoundId{1}, RoundOutcome::kCommitted, 4);
+  ledger.OnRoundOutcome(At(3), RoundId{2}, RoundOutcome::kAbandonedSelection,
+                        0);
+
+  const auto parsed = JsonValue::Parse(ledger.RecentJson(10));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue& root = parsed.value();
+
+  ASSERT_NE(root.FindPath("totals"), nullptr);
+  EXPECT_EQ(root.FindPath("totals.rounds_committed")->AsInt(), 1);
+  EXPECT_EQ(root.FindPath("totals.rounds_abandoned")->AsInt(), 1);
+
+  const JsonValue* rounds = root.Find("rounds");
+  ASSERT_NE(rounds, nullptr);
+  ASSERT_EQ(rounds->size(), 2u);
+  // Newest first: round 2 (abandoned, no timing) then round 1.
+  EXPECT_EQ((*rounds)[0].Find("round")->AsInt(), 2);
+  EXPECT_EQ((*rounds)[0].Find("outcome")->AsString(), "abandoned_selection");
+  EXPECT_DOUBLE_EQ((*rounds)[0].Find("selection_seconds")->AsDouble(), -1.0);
+  EXPECT_EQ((*rounds)[1].Find("round")->AsInt(), 1);
+  EXPECT_EQ((*rounds)[1].Find("outcome")->AsString(), "committed");
+  EXPECT_EQ((*rounds)[1].Find("contributors")->AsInt(), 4);
+  EXPECT_DOUBLE_EQ((*rounds)[1].Find("selection_seconds")->AsDouble(), 0.1);
+  EXPECT_DOUBLE_EQ((*rounds)[1].Find("round_seconds")->AsDouble(), 2.0);
+
+  // Limit applies.
+  const auto limited = JsonValue::Parse(ledger.RecentJson(1));
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited.value().Find("rounds")->size(), 1u);
+}
+
+TEST(RoundLedgerTest, DisableStopsRecordingButKeepsHistory) {
+  RoundLedger ledger;
+  ledger.set_enabled(true);
+  ledger.OnRoundOutcome(At(1), RoundId{1}, RoundOutcome::kCommitted, 1);
+  ledger.set_enabled(false);
+  ledger.OnRoundOutcome(At(2), RoundId{2}, RoundOutcome::kCommitted, 1);
+  EXPECT_EQ(ledger.Recent().size(), 1u);
+  EXPECT_EQ(ledger.totals().rounds_committed, 1u);
+}
+
+}  // namespace
+}  // namespace fl::ops

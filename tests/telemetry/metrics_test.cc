@@ -125,6 +125,31 @@ TEST_F(MetricsTest, HistogramQuantiles) {
   EXPECT_DOUBLE_EQ(over.Quantile(50), 4.0);
 }
 
+TEST_F(MetricsTest, QuantileNeverSitsOnBucketBoundary) {
+  // bounds 1, 2, 4, 8: five samples in (1, 2], five in (4, 8]. p50's
+  // target lands exactly on the first group's cumulative edge; raw
+  // interpolation used to answer the shared boundary (2.0) while the
+  // midpoint-clamped estimator stays strictly inside the owning bucket.
+  Histogram h(HistogramOptions{1.0, 2.0, 4});
+  for (int i = 0; i < 5; ++i) h.Observe(1.5);
+  for (int i = 0; i < 5; ++i) h.Observe(5.0);
+  const double p50 = h.Quantile(50);
+  EXPECT_GT(p50, 1.0);
+  EXPECT_LT(p50, 2.0);
+  EXPECT_DOUBLE_EQ(p50, 1.0 + (2.0 - 1.0) * (1.0 - 0.5 / 5.0));
+  // Edge quantiles stay inside the occupied range as well.
+  EXPECT_GT(h.Quantile(0), 1.0);
+  EXPECT_LT(h.Quantile(100), 8.0);
+}
+
+TEST_F(MetricsTest, SingleSampleQuantileIsBucketMidpoint) {
+  Histogram h(HistogramOptions{1.0, 2.0, 4});  // bounds 1, 2, 4, 8
+  h.Observe(3.0);                              // bucket (2, 4]
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(p), 3.0) << "p=" << p;
+  }
+}
+
 TEST_F(MetricsTest, RegistryReturnsStablePointersAndSnapshot) {
   auto& reg = MetricsRegistry::Global();
   Counter* a = reg.GetCounter("test_stable");
