@@ -1,7 +1,10 @@
 // Fixed-point codec mapping float model updates into the additive group
-// Z_{2^32}. Secure Aggregation (Sec. 6) masks updates with uniform group
-// elements; masking requires exact modular arithmetic, so floats are
-// quantized before masking and de-quantized after unmasking.
+// Z_{2^r} (r <= 32). Secure Aggregation (Sec. 6) masks updates with uniform
+// group elements; masking requires exact modular arithmetic, so floats are
+// quantized before masking and de-quantized after unmasking. For r < 32 the
+// ring embeds in Z_{2^32} (2^r divides 2^32), so u32 mask arithmetic and
+// mod-2^r reduction commute — masked words can travel as r-bit values and
+// the server reduces the aggregate once at finalize.
 #pragma once
 
 #include <cmath>
@@ -13,38 +16,48 @@
 
 namespace fl {
 
-// Symmetric fixed-point quantizer: value v maps to round(v * scale) mod 2^32
+// Symmetric fixed-point quantizer: value v maps to round(v * scale) mod 2^r
 // (two's complement). `clip` bounds |v|; values beyond it saturate. Sums of
 // up to `max_summands` quantized values stay exact as long as
-// max_summands * clip * scale < 2^31.
+// max_summands * clip * scale < 2^(r-1).
 class FixedPointCodec {
  public:
-  FixedPointCodec(double clip, std::uint32_t max_summands)
-      : clip_(clip), max_summands_(max_summands) {
+  FixedPointCodec(double clip, std::uint32_t max_summands,
+                  std::uint8_t ring_bits = 32)
+      : clip_(clip), max_summands_(max_summands), ring_bits_(ring_bits) {
     FL_CHECK(clip > 0.0);
     FL_CHECK(max_summands > 0);
-    // Choose the largest scale that cannot overflow int32 when summing.
-    scale_ = std::floor(static_cast<double>(1u << 31) /
+    FL_CHECK(ring_bits >= 8 && ring_bits <= 32);
+    ring_mask_ = ring_bits == 32 ? 0xFFFFFFFFu
+                                 : ((1u << ring_bits) - 1u);
+    sign_bit_ = 1u << (ring_bits - 1);
+    // Choose the largest scale that cannot overflow the signed half of the
+    // ring when summing.
+    scale_ = std::floor(std::ldexp(1.0, ring_bits - 1) /
                         (clip * static_cast<double>(max_summands))) -
              1.0;
     FL_CHECK_MSG(scale_ >= 1.0,
-                 "clip * max_summands too large for 32-bit fixed point");
+                 "clip * max_summands too large for the fixed-point ring");
   }
 
   double clip() const { return clip_; }
   double scale() const { return scale_; }
   double resolution() const { return 1.0 / scale_; }
   std::uint32_t max_summands() const { return max_summands_; }
+  std::uint8_t ring_bits() const { return ring_bits_; }
+  std::uint32_t ring_mask() const { return ring_mask_; }
 
   std::uint32_t Encode(float v) const {
     double x = static_cast<double>(v);
     if (x > clip_) x = clip_;
     if (x < -clip_) x = -clip_;
     const auto q = static_cast<std::int64_t>(std::llround(x * scale_));
-    return static_cast<std::uint32_t>(q);  // two's complement wrap
+    return static_cast<std::uint32_t>(q) & ring_mask_;  // two's complement
   }
 
   float Decode(std::uint32_t q) const {
+    q &= ring_mask_;
+    if ((q & sign_bit_) != 0) q |= ~ring_mask_;  // sign-extend from r bits
     const auto s = static_cast<std::int32_t>(q);
     return static_cast<float>(static_cast<double>(s) / scale_);
   }
@@ -67,6 +80,9 @@ class FixedPointCodec {
  private:
   double clip_;
   std::uint32_t max_summands_;
+  std::uint8_t ring_bits_;
+  std::uint32_t ring_mask_;
+  std::uint32_t sign_bit_;
   double scale_;
 };
 

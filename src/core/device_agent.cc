@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/common/fixed_point.h"
+#include "src/fedavg/codec.h"
 #include "src/fedavg/compression.h"
 
 namespace fl::core {
@@ -28,8 +29,9 @@ std::uint64_t ShareKeysBytes(const secagg::ShareKeysMessage& m) {
   for (const auto& s : m.shares) b += s.ciphertext.size() + 12;
   return b;
 }
-std::uint64_t MaskedBytes(const secagg::MaskedInput& m) {
-  return 16 + 4 * m.masked.size();
+std::uint64_t MaskedBytes(const secagg::MaskedInput& m,
+                          std::uint8_t ring_bits) {
+  return 16 + secagg::MaskedVectorWireBytes(m.masked.size(), ring_bits);
 }
 std::uint64_t UnmaskBytes(const secagg::UnmaskingResponse& r) {
   return 16 + 16 * (r.mask_key_shares.size() + 5 * r.self_seed_shares.size());
@@ -289,12 +291,17 @@ void DeviceAgent::OnAssigned(std::uint64_t gen,
   s.plan = std::move(plan).value();
   s.global = std::move(global).value();
 
+  s.codec = assignment.codec;
   if (assignment.secagg_enabled) {
     s.secagg = true;
     s.secagg_clip = assignment.secagg_clip;
     s.secagg_max_summands = assignment.secagg_max_summands;
+    s.secagg_ring_bits = assignment.secagg_ring_bits;
+    s.secagg_index_seed = assignment.secagg_index_seed;
+    s.secagg_vector_length = assignment.secagg_vector_length;
     s.sa_client.emplace(assignment.secagg_index, assignment.secagg_threshold,
-                        assignment.secagg_vector_length, RandomKey(rng_));
+                        assignment.secagg_vector_length, RandomKey(rng_),
+                        assignment.secagg_ring_bits);
     // Round 0: advertise keys right away, overlapping with training.
     const secagg::KeyAdvertisement adv = s.sa_client->AdvertiseKeys();
     SendSecAggUpload(gen, AdvertiseBytes(), [this, adv] {
@@ -382,13 +389,23 @@ void DeviceAgent::BeginUpload(std::uint64_t gen) {
   if (s.update.has_value()) {
     report.weight = s.update->weight;
     const auto& compression = services_.config->upload_compression;
-    if (compression.has_value()) {
+    if (s.codec.enabled()) {
+      // Pluggable codec path: the encoded payload itself travels; the
+      // Aggregator decodes and accumulates (no server-side reconstruction
+      // happens device-side, unlike the legacy compression path below).
+      const std::vector<float> flat = s.update->weighted_delta.Flatten();
+      fedavg::EncodedUpdate wire =
+          fedavg::EncodeUpdate(flat, s.codec, rng_.Next());
+      wire_bytes = wire.WireBytes();
+      report.update_bytes = std::move(wire.payload);
+      report.codec_encoded = true;
+    } else if (compression.has_value()) {
       // Sec. 11 Bandwidth: compress the (compressible) update for the wire;
       // the server aggregates the reconstruction.
       const std::vector<float> flat = s.update->weighted_delta.Flatten();
       const fedavg::CompressedUpdate wire =
           fedavg::Compress(flat, *compression, rng_.Next());
-      wire_bytes = wire.payload.size() + 32;
+      wire_bytes = wire.WireBytes();
       auto restored = fedavg::Decompress(wire);
       FL_CHECK(restored.ok());
       auto restored_ckpt = s.update->weighted_delta.Unflatten(*restored);
@@ -515,24 +532,34 @@ void DeviceAgent::MaybeSendMaskedInput(std::uint64_t gen) {
   s.sa_masked_sent = true;
 
   // Quantize update + trailing weight word. Codec parameters (clip,
-  // max_summands) arrive with the assignment, so device and Aggregator use
-  // identical fixed-point scales.
+  // max_summands, ring_bits, index seed) arrive with the assignment, so
+  // device and Aggregator use identical fixed-point scales and — when the
+  // cohort sparsifies — the identical agreed coordinate subset.
   const std::vector<float> flat = s.update->weighted_delta.Flatten();
-  const std::size_t veclen = flat.size() + 1;
-  FixedPointCodec codec(s.secagg_clip, s.secagg_max_summands);
-  std::vector<std::uint32_t> words(veclen);
-  for (std::size_t i = 0; i < flat.size(); ++i) {
-    words[i] = codec.Encode(flat[i]);
+  const std::size_t keep = s.secagg_vector_length - 1;
+  FixedPointCodec codec(s.secagg_clip, s.secagg_max_summands,
+                        s.secagg_ring_bits);
+  std::vector<std::uint32_t> words(keep + 1);
+  if (keep < flat.size()) {
+    const std::vector<std::uint32_t> agreed =
+        fedavg::AgreedIndexSet(s.secagg_index_seed, flat.size(), keep);
+    for (std::size_t i = 0; i < keep; ++i) {
+      words[i] = codec.Encode(flat[agreed[i]]);
+    }
+  } else {
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+      words[i] = codec.Encode(flat[i]);
+    }
   }
-  words[flat.size()] =
-      static_cast<std::uint32_t>(std::lround(s.update->weight));
+  words[keep] = static_cast<std::uint32_t>(std::lround(s.update->weight)) &
+                codec.ring_mask();
 
   auto masked = s.sa_client->MaskInput(words, *s.sa_u1);
   if (!masked.ok()) return;
 
   AddTrace(SessionEvent::kUploadStarted);
   s.uploading = true;
-  const std::uint64_t bytes = MaskedBytes(*masked);
+  const std::uint64_t bytes = MaskedBytes(*masked, s.secagg_ring_bits);
   SendSecAggUpload(gen, bytes, [this, input = std::move(masked).value(),
                                 bytes]() mutable {
     server::SecAggMaskedInputMsg out;

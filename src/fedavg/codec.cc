@@ -1,0 +1,281 @@
+#include "src/fedavg/codec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/rng.h"
+
+namespace fl::fedavg {
+namespace {
+
+constexpr char kMagic[4] = {'F', 'L', 'W', '1'};
+
+// Header flag bits.
+constexpr std::uint8_t kFlagDelta = 0x01;
+constexpr std::uint8_t kFlagTopK = 0x02;
+constexpr std::uint8_t kFlagQuant = 0x04;
+
+// Index encodings for the top-k stage.
+constexpr std::uint8_t kIndexBitmap = 0;
+constexpr std::uint8_t kIndexVarint = 1;
+
+std::size_t VarintDeltaBytes(std::span<const std::uint32_t> indices) {
+  std::size_t bytes = 0;
+  std::uint32_t prev = 0;
+  for (std::uint32_t idx : indices) {
+    bytes += VarintSize(idx - prev);
+    prev = idx;
+  }
+  return bytes;
+}
+
+// Symmetric b-bit quantization with stochastic rounding: q in
+// [-qmax, qmax] stored as level q + qmax. E[decode] == value given the
+// deterministic scale, which is what the unbiasedness test asserts.
+void WriteQuantized(BytesWriter& w, std::span<const float> values,
+                    std::uint8_t bits, Rng& rng) {
+  const auto qmax =
+      static_cast<std::int32_t>((1u << (bits - 1)) - 1u);
+  float max_abs = 0.0f;
+  for (float v : values) max_abs = std::max(max_abs, std::abs(v));
+  w.WriteF32(max_abs);
+  if (values.empty()) return;
+  const double scale =
+      max_abs > 0.0f ? static_cast<double>(qmax) / max_abs : 0.0;
+  std::vector<std::uint32_t> levels(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double x = static_cast<double>(values[i]) * scale;
+    const double floor_x = std::floor(x);
+    const double frac = x - floor_x;
+    auto q = static_cast<std::int32_t>(floor_x) +
+             (rng.NextDouble() < frac ? 1 : 0);
+    q = std::clamp(q, -qmax, qmax);
+    levels[i] = static_cast<std::uint32_t>(q + qmax);
+  }
+  wire::PackBits(w, levels, bits);
+}
+
+Result<std::vector<float>> ReadQuantized(BytesReader& r, std::size_t count,
+                                         std::uint8_t bits) {
+  const auto qmax =
+      static_cast<std::int32_t>((1u << (bits - 1)) - 1u);
+  FL_ASSIGN_OR_RETURN(float max_abs, r.ReadF32());
+  if (!(max_abs >= 0.0f) || !std::isfinite(max_abs)) {
+    return DataLossError("bad quantization scale");
+  }
+  std::vector<float> values(count);
+  if (count == 0) return values;
+  FL_ASSIGN_OR_RETURN(std::vector<std::uint32_t> levels,
+                      wire::UnpackBits(r, count, bits));
+  const double inv_scale =
+      max_abs > 0.0f ? static_cast<double>(max_abs) / qmax : 0.0;
+  const auto max_level = static_cast<std::uint32_t>(2 * qmax);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (levels[i] > max_level) return DataLossError("quantized level range");
+    const std::int32_t q = static_cast<std::int32_t>(levels[i]) - qmax;
+    values[i] = static_cast<float>(q * inv_scale);
+  }
+  return values;
+}
+
+}  // namespace
+
+EncodedUpdate EncodeUpdate(std::span<const float> update,
+                           const protocol::WireCodecConfig& config,
+                           std::uint64_t seed,
+                           std::span<const float> reference) {
+  FL_CHECK(config.quant_bits == 32 ||
+           (config.quant_bits >= 2 && config.quant_bits <= 8));
+  FL_CHECK(config.topk_fraction > 0.0 && config.topk_fraction <= 1.0);
+  FL_CHECK_MSG(!config.delta || reference.size() == update.size(),
+               "delta stage needs a reference of matching length");
+  Rng rng(seed ^ 0xF1DC0DECull);
+
+  // Stage 1: delta vs reference.
+  std::vector<float> residual;
+  std::span<const float> values = update;
+  if (config.delta) {
+    residual.resize(update.size());
+    for (std::size_t i = 0; i < update.size(); ++i) {
+      residual[i] = update[i] - reference[i];
+    }
+    values = residual;
+  }
+
+  // Stage 2: top-k selection over |value|.
+  const bool topk = config.topk_fraction < 1.0 && !values.empty();
+  std::vector<std::uint32_t> indices;
+  std::vector<float> kept;
+  if (topk) {
+    const std::size_t k = KeepCount(values.size(), config.topk_fraction);
+    indices.resize(values.size());
+    std::iota(indices.begin(), indices.end(), 0u);
+    std::nth_element(indices.begin(),
+                     indices.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     indices.end(),
+                     [values](std::uint32_t a, std::uint32_t b) {
+                       const float ma = std::abs(values[a]);
+                       const float mb = std::abs(values[b]);
+                       return ma != mb ? ma > mb : a < b;
+                     });
+    indices.resize(k);
+    std::sort(indices.begin(), indices.end());
+    kept.reserve(k);
+    for (std::uint32_t idx : indices) kept.push_back(values[idx]);
+    values = kept;
+  }
+
+  BytesWriter w;
+  w.WriteRaw(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(kMagic), 4));
+  std::uint8_t flags = 0;
+  if (config.delta) flags |= kFlagDelta;
+  if (topk) flags |= kFlagTopK;
+  if (config.quant_bits != 32) flags |= kFlagQuant;
+  w.WriteU8(flags);
+  w.WriteVarint(update.size());
+  if ((flags & kFlagQuant) != 0) w.WriteU8(config.quant_bits);
+
+  if (topk) {
+    w.WriteVarint(values.size());
+    // Index set: bitmap vs delta varints, whichever is smaller on the wire.
+    const std::size_t bitmap_bytes = (update.size() + 7) / 8;
+    if (bitmap_bytes <= VarintDeltaBytes(indices)) {
+      w.WriteU8(kIndexBitmap);
+      std::vector<std::uint8_t> bitmap(bitmap_bytes, 0);
+      for (std::uint32_t idx : indices) {
+        bitmap[idx >> 3] |= static_cast<std::uint8_t>(1u << (idx & 7));
+      }
+      w.WriteRaw(bitmap);
+    } else {
+      w.WriteU8(kIndexVarint);
+      std::uint32_t prev = 0;
+      for (std::uint32_t idx : indices) {
+        w.WriteVarint(idx - prev);
+        prev = idx;
+      }
+    }
+  }
+
+  if ((flags & kFlagQuant) != 0) {
+    WriteQuantized(w, values, config.quant_bits, rng);
+  } else {
+    for (float v : values) w.WriteF32(v);
+  }
+
+  EncodedUpdate out;
+  out.payload = std::move(w).Take();
+  out.original_floats = update.size();
+  return out;
+}
+
+Result<std::vector<float>> DecodeUpdate(std::span<const std::uint8_t> payload,
+                                        std::span<const float> reference) {
+  BytesReader r(payload);
+  for (char expected : kMagic) {
+    FL_ASSIGN_OR_RETURN(std::uint8_t b, r.ReadU8());
+    if (static_cast<char>(b) != expected) {
+      return DataLossError("bad encoded update magic");
+    }
+  }
+  FL_ASSIGN_OR_RETURN(std::uint8_t flags, r.ReadU8());
+  FL_ASSIGN_OR_RETURN(std::uint64_t total, r.ReadVarint());
+  const bool delta = (flags & kFlagDelta) != 0;
+  const bool topk = (flags & kFlagTopK) != 0;
+  std::uint8_t bits = 32;
+  if ((flags & kFlagQuant) != 0) {
+    FL_ASSIGN_OR_RETURN(bits, r.ReadU8());
+    if (bits < 2 || bits > 8) return DataLossError("bad quantization bits");
+  }
+  if (delta && reference.size() != total) {
+    return InvalidArgumentError("delta-coded update needs its reference");
+  }
+
+  std::uint64_t kept = total;
+  std::vector<std::uint32_t> indices;
+  if (topk) {
+    FL_ASSIGN_OR_RETURN(kept, r.ReadVarint());
+    if (kept > total) return DataLossError("kept count exceeds total");
+    FL_ASSIGN_OR_RETURN(std::uint8_t index_mode, r.ReadU8());
+    indices.reserve(kept);
+    if (index_mode == kIndexBitmap) {
+      const std::size_t bitmap_bytes = (total + 7) / 8;
+      for (std::size_t byte = 0; byte < bitmap_bytes; ++byte) {
+        FL_ASSIGN_OR_RETURN(std::uint8_t b, r.ReadU8());
+        for (int bit = 0; bit < 8 && byte * 8 + bit < total; ++bit) {
+          if ((b >> bit) & 1) {
+            indices.push_back(static_cast<std::uint32_t>(byte * 8 + bit));
+          }
+        }
+      }
+      if (indices.size() != kept) {
+        return DataLossError("bitmap population mismatch");
+      }
+    } else if (index_mode == kIndexVarint) {
+      std::uint32_t prev = 0;
+      for (std::uint64_t i = 0; i < kept; ++i) {
+        FL_ASSIGN_OR_RETURN(std::uint64_t d, r.ReadVarint());
+        prev += static_cast<std::uint32_t>(d);
+        if (prev >= total) return DataLossError("index out of range");
+        indices.push_back(prev);
+      }
+    } else {
+      return DataLossError("unknown index encoding");
+    }
+  }
+
+  std::vector<float> values;
+  if (bits != 32) {
+    FL_ASSIGN_OR_RETURN(values, ReadQuantized(r, kept, bits));
+  } else {
+    values.resize(kept);
+    for (auto& v : values) {
+      FL_ASSIGN_OR_RETURN(v, r.ReadF32());
+    }
+  }
+  if (!r.AtEnd()) return DataLossError("trailing bytes in encoded update");
+
+  std::vector<float> out(total, 0.0f);
+  if (topk) {
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      out[indices[i]] = values[i];
+    }
+  } else {
+    out = std::move(values);
+  }
+  if (delta) {
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += reference[i];
+  }
+  return out;
+}
+
+std::size_t KeepCount(std::size_t total, double keep_fraction) {
+  if (total == 0) return 0;
+  if (keep_fraction >= 1.0) return total;
+  const auto k = static_cast<std::size_t>(
+      std::ceil(keep_fraction * static_cast<double>(total)));
+  return std::clamp<std::size_t>(k, 1, total);
+}
+
+std::vector<std::uint32_t> AgreedIndexSet(std::uint64_t seed,
+                                          std::size_t total,
+                                          std::size_t keep) {
+  FL_CHECK(keep <= total);
+  std::vector<std::uint32_t> all(total);
+  std::iota(all.begin(), all.end(), 0u);
+  if (keep == total) return all;
+  // Partial Fisher-Yates: the first `keep` slots end up a uniform sample
+  // without replacement, deterministically in the seed.
+  Rng rng(seed ^ 0xC0480127ull);
+  for (std::size_t i = 0; i < keep; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(rng.UniformInt(
+                                  static_cast<std::uint64_t>(total - i)));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(keep);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+}  // namespace fl::fedavg

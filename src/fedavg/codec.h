@@ -1,0 +1,74 @@
+// Pluggable update codec layer (paper Sec. 9/11: per-device upload bytes
+// dominate fleet cost). Composable stages — delta-vs-reference encoding,
+// top-k sparsification with index bitmaps, and b-bit linear quantization
+// with stochastic rounding — selected per-plan via
+// protocol::WireCodecConfig. The device encodes on upload, the Aggregator
+// decodes and accumulates; the payload is self-describing except for the
+// optional delta reference, which both ends must already hold.
+//
+// The SecAgg helpers at the bottom implement the masked-sum composition:
+// sparsification under Secure Aggregation cannot be per-device (masked
+// sums only cancel when every participant masks the same coordinates), so
+// the cohort agrees on a pseudorandom index subset derived from a seed the
+// server ships with the task assignment.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/fedavg/compression.h"
+#include "src/protocol/round_config.h"
+
+namespace fl::fedavg {
+
+struct EncodedUpdate {
+  Bytes payload;  // complete codec output: header + indices + values
+  std::size_t original_floats = 0;
+
+  // Total on-wire bytes, framed exactly like CompressedUpdate::WireBytes()
+  // so ratios are comparable across codecs.
+  std::size_t WireBytes() const {
+    return payload.size() + kUpdateWireOverheadBytes;
+  }
+  double CompressionRatio() const {
+    const double raw =
+        static_cast<double>(original_floats) * sizeof(float);
+    return payload.empty() ? 1.0 : raw / static_cast<double>(WireBytes());
+  }
+};
+
+// Encodes `update` through the configured stages in order
+// delta -> top-k -> quantization. `seed` drives stochastic rounding only;
+// decoding does not need it. `reference` is required iff config.delta and
+// must match `update` in length.
+EncodedUpdate EncodeUpdate(std::span<const float> update,
+                           const protocol::WireCodecConfig& config,
+                           std::uint64_t seed,
+                           std::span<const float> reference = {});
+
+// Inverts EncodeUpdate. Coordinates dropped by top-k decode to the
+// reference value (delta on) or zero. Pass the same `reference` the
+// encoder used.
+Result<std::vector<float>> DecodeUpdate(std::span<const std::uint8_t> payload,
+                                        std::span<const float> reference = {});
+
+// ---------------------------------------------------------------------------
+// SecAgg composition helpers (cohort-agreed sparsification).
+// ---------------------------------------------------------------------------
+
+// Number of coordinates kept from `total` under `keep_fraction`: at least
+// one, at most all, ceil otherwise.
+std::size_t KeepCount(std::size_t total, double keep_fraction);
+
+// The cohort-agreed coordinate subset: `keep` distinct indices into
+// [0, total), sorted ascending, a pure function of the seed. Every cohort
+// member (and the Aggregator) derives the same set, so masked sums line up
+// coordinate-for-coordinate and the Bonawitz algebra is untouched.
+std::vector<std::uint32_t> AgreedIndexSet(std::uint64_t seed,
+                                          std::size_t total,
+                                          std::size_t keep);
+
+}  // namespace fl::fedavg

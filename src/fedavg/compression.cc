@@ -4,10 +4,9 @@
 #include <cmath>
 
 namespace fl::fedavg {
-namespace {
-constexpr char kMagic[4] = {'F', 'L', 'C', 'U'};
 
-// Writes quantized levels with `bits` bits each, little-endian bit packing.
+namespace wire {
+
 void PackBits(BytesWriter& w, std::span<const std::uint32_t> levels,
               std::uint8_t bits) {
   std::uint64_t acc = 0;
@@ -44,6 +43,10 @@ Result<std::vector<std::uint32_t>> UnpackBits(BytesReader& r,
   return levels;
 }
 
+}  // namespace wire
+
+namespace {
+constexpr char kMagic[4] = {'F', 'L', 'C', 'U'};
 }  // namespace
 
 CompressedUpdate Compress(std::span<const float> update,
@@ -109,7 +112,7 @@ CompressedUpdate Compress(std::span<const float> update,
                             (rng.NextDouble() < frac ? 1u : 0u);
       levels[i] = std::min(level, max_level);
     }
-    PackBits(w, levels, config.quantization_bits);
+    wire::PackBits(w, levels, config.quantization_bits);
   }
 
   CompressedUpdate out;
@@ -156,7 +159,7 @@ Result<std::vector<float>> Decompress(const CompressedUpdate& update) {
     const double range = std::max(1e-12, static_cast<double>(hi) - lo);
     const auto max_level = static_cast<std::uint32_t>((1u << bits) - 1);
     FL_ASSIGN_OR_RETURN(std::vector<std::uint32_t> levels,
-                        UnpackBits(r, kept, bits));
+                        wire::UnpackBits(r, kept, bits));
     for (std::size_t i = 0; i < kept; ++i) {
       values[i] = static_cast<float>(
           lo + range * levels[i] / static_cast<double>(max_level));

@@ -22,16 +22,38 @@ struct CompressionConfig {
   double keep_fraction = 1.0;          // coordinate subsampling (1.0 = all)
 };
 
+// Transport framing charged to every encoded update on the wire (report
+// headers: ids, lengths, checksum). Shared by CompressedUpdate and the
+// codec layer (src/fedavg/codec.h) so byte accounting and compression
+// ratios are comparable across schemes.
+inline constexpr std::size_t kUpdateWireOverheadBytes = 32;
+
 struct CompressedUpdate {
-  Bytes payload;
+  Bytes payload;  // complete encoder output: header + indices + values
   std::size_t original_floats = 0;
 
+  // Total on-wire bytes: payload (header and index overhead included) plus
+  // the shared transport framing. Every codec charges the same framing, so
+  // ratios compare like for like.
+  std::size_t WireBytes() const {
+    return payload.size() + kUpdateWireOverheadBytes;
+  }
   double CompressionRatio() const {
     const double raw =
         static_cast<double>(original_floats) * sizeof(float);
-    return payload.empty() ? 1.0 : raw / static_cast<double>(payload.size());
+    return payload.empty() ? 1.0 : raw / static_cast<double>(WireBytes());
   }
 };
+
+namespace wire {
+// Little-endian bit packing shared by the compression and codec layers:
+// writes `bits` bits per level, reads them back.
+void PackBits(BytesWriter& w, std::span<const std::uint32_t> levels,
+              std::uint8_t bits);
+Result<std::vector<std::uint32_t>> UnpackBits(BytesReader& r,
+                                              std::size_t count,
+                                              std::uint8_t bits);
+}  // namespace wire
 
 // Compresses a flat update vector. `seed` drives both subsampling and
 // stochastic rounding; decompression does not need it (indices and scale

@@ -18,6 +18,7 @@ constexpr const char* kChartSeries[] = {
     "fl_server_rounds_committed_total", "fl_server_rounds_abandoned_total",
     "fl_server_devices_accepted_total", "fl_server_devices_rejected_total",
     "fl_sim_live_actors",               "fl_sim_event_queue_pending",
+    "fl_server_upload_bytes_total",     "fl_server_download_bytes_total",
 };
 
 constexpr std::int64_t kTenMinutesMs = 10 * 60 * 1000;
@@ -158,6 +159,12 @@ std::string StatusServer::StatuszJson() const {
                                         kTenMinutesMs));
     w.Field("reject_per_10m",
             sources_.store->WindowDelta("fl_server_devices_rejected_total",
+                                        kTenMinutesMs));
+    w.Field("upload_bytes_per_10m",
+            sources_.store->WindowDelta("fl_server_upload_bytes_total",
+                                        kTenMinutesMs));
+    w.Field("download_bytes_per_10m",
+            sources_.store->WindowDelta("fl_server_download_bytes_total",
                                         kTenMinutesMs));
     w.EndObject();
     std::int64_t chart_slot_ms = 10 * 1000;

@@ -1,6 +1,52 @@
 #include "src/protocol/round_config.h"
 
+#include <cmath>
+
 namespace fl::protocol {
+namespace {
+
+// Percentage label without a trailing ".0": 0.25 -> "25", 0.125 -> "12.5".
+std::string PercentLabel(double fraction) {
+  const double pct = fraction * 100.0;
+  const auto rounded = static_cast<long long>(std::llround(pct));
+  if (std::abs(pct - static_cast<double>(rounded)) < 1e-9) {
+    return std::to_string(rounded);
+  }
+  std::string s = std::to_string(pct);
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+std::string WireCodecName(const WireCodecConfig& codec) {
+  if (!codec.enabled()) return "dense";
+  std::string name;
+  auto append = [&name](const std::string& stage) {
+    if (!name.empty()) name += '+';
+    name += stage;
+  };
+  if (codec.delta) append("delta");
+  if (codec.topk_fraction < 1.0) {
+    append("topk" + PercentLabel(codec.topk_fraction));
+  }
+  if (codec.quant_bits != 32) {
+    append("int" + std::to_string(codec.quant_bits));
+  }
+  return name;
+}
+
+std::string RoundCodecName(const RoundConfig& config) {
+  if (config.aggregation != AggregationMode::kSecure) {
+    return WireCodecName(config.codec);
+  }
+  std::string name = "fp" + std::to_string(config.secagg.ring_bits);
+  if (config.secagg.keep_fraction < 1.0) {
+    name += "+keep" + PercentLabel(config.secagg.keep_fraction);
+  }
+  return name;
+}
 
 const char* RoundOutcomeName(RoundOutcome o) {
   switch (o) {

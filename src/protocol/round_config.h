@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "src/common/sim_time.h"
 
@@ -29,7 +30,47 @@ struct SecAggConfig {
   double threshold_fraction = 0.66;
   // Fixed-point clip for update quantization.
   double clip = 4.0;
+  // Width of the fixed-point ring each masked word lives in (8..32). Since
+  // 2^r divides 2^32, reduction mod 2^r commutes with the u32 masked-sum
+  // arithmetic, so masked words can travel as ceil(r/8)-byte values and the
+  // aggregate is reduced once at finalize. 32 keeps the legacy dense wire.
+  // Sums (including the trailing weight word) must fit in r bits:
+  // clip * max_summands * scale < 2^(r-1).
+  std::uint8_t ring_bits = 32;
+  // Cohort-agreed coordinate sparsification: every participant masks the
+  // same keep_fraction subset of coordinates (derived from a seed shipped
+  // with the task assignment), so the masked vector — and the PRG/mask work
+  // — shrinks proportionally while the Bonawitz sum algebra is untouched.
+  // The aggregate is rescaled by 1/keep_fraction for unbiasedness.
+  double keep_fraction = 1.0;
 };
+
+// Pluggable update codec for the plain (non-SecAgg) reporting path: stages
+// compose as delta-vs-reference -> top-k sparsification -> b-bit linear
+// quantization. All stages default OFF, which keeps the wire format (and
+// the determinism goldens) identical to the raw float path.
+struct WireCodecConfig {
+  // Encode the update minus a reference vector both ends already hold
+  // (e.g. the global model when devices ship full models); the decoder
+  // adds the reference back.
+  bool delta = false;
+  // Keep only the k = ceil(topk_fraction * n) largest-magnitude
+  // coordinates; indices travel as a bitmap or varint deltas, whichever is
+  // smaller. 1.0 disables the stage.
+  double topk_fraction = 1.0;
+  // Linear quantization width for the kept values: 32 means float32
+  // (stage off); 2..8 enables symmetric b-bit quantization with stochastic
+  // rounding (8 = int8, 4 = int4).
+  std::uint8_t quant_bits = 32;
+
+  bool enabled() const {
+    return delta || topk_fraction < 1.0 || quant_bits != 32;
+  }
+};
+
+// Human/journal name for a codec config: "dense", "topk25+int8",
+// "delta+topk10+int4", ... Stable across runs (used in journal details).
+std::string WireCodecName(const WireCodecConfig& codec);
 
 struct RoundConfig {
   // Target number of device reports needed to commit the round (K in
@@ -55,6 +96,9 @@ struct RoundConfig {
 
   AggregationMode aggregation = AggregationMode::kSimple;
   SecAggConfig secagg;
+  // Update codec for the plain reporting path (ignored in secure mode,
+  // where SecAggConfig's ring_bits/keep_fraction play the same role).
+  WireCodecConfig codec;
 
   // Derived values.
   std::size_t SelectionTarget() const {
@@ -70,6 +114,11 @@ struct RoundConfig {
         static_cast<double>(goal_count) * min_reporting_fraction + 0.5);
   }
 };
+
+// Codec name for a round's reporting path, secure or plain: plain rounds
+// use WireCodecName(codec); secure rounds describe the fixed-point ring and
+// the cohort-agreed sparsity, e.g. "fp16+keep25".
+std::string RoundCodecName(const RoundConfig& config);
 
 // Outcome of one protocol round, recorded by analytics and consumed by the
 // Fig. 5/6/7 benches.

@@ -81,12 +81,15 @@ Result<DecodedBundle> DecodeShareBundle(std::span<const std::uint8_t> data) {
 
 SecAggClient::SecAggClient(ParticipantIndex index, std::size_t threshold,
                            std::size_t vector_length,
-                           const crypto::Key256& randomness)
+                           const crypto::Key256& randomness,
+                           std::uint8_t ring_bits)
     : index_(index),
       threshold_(threshold),
       vector_length_(vector_length),
+      ring_mask_(ring_bits == 32 ? 0xFFFFFFFFu : ((1u << ring_bits) - 1u)),
       rng_(SeedToU64(SubSeed(randomness, "client-rng"))) {
   FL_CHECK(index >= 1);
+  FL_CHECK(ring_bits >= 8 && ring_bits <= 32);
   enc_keys_ = crypto::GenerateKeyPair(SubSeed(randomness, "enc-keypair"));
   mask_keys_ = crypto::GenerateKeyPair(SubSeed(randomness, "mask-keypair"));
   self_seed_ = SubSeed(randomness, "self-mask-seed");
@@ -203,6 +206,14 @@ Result<MaskedInput> SecAggClient::MaskInput(
       for (std::size_t i = 0; i < vector_length_; ++i) {
         out.masked[i] -= mask[i];
       }
+    }
+  }
+  // Reduce to the wire ring: mod-2^r reduction commutes with the u32 mask
+  // arithmetic above, so the server's sum (reduced once at finalize) is
+  // unchanged while each word ships as only ceil(r/8) bytes.
+  if (ring_mask_ != 0xFFFFFFFFu) {
+    for (std::size_t i = 0; i < vector_length_; ++i) {
+      out.masked[i] &= ring_mask_;
     }
   }
   committed_ = true;

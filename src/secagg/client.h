@@ -18,9 +18,14 @@ namespace fl::secagg {
 class SecAggClient {
  public:
   // `randomness` seeds all of the client's secrets; distinct per client and
-  // per FL round. `threshold` is the Shamir t.
+  // per FL round. `threshold` is the Shamir t. `ring_bits` is the width of
+  // the fixed-point ring the input words live in (8..32): masked words are
+  // reduced mod 2^ring_bits before upload, which shrinks the wire to
+  // ceil(ring_bits/8) bytes per word without touching the sum algebra
+  // (2^r divides 2^32, so reduction commutes with u32 addition).
   SecAggClient(ParticipantIndex index, std::size_t threshold,
-               std::size_t vector_length, const crypto::Key256& randomness);
+               std::size_t vector_length, const crypto::Key256& randomness,
+               std::uint8_t ring_bits = 32);
 
   ParticipantIndex index() const { return index_; }
 
@@ -56,6 +61,7 @@ class SecAggClient {
   ParticipantIndex index_;
   std::size_t threshold_;
   std::size_t vector_length_;
+  std::uint32_t ring_mask_ = 0xFFFFFFFFu;
   Rng rng_;
   crypto::DhKeyPair enc_keys_;
   crypto::DhKeyPair mask_keys_;

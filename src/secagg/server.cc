@@ -10,9 +10,13 @@ constexpr const char* kPairwiseLabel = "secagg-pairwise-mask";
 constexpr std::size_t kSeedLimbs = 5;
 }  // namespace
 
-SecAggServer::SecAggServer(std::size_t threshold, std::size_t vector_length)
-    : threshold_(threshold), vector_length_(vector_length) {
+SecAggServer::SecAggServer(std::size_t threshold, std::size_t vector_length,
+                           std::uint8_t ring_bits)
+    : threshold_(threshold),
+      vector_length_(vector_length),
+      ring_mask_(ring_bits == 32 ? 0xFFFFFFFFu : ((1u << ring_bits) - 1u)) {
   FL_CHECK(threshold >= 1);
+  FL_CHECK(ring_bits >= 8 && ring_bits <= 32);
   masked_sum_.assign(vector_length_, 0);
 }
 
@@ -204,6 +208,13 @@ Result<std::vector<std::uint32_t>> SecAggServer::Finalize() {
         for (std::size_t i = 0; i < vector_length_; ++i) sum[i] += mask[i];
       }
     }
+  }
+
+  // Reduce the unmasked sum to the wire ring. All mask arithmetic above ran
+  // in u32; because 2^r divides 2^32, one reduction at the end equals
+  // reducing every operand along the way.
+  if (ring_mask_ != 0xFFFFFFFFu) {
+    for (std::size_t i = 0; i < vector_length_; ++i) sum[i] &= ring_mask_;
   }
 
   phase_ = Phase::kDone;

@@ -32,7 +32,12 @@ struct ServerCostStats {
 
 class SecAggServer {
  public:
-  SecAggServer(std::size_t threshold, std::size_t vector_length);
+  // `ring_bits` must match the clients' fixed-point ring: masked inputs
+  // arrive reduced mod 2^ring_bits, are accumulated in u32 (carries into
+  // the high bits are harmless), and Finalize() reduces the unmasked sum
+  // back to the ring once at the end.
+  SecAggServer(std::size_t threshold, std::size_t vector_length,
+               std::uint8_t ring_bits = 32);
 
   // --- Round 0: Prepare / AdvertiseKeys ---
   Status CollectAdvertisement(const KeyAdvertisement& adv);
@@ -66,6 +71,7 @@ class SecAggServer {
 
   std::size_t threshold_;
   std::size_t vector_length_;
+  std::uint32_t ring_mask_ = 0xFFFFFFFFu;
   Phase phase_ = Phase::kAdvertising;
 
   KeyDirectory directory_;

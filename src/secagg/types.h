@@ -55,6 +55,15 @@ struct MaskedInput {
   std::vector<std::uint32_t> masked;  // x_u + PRG(b_u) + sum of pairwise masks
 };
 
+// On-wire size of a masked vector: each word is reduced to the ring width
+// before upload (mod-2^r reduction commutes with the u32 sum arithmetic
+// because 2^r divides 2^32), so `words` r-bit values bit-pack into
+// ceil(words * r / 8) bytes.
+inline std::uint64_t MaskedVectorWireBytes(std::size_t words,
+                                           std::uint8_t ring_bits) {
+  return (static_cast<std::uint64_t>(words) * ring_bits + 7) / 8;
+}
+
 // --- Round 3 (Finalization: Unmasking) ---------------------------------------
 // Server -> survivors: who dropped after sharing keys (their pairwise masks
 // must be reconstructed) and who survived commit (their self-masks must be

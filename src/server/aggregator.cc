@@ -5,6 +5,7 @@
 
 #include "src/analytics/journal.h"
 #include "src/common/logging.h"
+#include "src/fedavg/codec.h"
 
 namespace fl::server {
 namespace {
@@ -85,18 +86,28 @@ void AggregatorActor::HandleConfigure(const MsgConfigureDevices& msg) {
       init_.config.aggregation == protocol::AggregationMode::kSecure;
   if (secure && !secagg_.has_value()) {
     // Vector = quantized update coordinates + one trailing weight word.
-    secagg_vector_length_ = init_.global_model->TotalParameters() + 1;
+    // Under cohort-agreed sparsification only the agreed subset is masked,
+    // so the vector (and every PRG expansion) shrinks proportionally.
+    secagg_total_coords_ = init_.global_model->TotalParameters();
+    secagg_vector_length_ =
+        fedavg::KeepCount(secagg_total_coords_,
+                          init_.config.secagg.keep_fraction) +
+        1;
+    secagg_index_seed_ =
+        0x5eca66ull ^ (init_.round.value * 0x9E3779B97F4A7C15ull);
     const std::size_t m = msg.links.size();
     secagg_threshold_ = std::max<std::size_t>(
         2, static_cast<std::size_t>(
                std::ceil(init_.config.secagg.threshold_fraction *
                          static_cast<double>(m))));
-    secagg_.emplace(secagg_threshold_, secagg_vector_length_);
+    secagg_.emplace(secagg_threshold_, secagg_vector_length_,
+                    init_.config.secagg.ring_bits);
     // Codec width is the round's configured cohort cap so every participant
     // derives the identical fixed-point scale.
     codec_.emplace(init_.config.secagg.clip,
                    static_cast<std::uint32_t>(std::max<std::size_t>(
-                       init_.config.devices_per_aggregator, 2)));
+                       init_.config.devices_per_aggregator, 2)),
+                   init_.config.secagg.ring_bits);
     // Arm the advertise-phase timer.
     SendAfter(init_.config.reporting_deadline / 4, id(),
               MsgSecAggPhaseTimeout{init_.round, 0});
@@ -143,6 +154,12 @@ void AggregatorActor::HandleConfigure(const MsgConfigureDevices& msg) {
       assignment.secagg_clip = init_.config.secagg.clip;
       assignment.secagg_max_summands = static_cast<std::uint32_t>(
           std::max<std::size_t>(init_.config.devices_per_aggregator, 2));
+      assignment.secagg_ring_bits = init_.config.secagg.ring_bits;
+      assignment.secagg_index_seed = secagg_index_seed_;
+    } else {
+      // Plain-path update codec: every cohort member encodes with the same
+      // per-round stages so the Aggregator can decode uniformly.
+      assignment.codec = init_.config.codec;
     }
     devices_.emplace(link.device, std::move(entry));
     init_.context->stats->OnTraffic(
@@ -171,7 +188,15 @@ void AggregatorActor::HandleReport(const DeviceReport& report) {
   // Deserialize and fold in; corruption is treated as a device drop.
   fedavg::ClientMetrics metrics = report.metrics;
   if (init_.aggregation_op != plan::AggregationOp::kMetricsOnly) {
-    auto update = Checkpoint::Deserialize(report.update_bytes);
+    auto update = [&]() -> Result<Checkpoint> {
+      if (!report.codec_encoded) {
+        return Checkpoint::Deserialize(report.update_bytes);
+      }
+      // Codec path: payload is the encoded flat weighted delta.
+      auto flat = fedavg::DecodeUpdate(report.update_bytes);
+      if (!flat.ok()) return flat.status();
+      return init_.global_model->Unflatten(*flat);
+    }();
     if (!update.ok()) {
       init_.context->stats->OnError(Now(), "corrupt update: " +
                                                update.status().ToString());
@@ -207,14 +232,19 @@ void AggregatorActor::HandleReport(const DeviceReport& report) {
 
   it->second.state = DeviceStateTag::kReported;
   ++accepted_;
+  accepted_wire_bytes_ += report.upload_wire_bytes;
   if (analytics::JournalEnabled()) {
     JournalReport(it->second.link,
                   analytics::JournalEventKind::kReportAccepted,
-                  "weight=" + std::to_string(report.weight));
+                  "weight=" + std::to_string(report.weight) +
+                      " wire_bytes=" +
+                      std::to_string(report.upload_wire_bytes) + " codec=" +
+                      protocol::WireCodecName(init_.config.codec));
   }
   it->second.link.report_ack(ReportAck{true, NextWindow()});
   RecordParticipant(report.device, protocol::ParticipantOutcome::kCompleted);
-  Send(init_.master, MsgReportingProgress{id(), accepted_, metrics, true});
+  Send(init_.master, MsgReportingProgress{id(), accepted_, accepted_wire_bytes_,
+                                          metrics, true});
 }
 
 void AggregatorActor::CloseRemaining(const std::string& reason,
@@ -377,18 +407,21 @@ void AggregatorActor::HandleSecAggMasked(const SecAggMaskedInputMsg& msg) {
   it->second.metrics = msg.metrics;  // plaintext metrics; sums stay masked
   it->second.state = DeviceStateTag::kReported;
   ++accepted_;
+  accepted_wire_bytes_ += msg.upload_wire_bytes;
   if (analytics::JournalEnabled()) {
     // Tagged mode=secagg: masked inputs may legally commit after the round's
     // closing phase (HandleFlush lets phases 2/3 run to completion), so the
     // analyzer's accept-after-close invariant exempts these records.
     JournalReport(it->second.link,
                   analytics::JournalEventKind::kReportAccepted,
-                  "mode=secagg");
+                  "mode=secagg wire_bytes=" +
+                      std::to_string(msg.upload_wire_bytes));
   }
   it->second.link.report_ack(ReportAck{true, NextWindow()});
   RecordParticipant(msg.device, protocol::ParticipantOutcome::kCompleted);
   Send(init_.master,
-       MsgReportingProgress{id(), accepted_, it->second.metrics, true});
+       MsgReportingProgress{id(), accepted_, accepted_wire_bytes_,
+                            it->second.metrics, true});
   if (accepted_ == secagg_u1_size_) {
     AdvanceSecAggAfterCommit();  // every key-holder committed: no stragglers
   }
@@ -444,13 +477,28 @@ void AggregatorActor::FinalizeSecAgg() {
     return;
   }
   // Decode: leading words are fixed-point update coordinates, the last word
-  // is the integer weight sum.
-  const std::size_t n = secagg_vector_length_ - 1;
-  std::vector<float> flat(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    flat[i] = codec_->DecodeSum((*sum)[i]);
+  // is the integer weight sum. The weight word is decoded as a raw reduced
+  // value (weights are non-negative, so no sign extension), which bounds
+  // legal weight sums to the ring width.
+  const std::size_t keep = secagg_vector_length_ - 1;
+  std::vector<float> flat(secagg_total_coords_, 0.0f);
+  if (keep == secagg_total_coords_) {
+    for (std::size_t i = 0; i < keep; ++i) {
+      flat[i] = codec_->DecodeSum((*sum)[i]);
+    }
+  } else {
+    // Cohort-agreed sparsification: the masked vector carried only the
+    // agreed coordinate subset; rescale by total/keep so the sparse sum is
+    // an unbiased estimate of the dense one.
+    const auto agreed = fedavg::AgreedIndexSet(
+        secagg_index_seed_, secagg_total_coords_, keep);
+    const float rescale = static_cast<float>(secagg_total_coords_) /
+                          static_cast<float>(keep);
+    for (std::size_t i = 0; i < keep; ++i) {
+      flat[agreed[i]] = codec_->DecodeSum((*sum)[i]) * rescale;
+    }
   }
-  const float weight_sum = static_cast<float>((*sum)[n]);
+  const float weight_sum = static_cast<float>((*sum)[keep]);
 
   auto delta = init_.global_model->Unflatten(flat);
   if (!delta.ok()) {

@@ -79,6 +79,9 @@ class AggregatorActor final : public actor::Actor {
   std::map<DeviceId, DeviceEntry> devices_;
   std::optional<fedavg::FedAvgAccumulator> accumulator_;
   std::size_t accepted_ = 0;
+  // Sum of upload_wire_bytes over accepted reports / masked inputs; rides
+  // along with every MsgReportingProgress for the round's commit accounting.
+  std::uint64_t accepted_wire_bytes_ = 0;
   bool flushed_ = false;
   bool reported_to_master_ = false;
 
@@ -86,7 +89,9 @@ class AggregatorActor final : public actor::Actor {
   std::optional<secagg::SecAggServer> secagg_;
   std::optional<FixedPointCodec> codec_;
   std::map<secagg::ParticipantIndex, DeviceId> by_index_;
-  std::size_t secagg_vector_length_ = 0;
+  std::size_t secagg_vector_length_ = 0;  // kept coordinates + weight word
+  std::size_t secagg_total_coords_ = 0;   // full flat update length
+  std::uint64_t secagg_index_seed_ = 0;   // cohort-agreed sparsity subset
   std::size_t secagg_threshold_ = 0;
   int secagg_phase_ = 0;  // 0=advertise 1=share 2=commit 3=unmask
   // Early phase advancement: when every live participant has answered the

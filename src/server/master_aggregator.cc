@@ -214,6 +214,7 @@ void MasterAggregatorActor::HandleProgress(const MsgReportingProgress& msg) {
   if (it == aggregators_.end()) return;
   if (msg.has_metrics) combined_->AddMetrics(msg.metrics);
   it->second.accepted = msg.accepted;
+  it->second.wire_bytes = msg.wire_bytes;
   total_accepted_ = 0;
   for (const auto& [a, st] : aggregators_) total_accepted_ += st.accepted;
   if (phase_ == Phase::kReporting &&
@@ -294,11 +295,18 @@ void MasterAggregatorActor::MaybeFinishRound() {
     done.round_duration = Now() - started_at_;
     CloseRoundSpans("committed", contributors);
     if (analytics::JournalEnabled()) {
+      // wire_bytes sums the per-aggregator cumulative accepted upload bytes
+      // (crashed cohorts included), so it equals the sum of the journaled
+      // per-accept wire_bytes — fl_analyze checks that as an invariant.
+      std::uint64_t wire_bytes = 0;
+      for (const auto& [a, st] : aggregators_) wire_bytes += st.wire_bytes;
       JournalRound(Now(), init_.round,
                    analytics::JournalEventKind::kRoundCommit,
                    "contributors=" + std::to_string(contributors) +
                        " min_report=" +
-                       std::to_string(init_.config.MinReportCount()));
+                       std::to_string(init_.config.MinReportCount()) +
+                       " wire_bytes=" + std::to_string(wire_bytes) +
+                       " codec=" + protocol::RoundCodecName(init_.config));
     }
     Send(init_.coordinator, std::move(done));
   } else {

@@ -69,6 +69,10 @@ class MasterAggregatorActor final : public actor::Actor {
   struct AggState {
     bool done = false;
     std::size_t accepted = 0;
+    // Cumulative accepted upload bytes (rides along with progress, so it
+    // stays consistent with the journaled accepts even if the aggregator
+    // later crashes — the journal keeps those accepts too).
+    std::uint64_t wire_bytes = 0;
   };
   std::map<ActorId, AggState> aggregators_;
   std::size_t results_outstanding_ = 0;

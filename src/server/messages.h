@@ -47,6 +47,14 @@ struct TaskAssignment {
   // Fixed-point codec width: device and Aggregator must quantize with the
   // same scale for the masked sums to decode exactly.
   std::uint32_t secagg_max_summands = 2;
+  // Fixed-point ring width (8..32): masked words travel as r-bit values.
+  std::uint8_t secagg_ring_bits = 32;
+  // Cohort-agreed sparsification: when secagg_vector_length - 1 is smaller
+  // than the flat update, the device masks only the coordinates of
+  // fedavg::AgreedIndexSet(secagg_index_seed, total, vector_length - 1).
+  std::uint64_t secagg_index_seed = 0;
+  // Plain-path update codec for this round (all stages default OFF).
+  protocol::WireCodecConfig codec;
 };
 
 // "If a device is not selected for participation, the server responds with
@@ -106,9 +114,14 @@ struct DeviceReport {
   DeviceId device;
   SessionId session;
   RoundId round;
-  // Serialized weighted-delta checkpoint; empty for evaluation tasks and
-  // secure-aggregation rounds (where the update travels masked).
+  // Serialized weighted-delta checkpoint — or, when codec_encoded is set,
+  // the fedavg::EncodeUpdate payload of the flattened weighted delta.
+  // Empty for evaluation tasks and secure-aggregation rounds (where the
+  // update travels masked).
   Bytes update_bytes;
+  // True when update_bytes carries a codec payload (decode with
+  // fedavg::DecodeUpdate, then unflatten against the global schema).
+  bool codec_encoded = false;
   float weight = 0;
   fedavg::ClientMetrics metrics;
   std::uint64_t upload_wire_bytes = 0;  // traffic accounting (Fig. 9)
@@ -195,6 +208,11 @@ struct MsgSelfStop {};  // ephemeral actor end-of-life timer
 struct MsgReportingProgress {
   ActorId aggregator;
   std::size_t accepted = 0;  // cumulative for this aggregator
+  // Cumulative accepted upload bytes for this aggregator; the master's sum
+  // feeds the round-commit wire_bytes accounting, and because progress is
+  // sent per accepted report it matches the journaled accepts even when an
+  // aggregator later crashes.
+  std::uint64_t wire_bytes = 0;
   fedavg::ClientMetrics metrics;
   bool has_metrics = false;
 };

@@ -152,6 +152,21 @@ bool CounterSeriesFromStatusz(const ops::JsonValue& statusz,
   return true;
 }
 
+// "12.3M" style byte counts for the traffic columns.
+std::string HumanBytes(double bytes) {
+  char buf[32];
+  if (bytes >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fG", bytes / 1e9);
+  } else if (bytes >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", bytes / 1e6);
+  } else if (bytes >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", bytes / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", bytes);
+  }
+  return buf;
+}
+
 std::string RenderFrame(const ops::JsonValue& statusz,
                         const ops::JsonValue& rounds) {
   std::string out;
@@ -187,7 +202,7 @@ std::string RenderFrame(const ops::JsonValue& statusz,
 
   analytics::TextTable table({"committed", "abandoned", "commit/10m",
                               "abandon/10m", "accept/10m", "reject/10m",
-                              "actors", "pending ev"});
+                              "upB/10m", "dnB/10m", "actors", "pending ev"});
   table.AddRow({
       analytics::TextTable::Num(
           PathDouble(statusz, "round_totals.rounds_committed"), 0),
@@ -201,6 +216,8 @@ std::string RenderFrame(const ops::JsonValue& statusz,
                                 0),
       analytics::TextTable::Num(PathDouble(statusz, "windows.reject_per_10m"),
                                 0),
+      HumanBytes(PathDouble(statusz, "windows.upload_bytes_per_10m")),
+      HumanBytes(PathDouble(statusz, "windows.download_bytes_per_10m")),
       analytics::TextTable::Num(
           PathDouble(statusz, "gauges.fl_sim_live_actors"), 0),
       analytics::TextTable::Num(
@@ -222,6 +239,22 @@ std::string RenderFrame(const ops::JsonValue& statusz,
   if (!specs.empty()) {
     out += "\nround rate (per slot)\n";
     out += analytics::RenderSeriesChart(specs, 64);
+  }
+
+  std::unique_ptr<analytics::TimeSeries> up_bytes;
+  std::unique_ptr<analytics::TimeSeries> down_bytes;
+  std::vector<analytics::SeriesSpec> wire_specs;
+  if (CounterSeriesFromStatusz(statusz, "fl_server_upload_bytes_total",
+                               &up_bytes)) {
+    wire_specs.push_back({"up", up_bytes.get(), false, false});
+  }
+  if (CounterSeriesFromStatusz(statusz, "fl_server_download_bytes_total",
+                               &down_bytes)) {
+    wire_specs.push_back({"down", down_bytes.get(), false, false});
+  }
+  if (!wire_specs.empty()) {
+    out += "\nwire rate (bytes per slot)\n";
+    out += analytics::RenderSeriesChart(wire_specs, 64);
   }
 
   if (const ops::JsonValue* recent = rounds.Find("rounds");

@@ -201,6 +201,9 @@ class Analyzer {
         sessions_[rec.session].report_accepted = true;
         if (round == nullptr) break;
         ++round->timeline.reports_accepted;
+        round->timeline.accepted_wire_bytes = static_cast<std::uint64_t>(
+            analytics::DetailInt(rec.detail, "wire_bytes", 0)) +
+            round->timeline.accepted_wire_bytes;
         // Plaintext accepts must land inside the reporting window; secagg
         // commits are exempt (phases 2/3 legitimately outlive the flush).
         std::string mode;
@@ -244,6 +247,24 @@ class Analyzer {
                   "committed with " +
                       std::to_string(round->timeline.contributors) +
                       " contributors; needs " + std::to_string(min_report));
+        }
+        analytics::DetailField(rec.detail, "codec", &round->timeline.codec);
+        std::string wire;
+        if (analytics::DetailField(rec.detail, "wire_bytes", &wire)) {
+          round->timeline.has_commit_wire_bytes = true;
+          round->timeline.commit_wire_bytes = static_cast<std::uint64_t>(
+              analytics::DetailInt(rec.detail, "wire_bytes", 0));
+          // Commit accounting must equal the sum of journaled accepts: the
+          // aggregators ship cumulative accepted bytes with every progress
+          // message, so even a crashed cohort's accepts stay counted.
+          if (round->timeline.commit_wire_bytes !=
+              round->timeline.accepted_wire_bytes) {
+            Violate("wire-bytes-mismatch", line, rec,
+                    "commit wire_bytes=" +
+                        std::to_string(round->timeline.commit_wire_bytes) +
+                        " but journaled accepts sum to " +
+                        std::to_string(round->timeline.accepted_wire_bytes));
+          }
         }
         break;
       }
@@ -380,6 +401,16 @@ std::string RenderRoundTimelines(const AnalysisReport& report) {
         << round.reports_rejected << " rejected (" << round.stragglers
         << " stragglers); checkins rejected: " << round.checkins_rejected
         << '\n';
+    if (round.accepted_wire_bytes != 0 || round.has_commit_wire_bytes) {
+      out << "    traffic: " << round.accepted_wire_bytes
+          << " upload bytes accepted";
+      if (round.reports_accepted != 0) {
+        out << " (" << round.accepted_wire_bytes / round.reports_accepted
+            << " B/device)";
+      }
+      if (!round.codec.empty()) out << "  codec=" << round.codec;
+      out << '\n';
+    }
     if (!round.abort_reason.empty()) {
       out << "    abort: " << round.abort_reason << '\n';
     }

@@ -57,6 +57,13 @@ struct RoundTimeline {
   std::size_t contributors = 0;
   std::string outcome;  // coordinator verdict ("committed", "failed", ...)
   std::string abort_reason;  // round_abandoned / failure attribution
+  // Traffic attribution: per-accept wire_bytes summed from the aggregator
+  // records, plus the total the master journaled at commit (they must
+  // match — the "wire-bytes-mismatch" invariant).
+  std::uint64_t accepted_wire_bytes = 0;
+  bool has_commit_wire_bytes = false;
+  std::uint64_t commit_wire_bytes = 0;
+  std::string codec;  // round codec name from the commit record
 };
 
 struct AnalysisReport {

@@ -1,0 +1,243 @@
+// Round-trip, property, and accounting tests for the pluggable update
+// codec (src/fedavg/codec.h): every stage alone, the full
+// delta -> top-k -> int4 composition, unbiasedness of stochastic
+// quantization, index-encoding selection, and the SecAgg sparsification
+// helpers.
+#include "src/fedavg/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/fedavg/compression.h"
+
+namespace fl::fedavg {
+namespace {
+
+std::vector<float> RandomUpdate(std::size_t n, Rng& rng, float span = 1.0f) {
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    x = span * (2.0f * static_cast<float>(rng.NextDouble()) - 1.0f);
+  }
+  return v;
+}
+
+protocol::WireCodecConfig Config(bool delta, double topk,
+                                 std::uint8_t bits) {
+  protocol::WireCodecConfig c;
+  c.delta = delta;
+  c.topk_fraction = topk;
+  c.quant_bits = bits;
+  return c;
+}
+
+TEST(CodecTest, DenseFloatRoundTripIsExact) {
+  Rng rng(11);
+  const std::vector<float> update = RandomUpdate(257, rng);
+  const EncodedUpdate enc = EncodeUpdate(update, Config(false, 1.0, 32), 1);
+  auto dec = DecodeUpdate(enc.payload);
+  ASSERT_TRUE(dec.ok()) << dec.status().ToString();
+  ASSERT_EQ(dec->size(), update.size());
+  for (std::size_t i = 0; i < update.size(); ++i) {
+    EXPECT_EQ((*dec)[i], update[i]) << i;
+  }
+}
+
+TEST(CodecTest, DeltaStageRoundTripIsExact) {
+  Rng rng(12);
+  const std::vector<float> reference = RandomUpdate(100, rng);
+  std::vector<float> update = reference;
+  for (auto& x : update) x += 0.01f * static_cast<float>(rng.NextDouble());
+  const EncodedUpdate enc =
+      EncodeUpdate(update, Config(true, 1.0, 32), 1, reference);
+  auto dec = DecodeUpdate(enc.payload, reference);
+  ASSERT_TRUE(dec.ok()) << dec.status().ToString();
+  for (std::size_t i = 0; i < update.size(); ++i) {
+    EXPECT_FLOAT_EQ((*dec)[i], update[i]) << i;
+  }
+}
+
+TEST(CodecTest, DeltaDecodeWithoutReferenceFails) {
+  Rng rng(13);
+  const std::vector<float> reference = RandomUpdate(16, rng);
+  const EncodedUpdate enc =
+      EncodeUpdate(reference, Config(true, 1.0, 32), 1, reference);
+  EXPECT_FALSE(DecodeUpdate(enc.payload).ok());
+}
+
+TEST(CodecTest, TopKKeepsLargestMagnitudesAndZeroFills) {
+  std::vector<float> update(64, 0.01f);
+  update[3] = 5.0f;
+  update[17] = -4.0f;
+  update[40] = 3.0f;
+  const EncodedUpdate enc =
+      EncodeUpdate(update, Config(false, 3.0 / 64.0, 32), 1);
+  auto dec = DecodeUpdate(enc.payload);
+  ASSERT_TRUE(dec.ok()) << dec.status().ToString();
+  for (std::size_t i = 0; i < update.size(); ++i) {
+    if (i == 3 || i == 17 || i == 40) {
+      EXPECT_EQ((*dec)[i], update[i]) << i;
+    } else {
+      EXPECT_EQ((*dec)[i], 0.0f) << i;
+    }
+  }
+}
+
+TEST(CodecTest, QuantizationErrorBoundedByOneLevel) {
+  Rng rng(14);
+  const std::vector<float> update = RandomUpdate(512, rng, 2.0f);
+  for (std::uint8_t bits : {4, 8}) {
+    const EncodedUpdate enc =
+        EncodeUpdate(update, Config(false, 1.0, bits), 99);
+    auto dec = DecodeUpdate(enc.payload);
+    ASSERT_TRUE(dec.ok()) << dec.status().ToString();
+    float max_abs = 0.0f;
+    for (float v : update) max_abs = std::max(max_abs, std::abs(v));
+    // Stochastic rounding moves at most one level either way.
+    const float level = max_abs / static_cast<float>((1 << (bits - 1)) - 1);
+    for (std::size_t i = 0; i < update.size(); ++i) {
+      EXPECT_LE(std::abs((*dec)[i] - update[i]), level * 1.001f)
+          << "bits=" << int(bits) << " i=" << i;
+    }
+  }
+}
+
+TEST(CodecTest, StochasticQuantizationIsUnbiased) {
+  // E[decode] == value: average many independently-seeded encodings of a
+  // value that sits strictly between two int4 levels.
+  const std::vector<float> update = {0.3f, -0.77f, 0.123f, 1.0f};
+  const protocol::WireCodecConfig config = Config(false, 1.0, 4);
+  std::vector<double> mean(update.size(), 0.0);
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    const EncodedUpdate enc =
+        EncodeUpdate(update, config, static_cast<std::uint64_t>(t) + 1);
+    auto dec = DecodeUpdate(enc.payload);
+    ASSERT_TRUE(dec.ok());
+    for (std::size_t i = 0; i < update.size(); ++i) mean[i] += (*dec)[i];
+  }
+  // One int4 level here is 1/7; the empirical mean over 4000 trials should
+  // sit within a few percent of one level from the true value.
+  for (std::size_t i = 0; i < update.size(); ++i) {
+    mean[i] /= trials;
+    EXPECT_NEAR(mean[i], update[i], (1.0 / 7.0) * 0.05) << i;
+  }
+}
+
+TEST(CodecTest, ComposedDeltaTopKInt4RoundTrips) {
+  Rng rng(15);
+  const std::size_t n = 300;
+  const std::vector<float> reference = RandomUpdate(n, rng);
+  std::vector<float> update = reference;
+  // A sparse set of meaningful residuals over a noise floor.
+  for (auto& x : update) x += 1e-4f * static_cast<float>(rng.NextDouble());
+  std::set<std::size_t> hot;
+  while (hot.size() < 30) hot.insert(rng.UniformInt(n));
+  for (std::size_t i : hot) {
+    update[i] += (rng.NextDouble() < 0.5 ? 1.0f : -1.0f) *
+                 (0.5f + static_cast<float>(rng.NextDouble()));
+  }
+  const protocol::WireCodecConfig config = Config(true, 0.1, 4);
+  const EncodedUpdate enc = EncodeUpdate(update, config, 5, reference);
+  auto dec = DecodeUpdate(enc.payload, reference);
+  ASSERT_TRUE(dec.ok()) << dec.status().ToString();
+  ASSERT_EQ(dec->size(), n);
+  float max_residual = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_residual = std::max(max_residual, std::abs(update[i] - reference[i]));
+  }
+  const float level = max_residual / 7.0f;
+  for (std::size_t i : hot) {
+    // Every hot coordinate is in the kept top 10% (30 of 300), so it must
+    // round-trip to within one quantization level of the true value.
+    EXPECT_LE(std::abs((*dec)[i] - update[i]), level * 1.001f) << i;
+  }
+  // Dropped coordinates decode to the reference exactly.
+  std::size_t at_reference = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((*dec)[i] == reference[i]) ++at_reference;
+  }
+  EXPECT_EQ(at_reference, n - 30);
+  // And the wire shrinks hard: 300 floats -> ~30 int4 values + indices.
+  EXPECT_GT(enc.CompressionRatio(), 8.0);
+}
+
+TEST(CodecTest, IndexEncodingAdaptsToDensity) {
+  Rng rng(16);
+  // Very sparse: delta varints beat a 4096-bit bitmap.
+  const std::vector<float> sparse = RandomUpdate(4096, rng);
+  const EncodedUpdate enc_sparse =
+      EncodeUpdate(sparse, Config(false, 0.001, 32), 1);
+  // Dense keep: the bitmap wins.
+  const EncodedUpdate enc_dense =
+      EncodeUpdate(sparse, Config(false, 0.5, 32), 1);
+  // Both must decode regardless of which representation was chosen.
+  ASSERT_TRUE(DecodeUpdate(enc_sparse.payload).ok());
+  ASSERT_TRUE(DecodeUpdate(enc_dense.payload).ok());
+  // 5 kept indices as varints use far fewer than 512 bitmap bytes; the
+  // payload difference proves the encoder adapted.
+  EXPECT_LT(enc_sparse.payload.size(), 4 + 1 + 3 + 2 + 5 * 3 + 5 * 4 + 16);
+  EXPECT_GT(enc_dense.payload.size(), 512);
+}
+
+TEST(CodecTest, DecodeRejectsCorruption) {
+  Rng rng(17);
+  const std::vector<float> update = RandomUpdate(50, rng);
+  EncodedUpdate enc = EncodeUpdate(update, Config(false, 0.2, 8), 1);
+  // Bad magic.
+  Bytes bad = enc.payload;
+  bad[0] ^= 0xFF;
+  EXPECT_FALSE(DecodeUpdate(bad).ok());
+  // Truncation.
+  Bytes cut(enc.payload.begin(), enc.payload.end() - 3);
+  EXPECT_FALSE(DecodeUpdate(cut).ok());
+  // Trailing garbage.
+  Bytes extra = enc.payload;
+  extra.push_back(0);
+  EXPECT_FALSE(DecodeUpdate(extra).ok());
+}
+
+TEST(CodecTest, KeepCountClampsAndCeils) {
+  EXPECT_EQ(KeepCount(0, 0.5), 0u);
+  EXPECT_EQ(KeepCount(100, 1.0), 100u);
+  EXPECT_EQ(KeepCount(100, 0.25), 25u);
+  EXPECT_EQ(KeepCount(100, 0.101), 11u);  // ceil
+  EXPECT_EQ(KeepCount(100, 1e-9), 1u);    // at least one
+}
+
+TEST(CodecTest, AgreedIndexSetIsDeterministicSortedDistinct) {
+  const auto a = AgreedIndexSet(42, 1000, 100);
+  const auto b = AgreedIndexSet(42, 1000, 100);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+  EXPECT_EQ(std::set<std::uint32_t>(a.begin(), a.end()).size(), a.size());
+  EXPECT_LT(a.back(), 1000u);
+  const auto c = AgreedIndexSet(43, 1000, 100);
+  EXPECT_NE(a, c);
+  // keep == total degenerates to the identity.
+  const auto all = AgreedIndexSet(7, 10, 10);
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(CodecTest, WireAccountingMatchesCompressedUpdateFraming) {
+  // Both codec layers count the same per-update framing constant, so their
+  // ratios are directly comparable in BENCH_wire.json.
+  Rng rng(18);
+  const std::vector<float> update = RandomUpdate(1000, rng);
+  const EncodedUpdate enc = EncodeUpdate(update, Config(false, 1.0, 32), 1);
+  EXPECT_EQ(enc.WireBytes(), enc.payload.size() + kUpdateWireOverheadBytes);
+  // Dense float32 payload ~= raw size, so the ratio sits just under 1.
+  EXPECT_GT(enc.CompressionRatio(), 0.95);
+  EXPECT_LE(enc.CompressionRatio(), 1.0);
+  // int8 + top-k 25% reaches the headline >= 4x upload reduction.
+  const EncodedUpdate squeezed =
+      EncodeUpdate(update, Config(false, 0.25, 8), 1);
+  EXPECT_GE(squeezed.CompressionRatio(), 4.0);
+}
+
+}  // namespace
+}  // namespace fl::fedavg
