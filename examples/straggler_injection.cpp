@@ -1,0 +1,95 @@
+// Straggler injection: the causal-diagnostics pipeline end to end. One
+// third of the fleet carries 500x the training data (data-size skew, the
+// classic straggler cause), the round requires every selected participant
+// to report, and the reporting deadline is short — so the first round
+// abandons. With FL_BUNDLE_DIR set, the abandoned round triggers a
+// diagnostic bundle whose flight_recorder.log feeds
+//
+//   fl_analyze --critical-path <round> <bundle-dir>
+//
+// which names the injected stragglers. CI runs exactly that and asserts
+// the devices it blames are the skewed ones (id % 3 == 0).
+#include <cstdio>
+#include <cstring>
+
+#include "src/core/fl_system.h"
+#include "src/data/blobs.h"
+#include "src/graph/model_zoo.h"
+
+using namespace fl;
+
+int main(int argc, char** argv) {
+  std::size_t devices = 90;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--devices") == 0) {
+      devices = static_cast<std::size_t>(std::atoll(argv[++i]));
+    }
+  }
+
+  core::FLSystemConfig config;
+  config.population_name = "population/straggler-injection";
+  config.population.device_count = devices;
+  config.population.mean_examples_per_sec = 150;
+  config.selector_count = 2;
+  config.pace.rendezvous_period = Minutes(2);
+  core::FLSystem system(std::move(config));
+  if (!system.bundler().enabled()) {
+    std::printf("note: FL_BUNDLE_DIR is unset; no bundle will be written\n");
+  }
+
+  Rng model_rng(1);
+  const graph::Model model = graph::BuildLogisticRegression(8, 4, model_rng);
+  protocol::RoundConfig round;
+  round.goal_count = 12;
+  round.devices_per_aggregator = 6;
+  // Every selected device must report, and the window is short: one
+  // straggler in the cohort abandons the round.
+  round.min_reporting_fraction = 1.0;
+  round.selection_timeout = Minutes(3);
+  round.reporting_deadline = Minutes(2);
+  // Let the plan consume a straggler's whole hoard (the default selector
+  // caps participation at 500 examples, which would erase the skew).
+  plan::ExampleSelector selector;
+  selector.max_examples = 10'000;
+  plan::TrainingHyperparams hyper;
+  hyper.epochs = 4;
+  system.AddTrainingTask("train", model, hyper, selector, round, Seconds(30));
+
+  auto blobs = std::make_shared<data::BlobsWorkload>(
+      data::BlobsParams{.classes = 4, .feature_dim = 8}, 5);
+  system.ProvisionData([blobs](const sim::DeviceProfile& profile,
+                               core::DeviceAgent& agent, Rng&, SimTime now) {
+    // The skew: every third device holds 250x the examples, so its
+    // training runs for minutes while its peers finish in seconds.
+    const bool straggler = profile.id.value % 3 == 0;
+    const std::size_t examples = straggler ? 10'000 : 40;
+    agent.GetOrCreateStore("default").AddBatch(
+        blobs->UserExamples(profile.id.value, examples, now));
+  });
+  system.Start();
+
+  for (int i = 0; i < 240 && system.stats().rounds_abandoned() == 0; ++i) {
+    system.RunFor(Minutes(1));
+  }
+
+  std::printf("t=%s rounds_committed=%zu rounds_abandoned=%zu\n",
+              FormatSimTime(system.now()).c_str(),
+              system.stats().rounds_committed(),
+              system.stats().rounds_abandoned());
+  if (system.stats().rounds_abandoned() == 0) {
+    std::printf("no round abandoned; straggler injection failed\n");
+    return 1;
+  }
+
+  const auto bundles = system.bundler().History();
+  for (const auto& b : bundles) {
+    std::printf("bundle seq=%llu trigger=%s detail=\"%s\" path=%s\n",
+                static_cast<unsigned long long>(b.seq), b.trigger.c_str(),
+                b.detail.c_str(), b.path.c_str());
+  }
+  if (system.bundler().enabled() && bundles.empty()) {
+    std::printf("bundling enabled but no bundle captured\n");
+    return 1;
+  }
+  return 0;
+}

@@ -78,7 +78,8 @@ void ActorSystem::Send(ActorId from, ActorId to, std::any payload) {
     const auto it = actors_.find(to);
     if (it == actors_.end() || it->second->dead) return;  // drop: dead letter
     entry = it->second;
-    entry->mailbox.push_back(Envelope{from, to, std::move(payload)});
+    entry->mailbox.push_back(Envelope{from, to, std::move(payload),
+                                      telemetry::CurrentTraceContext()});
     depth = entry->mailbox.size();
   }
   if (telemetry::Enabled()) {
@@ -89,9 +90,13 @@ void ActorSystem::Send(ActorId from, ActorId to, std::any payload) {
 
 void ActorSystem::SendAfter(Duration d, ActorId from, ActorId to,
                             std::any payload) {
-  // Capture by value; delivery checks liveness at fire time.
+  // Capture by value; delivery checks liveness at fire time. The trace
+  // context is captured now — the timer fires on a neutral stack, and the
+  // deferred message is causally the sender's, not the event loop's.
   context_.PostAfter(
-      d, [this, from, to, p = std::move(payload)]() mutable {
+      d, [this, from, to, p = std::move(payload),
+          ctx = telemetry::CurrentTraceContext()]() mutable {
+        const telemetry::ScopedTraceContext scope(ctx);
         Send(from, to, std::move(p));
       });
 }
@@ -143,7 +148,10 @@ void ActorSystem::Drain(const std::shared_ptr<Entry>& entry) {
       entry->msg_counter.load(std::memory_order_relaxed)->Add();
       t0 = telemetry::WallMicros();
     }
-    entry->actor->OnMessage(env);
+    {
+      const telemetry::ScopedTraceContext scope(env.trace);
+      entry->actor->OnMessage(env);
+    }
     if (dispatch != nullptr) {
       dispatch->Observe(
           static_cast<double>(telemetry::WallMicros() - t0));

@@ -1,0 +1,96 @@
+// Journal-typed view over the telemetry flight recorder. fl_telemetry keeps
+// the rings protocol-agnostic (opaque u8 source/kind, two aux words); this
+// header owns the encoding: journal sources/events map one-to-one onto the
+// flight codes, free-form reason strings become FlightReason codes, and the
+// dump synthesizes `#fl-journal v1`-format lines that fl_analyze ingests
+// exactly like a real journal (minus byte-accounting details, which the
+// rings do not carry).
+//
+// RecordFlight() is the always-on sibling of AppendJournal(): emission sites
+// call it unconditionally (it self-gates on one relaxed load), *before* any
+// `if (JournalEnabled())` block, so the last kSlotsPerThread events per
+// thread exist even when nothing else is recording.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/analytics/journal.h"
+#include "src/protocol/round_config.h"
+#include "src/telemetry/flight_recorder.h"
+
+namespace fl::analytics {
+
+// Why a device was turned away / a report refused / a round lost. Encoded in
+// the flight record's aux_b (low byte); FlightReasonName returns the detail
+// string the dump emits, chosen to match the journal's where the journal
+// uses a fixed string ("late", "round_full", ...).
+enum class FlightReason : std::uint8_t {
+  kNone = 0,
+  // Selector rejections (detail strings match selector.cc verbatim).
+  kWaitingPoolFull,   // "waiting pool full"
+  kNotAccepting,      // "not accepting"
+  kQuotaReduced,      // "quota reduced"
+  kHeldTooLong,       // "held too long"
+  // Master / configuration rejections.
+  kRoundFull,         // "round_full"
+  kRoundAbandonedReject,  // "round_abandoned" (pending links on abandon)
+  kRuntimeTooOld,     // "runtime_too_old"
+  // Aggregator report rejections.
+  kLate,              // "late"
+  kCorrupt,           // "corrupt"
+  kAccumulate,        // "accumulate"
+  // Round-loss reasons (abandon / coordinator outcome).
+  kSelectionTimeout,  // "selection timeout"
+  kBelowMinReports,   // "below min_report"
+  kMasterEndOfLife,   // "master end of life"
+  kCommitFailed,      // "commit"
+  kMasterLost,        // "master_lost"
+  kOther,
+};
+
+const char* FlightReasonName(FlightReason r);
+// Inverse for call sites that hold a free-form reason string (the selector's
+// RejectLink); unknown strings map to kOther.
+FlightReason FlightReasonForDetail(std::string_view reason);
+
+// aux_b packing for round-level records: low byte = FlightReason, high byte
+// = RoundOutcome + 1 (0 = no outcome recorded).
+inline std::uint16_t PackOutcomeReason(protocol::RoundOutcome outcome,
+                                       FlightReason reason) {
+  return static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(reason) |
+      ((static_cast<std::uint16_t>(outcome) + 1) << 8));
+}
+
+// The always-on emission hook. aux_a carries the per-kind count (goal,
+// contributors, phase index, completed flag); aux_b the reason/outcome.
+inline void RecordFlight(SimTime t, JournalSource source,
+                         JournalEventKind kind, DeviceId device = DeviceId{},
+                         SessionId session = SessionId{},
+                         RoundId round = RoundId{}, std::uint32_t aux_a = 0,
+                         std::uint16_t aux_b = 0) {
+  if (!telemetry::FlightRecorderEnabled()) return;
+  telemetry::FlightRecorder::Global().Record(
+      static_cast<std::uint8_t>(source), static_cast<std::uint8_t>(kind),
+      static_cast<std::uint64_t>(t.millis), device.value, session.value,
+      round.value, aux_a, aux_b);
+}
+
+// Decodes one flight record back into a journal record (detail synthesized
+// from aux_a/aux_b per kind). Returns false for non-journal records (span
+// begin/end from the tracer, unknown codes).
+bool JournalRecordFromFlight(const telemetry::FlightRecord& rec,
+                             JournalRecord* out);
+
+// Every valid slot, seq-ordered, rendered as `#fl-journal v1` text. Span
+// records become `#span ...` comment lines (parsers skip '#'). Allocates;
+// for the in-process bundle path.
+std::string FlightDumpText();
+
+// Async-signal-safe dump: no allocation, no locking, records in arbitrary
+// order (fl_analyze sorts by sim time on ingest). Writes directly to `fd`
+// with write(2). Returns the number of records written.
+std::size_t FlightDumpToFd(int fd);
+
+}  // namespace fl::analytics

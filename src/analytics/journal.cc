@@ -263,6 +263,13 @@ void Journal::Flush() {
   FlushLocked();
 }
 
+bool Journal::FlushBestEffort() {
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return false;
+  FlushLocked();
+  return true;
+}
+
 void Journal::Close() {
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) return;

@@ -136,6 +136,12 @@ class Journal {
   bool is_open() const;
   // Flushes buffered records to disk (fwrite + fflush).
   void Flush();
+  // Crash-path flush: try-locks the mutex so a fatal-signal handler that
+  // interrupted a writer mid-append skips the flush instead of deadlocking.
+  // Returns false when the lock was contended (buffer left as-is). Not
+  // strictly async-signal-safe (fwrite/fflush), but the process is dying and
+  // losing the tail is the alternative.
+  bool FlushBestEffort();
   // Flush + close + disable. Idempotent.
   void Close();
 

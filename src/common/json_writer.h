@@ -144,7 +144,20 @@ class JsonWriter {
         case '\\': out_ += "\\\\"; break;
         case '\n': out_ += "\\n"; break;
         case '\t': out_ += "\\t"; break;
-        default: out_ += c;
+        case '\r': out_ += "\\r"; break;
+        case '\b': out_ += "\\b"; break;
+        case '\f': out_ += "\\f"; break;
+        default:
+          // Remaining control chars must be \u-escaped or parsers
+          // (including src/ops/json.cc) reject the document.
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
       }
     }
     out_ += '"';

@@ -7,6 +7,7 @@
 
 #include "src/fedavg/compression.h"
 #include "src/graph/registry.h"
+#include "src/ops/debug_bundle.h"
 #include "src/ops/health.h"
 #include "src/ops/ops_plane.h"
 #include "src/protocol/pace_steering.h"
@@ -59,6 +60,14 @@ struct FLSystemConfig {
   // SLO bounds evaluated each ops tick and surfaced on /healthz; the
   // defaults are lenient enough for a warming-up CI fleet.
   ops::HealthPolicy health_policy;
+
+  // Diagnostic bundles (anomaly forensics): non-empty = write bundles under
+  // this directory when health flips unhealthy or a round is abandoned, and
+  // install the fatal-signal flight-recorder dump. Defaults to the
+  // FL_BUNDLE_DIR env override; empty = off. Works with or without the
+  // statusz plane (the /debugz endpoint needs the plane, captures do not).
+  std::string bundle_dir = ops::BundleDirFromEnv();
+  ops::DiagnosticBundler::Options bundle_options;  // .dir overridden above
 };
 
 }  // namespace fl::core

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/analytics/flight_dump.h"
 #include "src/common/fixed_point.h"
 #include "src/fedavg/codec.h"
 #include "src/fedavg/compression.h"
+#include "src/telemetry/trace.h"
 
 namespace fl::core {
 namespace {
@@ -91,6 +93,11 @@ void DeviceAgent::SetState(DeviceState s) {
 void DeviceAgent::AddTrace(SessionEvent e) {
   if (!session_) return;
   session_->trace.events.push_back(e);
+  analytics::RecordFlight(services_.queue->now(),
+                          analytics::JournalSource::kDevice,
+                          analytics::JournalEventForSession(e), profile_.id,
+                          session_->id,
+                          session_->assigned ? session_->round : RoundId{});
   if (analytics::JournalEnabled()) {
     JournalEvent(analytics::JournalEventForSession(e));
   }
@@ -158,6 +165,7 @@ void DeviceAgent::BeginSession(const std::string& population) {
   s.population = population;
   s.trace.session = s.id;
   s.trace.device = profile_.id;
+  s.ctx = telemetry::TraceContext{0, s.id.value, profile_.id.value, 0};
   session_ = std::move(s);
   scheduler_.OnSessionStarted(population, services_.queue->now());
   SetState(DeviceState::kAttesting);
@@ -181,6 +189,8 @@ void DeviceAgent::BeginSession(const std::string& population) {
     req.population = population;
     req.runtime_version = profile_.os_version;
     req.attestation = token;
+    // Selector-side records for this check-in carry the device context.
+    const telemetry::ScopedTraceContext scope(session_->ctx);
     const bool ok = services_.frontend->CheckIn(req, MakeLink(gen));
     if (!ok) {
       // Attestation rejected (or no selectors): long back-off.
@@ -275,12 +285,29 @@ void DeviceAgent::OnRejected(std::uint64_t gen,
 void DeviceAgent::OnAssigned(std::uint64_t gen,
                              const server::TaskAssignment& assignment) {
   Session& s = *session_;
-  AddTrace(SessionEvent::kDownloadedPlan);
   SetState(DeviceState::kParticipating);
   s.assigned = true;
   s.round = assignment.round;
   s.aggregator = assignment.aggregator;
   s.participation_deadline = assignment.participation_deadline;
+  // After the round is bound, so the 'v' journal/flight record carries it
+  // (critical-path attribution joins configured devices on the round id).
+  AddTrace(SessionEvent::kDownloadedPlan);
+
+  // Complete the causal context with the round and the server's config span
+  // (carried across the event queue in the assignment), then open the
+  // session-lifetime span as a context child — the cross-actor flow link.
+  s.ctx.round = assignment.round.value;
+  s.ctx.parent_span = assignment.trace.parent_span;
+  if (telemetry::Enabled()) {
+    const telemetry::ScopedTraceContext scope(s.ctx);
+    s.session_span = telemetry::Tracer::Global().Begin(
+        "device_session", services_.queue->now());
+    auto& tracer = telemetry::Tracer::Global();
+    tracer.AddAttr(s.session_span, "device", std::to_string(profile_.id.value));
+    tracer.AddAttr(s.session_span, "round", std::to_string(s.round.value));
+  }
+  if (s.session_span != 0) s.ctx.parent_span = s.session_span;
 
   auto plan = plan::FLPlan::Deserialize(*assignment.plan_bytes);
   auto global = Checkpoint::Deserialize(*assignment.model_bytes);
@@ -339,6 +366,11 @@ void DeviceAgent::StartTraining(std::uint64_t gen) {
   Session& s = *session_;
   AddTrace(SessionEvent::kTrainingStarted);
   s.training = true;
+  if (telemetry::Enabled()) {
+    const telemetry::ScopedTraceContext scope(s.ctx);
+    s.train_span = telemetry::Tracer::Global().Begin("device_train",
+                                                     services_.queue->now());
+  }
 
   // The computation itself is pure; its wall-clock cost is simulated.
   auto result = runtime_.ExecutePlan(*s.plan, *s.global,
@@ -367,6 +399,10 @@ void DeviceAgent::FinishTraining(std::uint64_t gen) {
   s.training = false;
   s.trained = true;
   AddTrace(SessionEvent::kTrainingCompleted);
+  if (s.train_span != 0) {
+    telemetry::Tracer::Global().End(s.train_span, services_.queue->now());
+    s.train_span = 0;
+  }
   if (s.secagg) {
     MaybeSendMaskedInput(gen);
   } else {
@@ -378,6 +414,11 @@ void DeviceAgent::BeginUpload(std::uint64_t gen) {
   Session& s = *session_;
   AddTrace(SessionEvent::kUploadStarted);
   s.uploading = true;
+  if (telemetry::Enabled()) {
+    const telemetry::ScopedTraceContext scope(s.ctx);
+    s.upload_span = telemetry::Tracer::Global().Begin("device_upload",
+                                                      services_.queue->now());
+  }
 
   server::DeviceReport report;
   report.device = profile_.id;
@@ -437,6 +478,8 @@ void DeviceAgent::BeginUpload(std::uint64_t gen) {
   services_.queue->After(
       t.duration, [this, gen, report = std::move(report)]() mutable {
     if (!Active(gen)) return;
+    // Aggregator-side accept/reject records link back to this session.
+    const telemetry::ScopedTraceContext scope(session_->ctx);
     services_.frontend->Report(session_->aggregator, std::move(report));
     // Ack timeout: a dead Aggregator means silence.
     services_.queue->After(services_.config->ack_timeout, [this, gen] {
@@ -453,6 +496,10 @@ void DeviceAgent::OnReportAck(std::uint64_t gen, const server::ReportAck& ack) {
   s.reported_ok = ack.accepted;
   AddTrace(ack.accepted ? SessionEvent::kUploadCompleted
                         : SessionEvent::kUploadRejected);
+  if (s.upload_span != 0) {
+    telemetry::Tracer::Global().End(s.upload_span, services_.queue->now());
+    s.upload_span = 0;
+  }
   // Pace steering: the server tells reporting devices when to come back
   // (Sec. 2.2 Reporting).
   const SimTime when =
@@ -491,6 +538,8 @@ void DeviceAgent::SendSecAggUpload(std::uint64_t gen, std::uint64_t bytes,
   }
   services_.queue->After(t.duration, [this, gen, send = std::move(send)] {
     if (!Active(gen)) return;
+    // SecAgg control messages carry the session context to the aggregator.
+    const telemetry::ScopedTraceContext scope(session_->ctx);
     send();
   });
 }
@@ -627,9 +676,23 @@ void DeviceAgent::FailSession(const std::string& why) {
 void DeviceAgent::EndSession(bool completed) {
   if (!session_) return;
   if (completed) ++sessions_completed_;
+  analytics::RecordFlight(
+      services_.queue->now(), analytics::JournalSource::kDevice,
+      analytics::JournalEventKind::kSessionEnd, profile_.id, session_->id,
+      session_->assigned ? session_->round : RoundId{},
+      completed ? 1 : 0);
   if (analytics::JournalEnabled()) {
     JournalEvent(analytics::JournalEventKind::kSessionEnd,
                  completed ? "completed=1" : "completed=0");
+  }
+  // Close any spans the session still holds (abandon/interrupt paths).
+  auto& tracer = telemetry::Tracer::Global();
+  const SimTime now = services_.queue->now();
+  if (session_->train_span != 0) tracer.End(session_->train_span, now);
+  if (session_->upload_span != 0) tracer.End(session_->upload_span, now);
+  if (session_->session_span != 0) {
+    tracer.AddAttr(session_->session_span, "completed", completed ? "1" : "0");
+    tracer.End(session_->session_span, now);
   }
   services_.stats->OnSessionTrace(session_->trace);
   if (session_->assigned) {
@@ -641,7 +704,6 @@ void DeviceAgent::EndSession(bool completed) {
   scheduler_.OnSessionEnded();
   SetState(DeviceState::kIdle);
   // Plan the next check-in.
-  const SimTime now = services_.queue->now();
   const auto next = scheduler_.NextRunnableAt(now);
   if (next.has_value()) {
     ScheduleCheckinPoll(std::max(Seconds(30), *next - now));

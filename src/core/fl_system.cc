@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/graph/registry.h"
+#include "src/ops/crash_handler.h"
 #include "src/server/master_aggregator.h"
 
 namespace fl::core {
@@ -36,6 +37,23 @@ FLSystem::FLSystem(FLSystemConfig config)
   round_ledger_ = std::make_unique<ops::RoundLedger>(stats_.get());
   telemetry_sink_ =
       std::make_unique<server::TelemetryStatsSink>(round_ledger_.get());
+  // Diagnostic bundler: disabled (dir empty) unless configured, but always
+  // constructed so triggers can be wired unconditionally. The abandoned-
+  // round hook fires even with the ops plane off.
+  ops::DiagnosticBundler::Options bundle_opts = config_.bundle_options;
+  bundle_opts.dir = config_.bundle_dir;
+  bundler_ = std::make_unique<ops::DiagnosticBundler>(
+      std::move(bundle_opts),
+      ops::DiagnosticBundler::Sources{.ledger = round_ledger_.get(),
+                                      .health = nullptr});
+  round_ledger_->set_on_abandoned(
+      [this](SimTime t, RoundId round, protocol::RoundOutcome outcome) {
+        bundler_->Capture(
+            "round_abandoned",
+            "round=" + std::to_string(round.value) +
+                " outcome=" + protocol::RoundOutcomeName(outcome),
+            t);
+      });
   server_context_.stats = telemetry_sink_.get();
   server_context_.pace = pace_.get();
   server_context_.rng = &rng_;
@@ -198,14 +216,24 @@ void FLSystem::Start() {
     ops_opts.population = config_.population_name;
     ops_opts.health = config_.health_policy;
     ops_ = std::make_unique<ops::OpsPlane>(std::move(ops_opts),
-                                           round_ledger_.get());
+                                           round_ledger_.get(),
+                                           bundler_.get());
     if (const Status s = ops_->Start(); !s.ok()) {
       FL_LOG(Warning) << "ops plane disabled: " << s.ToString();
       ops_.reset();
     } else {
+      bundler_->set_health_source(&ops_->health());
       FL_LOG(Info) << "ops plane serving on http://127.0.0.1:"
                    << ops_->port();
     }
+  }
+
+  // Abnormal-exit forensics: once a bundle dir is configured, fatal signals
+  // dump the flight recorder there and the journal tail is flushed at exit.
+  if (!config_.bundle_dir.empty()) {
+    ops::CrashHandlerOptions crash_opts;
+    crash_opts.flight_dump_path = config_.bundle_dir + "/crash-flight.log";
+    ops::InstallCrashHandler(crash_opts);
   }
 
   // Selectors first (the coordinator greets them on start).

@@ -102,6 +102,10 @@ class FLSystem {
   // FL_STATUSZ in the environment) and the server started successfully.
   ops::OpsPlane* ops_plane() { return ops_.get(); }
   const ops::OpsPlane* ops_plane() const { return ops_.get(); }
+  // Always present; enabled (writes bundles) only when config.bundle_dir is
+  // non-empty. Captures fire on abandoned rounds and unhealthy transitions.
+  ops::DiagnosticBundler& bundler() { return *bundler_; }
+  const ops::DiagnosticBundler& bundler() const { return *bundler_; }
   // Always present in the sink chain (recording only while the ops plane
   // is up); /rounds serves from it.
   ops::RoundLedger& round_ledger() { return *round_ledger_; }
@@ -133,6 +137,7 @@ class FLSystem {
   std::unique_ptr<server::ModelStore> model_store_;
   std::unique_ptr<FleetStats> stats_;
   std::unique_ptr<ops::RoundLedger> round_ledger_;
+  std::unique_ptr<ops::DiagnosticBundler> bundler_;
   std::unique_ptr<server::TelemetryStatsSink> telemetry_sink_;
   std::unique_ptr<ops::OpsPlane> ops_;
   analytics::MonitorHub monitor_hub_;

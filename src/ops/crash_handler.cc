@@ -1,0 +1,86 @@
+#include "src/ops/crash_handler.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/analytics/flight_dump.h"
+#include "src/analytics/journal.h"
+
+namespace fl::ops {
+namespace {
+
+std::atomic<bool> g_installed{false};
+// Fixed storage: the handler must not touch the heap.
+char g_dump_path[512] = {0};
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL};
+
+void AtExitFlush() {
+  analytics::Journal::Global().Flush();
+}
+
+void FatalSignalHandler(int sig) {
+  if (g_dump_path[0] != '\0') {
+    (void)WriteCrashDump(g_dump_path);
+  }
+  // Not async-signal-safe, but the alternative is losing the journal tail
+  // outright; the try-lock inside bounds the damage to "no flush".
+  (void)analytics::Journal::Global().FlushBestEffort();
+  // Restore the default disposition and re-raise so the process still dies
+  // with the original signal (wait status, core dumps, CI log lines).
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+bool InstallCrashHandler(const CrashHandlerOptions& opts) {
+  bool expected = false;
+  if (!g_installed.compare_exchange_strong(expected, true)) return false;
+  if (opts.install_atexit) {
+    std::atexit(AtExitFlush);
+  }
+  if (!opts.flight_dump_path.empty()) {
+    // The handler can only open(2); make sure the parent directory exists
+    // now, while mkdir is still allowed to fail loudly.
+    const std::size_t slash = opts.flight_dump_path.find_last_of('/');
+    if (slash != std::string::npos && slash > 0) {
+      (void)::mkdir(opts.flight_dump_path.substr(0, slash).c_str(), 0755);
+    }
+    const std::size_t n =
+        std::min(opts.flight_dump_path.size(), sizeof(g_dump_path) - 1);
+    std::memcpy(g_dump_path, opts.flight_dump_path.data(), n);
+    g_dump_path[n] = '\0';
+    struct sigaction sa{};
+    sa.sa_handler = FatalSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    // SA_RESETHAND guards against the handler itself faulting: the second
+    // delivery takes the default disposition.
+    sa.sa_flags = SA_RESETHAND;
+    for (const int sig : kFatalSignals) {
+      ::sigaction(sig, &sa, nullptr);
+    }
+  }
+  return true;
+}
+
+bool CrashHandlerInstalled() {
+  return g_installed.load(std::memory_order_acquire);
+}
+
+std::size_t WriteCrashDump(const char* path) {
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return 0;
+  const std::size_t written = analytics::FlightDumpToFd(fd);
+  ::close(fd);
+  return written;
+}
+
+}  // namespace fl::ops

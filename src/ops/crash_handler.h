@@ -1,0 +1,37 @@
+// Abnormal-exit diagnostics. Two escape hatches for the forensic tail that
+// normally dies with the process:
+//
+//  * atexit: the global Journal is a leaked singleton (its destructor never
+//    runs), so up to 64 KiB of buffered records vanish on a clean exit().
+//    The atexit hook flushes it.
+//  * fatal signals (SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL): the handler
+//    dumps the always-on flight recorder to a pre-configured path with only
+//    async-signal-safe calls (open/write), try-flushes the journal, then
+//    re-raises with the default disposition so the exit status still says
+//    what killed the process.
+//
+// Installation is idempotent and process-global (first Install wins).
+#pragma once
+
+#include <string>
+
+namespace fl::ops {
+
+struct CrashHandlerOptions {
+  // Where the fatal-signal flight dump goes. Empty disables the signal
+  // handlers (the atexit journal flush is still installed).
+  std::string flight_dump_path;
+  bool install_atexit = true;
+};
+
+// Installs the hooks; later calls are no-ops (returns false). The dump path
+// is copied into static storage so the signal handler never allocates.
+bool InstallCrashHandler(const CrashHandlerOptions& opts);
+bool CrashHandlerInstalled();
+
+// The signal handler body, exposed for direct testing: dumps the flight
+// recorder to `path` and best-effort-flushes the journal. Returns records
+// written, or 0 when the file could not be opened.
+std::size_t WriteCrashDump(const char* path);
+
+}  // namespace fl::ops

@@ -168,6 +168,23 @@ class JsonParser {
         case 'u': {
           unsigned int code = 0;
           if (!ParseHex4(&code)) return Error("bad \\u escape");
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Error("lone low surrogate in \\u escape");
+          }
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: a \uDC00-\uDFFF low half must follow.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Error("unpaired high surrogate in \\u escape");
+            }
+            pos_ += 2;
+            unsigned int low = 0;
+            if (!ParseHex4(&low)) return Error("bad \\u escape");
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("unpaired high surrogate in \\u escape");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          }
           AppendUtf8(out, code);
           break;
         }
@@ -205,8 +222,13 @@ class JsonParser {
     } else if (code < 0x800) {
       out->push_back(static_cast<char>(0xC0 | (code >> 6)));
       out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
-    } else {
+    } else if (code < 0x10000) {
       out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
       out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
       out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
     }

@@ -27,8 +27,10 @@ std::optional<int> StatuszPortFromEnv() {
   return static_cast<int>(port);
 }
 
-OpsPlane::OpsPlane(Options opts, RoundLedger* ledger)
+OpsPlane::OpsPlane(Options opts, RoundLedger* ledger,
+                   DiagnosticBundler* bundler)
     : ledger_(ledger),
+      bundler_(bundler),
       store_(opts.store),
       sampler_(&store_),
       health_(opts.health),
@@ -38,6 +40,7 @@ OpsPlane::OpsPlane(Options opts, RoundLedger* ledger)
                   .sampler = &sampler_,
                   .ledger = ledger,
                   .health = &health_,
+                  .bundler = bundler,
                   .sim_now_ms = &sim_now_ms_,
               }) {}
 
@@ -58,8 +61,22 @@ void OpsPlane::Stop() {
 void OpsPlane::Tick(SimTime now, const telemetry::MetricsSnapshot& snapshot) {
   sim_now_ms_.store(now.millis, std::memory_order_relaxed);
   sampler_.SampleSnapshot(now.millis, snapshot);
-  health_.Evaluate(store_, snapshot, now.millis,
-                   sampler_.last_sample_wall_us(), telemetry::WallMicros());
+  const HealthReport report =
+      health_.Evaluate(store_, snapshot, now.millis,
+                       sampler_.last_sample_wall_us(),
+                       telemetry::WallMicros());
+  // Bundle on the healthy -> unhealthy edge only: a fleet that stays
+  // unhealthy for an hour produces one bundle, not one per tick.
+  if (bundler_ != nullptr && was_healthy_ && !report.healthy) {
+    std::string failing;
+    for (const HealthCheck& c : report.checks) {
+      if (c.ok) continue;
+      if (!failing.empty()) failing += ',';
+      failing += c.name;
+    }
+    bundler_->Capture("health", failing, now);
+  }
+  was_healthy_ = report.healthy;
 }
 
 }  // namespace fl::ops

@@ -13,6 +13,7 @@
 
 #include "src/analytics/window_store.h"
 #include "src/common/sim_time.h"
+#include "src/ops/debug_bundle.h"
 #include "src/ops/health.h"
 #include "src/ops/round_ledger.h"
 #include "src/ops/sampler.h"
@@ -35,7 +36,11 @@ class OpsPlane {
 
   // `ledger` is the RoundLedger already sitting in the FLSystem sink chain
   // (may be null for hosts without one); the plane enables it on Start().
-  explicit OpsPlane(Options opts, RoundLedger* ledger = nullptr);
+  // `bundler` is the host's DiagnosticBundler (may be null): the plane
+  // serves it on /debugz and captures a bundle when health transitions
+  // healthy -> unhealthy.
+  explicit OpsPlane(Options opts, RoundLedger* ledger = nullptr,
+                    DiagnosticBundler* bundler = nullptr);
   ~OpsPlane();
 
   OpsPlane(const OpsPlane&) = delete;
@@ -59,10 +64,14 @@ class OpsPlane {
 
  private:
   RoundLedger* ledger_;
+  DiagnosticBundler* bundler_;
   analytics::SlidingWindowStore store_;
   MetricsSampler sampler_;
   HealthEvaluator health_;
   std::atomic<std::int64_t> sim_now_ms_{0};
+  // Healthy -> unhealthy edge detection for the bundle trigger (ticks run
+  // on the sim thread only).
+  bool was_healthy_ = true;
   StatusServer server_;
 };
 

@@ -11,24 +11,30 @@ void RoundLedger::OnRoundOutcome(SimTime t, RoundId round,
                                  protocol::RoundOutcome outcome,
                                  std::size_t contributors) {
   if (inner_ != nullptr) inner_->OnRoundOutcome(t, round, outcome, contributors);
-  if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  RoundRecord rec;
-  if (auto it = open_.find(round.value); it != open_.end()) {
-    rec = it->second;
-    open_.erase(it);
+  if (enabled()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    RoundRecord rec;
+    if (auto it = open_.find(round.value); it != open_.end()) {
+      rec = it->second;
+      open_.erase(it);
+    }
+    rec.round = round;
+    rec.finished_at = t;
+    rec.outcome = outcome;
+    rec.contributors = contributors;
+    if (outcome == protocol::RoundOutcome::kCommitted) {
+      ++totals_.rounds_committed;
+    } else {
+      ++totals_.rounds_abandoned;
+    }
+    finished_.push_back(rec);
+    while (finished_.size() > capacity_) finished_.pop_front();
   }
-  rec.round = round;
-  rec.finished_at = t;
-  rec.outcome = outcome;
-  rec.contributors = contributors;
-  if (outcome == protocol::RoundOutcome::kCommitted) {
-    ++totals_.rounds_committed;
-  } else {
-    ++totals_.rounds_abandoned;
+  // After the ledger update (so a bundle capture sees this round) and
+  // outside the lock (so the observer may read the ledger).
+  if (outcome != protocol::RoundOutcome::kCommitted && on_abandoned_) {
+    on_abandoned_(t, round, outcome);
   }
-  finished_.push_back(rec);
-  while (finished_.size() > capacity_) finished_.pop_front();
 }
 
 void RoundLedger::OnParticipantOutcome(SimTime t, RoundId round,

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -49,6 +50,17 @@ class RoundLedger final : public server::ServerStatsSink {
     enabled_.store(enabled, std::memory_order_release);
   }
   bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  // Anomaly hook: fires on every non-committed round outcome, even while
+  // recording is disabled (the diagnostic bundler must trigger with the ops
+  // plane off). Called outside the ledger lock, so the observer may read
+  // RecentJson()/totals(). Set before the sim starts; not thread-safe to
+  // swap mid-run.
+  using AbandonedObserver =
+      std::function<void(SimTime, RoundId, protocol::RoundOutcome)>;
+  void set_on_abandoned(AbandonedObserver observer) {
+    on_abandoned_ = std::move(observer);
+  }
 
   void OnRoundOutcome(SimTime t, RoundId round,
                       protocol::RoundOutcome outcome,
@@ -88,6 +100,7 @@ class RoundLedger final : public server::ServerStatsSink {
   server::ServerStatsSink* inner_;
   const std::size_t capacity_;
   std::atomic<bool> enabled_{false};
+  AbandonedObserver on_abandoned_;
 
   mutable std::mutex mu_;
   // Participant tallies for rounds that have not reported an outcome yet.

@@ -1,6 +1,7 @@
 #include "src/ops/status_server.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <vector>
@@ -83,6 +84,7 @@ Status StatusServer::Start() {
   http_.Handle("/healthz",
                [this](const HttpRequest& r) { return Healthz(r); });
   http_.Handle("/tracez", [this](const HttpRequest& r) { return Tracez(r); });
+  http_.Handle("/debugz", [this](const HttpRequest& r) { return Debugz(r); });
   return http_.Start();
 }
 
@@ -305,6 +307,48 @@ HttpResponse StatusServer::Tracez(const HttpRequest&) const {
   return HttpResponse::Json(w.str());
 }
 
+HttpResponse StatusServer::Debugz(const HttpRequest& req) const {
+  if (sources_.bundler == nullptr) {
+    return HttpResponse::Json(
+        "{\"enabled\":false,\"captured\":0,\"bundles\":[]}");
+  }
+  const std::string bundle_raw = QueryParam(req.query, "bundle");
+  const std::string file = QueryParam(req.query, "file");
+  if (bundle_raw.empty() && file.empty()) {
+    return HttpResponse::Json(sources_.bundler->HistoryJson());
+  }
+  // File serving: the client names a bundle by seq and a file from the
+  // known set — never a path. Everything else is 404.
+  char* end = nullptr;
+  const unsigned long long seq = std::strtoull(bundle_raw.c_str(), &end, 10);
+  if (end == bundle_raw.c_str() || *end != '\0') {
+    return HttpResponse::Text("bad bundle seq\n", 400);
+  }
+  const auto& known = DiagnosticBundler::KnownFiles();
+  if (std::find(known.begin(), known.end(), file) == known.end()) {
+    return HttpResponse::Text("unknown bundle file\n", 404);
+  }
+  std::string dir;
+  for (const auto& b : sources_.bundler->History()) {
+    if (b.seq == seq) {
+      dir = b.path;
+      break;
+    }
+  }
+  if (dir.empty()) return HttpResponse::Text("no such bundle\n", 404);
+  std::FILE* f = std::fopen((dir + "/" + file).c_str(), "rb");
+  if (f == nullptr) return HttpResponse::Text("bundle file missing\n", 404);
+  std::string body;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) body.append(buf, n);
+  std::fclose(f);
+  if (file.size() > 5 && file.compare(file.size() - 5, 5, ".json") == 0) {
+    return HttpResponse::Json(std::move(body));
+  }
+  return HttpResponse::Text(std::move(body));
+}
+
 HttpResponse StatusServer::Index(const HttpRequest&) const {
   std::string out =
       "<!doctype html><html><head><title>fl ops</title></head><body>"
@@ -318,6 +362,7 @@ HttpResponse StatusServer::Index(const HttpRequest&) const {
       "<li><a href=\"/rounds\">/rounds</a> recent round records</li>"
       "<li><a href=\"/healthz\">/healthz</a> SLO verdict</li>"
       "<li><a href=\"/tracez\">/tracez</a> span summaries</li>"
+      "<li><a href=\"/debugz\">/debugz</a> diagnostic bundles</li>"
       "</ul></body></html>";
   return HttpResponse::Html(out);
 }

@@ -8,6 +8,8 @@
 //   /healthz   200 "healthy" / 503 "unhealthy" with the evaluator's latest
 //              report as the JSON body
 //   /tracez    recent span summaries from the round-phase tracer
+//   /debugz    captured diagnostic bundles; ?bundle=<seq>&file=<name> serves
+//              one file from a bundle (names restricted to the known set)
 //
 // Handlers run on HTTP worker threads while the sim runs elsewhere, so they
 // only touch thread-safe surfaces: registry snapshots, the window store,
@@ -20,6 +22,7 @@
 #include <string>
 
 #include "src/analytics/window_store.h"
+#include "src/ops/debug_bundle.h"
 #include "src/ops/health.h"
 #include "src/ops/http.h"
 #include "src/ops/round_ledger.h"
@@ -44,6 +47,7 @@ class StatusServer {
     const MetricsSampler* sampler = nullptr;
     const RoundLedger* ledger = nullptr;
     const HealthEvaluator* health = nullptr;
+    const DiagnosticBundler* bundler = nullptr;
     // Latest sim time published by the ops tick (HTTP threads must not
     // touch the event queue itself).
     const std::atomic<std::int64_t>* sim_now_ms = nullptr;
@@ -63,6 +67,7 @@ class StatusServer {
   HttpResponse Rounds(const HttpRequest& req) const;
   HttpResponse Healthz(const HttpRequest& req) const;
   HttpResponse Tracez(const HttpRequest& req) const;
+  HttpResponse Debugz(const HttpRequest& req) const;
   HttpResponse Index(const HttpRequest& req) const;
 
  private:

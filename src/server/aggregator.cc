@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/analytics/flight_dump.h"
 #include "src/analytics/journal.h"
 #include "src/common/logging.h"
 #include "src/fedavg/codec.h"
+#include "src/telemetry/trace_context.h"
 
 namespace fl::server {
 namespace {
@@ -125,6 +127,11 @@ void AggregatorActor::HandleConfigure(const MsgConfigureDevices& msg) {
     }();
     if (plan_it == init_.plan_bytes->end()) {
       // Device too old for every versioned plan: turn it away.
+      analytics::RecordFlight(
+          Now(), analytics::JournalSource::kAggregator,
+          analytics::JournalEventKind::kCheckinRejected, link.device,
+          link.session, init_.round, 0,
+          static_cast<std::uint16_t>(analytics::FlightReason::kRuntimeTooOld));
       if (analytics::JournalEnabled()) {
         JournalReport(link, analytics::JournalEventKind::kCheckinRejected,
                       "reason=runtime_too_old");
@@ -137,6 +144,10 @@ void AggregatorActor::HandleConfigure(const MsgConfigureDevices& msg) {
     DeviceEntry entry;
     entry.link = link;
     TaskAssignment assignment;
+    // The master installed the round's context around this configure message;
+    // hand it across the event-queue boundary so the device-side session
+    // span links under the round span.
+    assignment.trace = telemetry::CurrentTraceContext();
     assignment.round = init_.round;
     assignment.task = init_.task;
     assignment.aggregator = id();
@@ -174,6 +185,11 @@ void AggregatorActor::HandleReport(const DeviceReport& report) {
   if (it == devices_.end()) return;  // not ours
   if (flushed_ || it->second.state != DeviceStateTag::kAssigned) {
     // Reporting window closed — '#' in the session shape (Table 1).
+    analytics::RecordFlight(
+        Now(), analytics::JournalSource::kAggregator,
+        analytics::JournalEventKind::kReportRejected, report.device,
+        it->second.link.session, init_.round, 0,
+        static_cast<std::uint16_t>(analytics::FlightReason::kLate));
     if (analytics::JournalEnabled()) {
       JournalReport(it->second.link,
                     analytics::JournalEventKind::kReportRejected,
@@ -200,6 +216,11 @@ void AggregatorActor::HandleReport(const DeviceReport& report) {
     if (!update.ok()) {
       init_.context->stats->OnError(Now(), "corrupt update: " +
                                                update.status().ToString());
+      analytics::RecordFlight(
+          Now(), analytics::JournalSource::kAggregator,
+          analytics::JournalEventKind::kReportRejected, report.device,
+          it->second.link.session, init_.round, 0,
+          static_cast<std::uint16_t>(analytics::FlightReason::kCorrupt));
       if (analytics::JournalEnabled()) {
         JournalReport(it->second.link,
                       analytics::JournalEventKind::kReportRejected,
@@ -214,6 +235,11 @@ void AggregatorActor::HandleReport(const DeviceReport& report) {
                                               report.weight, metrics);
     if (!s.ok()) {
       init_.context->stats->OnError(Now(), s.ToString());
+      analytics::RecordFlight(
+          Now(), analytics::JournalSource::kAggregator,
+          analytics::JournalEventKind::kReportRejected, report.device,
+          it->second.link.session, init_.round, 0,
+          static_cast<std::uint16_t>(analytics::FlightReason::kAccumulate));
       if (analytics::JournalEnabled()) {
         JournalReport(it->second.link,
                       analytics::JournalEventKind::kReportRejected,
@@ -233,6 +259,9 @@ void AggregatorActor::HandleReport(const DeviceReport& report) {
   it->second.state = DeviceStateTag::kReported;
   ++accepted_;
   accepted_wire_bytes_ += report.upload_wire_bytes;
+  analytics::RecordFlight(Now(), analytics::JournalSource::kAggregator,
+                          analytics::JournalEventKind::kReportAccepted,
+                          report.device, it->second.link.session, init_.round);
   if (analytics::JournalEnabled()) {
     JournalReport(it->second.link,
                   analytics::JournalEventKind::kReportAccepted,
@@ -408,6 +437,10 @@ void AggregatorActor::HandleSecAggMasked(const SecAggMaskedInputMsg& msg) {
   it->second.state = DeviceStateTag::kReported;
   ++accepted_;
   accepted_wire_bytes_ += msg.upload_wire_bytes;
+  analytics::RecordFlight(Now(), analytics::JournalSource::kAggregator,
+                          analytics::JournalEventKind::kReportAccepted,
+                          msg.device, it->second.link.session, init_.round,
+                          /*aux_a=*/1);
   if (analytics::JournalEnabled()) {
     // Tagged mode=secagg: masked inputs may legally commit after the round's
     // closing phase (HandleFlush lets phases 2/3 run to completion), so the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/analytics/flight_dump.h"
 #include "src/analytics/journal.h"
 #include "src/common/logging.h"
 #include "src/server/master_aggregator.h"
@@ -18,6 +19,16 @@ void JournalOutcome(SimTime now, RoundId round, std::string detail) {
   analytics::AppendJournal(now, analytics::JournalSource::kCoordinator,
                            analytics::JournalEventKind::kRoundOutcome,
                            DeviceId{}, SessionId{}, round, std::move(detail));
+}
+
+void FlightOutcome(SimTime now, RoundId round, protocol::RoundOutcome outcome,
+                   analytics::FlightReason reason,
+                   std::size_t contributors = 0) {
+  analytics::RecordFlight(now, analytics::JournalSource::kCoordinator,
+                          analytics::JournalEventKind::kRoundOutcome,
+                          DeviceId{}, SessionId{}, round,
+                          static_cast<std::uint32_t>(contributors),
+                          analytics::PackOutcomeReason(outcome, reason));
 }
 
 }  // namespace
@@ -84,6 +95,8 @@ void CoordinatorActor::OnMessage(const actor::Envelope& env) {
                                                " failed");
       init_.context->stats->OnRoundOutcome(Now(), active_->round,
                                            protocol::RoundOutcome::kFailed, 0);
+      FlightOutcome(Now(), active_->round, protocol::RoundOutcome::kFailed,
+                    analytics::FlightReason::kMasterLost);
       if (analytics::JournalEnabled()) {
         JournalOutcome(Now(), active_->round,
                        "outcome=failed reason=master_lost");
@@ -216,6 +229,8 @@ void CoordinatorActor::HandleComplete(const MsgRoundComplete& msg) {
       init_.context->stats->OnRoundTiming(Now(), msg.round,
                                           msg.selection_duration,
                                           msg.round_duration);
+      FlightOutcome(Now(), msg.round, protocol::RoundOutcome::kCommitted,
+                    analytics::FlightReason::kNone, msg.contributors);
       if (analytics::JournalEnabled()) {
         JournalOutcome(Now(), msg.round,
                        "outcome=committed contributors=" +
@@ -229,6 +244,8 @@ void CoordinatorActor::HandleComplete(const MsgRoundComplete& msg) {
     init_.context->stats->OnError(Now(), "commit failed: " + s.ToString());
     init_.context->stats->OnRoundOutcome(Now(), msg.round,
                                          protocol::RoundOutcome::kFailed, 0);
+    FlightOutcome(Now(), msg.round, protocol::RoundOutcome::kFailed,
+                  analytics::FlightReason::kCommitFailed);
     if (analytics::JournalEnabled()) {
       JournalOutcome(Now(), msg.round, "outcome=failed reason=commit");
     }
@@ -242,6 +259,7 @@ void CoordinatorActor::HandleComplete(const MsgRoundComplete& msg) {
 void CoordinatorActor::HandleAbandoned(const MsgRoundAbandoned& msg) {
   if (!active_ || msg.round != active_->round) return;
   init_.context->stats->OnRoundOutcome(Now(), msg.round, msg.outcome, 0);
+  FlightOutcome(Now(), msg.round, msg.outcome, msg.flight_reason);
   if (analytics::JournalEnabled()) {
     JournalOutcome(
         Now(), msg.round,

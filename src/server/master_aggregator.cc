@@ -31,6 +31,16 @@ MasterAggregatorActor::MasterAggregatorActor(Init init)
 void MasterAggregatorActor::OnStart() {
   started_at_ = Now();
   OpenRoundSpans();
+  const telemetry::ScopedTraceContext scope(RoundCtx());
+  analytics::RecordFlight(
+      Now(), analytics::JournalSource::kMaster,
+      analytics::JournalEventKind::kRoundOpen, DeviceId{}, SessionId{},
+      init_.round, static_cast<std::uint32_t>(init_.config.goal_count),
+      static_cast<std::uint16_t>(
+          std::min<std::size_t>(init_.config.MinReportCount(), 0xffff)));
+  analytics::RecordFlight(Now(), analytics::JournalSource::kMaster,
+                          analytics::JournalEventKind::kPhase, DeviceId{},
+                          SessionId{}, init_.round, 0);
   if (analytics::JournalEnabled()) {
     JournalRound(Now(), init_.round, analytics::JournalEventKind::kRoundOpen,
                  "task=" + std::to_string(init_.task.value) +
@@ -65,7 +75,8 @@ void MasterAggregatorActor::OnMessage(const actor::Envelope& env) {
       } else {
         Abandon(protocol::RoundOutcome::kAbandonedSelection,
                 "selection timeout with " +
-                    std::to_string(pending_links_.size()) + " devices");
+                    std::to_string(pending_links_.size()) + " devices",
+                analytics::FlightReason::kSelectionTimeout);
       }
     }
   } else if (const auto* m = Cast<MsgReportingDeadline>(env)) {
@@ -81,7 +92,8 @@ void MasterAggregatorActor::OnMessage(const actor::Envelope& env) {
   } else if (Cast<MsgSelfStop>(env) != nullptr) {
     if (phase_ != Phase::kDone) {
       Abandon(protocol::RoundOutcome::kAbandonedReporting,
-              "master end of life before completion");
+              "master end of life before completion",
+              analytics::FlightReason::kMasterEndOfLife);
     }
     system().Stop(id());
   }
@@ -92,6 +104,11 @@ void MasterAggregatorActor::HandleForwarded(std::vector<DeviceLink> links) {
     if (phase_ != Phase::kSelection ||
         pending_links_.size() >= init_.config.SelectionTarget()) {
       // Over-selection target met; turn extras away with a retry window.
+      analytics::RecordFlight(
+          Now(), analytics::JournalSource::kMaster,
+          analytics::JournalEventKind::kCheckinRejected, link.device,
+          link.session, init_.round, 0,
+          static_cast<std::uint16_t>(analytics::FlightReason::kRoundFull));
       if (analytics::JournalEnabled()) {
         analytics::AppendJournal(
             Now(), analytics::JournalSource::kMaster,
@@ -146,6 +163,12 @@ void MasterAggregatorActor::CloseRoundSpans(const char* outcome,
 void MasterAggregatorActor::BeginReporting() {
   phase_ = Phase::kReporting;
   configured_at_ = Now();
+  // Aggregator spawns, configure messages, and the reporting-deadline timer
+  // below all inherit this round's context.
+  const telemetry::ScopedTraceContext scope(RoundCtx());
+  analytics::RecordFlight(Now(), analytics::JournalSource::kMaster,
+                          analytics::JournalEventKind::kPhase, DeviceId{},
+                          SessionId{}, init_.round, 1);
   if (analytics::JournalEnabled()) {
     JournalRound(Now(), init_.round, analytics::JournalEventKind::kPhase,
                  "phase=configuration devices=" +
@@ -200,6 +223,9 @@ void MasterAggregatorActor::BeginReporting() {
     tracer.End(config_span, Now());
     reporting_span_ = tracer.Begin("phase:reporting", Now(), round_span_);
   }
+  analytics::RecordFlight(Now(), analytics::JournalSource::kMaster,
+                          analytics::JournalEventKind::kPhase, DeviceId{},
+                          SessionId{}, init_.round, 2);
   if (analytics::JournalEnabled()) {
     JournalRound(Now(), init_.round, analytics::JournalEventKind::kPhase,
                  "phase=reporting aggregators=" +
@@ -229,6 +255,10 @@ void MasterAggregatorActor::FlushAll() {
   if (flushed_) return;
   flushed_ = true;
   phase_ = Phase::kClosing;
+  const telemetry::ScopedTraceContext scope(RoundCtx());
+  analytics::RecordFlight(Now(), analytics::JournalSource::kMaster,
+                          analytics::JournalEventKind::kPhase, DeviceId{},
+                          SessionId{}, init_.round, 3);
   if (analytics::JournalEnabled()) {
     JournalRound(Now(), init_.round, analytics::JournalEventKind::kPhase,
                  "phase=closing accepted=" + std::to_string(total_accepted_));
@@ -282,6 +312,7 @@ void MasterAggregatorActor::HandleAggregatorDeath(ActorId who) {
 void MasterAggregatorActor::MaybeFinishRound() {
   if (phase_ != Phase::kClosing || results_outstanding_ > 0) return;
   phase_ = Phase::kDone;
+  const telemetry::ScopedTraceContext scope(RoundCtx());
   const std::size_t contributors = combined_->contributions();
   if (contributors >= init_.config.MinReportCount()) {
     MsgRoundComplete done;
@@ -294,6 +325,12 @@ void MasterAggregatorActor::MaybeFinishRound() {
     done.selection_duration = configured_at_ - started_at_;
     done.round_duration = Now() - started_at_;
     CloseRoundSpans("committed", contributors);
+    analytics::RecordFlight(
+        Now(), analytics::JournalSource::kMaster,
+        analytics::JournalEventKind::kRoundCommit, DeviceId{}, SessionId{},
+        init_.round, static_cast<std::uint32_t>(contributors),
+        static_cast<std::uint16_t>(
+            std::min<std::size_t>(init_.config.MinReportCount(), 0xffff)));
     if (analytics::JournalEnabled()) {
       // wire_bytes sums the per-aggregator cumulative accepted upload bytes
       // (crashed cohorts included), so it equals the sum of the journaled
@@ -312,15 +349,23 @@ void MasterAggregatorActor::MaybeFinishRound() {
   } else {
     Abandon(protocol::RoundOutcome::kAbandonedReporting,
             "only " + std::to_string(contributors) + " reports; need " +
-                std::to_string(init_.config.MinReportCount()));
+                std::to_string(init_.config.MinReportCount()),
+            analytics::FlightReason::kBelowMinReports);
   }
 }
 
 void MasterAggregatorActor::Abandon(protocol::RoundOutcome outcome,
-                                    const std::string& reason) {
+                                    const std::string& reason,
+                                    analytics::FlightReason flight_reason) {
   phase_ = Phase::kDone;
+  const telemetry::ScopedTraceContext scope(RoundCtx());
   CloseRoundSpans(protocol::RoundOutcomeName(outcome),
                   combined_->contributions());
+  analytics::RecordFlight(
+      Now(), analytics::JournalSource::kMaster,
+      analytics::JournalEventKind::kRoundAbandoned, DeviceId{}, SessionId{},
+      init_.round, static_cast<std::uint32_t>(combined_->contributions()),
+      analytics::PackOutcomeReason(outcome, flight_reason));
   if (analytics::JournalEnabled()) {
     JournalRound(Now(), init_.round,
                  analytics::JournalEventKind::kRoundAbandoned,
@@ -329,6 +374,12 @@ void MasterAggregatorActor::Abandon(protocol::RoundOutcome outcome,
   }
   // Turn away anything still buffered from selection.
   for (DeviceLink& link : pending_links_) {
+    analytics::RecordFlight(
+        Now(), analytics::JournalSource::kMaster,
+        analytics::JournalEventKind::kCheckinRejected, link.device,
+        link.session, init_.round, 0,
+        static_cast<std::uint16_t>(
+            analytics::FlightReason::kRoundAbandonedReject));
     if (analytics::JournalEnabled()) {
       analytics::AppendJournal(
           Now(), analytics::JournalSource::kMaster,
@@ -351,6 +402,7 @@ void MasterAggregatorActor::Abandon(protocol::RoundOutcome outcome,
   msg.task = init_.task;
   msg.outcome = outcome;
   msg.reason = reason;
+  msg.flight_reason = flight_reason;
   Send(init_.coordinator, std::move(msg));
 }
 

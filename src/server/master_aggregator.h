@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/actor/actor.h"
+#include "src/analytics/flight_dump.h"
 #include "src/fedavg/server_aggregate.h"
 #include "src/server/messages.h"
 #include "src/server/task.h"
@@ -57,7 +58,13 @@ class MasterAggregatorActor final : public actor::Actor {
   void HandleAggregatorDeath(ActorId who);
   void FlushAll();
   void MaybeFinishRound();
-  void Abandon(protocol::RoundOutcome outcome, const std::string& reason);
+  void Abandon(protocol::RoundOutcome outcome, const std::string& reason,
+               analytics::FlightReason flight_reason);
+  // This round's causal context, installed around every send so timers,
+  // aggregator spawns, and coordinator messages carry the round + its span.
+  telemetry::TraceContext RoundCtx() const {
+    return telemetry::TraceContext{init_.round.value, 0, 0, round_span_};
+  }
 
   Init init_;
   Phase phase_ = Phase::kSelection;

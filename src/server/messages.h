@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analytics/flight_dump.h"
 #include "src/common/bytes.h"
 #include "src/common/id.h"
 #include "src/device/attestation.h"
@@ -22,6 +23,7 @@
 #include "src/protocol/pace_steering.h"
 #include "src/protocol/round_config.h"
 #include "src/secagg/types.h"
+#include "src/telemetry/trace_context.h"
 
 namespace fl::server {
 
@@ -55,6 +57,10 @@ struct TaskAssignment {
   std::uint64_t secagg_index_seed = 0;
   // Plain-path update codec for this round (all stages default OFF).
   protocol::WireCodecConfig codec;
+  // Causal context of the configuring server side (round + config span):
+  // DeviceLink callbacks cross the event queue as plain closures, so the
+  // context travels explicitly here instead of in an actor envelope.
+  telemetry::TraceContext trace;
 };
 
 // "If a device is not selected for participation, the server responds with
@@ -242,6 +248,9 @@ struct MsgRoundAbandoned {
   TaskId task;
   protocol::RoundOutcome outcome = protocol::RoundOutcome::kAbandonedSelection;
   std::string reason;
+  // Structured twin of `reason` so the coordinator's flight record carries a
+  // decodable code instead of a free-form string.
+  analytics::FlightReason flight_reason = analytics::FlightReason::kOther;
 };
 
 // Coordinator self-tick.

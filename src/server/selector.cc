@@ -1,5 +1,6 @@
 #include "src/server/selector.h"
 
+#include "src/analytics/flight_dump.h"
 #include "src/analytics/journal.h"
 
 namespace fl::server {
@@ -50,6 +51,11 @@ void SelectorActor::RejectLink(const DeviceLink& link,
                                const std::string& reason) {
   ++total_rejected_;
   init_.context->stats->OnDeviceRejected(Now());
+  analytics::RecordFlight(
+      Now(), analytics::JournalSource::kSelector,
+      analytics::JournalEventKind::kCheckinRejected, link.device, link.session,
+      RoundId{}, 0,
+      static_cast<std::uint16_t>(analytics::FlightReasonForDetail(reason)));
   if (analytics::JournalEnabled()) {
     analytics::AppendJournal(Now(), analytics::JournalSource::kSelector,
                              analytics::JournalEventKind::kCheckinRejected,
@@ -70,6 +76,9 @@ void SelectorActor::HandleArrival(const MsgDeviceArrived& msg) {
     return;
   }
   ++total_accepted_;
+  analytics::RecordFlight(Now(), analytics::JournalSource::kSelector,
+                          analytics::JournalEventKind::kCheckinAccepted,
+                          msg.link.device, msg.link.session);
   if (analytics::JournalEnabled()) {
     analytics::AppendJournal(Now(), analytics::JournalSource::kSelector,
                              analytics::JournalEventKind::kCheckinAccepted,

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <unordered_map>
 
 namespace fl::telemetry {
 namespace {
@@ -52,11 +53,20 @@ std::string ChromeTraceJson(const std::vector<SpanRecord>& spans) {
     }
   }
 
+  // Span begin timestamps by id, for drawing flow arrows from parent spans
+  // to context-linked children recorded on other actors/threads.
+  std::unordered_map<std::uint64_t, std::size_t> by_id;
+  by_id.reserve(spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) by_id.emplace(spans[i].id, i);
+
+  const auto start_ts = [&](const SpanRecord& s) {
+    return use_sim ? s.sim_start.millis * 1000 : s.wall_start_us;
+  };
+
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   for (const SpanRecord& s : spans) {
-    const std::int64_t ts =
-        use_sim ? s.sim_start.millis * 1000 : s.wall_start_us;
+    const std::int64_t ts = start_ts(s);
     const std::int64_t end =
         use_sim ? s.sim_end.millis * 1000 : s.wall_end_us;
     const std::int64_t dur = end > ts ? end - ts : 0;
@@ -75,6 +85,15 @@ std::string ChromeTraceJson(const std::vector<SpanRecord>& spans) {
     out += "\",\"parent\":\"";
     out += std::to_string(s.parent);
     out += '"';
+    if (s.ctx_round != 0) {
+      out += ",\"ctx_round\":\"" + std::to_string(s.ctx_round) + '"';
+    }
+    if (s.ctx_session != 0) {
+      out += ",\"ctx_session\":\"" + std::to_string(s.ctx_session) + '"';
+    }
+    if (s.ctx_device != 0) {
+      out += ",\"ctx_device\":\"" + std::to_string(s.ctx_device) + '"';
+    }
     for (const auto& [k, v] : s.attrs) {
       out += ',';
       AppendJsonString(out, k);
@@ -82,6 +101,30 @@ std::string ChromeTraceJson(const std::vector<SpanRecord>& spans) {
       AppendJsonString(out, v);
     }
     out += "}}";
+    // Perfetto flow arrow parent → child for cross-actor context links:
+    // a flow-start ("s") on the parent span's track at its begin time and a
+    // flow-finish ("f", bp:"e") at this span's begin. Keyed by the child
+    // span id, which is unique per link.
+    if (s.flow_parent && s.parent != 0) {
+      const auto pit = by_id.find(s.parent);
+      if (pit != by_id.end()) {
+        const SpanRecord& p = spans[pit->second];
+        out += ",{\"name\":\"ctx\",\"cat\":\"fl\",\"ph\":\"s\",\"id\":";
+        out += std::to_string(s.id);
+        out += ",\"ts\":";
+        out += std::to_string(start_ts(p));
+        out += ",\"pid\":0,\"tid\":";
+        out += std::to_string(p.tid);
+        out += "},{\"name\":\"ctx\",\"cat\":\"fl\",\"ph\":\"f\",\"bp\":\"e\","
+               "\"id\":";
+        out += std::to_string(s.id);
+        out += ",\"ts\":";
+        out += std::to_string(ts);
+        out += ",\"pid\":0,\"tid\":";
+        out += std::to_string(s.tid);
+        out += '}';
+      }
+    }
   }
   out += "]}";
   return out;

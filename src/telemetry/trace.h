@@ -41,6 +41,14 @@ struct SpanRecord {
   std::int64_t wall_start_us = 0;
   std::int64_t wall_end_us = 0;
   std::uint32_t tid = 0;  // ThreadOrdinal() of the beginning thread
+  // Causal context (src/telemetry/trace_context.h) captured at Begin; zero
+  // when none was installed. `flow_parent` is set when the parent link came
+  // from the ambient context rather than the same-thread span stack — the
+  // exporter draws these as Perfetto flow arrows across actor boundaries.
+  std::uint64_t ctx_round = 0;
+  std::uint64_t ctx_session = 0;
+  std::uint64_t ctx_device = 0;
+  bool flow_parent = false;
   std::vector<std::pair<std::string, std::string>> attrs;
 };
 

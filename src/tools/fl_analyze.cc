@@ -7,6 +7,13 @@
 //   fl_analyze --table <journal>      Table 1 session-shape table only
 //   fl_analyze --timeline <journal>   per-round timelines only
 //   fl_analyze --max-rows N           cap the shape table (default 10)
+//   fl_analyze --critical-path R <journal>
+//                                     what bounded round R's latency: phase
+//                                     spans, goal-count vs aggregation wait,
+//                                     per-device fates, straggler naming
+//
+// <journal> may also be a diagnostic-bundle directory (FL_BUNDLE_DIR); its
+// flight_recorder.log is analyzed in place of a journal file.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,16 +26,17 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: fl_analyze [--check|--table|--timeline] "
-               "[--max-rows N] <journal>\n");
+               "[--critical-path R] [--max-rows N] <journal|bundle-dir>\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  enum class Mode { kFull, kCheck, kTable, kTimeline };
+  enum class Mode { kFull, kCheck, kTable, kTimeline, kCriticalPath };
   Mode mode = Mode::kFull;
   std::size_t max_rows = 10;
+  fl::RoundId cp_round{};
   std::string path;
 
   for (int i = 1; i < argc; ++i) {
@@ -39,6 +47,10 @@ int main(int argc, char** argv) {
       mode = Mode::kTable;
     } else if (std::strcmp(arg, "--timeline") == 0) {
       mode = Mode::kTimeline;
+    } else if (std::strcmp(arg, "--critical-path") == 0 && i + 1 < argc) {
+      mode = Mode::kCriticalPath;
+      cp_round = fl::RoundId{
+          static_cast<std::uint64_t>(std::atoll(argv[++i]))};
     } else if (std::strcmp(arg, "--max-rows") == 0 && i + 1 < argc) {
       max_rows = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg[0] == '-') {
@@ -50,6 +62,17 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) return Usage();
+
+  if (mode == Mode::kCriticalPath) {
+    auto cp = fl::tools::AnalyzeCriticalPathFile(path, cp_round);
+    if (!cp.ok()) {
+      std::fprintf(stderr, "fl_analyze: %s\n", cp.status().ToString().c_str());
+      return 2;
+    }
+    std::fputs(fl::tools::RenderCriticalPath(*cp).c_str(), stdout);
+    // Exit 1 when the round left no trace, so scripts can gate on it.
+    return cp->found || !cp->devices.empty() ? 0 : 1;
+  }
 
   auto report = fl::tools::AnalyzeJournalFile(path);
   if (!report.ok()) {
@@ -75,6 +98,8 @@ int main(int argc, char** argv) {
     case Mode::kTimeline:
       std::fputs(fl::tools::RenderRoundTimelines(*report).c_str(), stdout);
       break;
+    case Mode::kCriticalPath:
+      break;  // handled above
   }
   // --check is the CI gate: violations (including parse errors) fail it.
   if (mode == Mode::kCheck && !report->violations.empty()) return 1;

@@ -1,5 +1,8 @@
 #include "src/tools/log_analyzer.h"
 
+#include <sys/stat.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -369,14 +372,334 @@ AnalysisReport AnalyzeJournal(std::string_view text) {
   return Analyzer().Run(text);
 }
 
+namespace {
+
+// A diagnostic-bundle directory stands in for its flight-recorder dump, so
+// `fl_analyze <bundle-dir>` works the same as `fl_analyze <journal>`.
+std::string ResolveJournalPath(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+    return path + "/flight_recorder.log";
+  }
+  return path;
+}
+
+}  // namespace
+
 Result<AnalysisReport> AnalyzeJournalFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
+  const std::string resolved = ResolveJournalPath(path);
+  std::ifstream in(resolved, std::ios::binary);
   if (!in) {
-    return UnavailableError("cannot open journal: " + path);
+    return UnavailableError("cannot open journal: " + resolved);
   }
   std::ostringstream buf;
   buf << in.rdbuf();
   return AnalyzeJournal(buf.str());
+}
+
+Result<CriticalPathReport> AnalyzeCriticalPathFile(const std::string& path,
+                                                   RoundId round) {
+  const std::string resolved = ResolveJournalPath(path);
+  std::ifstream in(resolved, std::ios::binary);
+  if (!in) {
+    return UnavailableError("cannot open journal: " + resolved);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return AnalyzeCriticalPath(buf.str(), round);
+}
+
+namespace {
+
+// Per-session scratch while walking one round's device records.
+struct DeviceBuild {
+  CriticalPathReport::DeviceLatency d;
+  SimTime train_start_at{};
+  SimTime upload_start_at{};
+  bool interrupted = false;
+  bool error = false;
+  bool rejected_late = false;
+};
+
+}  // namespace
+
+CriticalPathReport AnalyzeCriticalPath(std::string_view text, RoundId round) {
+  // Parse every record up front and re-sort by sim time: flight-recorder
+  // dumps interleave per-thread rings in capture order, not event order.
+  std::vector<JournalRecord> records;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? text.size() - pos
+                                                       : eol - pos);
+    if (!line.empty() && line.front() != '#') {
+      auto rec = JournalRecord::Parse(line);
+      if (rec.ok()) records.push_back(std::move(*rec));
+    }
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const JournalRecord& a, const JournalRecord& b) {
+                     return a.sim_time < b.sim_time;
+                   });
+
+  CriticalPathReport rep;
+  rep.round = round;
+  std::map<SessionId, DeviceBuild> devices;
+  std::vector<SimTime> accept_times;
+  SimTime opened_at{};
+  SimTime last_event_at{};
+  bool has_reporting_at = false;
+  bool ended = false;
+
+  for (const JournalRecord& rec : records) {
+    if (rec.round != round) continue;
+    last_event_at = rec.sim_time;
+    SessionEvent se;
+    if (analytics::SessionEventForJournal(rec.event, &se)) {
+      DeviceBuild& b = devices[rec.session];
+      b.d.session = rec.session;
+      b.d.device = rec.device;
+      switch (se) {
+        case SessionEvent::kDownloadedPlan:
+          b.d.configured_at = rec.sim_time;
+          break;
+        case SessionEvent::kTrainingStarted:
+          b.d.train_started = true;
+          b.train_start_at = rec.sim_time;
+          break;
+        case SessionEvent::kTrainingCompleted:
+          b.d.trained = true;
+          b.d.train_duration = rec.sim_time - b.train_start_at;
+          break;
+        case SessionEvent::kUploadStarted:
+          b.upload_start_at = rec.sim_time;
+          break;
+        case SessionEvent::kUploadCompleted:
+          b.d.uploaded = true;
+          b.d.upload_duration = rec.sim_time - b.upload_start_at;
+          break;
+        case SessionEvent::kUploadRejected:
+          b.rejected_late = true;
+          break;
+        case SessionEvent::kInterrupted:
+          b.interrupted = true;
+          break;
+        case SessionEvent::kError:
+          b.error = true;
+          break;
+        case SessionEvent::kCheckin:
+          break;  // pre-assignment; carries no round in practice
+      }
+      continue;
+    }
+    switch (rec.event) {
+      case JournalEventKind::kRoundOpen:
+        rep.found = true;
+        opened_at = rec.sim_time;
+        rep.goal = static_cast<std::size_t>(
+            analytics::DetailInt(rec.detail, "goal", 0));
+        rep.min_report = static_cast<std::size_t>(
+            analytics::DetailInt(rec.detail, "min_report", 0));
+        break;
+      case JournalEventKind::kPhase: {
+        std::string phase;
+        analytics::DetailField(rec.detail, "phase", &phase);
+        rep.phases.push_back(
+            RoundTimeline::PhaseSpan{phase, rec.sim_time, Duration{}});
+        if (phase == "reporting") {
+          rep.reporting_at = rec.sim_time;
+          has_reporting_at = true;
+        }
+        break;
+      }
+      case JournalEventKind::kReportAccepted: {
+        DeviceBuild& b = devices[rec.session];
+        b.d.session = rec.session;
+        if (b.d.device.value == 0) b.d.device = rec.device;
+        b.d.accepted = true;
+        b.d.accepted_at = rec.sim_time;
+        accept_times.push_back(rec.sim_time);
+        break;
+      }
+      case JournalEventKind::kReportRejected: {
+        std::string reason;
+        analytics::DetailField(rec.detail, "reason", &reason);
+        if (reason == "late") {
+          DeviceBuild& b = devices[rec.session];
+          b.d.session = rec.session;
+          if (b.d.device.value == 0) b.d.device = rec.device;
+          b.rejected_late = true;
+        }
+        break;
+      }
+      case JournalEventKind::kRoundCommit:
+        if (rep.outcome.empty()) rep.outcome = "committed";
+        rep.round_end_at = rec.sim_time;
+        ended = true;
+        break;
+      case JournalEventKind::kRoundAbandoned: {
+        std::string outcome;
+        if (analytics::DetailField(rec.detail, "outcome", &outcome)) {
+          rep.outcome = outcome;
+        }
+        const std::size_t at = rec.detail.find("reason=");
+        if (at != std::string::npos) {
+          rep.abort_reason = rec.detail.substr(at + 7);
+        }
+        rep.round_end_at = rec.sim_time;
+        ended = true;
+        break;
+      }
+      case JournalEventKind::kRoundOutcome: {
+        std::string outcome;
+        if (analytics::DetailField(rec.detail, "outcome", &outcome)) {
+          rep.outcome = outcome;
+        }
+        std::string reason;
+        if (rep.abort_reason.empty() &&
+            analytics::DetailField(rec.detail, "reason", &reason) &&
+            reason != "none") {
+          rep.abort_reason = reason;
+        }
+        rep.round_end_at = rec.sim_time;
+        ended = true;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  if (!ended) rep.round_end_at = last_event_at;
+  if (!has_reporting_at) rep.reporting_at = opened_at;
+
+  // Phase durations: to the next phase, or to the round's end.
+  for (std::size_t i = 0; i < rep.phases.size(); ++i) {
+    const SimTime end = i + 1 < rep.phases.size()
+                            ? rep.phases[i + 1].entered_at
+                            : rep.round_end_at;
+    rep.phases[i].duration = end - rep.phases[i].entered_at;
+    if (rep.phases[i].duration >= rep.bounding_duration) {
+      rep.bounding_phase = rep.phases[i].name;
+      rep.bounding_duration = rep.phases[i].duration;
+    }
+  }
+
+  rep.accepts = accept_times.size();
+  if (!accept_times.empty()) {
+    rep.first_accept_at = accept_times.front();
+    rep.last_accept_at = accept_times.back();
+    // The accept that satisfied the goal count; with fewer accepts than
+    // min_report (an abandoned round), the wait ran to the last one seen.
+    const std::size_t goal_index =
+        rep.min_report == 0 ? accept_times.size()
+                            : std::min(rep.min_report, accept_times.size());
+    rep.goal_accept_at = accept_times[goal_index - 1];
+    rep.goal_wait = rep.goal_accept_at - rep.reporting_at;
+    rep.aggregation_wait = rep.round_end_at - rep.last_accept_at;
+  }
+
+  for (auto& [session, b] : devices) {
+    if (b.d.accepted) {
+      b.d.fate = "completed";
+    } else if (b.rejected_late) {
+      b.d.fate = "rejected_late";
+    } else if (b.error) {
+      b.d.fate = "error";
+    } else if (b.interrupted) {
+      b.d.fate = "interrupted";
+    } else {
+      b.d.fate = "silent";
+    }
+    if (b.d.fate != "completed") ++rep.stragglers;
+    if (b.d.accepted &&
+        (!rep.has_critical_device ||
+         b.d.accepted_at > rep.critical_device.accepted_at)) {
+      rep.has_critical_device = true;
+      rep.critical_device = b.d;
+    }
+    rep.devices.push_back(std::move(b.d));
+  }
+  return rep;
+}
+
+std::string RenderCriticalPath(const CriticalPathReport& report) {
+  std::ostringstream out;
+  out << "Critical path for round " << report.round.value << ":\n";
+  if (!report.found) {
+    out << "  round not found (no round_open record)\n";
+    if (report.devices.empty() && report.accepts == 0) return out.str();
+    out << "  (partial view: ring buffers may have wrapped past the open)\n";
+  }
+  out << "  outcome: " << (report.outcome.empty() ? "open" : report.outcome);
+  if (!report.abort_reason.empty()) {
+    out << "  reason: " << report.abort_reason;
+  }
+  out << "\n  goal=" << report.goal << " min_report=" << report.min_report
+      << " accepts=" << report.accepts << '\n';
+  for (const auto& phase : report.phases) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "    %-14s %s  +%.1fs\n",
+                  phase.name.c_str(),
+                  FormatSimTime(phase.entered_at).c_str(),
+                  phase.duration.Seconds());
+    out << buf;
+  }
+  if (!report.bounding_phase.empty()) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "  bounding phase: %s (+%.1fs)\n",
+                  report.bounding_phase.c_str(),
+                  report.bounding_duration.Seconds());
+    out << buf;
+  }
+  if (report.accepts > 0) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "  reporting window: goal wait +%.1fs (accept %zu at %s), "
+                  "aggregation wait +%.1fs\n",
+                  report.goal_wait.Seconds(),
+                  std::min(report.min_report == 0 ? report.accepts
+                                                  : report.min_report,
+                           report.accepts),
+                  FormatSimTime(report.goal_accept_at).c_str(),
+                  report.aggregation_wait.Seconds());
+    out << buf;
+  }
+  out << "  devices: " << report.devices.size() << " configured, "
+      << report.stragglers << " straggler(s)\n";
+  for (const auto& d : report.devices) {
+    out << "    device " << d.device.value << " session " << d.session.value
+        << ": " << d.fate;
+    if (d.trained) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "  train +%.1fs",
+                    d.train_duration.Seconds());
+      out << buf;
+    } else if (d.train_started) {
+      out << "  train started, never finished";
+    }
+    if (d.uploaded) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "  upload +%.1fs",
+                    d.upload_duration.Seconds());
+      out << buf;
+    }
+    if (d.accepted) {
+      out << "  accepted " << FormatSimTime(d.accepted_at);
+    }
+    out << '\n';
+  }
+  if (report.has_critical_device) {
+    out << "  critical device: " << report.critical_device.device.value
+        << " (last accepted report, "
+        << FormatSimTime(report.critical_device.accepted_at) << ")\n";
+  } else if (report.stragglers > 0) {
+    out << "  no accepted report bounded the round; see stragglers above\n";
+  }
+  return out.str();
 }
 
 std::string RenderRoundTimelines(const AnalysisReport& report) {

@@ -84,8 +84,82 @@ struct AnalysisReport {
 // are counted, reported as "parse-error" violations, and skipped.
 AnalysisReport AnalyzeJournal(std::string_view text);
 
-// Reads `path` and analyzes it. Fails only on I/O errors.
+// Reads `path` and analyzes it. Fails only on I/O errors. When `path` is a
+// diagnostic-bundle directory, reads its flight_recorder.log.
 Result<AnalysisReport> AnalyzeJournalFile(const std::string& path);
+
+// --------------------------------------------------------------------------
+// Critical-path attribution: what bounded one round's latency?
+//
+// Reconstructed from the same journal text (a real journal or a flight-
+// recorder dump): phase spans say which window dominated; within reporting,
+// the goal wait (reporting start -> the accept that satisfied min_report)
+// is separated from the aggregation wait (last accept -> round end); and
+// every configured device is classified by fate, so the straggler that
+// stalled an abandoned round is named, not inferred.
+// --------------------------------------------------------------------------
+
+struct CriticalPathReport {
+  RoundId round;
+  bool found = false;    // round_open for `round` was seen
+  std::string outcome;   // "", "committed", "abandoned_reporting", ...
+  std::string abort_reason;
+
+  // Phase spans (journal order) and the dominating one.
+  std::vector<RoundTimeline::PhaseSpan> phases;
+  std::string bounding_phase;
+  Duration bounding_duration{};
+
+  std::size_t goal = 0;
+  std::size_t min_report = 0;
+  std::size_t accepts = 0;
+
+  // Reporting-window decomposition (meaningful when accepts > 0).
+  SimTime reporting_at{};    // phase=reporting entry (opened_at fallback)
+  SimTime first_accept_at{};
+  SimTime goal_accept_at{};  // the min_report-th accept (last when fewer)
+  SimTime last_accept_at{};
+  SimTime round_end_at{};    // commit/abandon/outcome (last event fallback)
+  Duration goal_wait{};         // reporting_at -> goal_accept_at
+  Duration aggregation_wait{};  // last_accept_at -> round_end_at
+
+  // One configured participant of the round.
+  struct DeviceLatency {
+    DeviceId device;
+    SessionId session;
+    SimTime configured_at{};  // plan_downloaded ('v')
+    bool train_started = false;
+    bool trained = false;     // train_complete seen
+    Duration train_duration{};
+    bool uploaded = false;    // upload_complete seen
+    Duration upload_duration{};
+    bool accepted = false;
+    SimTime accepted_at{};
+    // "completed", "rejected_late", "interrupted", "error", "silent"
+    // (configured but no terminal event inside the round — the classic
+    // straggler the reporting window waits out).
+    std::string fate;
+  };
+  std::vector<DeviceLatency> devices;  // configured participants, by device
+  std::size_t stragglers = 0;          // fate != "completed"
+
+  // The accepted contributor whose report arrived last: with a goal-count
+  // window, that arrival IS the round's latency frontier.
+  bool has_critical_device = false;
+  DeviceLatency critical_device;
+};
+
+// Second-pass targeted analysis of one round. `text` is the same journal
+// text AnalyzeJournal takes; records are re-sorted by sim time first, so
+// unordered flight-recorder dumps analyze identically to real journals.
+CriticalPathReport AnalyzeCriticalPath(std::string_view text, RoundId round);
+
+// File/bundle-dir variant, mirroring AnalyzeJournalFile's path resolution.
+Result<CriticalPathReport> AnalyzeCriticalPathFile(const std::string& path,
+                                                   RoundId round);
+
+// Human-readable rendering for `fl_analyze --critical-path`.
+std::string RenderCriticalPath(const CriticalPathReport& report);
 
 // Renderers for the CLI: per-round timelines, the Table 1 shape table, and
 // the violation list. RenderAnalysisReport stitches all three together.

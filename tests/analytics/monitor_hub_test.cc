@@ -116,6 +116,64 @@ TEST_F(MonitorHubTest, WindowRateSparsePollingStillSeesWindow) {
   EXPECT_EQ(hub.Poll(SimTime{9 * 60'000}, reg.Snapshot()), 1u);
 }
 
+// Hand-built snapshot: lets the tests drive counter values the registry
+// API cannot produce (resets, exact sequences) without global state.
+telemetry::MetricsSnapshot CounterSnapshot(const std::string& name,
+                                           std::uint64_t value) {
+  telemetry::MetricsSnapshot snap;
+  snap.counters.push_back({name, value});
+  return snap;
+}
+
+TEST_F(MonitorHubTest, WindowRateEmptyWindowNeverAlerts) {
+  MonitorHub hub;
+  hub.WatchCounterWindowRate("hub_test_window_empty_total", Minutes(10), 0.0);
+  // The counter never appears in any snapshot: the watch must not observe,
+  // even with a zero bound that any observation would trip.
+  for (std::int64_t t = 0; t < 5; ++t) {
+    EXPECT_EQ(hub.Poll(SimTime{t * 60'000}, telemetry::MetricsSnapshot{}),
+              0u);
+  }
+  EXPECT_EQ(hub.alert_count(), 0u);
+}
+
+TEST_F(MonitorHubTest, WindowRateSingleSampleSeesNoDelta) {
+  MonitorHub hub;
+  hub.WatchCounterWindowRate("hub_test_window_single_total", Minutes(10),
+                             5.0);
+  // First (and only) sight of a counter that already stood at a large
+  // total: one sample spans no interval, so the pre-existing total must
+  // not read as a burst.
+  EXPECT_EQ(hub.Poll(SimTime{0},
+                     CounterSnapshot("hub_test_window_single_total", 5000)),
+            0u);
+  EXPECT_EQ(hub.alert_count(), 0u);
+  // The next poll only sees growth since that seed.
+  EXPECT_EQ(hub.Poll(SimTime{60'000},
+                     CounterSnapshot("hub_test_window_single_total", 5003)),
+            0u);
+  EXPECT_EQ(
+      hub.Poll(SimTime{120'000},
+               CounterSnapshot("hub_test_window_single_total", 5020)),
+      1u);
+}
+
+TEST_F(MonitorHubTest, WindowRateCounterResetClampsToZero) {
+  MonitorHub hub;
+  hub.WatchCounterWindowRate("hub_test_window_reset_total", Minutes(10), 5.0);
+  const std::string name = "hub_test_window_reset_total";
+  EXPECT_EQ(hub.Poll(SimTime{0}, CounterSnapshot(name, 100)), 0u);
+  EXPECT_EQ(hub.Poll(SimTime{60'000}, CounterSnapshot(name, 103)), 0u);
+  // Process restart: the cumulative counter falls back to near zero. The
+  // negative apparent delta must clamp to 0, not alert or wrap to 2^64.
+  EXPECT_EQ(hub.Poll(SimTime{120'000}, CounterSnapshot(name, 2)), 0u);
+  EXPECT_EQ(hub.alert_count(), 0u);
+  // Growth measured after the reset is still caught once the pre-reset
+  // samples age out of the window.
+  EXPECT_EQ(hub.Poll(SimTime{20 * 60'000}, CounterSnapshot(name, 4)), 0u);
+  EXPECT_EQ(hub.Poll(SimTime{21 * 60'000}, CounterSnapshot(name, 40)), 1u);
+}
+
 TEST_F(MonitorHubTest, AbsentMetricIsSkipped) {
   MonitorHub hub;
   hub.WatchCounterDelta("hub_test_never_registered", {});

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/json_writer.h"
+
 namespace fl::ops {
 namespace {
 
@@ -50,6 +52,46 @@ TEST(JsonTest, RejectsRunawayNesting) {
   std::string deep;
   for (int i = 0; i < 200; ++i) deep += '[';
   EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+TEST(JsonTest, DecodesUnicodeEscapes) {
+  // BMP code points become 1/2/3-byte UTF-8.
+  EXPECT_EQ(JsonValue::Parse("\"\\u0041\"").value().AsString(), "A");
+  EXPECT_EQ(JsonValue::Parse("\"\\u00e9\"").value().AsString(), "\xC3\xA9");
+  EXPECT_EQ(JsonValue::Parse("\"\\u20AC\"").value().AsString(),
+            "\xE2\x82\xAC");
+  // Surrogate pair: U+1F600 arrives as \uD83D\uDE00 and must decode to
+  // one 4-byte UTF-8 sequence, not two 3-byte CESU-8 halves.
+  EXPECT_EQ(JsonValue::Parse("\"\\uD83D\\uDE00\"").value().AsString(),
+            "\xF0\x9F\x98\x80");
+  EXPECT_EQ(JsonValue::Parse("\"\\ud83d\\ude00!\"").value().AsString(),
+            "\xF0\x9F\x98\x80!");
+}
+
+TEST(JsonTest, RejectsInvalidUnicodeEscapes) {
+  EXPECT_FALSE(JsonValue::Parse("\"\\u12\"").ok());      // short
+  EXPECT_FALSE(JsonValue::Parse("\"\\u12zz\"").ok());    // non-hex
+  EXPECT_FALSE(JsonValue::Parse("\"\\uDE00\"").ok());    // lone low
+  EXPECT_FALSE(JsonValue::Parse("\"\\uD83D\"").ok());    // lone high
+  EXPECT_FALSE(JsonValue::Parse("\"\\uD83Dxy\"").ok());  // high + text
+  EXPECT_FALSE(JsonValue::Parse("\"\\uD83D\\n\"").ok());  // high + escape
+  // High surrogate followed by a \u escape that is not a low half.
+  EXPECT_FALSE(JsonValue::Parse("\"\\uD83D\\u0041\"").ok());
+}
+
+TEST(JsonTest, WriterEscapesRoundTripThroughTheParser) {
+  // Every byte the writer can be handed — controls, quotes, backslashes,
+  // multi-byte UTF-8 — must come back identical after write -> parse.
+  std::string nasty = "quote\" slash\\ nl\n tab\t cr\r bell\x07 nul";
+  nasty.push_back('\0');
+  nasty += "\x1F \xF0\x9F\x98\x80 end";
+  JsonWriter w;
+  w.BeginObject().Field("s", nasty).EndObject();
+  auto parsed = JsonValue::Parse(w.str());
+  ASSERT_TRUE(parsed.ok()) << w.str();
+  const JsonValue* s = parsed.value().Find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->AsString(), nasty);
 }
 
 TEST(JsonTest, TypeMismatchesFallBack) {

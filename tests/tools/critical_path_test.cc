@@ -1,0 +1,222 @@
+// Critical-path attribution: from a synthetic journal, the analysis must
+// name the phase that bounded the round, split the reporting window into
+// goal wait vs aggregation wait, classify every configured device's fate,
+// and point at the straggler/critical device — identically for shuffled
+// flight-recorder dumps and ordered journals.
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/tools/log_analyzer.h"
+
+namespace fl::tools {
+namespace {
+
+// Round 4: opened at t=1000ms, goal 3 / min_report 2; device 1 completes
+// fast, device 2 completes slow (the critical contributor), device 3 never
+// reports (the straggler); committed at t=700000ms.
+constexpr char kCommittedRound[] = R"(#fl-journal v1
+1000 10 master round_open 0 0 4 goal=3 min_report=2
+1000 11 master phase 0 0 4 phase=selection
+20000 12 master phase 0 0 4 phase=configuration
+21000 13 device plan_downloaded 1 11 4
+21000 14 device plan_downloaded 2 12 4
+21000 15 device plan_downloaded 3 13 4
+25000 16 master phase 0 0 4 phase=reporting
+26000 17 device train_start 1 11 4
+26000 18 device train_start 2 12 4
+26000 19 device train_start 3 13 4
+90000 20 device train_complete 1 11 4
+91000 21 device upload_start 1 11 4
+95000 22 device upload_complete 1 11 4
+95000 23 aggregator report_accepted 1 11 4
+600000 24 device train_complete 2 12 4
+601000 25 device upload_start 2 12 4
+650000 26 device upload_complete 2 12 4
+650000 27 aggregator report_accepted 2 12 4
+690000 28 master phase 0 0 4 phase=closing
+700000 29 master round_commit 0 0 4 contributors=2 min_report=2
+700000 30 coordinator round_outcome 0 0 4 outcome=committed reason=none
+)";
+
+TEST(CriticalPathTest, AttributesCommittedRound) {
+  const CriticalPathReport rep = AnalyzeCriticalPath(kCommittedRound,
+                                                     RoundId{4});
+  ASSERT_TRUE(rep.found);
+  EXPECT_EQ(rep.outcome, "committed");
+  EXPECT_EQ(rep.goal, 3u);
+  EXPECT_EQ(rep.min_report, 2u);
+  EXPECT_EQ(rep.accepts, 2u);
+
+  // Reporting (t=25s to closing t=690s) dominates the round.
+  EXPECT_EQ(rep.bounding_phase, "reporting");
+  ASSERT_EQ(rep.phases.size(), 4u);
+
+  // Goal wait: reporting entry (25s) -> 2nd accept (650s). Aggregation
+  // wait: last accept (650s) -> outcome (700s).
+  EXPECT_EQ(rep.reporting_at.millis, 25000);
+  EXPECT_EQ(rep.goal_accept_at.millis, 650000);
+  EXPECT_EQ(rep.goal_wait.millis, 625000);
+  EXPECT_EQ(rep.aggregation_wait.millis, 50000);
+
+  ASSERT_EQ(rep.devices.size(), 3u);
+  EXPECT_EQ(rep.stragglers, 1u);
+  std::size_t completed = 0, silent = 0;
+  for (const auto& d : rep.devices) {
+    if (d.fate == "completed") ++completed;
+    if (d.fate == "silent") {
+      ++silent;
+      EXPECT_EQ(d.device.value, 3u);
+      EXPECT_TRUE(d.train_started);
+      EXPECT_FALSE(d.trained);
+    }
+  }
+  EXPECT_EQ(completed, 2u);
+  EXPECT_EQ(silent, 1u);
+
+  // Device 2's late report is the latency frontier.
+  ASSERT_TRUE(rep.has_critical_device);
+  EXPECT_EQ(rep.critical_device.device.value, 2u);
+  EXPECT_EQ(rep.critical_device.accepted_at.millis, 650000);
+  EXPECT_EQ(rep.critical_device.train_duration.millis, 600000 - 26000);
+}
+
+TEST(CriticalPathTest, ShuffledRecordsAnalyzeIdentically) {
+  // A flight-recorder dump interleaves per-thread rings arbitrarily; the
+  // analysis re-sorts by sim time, so any permutation must agree.
+  std::vector<std::string> lines;
+  std::istringstream in(kCommittedRound);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.front() != '#') lines.push_back(line);
+  }
+  std::mt19937 rng(7);
+  std::shuffle(lines.begin(), lines.end(), rng);
+  std::string shuffled;
+  for (const std::string& l : lines) {
+    shuffled += l;
+    shuffled += '\n';
+  }
+  const CriticalPathReport a = AnalyzeCriticalPath(kCommittedRound, RoundId{4});
+  const CriticalPathReport b = AnalyzeCriticalPath(shuffled, RoundId{4});
+  EXPECT_EQ(a.bounding_phase, b.bounding_phase);
+  EXPECT_EQ(a.goal_wait.millis, b.goal_wait.millis);
+  EXPECT_EQ(a.aggregation_wait.millis, b.aggregation_wait.millis);
+  EXPECT_EQ(a.stragglers, b.stragglers);
+  ASSERT_TRUE(b.has_critical_device);
+  EXPECT_EQ(a.critical_device.device.value, b.critical_device.device.value);
+  EXPECT_EQ(a.devices.size(), b.devices.size());
+}
+
+TEST(CriticalPathTest, AbandonedRoundNamesTheStragglers) {
+  const char kAbandoned[] = R"(#fl-journal v1
+1000 10 master round_open 0 0 9 goal=2 min_report=2
+1000 11 master phase 0 0 9 phase=selection
+5000 12 master phase 0 0 9 phase=configuration
+6000 13 device plan_downloaded 1 21 9
+6000 14 device plan_downloaded 2 22 9
+8000 15 master phase 0 0 9 phase=reporting
+9000 16 device train_start 1 21 9
+9000 17 device train_start 2 22 9
+30000 18 device train_complete 1 21 9
+31000 19 device upload_complete 1 21 9
+31000 20 aggregator report_accepted 1 21 9
+500000 21 master round_abandoned 0 0 9 outcome=abandoned_reporting reason=below min_report
+500000 22 coordinator round_outcome 0 0 9 outcome=abandoned_reporting reason=below min_report
+)";
+  const CriticalPathReport rep = AnalyzeCriticalPath(kAbandoned, RoundId{9});
+  ASSERT_TRUE(rep.found);
+  EXPECT_EQ(rep.outcome, "abandoned_reporting");
+  EXPECT_EQ(rep.abort_reason, "below min_report");
+  EXPECT_EQ(rep.accepts, 1u);
+  EXPECT_EQ(rep.stragglers, 1u);
+  EXPECT_EQ(rep.bounding_phase, "reporting");
+  bool named = false;
+  for (const auto& d : rep.devices) {
+    if (d.fate != "completed") {
+      named = true;
+      EXPECT_EQ(d.device.value, 2u);
+      EXPECT_EQ(d.fate, "silent");
+    }
+  }
+  EXPECT_TRUE(named);
+  // One accept < min_report 2: the goal wait ran to the only accept seen.
+  EXPECT_EQ(rep.goal_accept_at.millis, 31000);
+
+  const std::string render = RenderCriticalPath(rep);
+  EXPECT_NE(render.find("abandoned_reporting"), std::string::npos);
+  EXPECT_NE(render.find("silent"), std::string::npos);
+  EXPECT_NE(render.find("device 2"), std::string::npos);
+}
+
+TEST(CriticalPathTest, MissingRoundReportsNotFound) {
+  const CriticalPathReport rep =
+      AnalyzeCriticalPath(kCommittedRound, RoundId{999});
+  EXPECT_FALSE(rep.found);
+  EXPECT_TRUE(rep.devices.empty());
+  const std::string render = RenderCriticalPath(rep);
+  EXPECT_NE(render.find("not found"), std::string::npos);
+}
+
+TEST(CriticalPathTest, DeviceFatesCoverRejectInterruptError) {
+  const char kFates[] = R"(#fl-journal v1
+1000 10 master round_open 0 0 2 goal=4 min_report=1
+2000 11 master phase 0 0 2 phase=reporting
+3000 12 device plan_downloaded 1 31 2
+3000 13 device plan_downloaded 2 32 2
+3000 14 device plan_downloaded 3 33 2
+3000 15 device plan_downloaded 4 34 2
+9000 16 device upload_rejected 1 31 2
+9000 17 aggregator report_rejected 1 31 2 reason=late
+10000 18 device interrupted 2 32 2
+11000 19 device error 3 33 2
+12000 20 device upload_complete 4 34 2
+12000 21 aggregator report_accepted 4 34 2
+13000 22 coordinator round_outcome 0 0 2 outcome=committed
+)";
+  const CriticalPathReport rep = AnalyzeCriticalPath(kFates, RoundId{2});
+  ASSERT_EQ(rep.devices.size(), 4u);
+  EXPECT_EQ(rep.stragglers, 3u);
+  for (const auto& d : rep.devices) {
+    switch (d.device.value) {
+      case 1: EXPECT_EQ(d.fate, "rejected_late"); break;
+      case 2: EXPECT_EQ(d.fate, "interrupted"); break;
+      case 3: EXPECT_EQ(d.fate, "error"); break;
+      case 4: EXPECT_EQ(d.fate, "completed"); break;
+      default: FAIL() << "unexpected device " << d.device.value;
+    }
+  }
+}
+
+TEST(CriticalPathTest, FileVariantResolvesBundleDirectories) {
+  const std::string dir = ::testing::TempDir() + "cp_bundle";
+  ::mkdir(dir.c_str(), 0755);
+  {
+    std::ofstream out(dir + "/flight_recorder.log", std::ios::binary);
+    out << kCommittedRound;
+  }
+  // A bundle directory stands in for its flight_recorder.log.
+  auto from_dir = AnalyzeCriticalPathFile(dir, RoundId{4});
+  ASSERT_TRUE(from_dir.ok());
+  EXPECT_TRUE(from_dir->found);
+  EXPECT_EQ(from_dir->bounding_phase, "reporting");
+
+  auto from_file =
+      AnalyzeCriticalPathFile(dir + "/flight_recorder.log", RoundId{4});
+  ASSERT_TRUE(from_file.ok());
+  EXPECT_EQ(from_file->accepts, from_dir->accepts);
+
+  // AnalyzeJournalFile gets the same directory resolution.
+  auto report = AnalyzeJournalFile(dir);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rounds.size(), 1u);
+}
+
+}  // namespace
+}  // namespace fl::tools
