@@ -1,10 +1,23 @@
 #include "src/actor/actor.h"
 
+#include "src/profiler/profiler.h"
 #include "src/telemetry/telemetry.h"
 #include "src/telemetry/trace.h"
 
 namespace fl::actor {
 namespace {
+
+// Maps the metric type slug onto the profiler's actor-tag vocabulary so
+// samples taken inside OnMessage attribute to the server component.
+profiler::ActorTag ProfilerTagFor(const std::string& metric_type) {
+  if (metric_type == "coordinator") return profiler::ActorTag::kCoordinator;
+  if (metric_type == "selector") return profiler::ActorTag::kSelector;
+  if (metric_type == "master_aggregator") {
+    return profiler::ActorTag::kMasterAggregator;
+  }
+  if (metric_type == "aggregator") return profiler::ActorTag::kAggregator;
+  return profiler::ActorTag::kOther;
+}
 
 // Actor "type" for metric names: the leading alphabetic segments of the
 // instance name, so "aggregator-r12-0" and "aggregator-r13-4" share the
@@ -64,6 +77,7 @@ ActorId ActorSystem::Register(std::unique_ptr<Actor> actor,
     auto entry = std::make_shared<Entry>();
     entry->actor = std::move(actor);
     entry->metric_type = ActorType(raw->name_);
+    entry->profile_tag = ProfilerTagFor(entry->metric_type);
     actors_.emplace(id, std::move(entry));
   }
   raw->OnStart();
@@ -150,6 +164,8 @@ void ActorSystem::Drain(const std::shared_ptr<Entry>& entry) {
     }
     {
       const telemetry::ScopedTraceContext scope(env.trace);
+      const profiler::ScopedActor profile_scope(entry->profile_tag,
+                                                env.trace.round);
       entry->actor->OnMessage(env);
     }
     if (dispatch != nullptr) {

@@ -26,6 +26,7 @@
 #include "src/actor/context.h"
 #include "src/common/id.h"
 #include "src/common/status.h"
+#include "src/profiler/profiler.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace_context.h"
 
@@ -135,6 +136,9 @@ class ActorSystem {
     std::string metric_type;  // sanitized type slug, e.g. "aggregator"
     std::atomic<telemetry::Counter*> msg_counter{nullptr};
     std::atomic<telemetry::Histogram*> dispatch_hist{nullptr};
+    // Profiler actor tag (derived from metric_type at spawn); samples taken
+    // inside OnMessage attribute to this component.
+    profiler::ActorTag profile_tag = profiler::ActorTag::kOther;
   };
 
   ActorId Register(std::unique_ptr<Actor> actor, std::string name);

@@ -1,0 +1,282 @@
+#include "src/analytics/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/analytics/symbolizer.h"
+
+namespace fl::analytics {
+
+namespace {
+
+constexpr char kFrameSep = ';';
+
+bool IsTagFrame(const std::string& frame) {
+  return frame.rfind("phase:", 0) == 0 || frame.rfind("actor:", 0) == 0;
+}
+
+std::vector<std::string> SplitFrames(const std::string& stack) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= stack.size()) {
+    const std::size_t end = stack.find(kFrameSep, begin);
+    if (end == std::string::npos) {
+      out.push_back(stack.substr(begin));
+      break;
+    }
+    out.push_back(stack.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return out;
+}
+
+// Frame names must not smuggle the folded format's separators; seen with
+// e.g. "operator delete(void*)" which is fine, but guard against ';' and
+// raw spaces breaking "frame;frame count" parsing.
+std::string SanitizeFrame(const std::string& name) {
+  std::string out = name.empty() ? std::string("??") : name;
+  for (char& c : out) {
+    if (c == kFrameSep || c == '\n') c = ':';
+    else if (c == ' ') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void FoldedProfile::Add(const std::vector<std::string>& frames,
+                        std::uint64_t count) {
+  if (frames.empty() || count == 0) return;
+  std::string key;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (i > 0) key += kFrameSep;
+    key += frames[i];
+  }
+  stacks_[key] += count;
+  total_weight_ += count;
+}
+
+void FoldedProfile::Merge(const FoldedProfile& other) {
+  for (const auto& [stack, count] : other.stacks_) {
+    stacks_[stack] += count;
+    total_weight_ += count;
+  }
+}
+
+FoldedProfile FoldedProfile::Parse(const std::string& text) {
+  FoldedProfile profile;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.find_last_of(' ');
+    if (space == std::string::npos || space == 0) continue;
+    const std::string stack = line.substr(0, space);
+    std::uint64_t count = 0;
+    try {
+      count = std::stoull(line.substr(space + 1));
+    } catch (...) {
+      continue;
+    }
+    if (count == 0 || stack.empty()) continue;
+    profile.stacks_[stack] += count;
+    profile.total_weight_ += count;
+  }
+  return profile;
+}
+
+std::string FoldedProfile::ToString() const {
+  std::string out;
+  for (const auto& [stack, count] : stacks_) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<FrameWeight> FoldedProfile::TopBySelf(std::size_t n) const {
+  std::unordered_map<std::string, FrameWeight> weights;
+  for (const auto& [stack, count] : stacks_) {
+    const std::vector<std::string> frames = SplitFrames(stack);
+    // Leaf = last real (non-tag) frame.
+    for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+      if (IsTagFrame(*it)) continue;
+      FrameWeight& w = weights[*it];
+      w.name = *it;
+      w.self += count;
+      break;
+    }
+    std::unordered_set<std::string> seen;
+    for (const std::string& frame : frames) {
+      if (IsTagFrame(frame) || !seen.insert(frame).second) continue;
+      FrameWeight& w = weights[frame];
+      w.name = frame;
+      w.total += count;
+    }
+  }
+  std::vector<FrameWeight> out;
+  out.reserve(weights.size());
+  for (auto& [name, w] : weights) out.push_back(std::move(w));
+  std::sort(out.begin(), out.end(), [](const FrameWeight& a,
+                                       const FrameWeight& b) {
+    if (a.self != b.self) return a.self > b.self;
+    return a.name < b.name;
+  });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+std::vector<FrameWeight> FoldedProfile::TopByTotal(std::size_t n) const {
+  std::vector<FrameWeight> all = TopBySelf(stacks_.size() * 8 + 8);
+  std::sort(all.begin(), all.end(), [](const FrameWeight& a,
+                                       const FrameWeight& b) {
+    if (a.total != b.total) return a.total > b.total;
+    return a.name < b.name;
+  });
+  if (all.size() > n) all.resize(n);
+  return all;
+}
+
+std::map<std::string, std::uint64_t> FoldedProfile::PhaseBreakdown() const {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [stack, count] : stacks_) {
+    if (stack.rfind("phase:", 0) == 0) {
+      const std::size_t end = stack.find(kFrameSep);
+      const std::string phase =
+          stack.substr(6, end == std::string::npos ? std::string::npos
+                                                   : end - 6);
+      out[phase] += count;
+    } else {
+      out["untagged"] += count;
+    }
+  }
+  return out;
+}
+
+std::map<std::string, std::uint64_t> FoldedProfile::ActorBreakdown() const {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [stack, count] : stacks_) {
+    std::string actor = "none";
+    for (const std::string& frame : SplitFrames(stack)) {
+      if (frame.rfind("actor:", 0) == 0) {
+        actor = frame.substr(6);
+        break;
+      }
+      if (!IsTagFrame(frame)) break;  // tags only appear at the root
+    }
+    out[actor] += count;
+  }
+  return out;
+}
+
+namespace {
+
+void AppendTagFrames(std::uint8_t phase, std::uint8_t actor,
+                     std::vector<std::string>& frames) {
+  const auto p = static_cast<profiler::Phase>(
+      phase < static_cast<std::uint8_t>(profiler::Phase::kCount) ? phase : 0);
+  frames.push_back(std::string("phase:") + profiler::PhaseName(p));
+  if (actor != 0) {
+    const auto a = static_cast<profiler::ActorTag>(
+        actor <= static_cast<std::uint8_t>(profiler::ActorTag::kOther) ? actor
+                                                                       : 0);
+    frames.push_back(std::string("actor:") + profiler::ActorTagName(a));
+  }
+}
+
+void AppendSymbolized(const std::vector<std::uintptr_t>& leaf_first,
+                      Symbolizer& symbolizer,
+                      std::vector<std::string>& frames) {
+  for (auto it = leaf_first.rbegin(); it != leaf_first.rend(); ++it) {
+    frames.push_back(SanitizeFrame(symbolizer.Resolve(*it).name));
+  }
+}
+
+}  // namespace
+
+FoldedProfile FoldCpuSamples(const std::vector<profiler::CpuSample>& samples,
+                             Symbolizer& symbolizer) {
+  FoldedProfile profile;
+  std::vector<std::string> frames;
+  for (const profiler::CpuSample& sample : samples) {
+    if (sample.frames.empty()) continue;
+    frames.clear();
+    AppendTagFrames(sample.phase, sample.actor, frames);
+    AppendSymbolized(sample.frames, symbolizer, frames);
+    profile.Add(frames, 1);
+  }
+  return profile;
+}
+
+FoldedProfile FoldHeapSites(const std::vector<profiler::HeapSiteStats>& sites,
+                            Symbolizer& symbolizer, bool live) {
+  FoldedProfile profile;
+  std::vector<std::string> frames;
+  for (const profiler::HeapSiteStats& site : sites) {
+    const std::uint64_t weight = live ? site.live_bytes : site.total_bytes;
+    if (weight == 0 || site.frames.empty()) continue;
+    frames.clear();
+    AppendTagFrames(site.phase, site.actor, frames);
+    AppendSymbolized(site.frames, symbolizer, frames);
+    profile.Add(frames, weight);
+  }
+  return profile;
+}
+
+std::string RenderProfileReport(const FoldedProfile& profile,
+                                const std::string& unit, std::size_t top_n) {
+  std::ostringstream out;
+  const std::uint64_t total = profile.total_weight();
+  out << "profile: " << total << " " << unit << " across "
+      << profile.stack_count() << " unique stacks\n";
+  if (total == 0) return out.str();
+
+  auto pct = [total](std::uint64_t w) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%5.1f%%",
+                  100.0 * static_cast<double>(w) / static_cast<double>(total));
+    return std::string(buf);
+  };
+
+  out << "\nby phase:\n";
+  const auto phase_map = profile.PhaseBreakdown();
+  std::vector<std::pair<std::string, std::uint64_t>> phases(phase_map.begin(),
+                                                            phase_map.end());
+  std::sort(phases.begin(), phases.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (const auto& [phase, weight] : phases) {
+    out << "  " << pct(weight) << "  " << weight << "  " << phase << "\n";
+  }
+
+  const auto actors = profile.ActorBreakdown();
+  if (actors.size() > 1 || actors.count("none") == 0) {
+    out << "\nby actor:\n";
+    std::vector<std::pair<std::string, std::uint64_t>> rows(actors.begin(),
+                                                            actors.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    for (const auto& [actor, weight] : rows) {
+      out << "  " << pct(weight) << "  " << weight << "  " << actor << "\n";
+    }
+  }
+
+  out << "\ntop " << top_n << " by self " << unit << ":\n";
+  for (const FrameWeight& w : profile.TopBySelf(top_n)) {
+    out << "  " << pct(w.self) << "  self=" << w.self << "  total=" << w.total
+        << "  " << w.name << "\n";
+  }
+
+  out << "\ntop " << top_n << " by total " << unit << ":\n";
+  for (const FrameWeight& w : profile.TopByTotal(top_n)) {
+    out << "  " << pct(w.total) << "  total=" << w.total << "  self=" << w.self
+        << "  " << w.name << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace fl::analytics

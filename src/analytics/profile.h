@@ -1,0 +1,92 @@
+// Folded ("collapsed") stack profiles: the interchange format between the
+// in-process profiler and every consumer (/profilez, fl_analyze --profile,
+// fl_top's hot-functions panel, diagnostic bundles, flamegraph.pl).
+//
+// One line per unique stack, root first, semicolon-separated, with a count:
+//   phase:training;actor:none;main;RunRound;FedAvg::Accumulate 42
+// The synthetic "phase:<name>" root frame (and "actor:<name>" when inside a
+// server actor) carries the ProfileTag, so phase attribution survives any
+// folded-format tool untouched and PhaseBreakdown() can slice by protocol
+// phase with plain string matching.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/profiler/cpu_profiler.h"
+#include "src/profiler/heap_profiler.h"
+
+namespace fl::analytics {
+
+class Symbolizer;
+
+// Aggregated weight for one frame across every stack it appears in.
+struct FrameWeight {
+  std::string name;
+  std::uint64_t self = 0;   // samples with this frame as leaf
+  std::uint64_t total = 0;  // samples with this frame anywhere (deduped)
+};
+
+class FoldedProfile {
+ public:
+  // Adds `count` to the stack (root-first frame names). Empty stacks are
+  // ignored.
+  void Add(const std::vector<std::string>& frames, std::uint64_t count);
+
+  // Merges another profile into this one.
+  void Merge(const FoldedProfile& other);
+
+  // Parses folded text (one "frame;frame;frame count" per line). Lines
+  // without a trailing count or with a zero count are skipped. Inverse of
+  // ToString().
+  static FoldedProfile Parse(const std::string& text);
+
+  // Serializes in deterministic (lexicographic stack) order.
+  std::string ToString() const;
+
+  std::uint64_t total_weight() const { return total_weight_; }
+  std::size_t stack_count() const { return stacks_.size(); }
+  const std::map<std::string, std::uint64_t>& stacks() const {
+    return stacks_;
+  }
+
+  // Heaviest frames by self weight (leaf attribution), descending. Synthetic
+  // phase:/actor: frames are excluded — they are tags, not code.
+  std::vector<FrameWeight> TopBySelf(std::size_t n) const;
+
+  // Heaviest frames by total weight (anywhere in the stack, counted once
+  // per stack), descending, phase:/actor: frames excluded.
+  std::vector<FrameWeight> TopByTotal(std::size_t n) const;
+
+  // Weight per phase tag, keyed by phase name ("training", ...). Stacks
+  // whose root frame is not a phase: tag are keyed under "untagged".
+  std::map<std::string, std::uint64_t> PhaseBreakdown() const;
+
+  // Same slicing for actor: frames; stacks without one go to "none".
+  std::map<std::string, std::uint64_t> ActorBreakdown() const;
+
+ private:
+  std::map<std::string, std::uint64_t> stacks_;  // joined stack -> weight
+  std::uint64_t total_weight_ = 0;
+};
+
+// Symbolizes and folds collected CPU samples. Each sample contributes
+// weight 1; frames arrive leaf-first from the profiler and are reversed to
+// root-first here. The sample's tag becomes synthetic root frames.
+FoldedProfile FoldCpuSamples(const std::vector<profiler::CpuSample>& samples,
+                             Symbolizer& symbolizer);
+
+// Folds heap allocation sites; weight is live_bytes (live=true) or
+// total_bytes. Site tags become synthetic root frames like CPU samples.
+FoldedProfile FoldHeapSites(const std::vector<profiler::HeapSiteStats>& sites,
+                            Symbolizer& symbolizer, bool live);
+
+// Human-readable report: total weight, per-phase and per-actor breakdowns,
+// and top-N tables by self and total weight. `unit` labels the weight
+// column ("samples", "bytes").
+std::string RenderProfileReport(const FoldedProfile& profile,
+                                const std::string& unit, std::size_t top_n);
+
+}  // namespace fl::analytics

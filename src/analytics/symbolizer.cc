@@ -1,0 +1,117 @@
+#include "src/analytics/symbolizer.h"
+
+#include <dlfcn.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cxxabi.h>
+#include <fstream>
+#include <sstream>
+
+namespace fl::analytics {
+
+std::string Demangle(const std::string& mangled) {
+  int status = 0;
+  char* out = abi::__cxa_demangle(mangled.c_str(), nullptr, nullptr, &status);
+  if (status == 0 && out != nullptr) {
+    std::string result(out);
+    std::free(out);
+    return result;
+  }
+  std::free(out);
+  return mangled;
+}
+
+std::vector<MapsEntry> ParseProcMaps(const std::string& maps_text) {
+  std::vector<MapsEntry> out;
+  std::istringstream in(maps_text);
+  std::string line;
+  while (std::getline(in, line)) {
+    // 55d1c2a00000-55d1c2b00000 r-xp 00024000 fd:01 123  /usr/bin/foo
+    unsigned long long start = 0, end = 0, offset = 0;
+    char perms[8] = {0};
+    int path_pos = -1;
+    if (std::sscanf(line.c_str(), "%llx-%llx %7s %llx %*s %*s %n", &start,
+                    &end, perms, &offset, &path_pos) < 4) {
+      continue;
+    }
+    if (perms[2] != 'x') continue;
+    MapsEntry entry;
+    entry.start = static_cast<std::uintptr_t>(start);
+    entry.end = static_cast<std::uintptr_t>(end);
+    entry.offset = static_cast<std::uintptr_t>(offset);
+    if (path_pos >= 0 && static_cast<std::size_t>(path_pos) < line.size()) {
+      entry.path = line.substr(static_cast<std::size_t>(path_pos));
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::vector<MapsEntry> ReadOwnProcMaps() {
+  std::ifstream in("/proc/self/maps");
+  if (!in) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseProcMaps(buf.str());
+}
+
+namespace {
+
+std::string BaseName(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string ModuleOffsetName(std::uintptr_t address) {
+  static const std::vector<MapsEntry>* const maps =
+      new std::vector<MapsEntry>(ReadOwnProcMaps());  // leaked, stable
+  for (const MapsEntry& entry : *maps) {
+    if (address >= entry.start && address < entry.end) {
+      const std::uintptr_t file_off = address - entry.start + entry.offset;
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "+0x%llx",
+                    static_cast<unsigned long long>(file_off));
+      const std::string mod =
+          entry.path.empty() ? "anon" : BaseName(entry.path);
+      return mod + buf;
+    }
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(address));
+  return buf;
+}
+
+}  // namespace
+
+const SymbolizedFrame& Symbolizer::Resolve(std::uintptr_t address) {
+  auto it = cache_.find(address);
+  if (it != cache_.end()) return it->second;
+
+  SymbolizedFrame frame;
+  frame.address = address;
+  // The recorded PC is the *return* address for every non-leaf frame;
+  // subtract 1 so a call at the very end of a function does not resolve
+  // into the next symbol.
+  Dl_info info;
+  if (dladdr(reinterpret_cast<void*>(address - 1), &info) != 0 &&
+      info.dli_sname != nullptr) {
+    frame.name = Demangle(info.dli_sname);
+    frame.exact = true;
+  } else {
+    frame.name = ModuleOffsetName(address);
+    frame.exact = false;
+  }
+  return cache_.emplace(address, std::move(frame)).first->second;
+}
+
+std::vector<SymbolizedFrame> Symbolizer::ResolveAll(
+    const std::vector<std::uintptr_t>& addresses) {
+  std::vector<SymbolizedFrame> out;
+  out.reserve(addresses.size());
+  for (std::uintptr_t address : addresses) out.push_back(Resolve(address));
+  return out;
+}
+
+}  // namespace fl::analytics

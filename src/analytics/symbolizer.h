@@ -1,0 +1,64 @@
+// Offline symbolization for profiler samples. Runs strictly in normal
+// context (allocates, takes locks): the async-signal-safe side of the
+// profiler only ever records raw PCs; names are attached here.
+//
+// Resolution order per address:
+//  1. dladdr() — works for exported symbols; the FL_PROFILER build sets
+//     CMAKE_ENABLE_EXPORTS (-rdynamic) so statically linked function
+//     symbols land in the dynamic table.
+//  2. C++ names are demangled via abi::__cxa_demangle.
+//  3. Fallback: "<module>+0x<offset>" derived from /proc/self/maps, which
+//     stays resolvable offline (addr2line) when paired with the maps copy
+//     the crash handler writes next to raw dumps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fl::analytics {
+
+struct SymbolizedFrame {
+  std::uintptr_t address = 0;
+  std::string name;       // demangled symbol or module+offset fallback
+  bool exact = false;     // true if a symbol (not just a module) matched
+};
+
+class Symbolizer {
+ public:
+  Symbolizer() = default;
+
+  // Resolves one PC. Results are memoized; repeated addresses are O(1).
+  const SymbolizedFrame& Resolve(std::uintptr_t address);
+
+  // Resolves a whole stack (leaf first in, leaf first out).
+  std::vector<SymbolizedFrame> ResolveAll(
+      const std::vector<std::uintptr_t>& addresses);
+
+  std::size_t cache_size() const { return cache_.size(); }
+
+ private:
+  std::unordered_map<std::uintptr_t, SymbolizedFrame> cache_;
+};
+
+// Demangles a mangled C++ symbol name; returns the input unchanged if it
+// does not demangle (C symbols, already-plain names).
+std::string Demangle(const std::string& mangled);
+
+// One mapped executable region of the current process.
+struct MapsEntry {
+  std::uintptr_t start = 0;
+  std::uintptr_t end = 0;
+  std::uintptr_t offset = 0;
+  std::string path;
+};
+
+// Parses the executable ("x" permission) entries of a /proc/self/maps-format
+// text. Exposed for tests; Symbolizer uses the live file.
+std::vector<MapsEntry> ParseProcMaps(const std::string& maps_text);
+
+// Reads /proc/self/maps (empty vector on non-Linux / failure).
+std::vector<MapsEntry> ReadOwnProcMaps();
+
+}  // namespace fl::analytics

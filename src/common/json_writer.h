@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/profiler/profiler.h"
 #include "src/telemetry/telemetry.h"
 
 #ifndef FL_GIT_SHA
@@ -109,6 +110,8 @@ class JsonWriter {
           static_cast<std::size_t>(std::thread::hardware_concurrency()));
     Field("telemetry_compiled_in", telemetry::kCompiledIn);
     Field("telemetry_enabled", telemetry::Enabled());
+    Field("fl_profiler_compiled_in", profiler::kCompiledIn);
+    Field("fl_profiler_enabled", profiler::Enabled());
     Field("git_sha", FL_GIT_SHA);
     Field("peak_rss_bytes", PeakRssBytes());
     return *this;

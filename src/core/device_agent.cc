@@ -7,6 +7,7 @@
 #include "src/common/fixed_point.h"
 #include "src/fedavg/codec.h"
 #include "src/fedavg/compression.h"
+#include "src/profiler/profiler.h"
 #include "src/telemetry/trace.h"
 
 namespace fl::core {
@@ -183,6 +184,7 @@ void DeviceAgent::BeginSession(const std::string& population) {
   services_.queue->After(handshake, [this, gen, token, population] {
     if (!Active(gen)) return;
     AddTrace(SessionEvent::kCheckin);
+    const profiler::ScopedPhase profile_scope(profiler::Phase::kCheckin);
     server::CheckInRequest req;
     req.device = profile_.id;
     req.session = session_->id;
@@ -373,6 +375,8 @@ void DeviceAgent::StartTraining(std::uint64_t gen) {
   }
 
   // The computation itself is pure; its wall-clock cost is simulated.
+  const profiler::ScopedPhase profile_scope(profiler::Phase::kTraining,
+                                            s.round.value);
   auto result = runtime_.ExecutePlan(*s.plan, *s.global,
                                      services_.queue->now(), rng_);
   if (!result.ok()) {
@@ -420,6 +424,8 @@ void DeviceAgent::BeginUpload(std::uint64_t gen) {
                                                       services_.queue->now());
   }
 
+  const profiler::ScopedPhase profile_scope(profiler::Phase::kReporting,
+                                            s.round.value);
   server::DeviceReport report;
   report.device = profile_.id;
   report.session = s.id;
@@ -547,6 +553,8 @@ void DeviceAgent::SendSecAggUpload(std::uint64_t gen, std::uint64_t bytes,
 void DeviceAgent::OnSecAggDirectory(std::uint64_t gen,
                                     const server::SecAggDirectoryMsg& m) {
   if (!Active(gen) || !session_->sa_client) return;
+  const profiler::ScopedPhase profile_scope(profiler::Phase::kSecAgg,
+                                            session_->round.value);
   auto shares = session_->sa_client->ShareKeys(m.directory);
   if (!shares.ok()) return;
   const std::uint64_t bytes = ShareKeysBytes(*shares);
@@ -579,6 +587,8 @@ void DeviceAgent::MaybeSendMaskedInput(std::uint64_t gen) {
   }
   if (!s.update.has_value()) return;  // evaluation tasks skip secagg
   s.sa_masked_sent = true;
+  const profiler::ScopedPhase profile_scope(profiler::Phase::kSecAgg,
+                                            s.round.value);
 
   // Quantize update + trailing weight word. Codec parameters (clip,
   // max_summands, ring_bits, index seed) arrive with the assignment, so
@@ -630,6 +640,8 @@ void DeviceAgent::MaybeSendMaskedInput(std::uint64_t gen) {
 void DeviceAgent::OnSecAggUnmask(std::uint64_t gen,
                                  const server::SecAggUnmaskMsg& m) {
   if (!Active(gen) || !session_->sa_client) return;
+  const profiler::ScopedPhase profile_scope(profiler::Phase::kSecAgg,
+                                            session_->round.value);
   auto resp = session_->sa_client->Unmask(m.request);
   if (!resp.ok()) return;
   const std::uint64_t bytes = UnmaskBytes(*resp);

@@ -5,6 +5,7 @@
 #include "src/common/logging.h"
 #include "src/graph/registry.h"
 #include "src/ops/crash_handler.h"
+#include "src/profiler/start.h"
 #include "src/server/master_aggregator.h"
 
 namespace fl::core {
@@ -206,6 +207,13 @@ void FLSystem::Start() {
   FL_CHECK_MSG(!started_, "Start() called twice");
   FL_CHECK_MSG(!tasks_.empty(), "no tasks configured");
   started_ = true;
+
+  // Continuous profiling (FL_PROFILER=1): arm the SIGPROF sampler and heap
+  // sampling before any actor runs so every round is covered. One branch
+  // when the env var is unset.
+  if (const Status s = profiler::StartFromEnv(); !s.ok()) {
+    FL_LOG(Warning) << "profiler disabled: " << s.ToString();
+  }
 
   // Boot the ops plane first so telemetry + the round ledger are recording
   // before any actor reports. A failed bind (port taken) degrades to

@@ -12,6 +12,8 @@
 
 #include "src/analytics/flight_dump.h"
 #include "src/analytics/journal.h"
+#include "src/profiler/cpu_profiler.h"
+#include "src/profiler/profiler.h"
 
 namespace fl::ops {
 namespace {
@@ -19,6 +21,46 @@ namespace {
 std::atomic<bool> g_installed{false};
 // Fixed storage: the handler must not touch the heap.
 char g_dump_path[512] = {0};
+// Raw (unsymbolized) CPU profile + the maps needed to resolve it offline,
+// written next to the flight dump when the profiler is live at crash time.
+char g_profile_path[512] = {0};
+char g_maps_path[512] = {0};
+
+// AS-safe file copy (open/read/write only) for /proc/self/maps.
+void CopyFileRaw(const char* src, const char* dst) {
+  const int in = ::open(src, O_RDONLY);
+  if (in < 0) return;
+  const int out = ::open(dst, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (out < 0) {
+    ::close(in);
+    return;
+  }
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(in, buf, sizeof(buf));
+    if (n <= 0) break;
+    ssize_t off = 0;
+    while (off < n) {
+      const ssize_t w = ::write(out, buf + off, static_cast<size_t>(n - off));
+      if (w <= 0) break;
+      off += w;
+    }
+  }
+  ::close(in);
+  ::close(out);
+}
+
+// Joins the directory of `ref` with `name` into fixed storage `out`.
+void SiblingPath(const char* ref, const char* name, char* out,
+                 std::size_t out_size) {
+  const char* slash = std::strrchr(ref, '/');
+  const std::size_t dir_len =
+      slash == nullptr ? 0 : static_cast<std::size_t>(slash - ref) + 1;
+  const std::size_t name_len = std::strlen(name);
+  if (dir_len + name_len + 1 > out_size) return;
+  std::memcpy(out, ref, dir_len);
+  std::memcpy(out + dir_len, name, name_len + 1);
+}
 
 constexpr int kFatalSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL};
 
@@ -29,6 +71,19 @@ void AtExitFlush() {
 void FatalSignalHandler(int sig) {
   if (g_dump_path[0] != '\0') {
     (void)WriteCrashDump(g_dump_path);
+  }
+  // Freeze the profiler rings: raw PCs (DumpRawToFd is AS-safe) plus the
+  // maps file that lets fl_analyze/addr2line resolve them post-mortem.
+  if (profiler::Enabled() && g_profile_path[0] != '\0') {
+    const int fd =
+        ::open(g_profile_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      (void)profiler::CpuProfiler::Global().DumpRawToFd(fd);
+      ::close(fd);
+    }
+    if (g_maps_path[0] != '\0') {
+      CopyFileRaw("/proc/self/maps", g_maps_path);
+    }
   }
   // Not async-signal-safe, but the alternative is losing the journal tail
   // outright; the try-lock inside bounds the damage to "no flush".
@@ -58,6 +113,10 @@ bool InstallCrashHandler(const CrashHandlerOptions& opts) {
         std::min(opts.flight_dump_path.size(), sizeof(g_dump_path) - 1);
     std::memcpy(g_dump_path, opts.flight_dump_path.data(), n);
     g_dump_path[n] = '\0';
+    SiblingPath(g_dump_path, "cpu_profile.raw", g_profile_path,
+                sizeof(g_profile_path));
+    SiblingPath(g_dump_path, "cpu_profile.maps", g_maps_path,
+                sizeof(g_maps_path));
     struct sigaction sa{};
     sa.sa_handler = FatalSignalHandler;
     sigemptyset(&sa.sa_mask);

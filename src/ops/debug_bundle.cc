@@ -6,7 +6,11 @@
 #include <cstdlib>
 
 #include "src/analytics/flight_dump.h"
+#include "src/analytics/profile.h"
+#include "src/analytics/symbolizer.h"
 #include "src/common/json_writer.h"
+#include "src/profiler/cpu_profiler.h"
+#include "src/profiler/profiler.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/telemetry.h"
 
@@ -112,6 +116,19 @@ std::string DiagnosticBundler::Capture(std::string_view trigger,
                 sources_.health->latest().ToJson())) {
     files.push_back("health.json");
   }
+  // Freeze what the continuous CPU profiler has in its rings right now —
+  // the ~10 s leading up to the anomaly — as a symbolized folded profile.
+  if (profiler::Enabled()) {
+    analytics::Symbolizer symbolizer;
+    const std::string folded =
+        analytics::FoldCpuSamples(
+            profiler::CpuProfiler::Global().CollectSince(0), symbolizer)
+            .ToString();
+    if (!folded.empty() &&
+        WriteFile(info.path + "/cpu_profile.folded", folded)) {
+      files.push_back("cpu_profile.folded");
+    }
+  }
 
   JsonWriter manifest;
   manifest.BeginObject()
@@ -178,7 +195,7 @@ std::string DiagnosticBundler::HistoryJson() const {
 const std::vector<std::string>& DiagnosticBundler::KnownFiles() {
   static const std::vector<std::string>* files = new std::vector<std::string>{
       "manifest.json", "flight_recorder.log", "metrics.json", "rounds.json",
-      "health.json"};
+      "health.json", "cpu_profile.folded"};
   return *files;
 }
 

@@ -1,12 +1,19 @@
 #include "src/ops/status_server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <thread>
 #include <vector>
 
+#include "src/analytics/profile.h"
+#include "src/analytics/symbolizer.h"
 #include "src/common/json_writer.h"
+#include "src/profiler/cpu_profiler.h"
+#include "src/profiler/heap_profiler.h"
+#include "src/profiler/profiler.h"
 #include "src/telemetry/export.h"
 #include "src/telemetry/trace.h"
 
@@ -85,6 +92,8 @@ Status StatusServer::Start() {
                [this](const HttpRequest& r) { return Healthz(r); });
   http_.Handle("/tracez", [this](const HttpRequest& r) { return Tracez(r); });
   http_.Handle("/debugz", [this](const HttpRequest& r) { return Debugz(r); });
+  http_.Handle("/profilez",
+               [this](const HttpRequest& r) { return Profilez(r); });
   return http_.Start();
 }
 
@@ -349,6 +358,73 @@ HttpResponse StatusServer::Debugz(const HttpRequest& req) const {
   return HttpResponse::Text(std::move(body));
 }
 
+HttpResponse StatusServer::Profilez(const HttpRequest& req) const {
+  if (!profiler::kCompiledIn) {
+    return HttpResponse::Text("profiler compiled out (-DFL_PROFILER=OFF)\n",
+                              503);
+  }
+  if (!profiler::Enabled()) {
+    return HttpResponse::Text("profiler disabled; set FL_PROFILER=1\n", 503);
+  }
+
+  if (QueryParam(req.query, "type") == "heap") {
+    const bool live = QueryParam(req.query, "which") != "total";
+    analytics::Symbolizer symbolizer;
+    const analytics::FoldedProfile profile = analytics::FoldHeapSites(
+        profiler::HeapProfiler::Global().Snapshot(), symbolizer, live);
+    return HttpResponse::Text(profile.ToString());
+  }
+
+  long seconds = 5;
+  const std::string seconds_raw = QueryParam(req.query, "seconds");
+  if (!seconds_raw.empty()) seconds = std::atol(seconds_raw.c_str());
+  seconds = std::clamp<long>(seconds, 1, 60);
+
+  bool expected = false;
+  if (!profilez_busy_.compare_exchange_strong(expected, true)) {
+    return HttpResponse::Text("cpu capture already in flight\n", 409);
+  }
+
+  profiler::CpuProfiler& cpu = profiler::CpuProfiler::Global();
+  bool started_here = false;
+  if (!cpu.running()) {
+    int hz = profiler::CpuProfiler::kDefaultHz;
+    const std::string hz_raw = QueryParam(req.query, "hz");
+    if (!hz_raw.empty()) {
+      hz = std::clamp<int>(std::atoi(hz_raw.c_str()), 1,
+                           profiler::CpuProfiler::kMaxHz);
+    }
+    const Status status = cpu.Start(hz);
+    if (!status.ok()) {
+      profilez_busy_.store(false);
+      return HttpResponse::Text(status.ToString() + "\n", 503);
+    }
+    started_here = true;
+  }
+
+  // Window the continuous stream by seq, polling incrementally so a busy
+  // thread cannot lap its 1024-slot ring within our collection period.
+  std::uint64_t cursor = cpu.last_seq();
+  std::vector<profiler::CpuSample> samples;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    std::vector<profiler::CpuSample> batch = cpu.CollectSince(cursor);
+    for (profiler::CpuSample& sample : batch) {
+      cursor = std::max(cursor, sample.seq);
+      samples.push_back(std::move(sample));
+    }
+  }
+  if (started_here) cpu.Stop();
+  profilez_busy_.store(false);
+
+  analytics::Symbolizer symbolizer;
+  const analytics::FoldedProfile profile =
+      analytics::FoldCpuSamples(samples, symbolizer);
+  return HttpResponse::Text(profile.ToString());
+}
+
 HttpResponse StatusServer::Index(const HttpRequest&) const {
   std::string out =
       "<!doctype html><html><head><title>fl ops</title></head><body>"
@@ -363,6 +439,8 @@ HttpResponse StatusServer::Index(const HttpRequest&) const {
       "<li><a href=\"/healthz\">/healthz</a> SLO verdict</li>"
       "<li><a href=\"/tracez\">/tracez</a> span summaries</li>"
       "<li><a href=\"/debugz\">/debugz</a> diagnostic bundles</li>"
+      "<li><a href=\"/profilez\">/profilez</a> collapsed-stack profile "
+      "(?seconds=N&amp;type=cpu|heap)</li>"
       "</ul></body></html>";
   return HttpResponse::Html(out);
 }

@@ -10,6 +10,11 @@
 //   /tracez    recent span summaries from the round-phase tracer
 //   /debugz    captured diagnostic bundles; ?bundle=<seq>&file=<name> serves
 //              one file from a bundle (names restricted to the known set)
+//   /profilez  collapsed-stack profile from the continuous profiler;
+//              ?seconds=N (cpu capture window, default 5) ?type=cpu|heap
+//              ?hz=H (only if the sampler is not already running). 503 when
+//              the profiler is disabled, 409 while another cpu capture is
+//              in flight.
 //
 // Handlers run on HTTP worker threads while the sim runs elsewhere, so they
 // only touch thread-safe surfaces: registry snapshots, the window store,
@@ -68,6 +73,7 @@ class StatusServer {
   HttpResponse Healthz(const HttpRequest& req) const;
   HttpResponse Tracez(const HttpRequest& req) const;
   HttpResponse Debugz(const HttpRequest& req) const;
+  HttpResponse Profilez(const HttpRequest& req) const;
   HttpResponse Index(const HttpRequest& req) const;
 
  private:
@@ -77,6 +83,9 @@ class StatusServer {
   Options opts_;
   Sources sources_;
   std::int64_t start_wall_us_ = 0;
+  // One cpu capture at a time: the window loop owns the sample-seq cursor
+  // and (when it armed the timer itself) the Stop.
+  mutable std::atomic<bool> profilez_busy_{false};
   HttpServer http_;
 };
 

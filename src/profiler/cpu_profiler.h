@@ -1,0 +1,102 @@
+// Sampling CPU profiler: ITIMER_PROF fires SIGPROF on whichever thread is
+// burning CPU; an async-signal-safe frame-pointer unwinder walks the stack
+// and writes the PCs plus the thread's ProfileTag into a per-thread
+// lock-free sample ring (the same single-writer seqlock discipline as the
+// flight recorder). Collection, symbolization and folding all happen in
+// normal context (src/analytics/profile.h).
+//
+// Signal-handler contract (the whole design hangs on this):
+//  * No allocation, no locking, no syscalls on the sample path. The handler
+//    reads the interrupted thread's register state from the ucontext, walks
+//    frame pointers with bounds/alignment checks (the build compiles with
+//    -fno-omit-frame-pointer when FL_PROFILER=ON), and performs only
+//    relaxed/release atomic stores into preallocated ring memory.
+//  * Ring claiming is a single fetch_add on a preallocated ring-pointer
+//    table; threads beyond kMaxRings drop their samples (counted).
+//  * SIGPROF is blocked during delivery (sigaction default), so the handler
+//    never races itself on a thread; writer-vs-reader races are covered by
+//    the per-slot seqlock.
+//
+// The profiler is continuous: Start() arms the timer and samples flow into
+// the rings until Stop(). Readers (/profilez, the diagnostic bundler, the
+// fatal-signal dump) window the stream by global sample seq.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/profiler/profiler.h"
+
+namespace fl::profiler {
+
+// One collected sample (normal-context representation).
+struct CpuSample {
+  std::uint64_t seq = 0;
+  std::uint32_t round = 0;
+  std::uint8_t phase = 0;  // Phase
+  std::uint8_t actor = 0;  // ActorTag
+  std::vector<std::uintptr_t> frames;  // leaf (interrupted PC) first
+};
+
+class CpuProfiler {
+ public:
+  static constexpr int kDefaultHz = 100;
+  static constexpr int kMaxHz = 4000;
+  // 48 frames covers the deepest actor->handler->fedavg chains observed;
+  // deeper stacks are truncated (counted, not dropped).
+  static constexpr std::size_t kMaxFrames = 48;
+  static constexpr std::size_t kMaxRings = 32;
+  // 1024 slots/ring = ~10 s of history per thread at the default 100 Hz;
+  // readers poll faster than the ring laps.
+  static constexpr std::size_t kSlotsPerRing = 1024;
+
+  static CpuProfiler& Global();
+
+  // Installs the SIGPROF handler and arms ITIMER_PROF at `hz`. Idempotent
+  // while running (returns kFailedPrecondition). Ring memory (~13 MiB for
+  // 32 rings) is allocated on first Start and retained for process
+  // lifetime so the signal handler never observes deallocation.
+  Status Start(int hz = kDefaultHz);
+
+  // Disarms the timer. Samples already in the rings stay readable. The
+  // handler stays installed (a late in-flight SIGPROF must find it).
+  void Stop();
+
+  bool running() const;
+  int hz() const;
+
+  std::uint64_t samples_taken() const;
+  std::uint64_t unwind_truncated() const;
+  // Samples dropped because more than kMaxRings threads took signals.
+  std::uint64_t ring_overflow_drops() const;
+  // Highest sample seq issued so far; window captures bracket with this.
+  std::uint64_t last_seq() const;
+  std::size_t rings_registered() const;
+
+  // Every currently-valid sample with seq > min_seq, sorted by seq.
+  // Allocates; normal context only.
+  std::vector<CpuSample> CollectSince(std::uint64_t min_seq = 0) const;
+
+  // Async-signal-safe raw dump for the fatal-signal path: one line per
+  // valid sample with seq > min_seq:
+  //   0x<leaf>;0x<caller>;... phase=<name> actor=<name> round=<n>
+  // Uses only write(2) and stack buffers. Returns bytes written. Addresses
+  // are unsymbolized; pair the dump with /proc/self/maps for offline
+  // resolution (the crash handler writes both).
+  std::size_t DumpRawToFd(int fd, std::uint64_t min_seq = 0) const;
+
+  // Runs the exact slot-write path the signal handler uses, from normal
+  // context, against the calling thread's ring. Lets tests (and the TSan
+  // job) drive writer/reader concurrency deterministically without timers.
+  void RecordSynthetic(const std::uintptr_t* frames, std::size_t depth);
+
+  // Invalidates all slots and resets counters (tests only; not synchronized
+  // against a running timer — call after Stop()).
+  void ClearForTest();
+
+ private:
+  CpuProfiler() = default;
+};
+
+}  // namespace fl::profiler

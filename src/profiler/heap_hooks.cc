@@ -1,0 +1,165 @@
+// Global operator new/delete replacements feeding the sampled heap
+// profiler. This TU is a member of libfl_profiler.a; because every other TU
+// in the program references operator new, the archive member is always
+// pulled in and these definitions replace the libstdc++ weak ones.
+//
+// Disabled cost: one inlined relaxed load per new (Enabled()) and a load
+// plus one pointer-filter bit test per delete (HeapFreeHookNeeded()). The
+// free-side gate is intentionally NOT Enabled(): pointers registered while
+// profiling was on must still be un-registered after SetEnabled(false), or
+// the live table leaks stale entries that poison later sessions.
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+#include "src/profiler/heap_profiler.h"
+#include "src/profiler/profiler.h"
+
+#ifndef FL_PROFILER_DISABLED
+
+namespace {
+
+void* AllocOrHandler(std::size_t size) {
+  if (size == 0) size = 1;
+  for (;;) {
+    void* p = std::malloc(size);
+    if (p != nullptr) return p;
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) return nullptr;
+    handler();
+  }
+}
+
+void* AlignedAllocOrHandler(std::size_t size, std::size_t align) {
+  if (size == 0) size = 1;
+  for (;;) {
+    void* p = nullptr;
+    if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                       size) == 0) {
+      return p;
+    }
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) return nullptr;
+    handler();
+  }
+}
+
+inline void TapAlloc(void* p, std::size_t size) {
+  if (fl::profiler::Enabled()) {
+    fl::profiler::internal::HeapAllocHook(p, size);
+  }
+}
+
+inline void TapFree(void* p) {
+  if (p != nullptr && fl::profiler::internal::HeapFreeHookNeeded(p)) {
+    fl::profiler::internal::HeapFreeHook(p);
+  }
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = AllocOrHandler(size);
+  if (p == nullptr) throw std::bad_alloc();
+  TapAlloc(p, size);
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = AllocOrHandler(size);
+  if (p == nullptr) throw std::bad_alloc();
+  TapAlloc(p, size);
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  void* p = AllocOrHandler(size);
+  if (p != nullptr) TapAlloc(p, size);
+  return p;
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  void* p = AllocOrHandler(size);
+  if (p != nullptr) TapAlloc(p, size);
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = AlignedAllocOrHandler(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  TapAlloc(p, size);
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = AlignedAllocOrHandler(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  TapAlloc(p, size);
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  void* p = AlignedAllocOrHandler(size, static_cast<std::size_t>(align));
+  if (p != nullptr) TapAlloc(p, size);
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  void* p = AlignedAllocOrHandler(size, static_cast<std::size_t>(align));
+  if (p != nullptr) TapAlloc(p, size);
+  return p;
+}
+
+void operator delete(void* p) noexcept {
+  TapFree(p);
+  std::free(p);
+}
+void operator delete[](void* p) noexcept {
+  TapFree(p);
+  std::free(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  TapFree(p);
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  TapFree(p);
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  TapFree(p);
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  TapFree(p);
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  TapFree(p);
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  TapFree(p);
+  std::free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  TapFree(p);
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  TapFree(p);
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  TapFree(p);
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  TapFree(p);
+  std::free(p);
+}
+
+#endif  // FL_PROFILER_DISABLED

@@ -1,0 +1,294 @@
+#include "src/profiler/heap_profiler.h"
+
+#ifndef FL_PROFILER_DISABLED
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+
+namespace fl::profiler {
+namespace {
+
+// ---------------------------------------------------------------------------
+// State. All containers live behind mutexes and are only touched with the
+// thread-local in-hook flag set, which cuts off re-entrant sampling when the
+// tables themselves allocate or free. Locks are never nested (MaybeSample
+// and OnFree each take the site lock and a shard lock strictly one at a
+// time), so there is no ordering to get wrong — and the SIGPROF handler
+// takes no locks at all, so a CPU sample landing inside this code cannot
+// deadlock.
+// ---------------------------------------------------------------------------
+
+struct PtrInfo {
+  std::uint64_t site_key = 0;
+  std::uint64_t weight_bytes = 0;  // max(size, interval) at sample time
+};
+
+constexpr std::size_t kShards = 8;
+
+struct Shard {
+  std::mutex mu;
+  std::unordered_map<void*, PtrInfo> ptrs;
+};
+
+struct Tables {
+  Shard shards[kShards];
+  std::mutex sites_mu;
+  std::unordered_map<std::uint64_t, HeapSiteStats> sites;
+};
+
+// Leaked: hooks may still fire during static destruction.
+Tables& GetTables() {
+  static Tables* const tables = new Tables();
+  return *tables;
+}
+
+std::atomic<std::size_t> g_interval{HeapProfiler::kDefaultSamplingInterval};
+std::atomic<std::uint64_t> g_samples{0};
+std::atomic<std::uint64_t> g_frees_matched{0};
+
+// Thread-local hook state. Constant-initialized PODs: no TLS guards. (The
+// sampling countdown itself is header-inline — internal::g_heap_countdown —
+// so the unsampled fast path inlines into operator new.)
+thread_local bool g_in_hook = false;
+thread_local std::uint64_t g_rng = 0;
+
+inline std::size_t ShardOf(void* p) {
+  return (reinterpret_cast<std::uintptr_t>(p) >> 4) % kShards;
+}
+
+// Small xorshift for randomized countdown resets; seeded per thread from
+// the first sampled pointer so threads decorrelate.
+inline std::uint64_t NextRand(void* seed_hint) {
+  if (g_rng == 0) {
+    g_rng = reinterpret_cast<std::uintptr_t>(seed_hint) | 1;
+  }
+  g_rng ^= g_rng << 13;
+  g_rng ^= g_rng >> 7;
+  g_rng ^= g_rng << 17;
+  return g_rng;
+}
+
+std::uint64_t HashFrames(const std::uintptr_t* frames, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<std::uint64_t>(frames[i]);
+    h *= 1099511628211ull;
+  }
+  return h == 0 ? 1 : h;
+}
+
+// Frame-pointer walk from the current frame (normal context — the hook —
+// so __builtin_frame_address anchors the chain). Same bounds discipline as
+// the signal-context unwinder.
+std::size_t CaptureStack(std::uintptr_t* frames, std::size_t max_frames) {
+  std::uintptr_t fp =
+      reinterpret_cast<std::uintptr_t>(__builtin_frame_address(0));
+  const std::uintptr_t bottom = fp;
+  const std::uintptr_t top = fp + (std::uintptr_t{8} << 20);
+  std::size_t n = 0;
+  while (n < max_frames) {
+    if (fp < bottom || fp + 2 * sizeof(std::uintptr_t) > top ||
+        (fp & (sizeof(std::uintptr_t) - 1)) != 0) {
+      break;
+    }
+    const std::uintptr_t next_fp = *reinterpret_cast<std::uintptr_t*>(fp);
+    const std::uintptr_t ret =
+        *reinterpret_cast<std::uintptr_t*>(fp + sizeof(std::uintptr_t));
+    if (ret < 4096) break;
+    frames[n++] = ret;
+    if (next_fp <= fp) break;
+    fp = next_fp;
+  }
+  return n;
+}
+
+}  // namespace
+
+HeapProfiler& HeapProfiler::Global() {
+  static HeapProfiler* const profiler = new HeapProfiler();  // leaked
+  return *profiler;
+}
+
+void HeapProfiler::SetSamplingInterval(std::size_t bytes) {
+  g_interval.store(bytes == 0 ? 1 : bytes, std::memory_order_relaxed);
+}
+std::size_t HeapProfiler::sampling_interval() const {
+  return g_interval.load(std::memory_order_relaxed);
+}
+std::uint64_t HeapProfiler::samples_taken() const {
+  return g_samples.load(std::memory_order_relaxed);
+}
+std::uint64_t HeapProfiler::frees_matched() const {
+  return g_frees_matched.load(std::memory_order_relaxed);
+}
+
+void HeapProfiler::MaybeSample(void* ptr, std::size_t size) {
+  internal::HeapAllocHook(ptr, size);
+}
+void HeapProfiler::OnFree(void* ptr) { internal::HeapFreeHook(ptr); }
+
+std::vector<HeapSiteStats> HeapProfiler::Snapshot() const {
+  Tables& t = GetTables();
+  std::vector<HeapSiteStats> out;
+  {
+    g_in_hook = true;
+    const std::lock_guard<std::mutex> lock(t.sites_mu);
+    out.reserve(t.sites.size());
+    for (const auto& [key, stats] : t.sites) out.push_back(stats);
+    g_in_hook = false;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HeapSiteStats& a, const HeapSiteStats& b) {
+              return a.live_bytes > b.live_bytes;
+            });
+  return out;
+}
+
+void HeapProfiler::Reset() {
+  Tables& t = GetTables();
+  g_in_hook = true;
+  for (auto& shard : t.shards) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    internal::g_heap_live_tracked.fetch_sub(shard.ptrs.size(),
+                                            std::memory_order_relaxed);
+    shard.ptrs.clear();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(t.sites_mu);
+    t.sites.clear();
+  }
+  g_in_hook = false;
+  // Frees of pre-Reset pointers become unmatched once their filter bits
+  // clear — the same semantics as losing the table entry itself.
+  for (std::size_t i = 0; i < internal::kPtrFilterWords; ++i) {
+    internal::g_ptr_filter[i].store(0, std::memory_order_relaxed);
+  }
+  g_samples.store(0, std::memory_order_relaxed);
+  g_frees_matched.store(0, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+void HeapSampleSlow(void* ptr, std::size_t size) {
+  // Re-entrant allocations (the tables below allocate) fall through to
+  // here with the countdown still <= 0; the in-hook flag cuts them off
+  // without resetting it, so no legitimate sample is skipped.
+  if (g_in_hook || ptr == nullptr) return;
+
+  g_in_hook = true;
+  const std::size_t interval = g_interval.load(std::memory_order_relaxed);
+  // Randomized reset around the mean interval so periodic allocation
+  // patterns cannot alias with the sampling grid.
+  g_heap_countdown = static_cast<std::int64_t>(interval / 2 +
+                                               NextRand(ptr) % (interval + 1));
+
+  std::uintptr_t frames[HeapProfiler::kMaxFrames];
+  const std::size_t depth = CaptureStack(frames, HeapProfiler::kMaxFrames);
+  const std::uint64_t key = HashFrames(frames, depth);
+  const std::uint64_t weight =
+      std::max<std::uint64_t>(size, interval);
+  const ProfileTag tag = profiler::internal::g_tag;
+
+  Tables& t = GetTables();
+  {
+    const std::lock_guard<std::mutex> lock(t.sites_mu);
+    HeapSiteStats& site = t.sites[key];
+    if (site.frames.empty() && depth > 0) {
+      site.frames.assign(frames, frames + depth);
+      site.round = tag.round;
+      site.phase = tag.phase;
+      site.actor = tag.actor;
+    }
+    site.live_bytes += weight;
+    site.live_count += 1;
+    site.total_bytes += weight;
+    site.total_count += 1;
+  }
+
+  PtrInfo replaced;
+  bool had_replaced = false;
+  {
+    Shard& shard = t.shards[ShardOf(ptr)];
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, inserted] = shard.ptrs.try_emplace(ptr, PtrInfo{key, weight});
+    const std::uint64_t bit = PtrFilterBit(ptr);
+    g_ptr_filter[bit >> 6].fetch_or(std::uint64_t{1} << (bit & 63),
+                                    std::memory_order_relaxed);
+    if (!inserted) {
+      // The allocator reused an address whose free we never saw (profiler
+      // was disabled across the free). Evict the stale entry's charge.
+      replaced = it->second;
+      had_replaced = true;
+      it->second = PtrInfo{key, weight};
+    } else {
+      g_heap_live_tracked.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (had_replaced) {
+    const std::lock_guard<std::mutex> lock(t.sites_mu);
+    auto it = t.sites.find(replaced.site_key);
+    if (it != t.sites.end()) {
+      it->second.live_bytes -= std::min(it->second.live_bytes,
+                                        replaced.weight_bytes);
+      if (it->second.live_count > 0) it->second.live_count -= 1;
+    }
+  }
+  g_samples.fetch_add(1, std::memory_order_relaxed);
+  g_in_hook = false;
+}
+
+void HeapFreeHook(void* ptr) {
+  if (g_in_hook || ptr == nullptr) return;
+  g_in_hook = true;
+  Tables& t = GetTables();
+  PtrInfo info;
+  bool found = false;
+  {
+    Shard& shard = t.shards[ShardOf(ptr)];
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.ptrs.find(ptr);
+    if (it != shard.ptrs.end()) {
+      info = it->second;
+      found = true;
+      shard.ptrs.erase(it);
+      g_heap_live_tracked.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  if (found) {
+    const std::lock_guard<std::mutex> lock(t.sites_mu);
+    auto it = t.sites.find(info.site_key);
+    if (it != t.sites.end()) {
+      it->second.live_bytes -= std::min(it->second.live_bytes,
+                                        info.weight_bytes);
+      if (it->second.live_count > 0) it->second.live_count -= 1;
+    }
+    g_frees_matched.fetch_add(1, std::memory_order_relaxed);
+  }
+  g_in_hook = false;
+}
+
+}  // namespace internal
+
+}  // namespace fl::profiler
+
+#else  // FL_PROFILER_DISABLED
+
+namespace fl::profiler {
+
+HeapProfiler& HeapProfiler::Global() {
+  static HeapProfiler* const profiler = new HeapProfiler();
+  return *profiler;
+}
+void HeapProfiler::SetSamplingInterval(std::size_t) {}
+std::size_t HeapProfiler::sampling_interval() const { return 0; }
+void HeapProfiler::MaybeSample(void*, std::size_t) {}
+void HeapProfiler::OnFree(void*) {}
+std::vector<HeapSiteStats> HeapProfiler::Snapshot() const { return {}; }
+std::uint64_t HeapProfiler::samples_taken() const { return 0; }
+std::uint64_t HeapProfiler::frees_matched() const { return 0; }
+void HeapProfiler::Reset() {}
+
+}  // namespace fl::profiler
+
+#endif  // FL_PROFILER_DISABLED

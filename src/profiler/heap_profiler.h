@@ -1,0 +1,136 @@
+// Sampled heap profiler: the operator new/delete replacements in
+// heap_hooks.cc tap every allocation, but only *record* roughly one per
+// `sampling_interval` bytes (a thread-local byte countdown with randomized
+// resets, the tcmalloc heap-sampling design). A recorded allocation captures
+// the caller's stack by frame-pointer walk, charges it to an allocation
+// site keyed by the stack hash, and registers the pointer so the matching
+// delete can decrement live bytes. Each site also remembers the ProfileTag
+// (round/phase/actor) active at allocation time, so heap profiles slice by
+// FL phase exactly like CPU profiles.
+//
+// Cost model:
+//  * Profiler disabled: one relaxed load per new/delete — the compiled-in-
+//    but-off state the 2% fleet gate covers.
+//  * Enabled, unsampled allocation: the load plus a thread-local counter
+//    decrement. Enabled free: one relaxed load plus one bit test in a
+//    sticky pointer filter; only (rare) filter hits probe the sharded map.
+//  * Sampled allocation (1 per ~sampling_interval bytes): stack walk +
+//    mutex-guarded table insert. Re-entrant allocations from the tables
+//    themselves are cut off by a thread-local in-hook flag.
+//
+// Signal-safety interaction: the SIGPROF handler never touches these tables
+// or their mutexes, and the hook never blocks on anything the handler
+// holds, so a sample landing inside malloc (or inside this bookkeeping)
+// cannot deadlock — the property the fork stress test hammers.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/profiler/profiler.h"
+
+namespace fl::profiler {
+
+// Aggregated per-allocation-site statistics, in "estimated actual bytes":
+// each sampled allocation of `size` bytes stands in for ~max(size,
+// interval) bytes of real traffic, the standard unbiased-enough scaling.
+struct HeapSiteStats {
+  std::vector<std::uintptr_t> frames;  // allocation site, leaf first
+  std::uint64_t live_bytes = 0;        // estimated live bytes right now
+  std::uint64_t live_count = 0;        // sampled allocations still live
+  std::uint64_t total_bytes = 0;       // estimated bytes ever allocated
+  std::uint64_t total_count = 0;       // sampled allocations ever
+  std::uint32_t round = 0;             // tag at first sample of this site
+  std::uint8_t phase = 0;
+  std::uint8_t actor = 0;
+};
+
+class HeapProfiler {
+ public:
+  static constexpr std::size_t kDefaultSamplingInterval = 256 * 1024;
+  static constexpr std::size_t kMaxFrames = 32;
+
+  static HeapProfiler& Global();
+
+  // Mean bytes between samples. Takes effect for countdowns reset after the
+  // call; safe while active.
+  void SetSamplingInterval(std::size_t bytes);
+  std::size_t sampling_interval() const;
+
+  // Hook entry points, called from operator new/delete (heap_hooks.cc)
+  // after the Enabled() gate. `MaybeSample` is the slow path once a
+  // thread's countdown crosses zero.
+  void MaybeSample(void* ptr, std::size_t size);
+  void OnFree(void* ptr);
+
+  // Point-in-time site table, heaviest live_bytes first. Allocates (normal
+  // context only; the snapshot itself is excluded from sampling via the
+  // in-hook flag).
+  std::vector<HeapSiteStats> Snapshot() const;
+
+  std::uint64_t samples_taken() const;
+  std::uint64_t frees_matched() const;
+
+  // Drops all sites and tracked pointers (tests / bench isolation).
+  void Reset();
+
+ private:
+  HeapProfiler() = default;
+};
+
+namespace internal {
+
+#ifndef FL_PROFILER_DISABLED
+// Number of pointers currently registered in the sampled-pointer table.
+// Header-inline so operator delete's fast path ("nothing sampled, skip the
+// lookup") is one inlined relaxed load.
+inline std::atomic<std::uint64_t> g_heap_live_tracked{0};
+
+// Sticky membership filter over sampled pointers: the bit for a pointer is
+// set when it is registered and only cleared by Reset (several pointers may
+// share a bit). operator delete tests one bit and skips the shard-table
+// probe on a miss — without this, one long-lived sample makes every free in
+// the process pay a mutex + hash lookup. 64 KiB = 2^19 bits; thousands of
+// live samples still leave the false-hit rate under 1%.
+inline constexpr std::size_t kPtrFilterWords = 8192;
+inline std::atomic<std::uint64_t> g_ptr_filter[kPtrFilterWords]{};
+
+inline std::uint64_t PtrFilterBit(void* p) {
+  std::uint64_t h = static_cast<std::uint64_t>(
+      reinterpret_cast<std::uintptr_t>(p) >> 4);
+  h *= 0x9e3779b97f4a7c15ull;  // Fibonacci mix: decorrelate allocator strides
+  return h >> 45;              // top 19 bits -> [0, 2^19)
+}
+
+inline bool HeapFreeHookNeeded(void* p) {
+  if (g_heap_live_tracked.load(std::memory_order_relaxed) == 0) return false;
+  const std::uint64_t bit = PtrFilterBit(p);
+  return (g_ptr_filter[bit >> 6].load(std::memory_order_relaxed) &
+          (std::uint64_t{1} << (bit & 63))) != 0;
+}
+
+// Bytes until this thread's next sample; <= 0 means "sample now" (0 = the
+// first allocation on a thread samples immediately, seeding the site table
+// fast without measurably biasing the steady state). Header-inline so the
+// per-allocation enabled fast path — decrement, branch — inlines into
+// operator new instead of paying a call per allocation.
+inline thread_local std::int64_t g_heap_countdown = 0;
+
+// Out-of-line slow paths (heap_profiler.cc): stack capture, site/pointer
+// table maintenance. Only called when Enabled() (for allocs) or
+// HeapFreeHookNeeded() (for frees) already passed.
+void HeapSampleSlow(void* ptr, std::size_t size);
+void HeapFreeHook(void* ptr);
+
+inline void HeapAllocHook(void* ptr, std::size_t size) {
+  g_heap_countdown -= static_cast<std::int64_t>(size);
+  if (g_heap_countdown > 0) return;
+  HeapSampleSlow(ptr, size);
+}
+#endif
+
+}  // namespace internal
+
+}  // namespace fl::profiler

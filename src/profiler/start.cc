@@ -1,0 +1,46 @@
+#include "src/profiler/start.h"
+
+#include <cstdlib>
+
+#include "src/profiler/cpu_profiler.h"
+#include "src/profiler/heap_profiler.h"
+#include "src/profiler/profiler.h"
+
+namespace fl::profiler {
+
+Status StartFromEnv() {
+  if (!Enabled()) return Status::Ok();
+#ifdef FL_PROFILER_DISABLED
+  return Status::Ok();
+#else
+  if (const char* env = std::getenv("FL_PROFILER_HEAP_INTERVAL")) {
+    const long bytes = std::strtol(env, nullptr, 10);
+    if (bytes > 0) {
+      HeapProfiler::Global().SetSamplingInterval(
+          static_cast<std::size_t>(bytes));
+    }
+  }
+  int hz = CpuProfiler::kDefaultHz;
+  if (const char* env = std::getenv("FL_PROFILER_HZ")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed == 0 && env[0] == '0') {
+      return Status::Ok();  // heap-only: sample allocations, no CPU sampler
+    }
+    if (parsed > 0) {
+      hz = static_cast<int>(parsed > CpuProfiler::kMaxHz ? CpuProfiler::kMaxHz
+                                                         : parsed);
+    }
+  }
+  CpuProfiler& cpu = CpuProfiler::Global();
+  if (cpu.running()) return Status::Ok();
+  return cpu.Start(hz);
+#endif
+}
+
+void StopAll() {
+#ifndef FL_PROFILER_DISABLED
+  CpuProfiler::Global().Stop();
+#endif
+}
+
+}  // namespace fl::profiler

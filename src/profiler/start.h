@@ -1,0 +1,22 @@
+// Process-level bootstrap for the profiling plane: one call, driven
+// entirely by environment variables, placed in FLSystem::Start so any
+// binary that boots the system (fleet sims, examples, benches) gets
+// continuous profiling with FL_PROFILER=1 and pays one branch without it.
+#pragma once
+
+#include "src/common/status.h"
+
+namespace fl::profiler {
+
+// If Enabled() (FL_PROFILER env var / SetEnabled), arms the CPU sampler at
+// FL_PROFILER_HZ (default CpuProfiler::kDefaultHz, clamped to
+// [1, kMaxHz]; 0 = heap-only, leave the CPU sampler unarmed) and sets the
+// heap sampling interval from FL_PROFILER_HEAP_INTERVAL bytes (default
+// HeapProfiler::kDefaultSamplingInterval). Idempotent: returns OkStatus if
+// the profiler is already running or disabled.
+Status StartFromEnv();
+
+// Disarms the CPU sampler if running. Safe when disabled/compiled out.
+void StopAll();
+
+}  // namespace fl::profiler

@@ -48,16 +48,28 @@ void AggregatorActor::OnMessage(const actor::Envelope& env) {
   if (const auto* m = Cast<MsgConfigureDevices>(env)) {
     HandleConfigure(*m);
   } else if (const auto* m = Cast<DeviceReport>(env)) {
+    const profiler::ScopedPhase profile_scope(
+        profiler::Phase::kAggregation, init_.round.value);
     HandleReport(*m);
   } else if (Cast<MsgFlush>(env) != nullptr) {
+    const profiler::ScopedPhase profile_scope(
+        profiler::Phase::kAggregation, init_.round.value);
     HandleFlush();
   } else if (const auto* m = Cast<SecAggAdvertiseMsg>(env)) {
+    const profiler::ScopedPhase profile_scope(profiler::Phase::kSecAgg,
+                                              init_.round.value);
     HandleSecAggAdvertise(*m);
   } else if (const auto* m = Cast<SecAggShareKeysMsg>(env)) {
+    const profiler::ScopedPhase profile_scope(profiler::Phase::kSecAgg,
+                                              init_.round.value);
     HandleSecAggShares(*m);
   } else if (const auto* m = Cast<SecAggMaskedInputMsg>(env)) {
+    const profiler::ScopedPhase profile_scope(profiler::Phase::kSecAgg,
+                                              init_.round.value);
     HandleSecAggMasked(*m);
   } else if (const auto* m = Cast<SecAggUnmaskResponseMsg>(env)) {
+    const profiler::ScopedPhase profile_scope(profiler::Phase::kSecAgg,
+                                              init_.round.value);
     HandleSecAggUnmask(*m);
   } else if (const auto* m = Cast<MsgSecAggPhaseTimeout>(env)) {
     HandleSecAggPhaseTimeout(m->phase);

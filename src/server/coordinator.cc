@@ -70,6 +70,9 @@ void CoordinatorActor::RefreshModelBytes() {
 }
 
 void CoordinatorActor::OnMessage(const actor::Envelope& env) {
+  // Coordinator work is round planning / plan distribution: the paper's
+  // configuration phase.
+  const profiler::ScopedPhase profile_scope(profiler::Phase::kConfiguration);
   if (Cast<MsgCoordinatorTick>(env) != nullptr) {
     HandleTick();
   } else if (const auto* m = Cast<MsgSelectorStatus>(env)) {

@@ -62,6 +62,14 @@ void MasterAggregatorActor::OnStart() {
 }
 
 void MasterAggregatorActor::OnMessage(const actor::Envelope& env) {
+  // Map the round's protocol phase onto the profiler vocabulary so samples
+  // taken inside master dispatch slice by where the round actually was.
+  const profiler::ScopedPhase profile_scope(
+      phase_ == Phase::kSelection    ? profiler::Phase::kSelection
+      : phase_ == Phase::kReporting  ? profiler::Phase::kAggregation
+      : phase_ == Phase::kClosing    ? profiler::Phase::kClosing
+                                     : profiler::Phase::kNone,
+      init_.round.value);
   if (const auto* m = Cast<MsgDevicesForwarded>(env)) {
     HandleForwarded(m->links);
   } else if (const auto* m = Cast<MsgSelectionTimeout>(env)) {

@@ -30,12 +30,16 @@ void SelectorActor::OnStart() {
 
 void SelectorActor::OnMessage(const actor::Envelope& env) {
   if (const auto* m = Cast<MsgDeviceArrived>(env)) {
+    const profiler::ScopedPhase profile_scope(profiler::Phase::kCheckin);
     HandleArrival(*m);
   } else if (const auto* m = Cast<MsgSelectorQuota>(env)) {
+    const profiler::ScopedPhase profile_scope(profiler::Phase::kSelection);
     HandleQuota(*m);
   } else if (const auto* m = Cast<MsgForwardDevices>(env)) {
+    const profiler::ScopedPhase profile_scope(profiler::Phase::kSelection);
     HandleForward(*m);
   } else if (Cast<MsgSelectorTick>(env) != nullptr) {
+    const profiler::ScopedPhase profile_scope(profiler::Phase::kSelection);
     HandleTick();
   } else if (const auto* m = Cast<MsgCoordinatorHello>(env)) {
     init_.coordinator = m->coordinator;

@@ -11,29 +11,38 @@
 //                                     what bounded round R's latency: phase
 //                                     spans, goal-count vs aggregation wait,
 //                                     per-device fates, straggler naming
+//   fl_analyze --profile <folded>     profile report for a collapsed-stack
+//                                     file (/profilez output or a bundle's
+//                                     cpu_profile.folded): per-phase and
+//                                     per-actor breakdowns, top-N self/total
+//                                     tables; --max-rows N sets N
 //
 // <journal> may also be a diagnostic-bundle directory (FL_BUNDLE_DIR); its
 // flight_recorder.log is analyzed in place of a journal file.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
+#include "src/analytics/profile.h"
 #include "src/tools/log_analyzer.h"
 
 namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: fl_analyze [--check|--table|--timeline] "
-               "[--critical-path R] [--max-rows N] <journal|bundle-dir>\n");
+               "usage: fl_analyze [--check|--table|--timeline|--profile] "
+               "[--critical-path R] [--max-rows N] "
+               "<journal|bundle-dir|folded-profile>\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  enum class Mode { kFull, kCheck, kTable, kTimeline, kCriticalPath };
+  enum class Mode { kFull, kCheck, kTable, kTimeline, kCriticalPath, kProfile };
   Mode mode = Mode::kFull;
   std::size_t max_rows = 10;
   fl::RoundId cp_round{};
@@ -47,6 +56,8 @@ int main(int argc, char** argv) {
       mode = Mode::kTable;
     } else if (std::strcmp(arg, "--timeline") == 0) {
       mode = Mode::kTimeline;
+    } else if (std::strcmp(arg, "--profile") == 0) {
+      mode = Mode::kProfile;
     } else if (std::strcmp(arg, "--critical-path") == 0 && i + 1 < argc) {
       mode = Mode::kCriticalPath;
       cp_round = fl::RoundId{
@@ -62,6 +73,27 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) return Usage();
+
+  if (mode == Mode::kProfile) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "fl_analyze: cannot open %s\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const auto profile = fl::analytics::FoldedProfile::Parse(buf.str());
+    if (profile.total_weight() == 0) {
+      std::fprintf(stderr, "fl_analyze: %s has no folded stacks\n",
+                   path.c_str());
+      return 1;
+    }
+    std::fputs(
+        fl::analytics::RenderProfileReport(profile, "samples", max_rows)
+            .c_str(),
+        stdout);
+    return 0;
+  }
 
   if (mode == Mode::kCriticalPath) {
     auto cp = fl::tools::AnalyzeCriticalPathFile(path, cp_round);
@@ -99,6 +131,7 @@ int main(int argc, char** argv) {
       std::fputs(fl::tools::RenderRoundTimelines(*report).c_str(), stdout);
       break;
     case Mode::kCriticalPath:
+    case Mode::kProfile:
       break;  // handled above
   }
   // --check is the CI gate: violations (including parse errors) fail it.

@@ -17,7 +17,10 @@
 #include <thread>
 #include <vector>
 
+#include <mutex>
+
 #include "src/analytics/dashboard.h"
+#include "src/analytics/profile.h"
 #include "src/analytics/timeseries.h"
 #include "src/core/fl_system.h"
 #include "src/data/blobs.h"
@@ -167,6 +170,72 @@ std::string HumanBytes(double bytes) {
   return buf;
 }
 
+// Background feed for the "hot functions" panel. /profilez blocks for its
+// whole capture window, so fetching inline would stall the dashboard; a
+// dedicated thread keeps one short capture in flight and publishes the
+// latest top-8-by-self table. Silent when the deployment runs without
+// FL_PROFILER (the 503 just leaves the panel empty).
+class HotFunctionsFeed {
+ public:
+  void Start(std::string host, int port) {
+    host_ = std::move(host);
+    port_ = port;
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  void Stop() {
+    stop_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  std::string Render() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return panel_;
+  }
+
+ private:
+  void Loop() {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      int status = 0;
+      std::string body;
+      const Status s = ops::HttpGet(host_, port_,
+                                    "/profilez?seconds=2&type=cpu", &status,
+                                    &body);
+      std::string panel;
+      if (s.ok() && status == 200) {
+        const auto profile = analytics::FoldedProfile::Parse(body);
+        if (profile.total_weight() > 0) {
+          panel = "\nhot functions (cpu self, last 2s)\n";
+          char line[256];
+          for (const auto& w : profile.TopBySelf(8)) {
+            std::snprintf(line, sizeof(line), "  %5.1f%%  %s\n",
+                          100.0 * static_cast<double>(w.self) /
+                              static_cast<double>(profile.total_weight()),
+                          w.name.c_str());
+            panel += line;
+          }
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        panel_ = std::move(panel);
+      }
+      // The capture itself took ~2 s; pause briefly so /profilez's busy
+      // guard is not hammered when the profiler is off (fast 503s).
+      for (int i = 0; i < 10 && !stop_.load(std::memory_order_relaxed); ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    }
+  }
+
+  std::string host_;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  mutable std::mutex mu_;
+  std::string panel_;
+  std::thread thread_;
+};
+
 std::string RenderFrame(const ops::JsonValue& statusz,
                         const ops::JsonValue& rounds) {
   std::string out;
@@ -281,8 +350,11 @@ std::string RenderFrame(const ops::JsonValue& statusz,
 }
 
 int RunDashboard(const TopOptions& opts) {
+  HotFunctionsFeed hot;
+  hot.Start(opts.host, opts.port);
   int frame = 0;
   int consecutive_failures = 0;
+  int rc = 0;
   while (opts.frames == 0 || frame < opts.frames) {
     auto statusz = FetchJson(opts, "/statusz");
     auto rounds = FetchJson(opts, "/rounds?limit=10");
@@ -292,12 +364,13 @@ int RunDashboard(const TopOptions& opts) {
                      (!statusz.ok() ? statusz.status() : rounds.status())
                          .ToString()
                          .c_str());
-        return 1;
+        rc = 1;
+        break;
       }
     } else {
       consecutive_failures = 0;
-      const std::string page =
-          RenderFrame(statusz.value(), rounds.value());
+      std::string page = RenderFrame(statusz.value(), rounds.value());
+      page += hot.Render();
       if (!opts.plain) std::fputs("\x1b[H\x1b[2J", stdout);
       std::fputs(page.c_str(), stdout);
       std::fflush(stdout);
@@ -307,7 +380,8 @@ int RunDashboard(const TopOptions& opts) {
     std::this_thread::sleep_for(
         std::chrono::milliseconds(opts.interval_ms));
   }
-  return 0;
+  hot.Stop();
+  return rc;
 }
 
 // A small self-contained fleet with an ephemeral status port, so

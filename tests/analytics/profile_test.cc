@@ -1,0 +1,181 @@
+// Folded-profile machinery: parse/serialize round-trip, top-frame tables,
+// phase/actor slicing, and folding raw profiler samples through the
+// symbolizer.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/analytics/profile.h"
+#include "src/analytics/symbolizer.h"
+#include "src/profiler/cpu_profiler.h"
+#include "src/profiler/heap_profiler.h"
+#include "src/profiler/profiler.h"
+
+namespace fl::analytics {
+namespace {
+
+TEST(FoldedProfileTest, AddAccumulatesAndToStringRoundTrips) {
+  FoldedProfile profile;
+  profile.Add({"phase:training", "main", "Train"}, 5);
+  profile.Add({"phase:training", "main", "Train"}, 2);
+  profile.Add({"phase:aggregation", "main", "Merge"}, 3);
+  EXPECT_EQ(profile.total_weight(), 10u);
+  EXPECT_EQ(profile.stack_count(), 2u);
+
+  const std::string text = profile.ToString();
+  EXPECT_NE(text.find("phase:training;main;Train 7"), std::string::npos);
+
+  const FoldedProfile reparsed = FoldedProfile::Parse(text);
+  EXPECT_EQ(reparsed.total_weight(), profile.total_weight());
+  EXPECT_EQ(reparsed.stack_count(), profile.stack_count());
+  EXPECT_EQ(reparsed.ToString(), text);  // full round-trip, stable order
+}
+
+TEST(FoldedProfileTest, ParseSkipsMalformedLines) {
+  const FoldedProfile profile = FoldedProfile::Parse(
+      "# comment\n"
+      "\n"
+      "main;Work 4\n"
+      "no_count_line\n"
+      "zero;weight 0\n"
+      "bad;count abc\n"
+      "other;Work 6\n");
+  EXPECT_EQ(profile.total_weight(), 10u);
+  EXPECT_EQ(profile.stack_count(), 2u);
+}
+
+TEST(FoldedProfileTest, MergeAddsWeights) {
+  FoldedProfile a;
+  a.Add({"main", "X"}, 1);
+  FoldedProfile b;
+  b.Add({"main", "X"}, 2);
+  b.Add({"main", "Y"}, 3);
+  a.Merge(b);
+  EXPECT_EQ(a.total_weight(), 6u);
+  EXPECT_EQ(a.stacks().at("main;X"), 3u);
+  EXPECT_EQ(a.stacks().at("main;Y"), 3u);
+}
+
+TEST(FoldedProfileTest, TopBySelfUsesLeafAttribution) {
+  FoldedProfile profile;
+  profile.Add({"phase:training", "main", "Hot"}, 10);
+  profile.Add({"phase:training", "main", "Hot", "Inner"}, 4);
+  profile.Add({"phase:aggregation", "main", "Cold"}, 1);
+  const auto top = profile.TopBySelf(10);
+  ASSERT_GE(top.size(), 3u);
+  // Hot leads by self (10); main has self 0 but total 15.
+  EXPECT_EQ(top[0].name, "Hot");
+  EXPECT_EQ(top[0].self, 10u);
+  EXPECT_EQ(top[0].total, 14u);  // leaf of one stack, mid-frame of another
+  for (const auto& w : top) {
+    EXPECT_EQ(w.name.find("phase:"), std::string::npos);  // tags excluded
+  }
+  const auto by_total = profile.TopByTotal(1);
+  ASSERT_EQ(by_total.size(), 1u);
+  EXPECT_EQ(by_total[0].name, "main");
+  EXPECT_EQ(by_total[0].total, 15u);
+}
+
+TEST(FoldedProfileTest, RecursiveFramesCountOncePerStack) {
+  FoldedProfile profile;
+  profile.Add({"main", "Recurse", "Recurse", "Recurse"}, 5);
+  const auto top = profile.TopBySelf(10);
+  for (const auto& w : top) {
+    if (w.name == "Recurse") {
+      EXPECT_EQ(w.self, 5u);
+      EXPECT_EQ(w.total, 5u);  // deduped, not 15
+    }
+  }
+}
+
+TEST(FoldedProfileTest, PhaseAndActorBreakdowns) {
+  FoldedProfile profile;
+  profile.Add({"phase:training", "main"}, 8);
+  profile.Add({"phase:aggregation", "actor:aggregator", "main"}, 4);
+  profile.Add({"main", "NoTags"}, 2);
+  const auto phases = profile.PhaseBreakdown();
+  EXPECT_EQ(phases.at("training"), 8u);
+  EXPECT_EQ(phases.at("aggregation"), 4u);
+  EXPECT_EQ(phases.at("untagged"), 2u);
+  const auto actors = profile.ActorBreakdown();
+  EXPECT_EQ(actors.at("aggregator"), 4u);
+  EXPECT_EQ(actors.at("none"), 10u);
+}
+
+TEST(FoldCpuSamplesTest, TagsBecomeRootFramesAndOrderIsRootFirst) {
+  profiler::CpuSample sample;
+  sample.phase = static_cast<std::uint8_t>(profiler::Phase::kSecAgg);
+  sample.actor = static_cast<std::uint8_t>(profiler::ActorTag::kAggregator);
+  sample.round = 3;
+  sample.frames = {0x30, 0x20, 0x10};  // leaf first from the profiler
+
+  Symbolizer symbolizer;
+  const FoldedProfile profile = FoldCpuSamples({sample}, symbolizer);
+  EXPECT_EQ(profile.total_weight(), 1u);
+  ASSERT_EQ(profile.stack_count(), 1u);
+  const std::string& stack = profile.stacks().begin()->first;
+  // Root first: phase tag, actor tag, then frames reversed (0x10 the root,
+  // 0x30 the leaf). Unmapped test addresses symbolize to bare hex.
+  EXPECT_EQ(stack.rfind("phase:secagg;actor:aggregator;", 0), 0u) << stack;
+  const std::size_t p10 = stack.find("0x10");
+  const std::size_t p30 = stack.find("0x30");
+  ASSERT_NE(p10, std::string::npos);
+  ASSERT_NE(p30, std::string::npos);
+  EXPECT_LT(p10, p30);
+  EXPECT_EQ(profile.PhaseBreakdown().at("secagg"), 1u);
+}
+
+TEST(FoldCpuSamplesTest, UntaggedSamplesFoldUnderPhaseNone) {
+  profiler::CpuSample sample;
+  sample.frames = {0x30};
+  Symbolizer symbolizer;
+  const FoldedProfile profile = FoldCpuSamples({sample}, symbolizer);
+  EXPECT_EQ(profile.PhaseBreakdown().at("none"), 1u);
+  // No actor tag frame when actor is 0.
+  EXPECT_EQ(profile.stacks().begin()->first.find("actor:"), std::string::npos);
+}
+
+TEST(FoldHeapSitesTest, WeightsByLiveOrTotalBytes) {
+  profiler::HeapSiteStats site;
+  site.frames = {0x50, 0x40};
+  site.live_bytes = 1000;
+  site.total_bytes = 5000;
+  site.phase = static_cast<std::uint8_t>(profiler::Phase::kTraining);
+
+  Symbolizer symbolizer;
+  const FoldedProfile live = FoldHeapSites({site}, symbolizer, /*live=*/true);
+  EXPECT_EQ(live.total_weight(), 1000u);
+  const FoldedProfile total =
+      FoldHeapSites({site}, symbolizer, /*live=*/false);
+  EXPECT_EQ(total.total_weight(), 5000u);
+  EXPECT_EQ(total.PhaseBreakdown().at("training"), 5000u);
+
+  // Fully-freed sites vanish from the live view but stay in total.
+  site.live_bytes = 0;
+  EXPECT_EQ(FoldHeapSites({site}, symbolizer, true).total_weight(), 0u);
+  EXPECT_EQ(FoldHeapSites({site}, symbolizer, false).total_weight(), 5000u);
+}
+
+TEST(RenderProfileReportTest, ContainsBreakdownsAndTopTables) {
+  FoldedProfile profile;
+  profile.Add({"phase:training", "main", "Hot"}, 9);
+  profile.Add({"phase:aggregation", "actor:aggregator", "main", "Cold"}, 1);
+  const std::string report = RenderProfileReport(profile, "samples", 5);
+  EXPECT_NE(report.find("10 samples"), std::string::npos);
+  EXPECT_NE(report.find("by phase:"), std::string::npos);
+  EXPECT_NE(report.find("training"), std::string::npos);
+  EXPECT_NE(report.find("by actor:"), std::string::npos);
+  EXPECT_NE(report.find("top 5 by self samples:"), std::string::npos);
+  EXPECT_NE(report.find("Hot"), std::string::npos);
+  EXPECT_NE(report.find("90.0%"), std::string::npos);
+}
+
+TEST(RenderProfileReportTest, EmptyProfileRendersHeaderOnly) {
+  const std::string report = RenderProfileReport(FoldedProfile{}, "bytes", 3);
+  EXPECT_NE(report.find("0 bytes"), std::string::npos);
+  EXPECT_EQ(report.find("by phase"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fl::analytics

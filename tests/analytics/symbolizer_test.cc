@@ -1,0 +1,97 @@
+// Symbolizer: demangling, /proc/self/maps parsing, and live resolution of
+// known addresses (libc exports resolve regardless of build flags).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/analytics/symbolizer.h"
+
+namespace fl::analytics {
+namespace {
+
+TEST(DemangleTest, DemanglesCxxNames) {
+  EXPECT_EQ(Demangle("_Z3foov"), "foo()");
+  EXPECT_EQ(Demangle("_ZN2fl9analytics10SymbolizerC1Ev"),
+            "fl::analytics::Symbolizer::Symbolizer()");
+}
+
+TEST(DemangleTest, PassesThroughNonMangledNames) {
+  EXPECT_EQ(Demangle("main"), "main");
+  EXPECT_EQ(Demangle("getpid"), "getpid");
+  EXPECT_EQ(Demangle(""), "");
+}
+
+TEST(ParseProcMapsTest, KeepsOnlyExecutableEntries) {
+  const std::string maps =
+      "00400000-00452000 r-xp 00001000 08:02 173521  /usr/bin/example\n"
+      "00651000-00652000 r--p 00051000 08:02 173521  /usr/bin/example\n"
+      "7f3a00000000-7f3a00021000 rw-p 00000000 00:00 0  [heap]\n"
+      "7f3a10000000-7f3a10001000 --xp 00000000 00:00 0 \n"
+      "garbage line that does not parse\n";
+  const auto entries = ParseProcMaps(maps);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].start, 0x400000u);
+  EXPECT_EQ(entries[0].end, 0x452000u);
+  EXPECT_EQ(entries[0].offset, 0x1000u);
+  EXPECT_EQ(entries[0].path, "/usr/bin/example");
+  // Anonymous executable mapping: empty path, still listed.
+  EXPECT_EQ(entries[1].start, 0x7f3a10000000u);
+  EXPECT_TRUE(entries[1].path.empty());
+}
+
+TEST(ParseProcMapsTest, EmptyInputYieldsNothing) {
+  EXPECT_TRUE(ParseProcMaps("").empty());
+}
+
+TEST(SymbolizerTest, ReadsOwnMaps) {
+  const auto entries = ReadOwnProcMaps();
+  ASSERT_FALSE(entries.empty());
+  for (const auto& e : entries) {
+    EXPECT_LT(e.start, e.end);
+  }
+}
+
+TEST(SymbolizerTest, ResolvesLibcExport) {
+  Symbolizer symbolizer;
+  // +1 because Resolve subtracts 1 (return-address adjustment); this keeps
+  // the probe inside getpid regardless.
+  const auto address = reinterpret_cast<std::uintptr_t>(&::getpid) + 1;
+  const SymbolizedFrame& frame = symbolizer.Resolve(address);
+  EXPECT_TRUE(frame.exact);
+  EXPECT_NE(frame.name.find("getpid"), std::string::npos) << frame.name;
+  EXPECT_EQ(frame.address, address);
+}
+
+TEST(SymbolizerTest, MemoizesResults) {
+  Symbolizer symbolizer;
+  const auto address = reinterpret_cast<std::uintptr_t>(&::getpid) + 1;
+  const SymbolizedFrame& first = symbolizer.Resolve(address);
+  EXPECT_EQ(symbolizer.cache_size(), 1u);
+  const SymbolizedFrame& second = symbolizer.Resolve(address);
+  EXPECT_EQ(symbolizer.cache_size(), 1u);
+  EXPECT_EQ(&first, &second);  // memoized: same stored entry
+}
+
+TEST(SymbolizerTest, UnmappedAddressFallsBackToHex) {
+  Symbolizer symbolizer;
+  // Page 0 is never mapped; the fallback is a bare hex name.
+  const SymbolizedFrame& frame = symbolizer.Resolve(0x10);
+  EXPECT_FALSE(frame.exact);
+  EXPECT_FALSE(frame.name.empty());
+}
+
+TEST(SymbolizerTest, ResolveAllPreservesOrder) {
+  Symbolizer symbolizer;
+  const auto a = reinterpret_cast<std::uintptr_t>(&::getpid) + 1;
+  const auto frames = symbolizer.ResolveAll({a, 0x10, a});
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].address, a);
+  EXPECT_EQ(frames[1].address, 0x10u);
+  EXPECT_EQ(frames[2].name, frames[0].name);
+}
+
+}  // namespace
+}  // namespace fl::analytics

@@ -1,0 +1,181 @@
+// CPU sampler: ring write/read round-trips, seq windowing, tag capture,
+// the real SIGPROF timer path, and the async-signal-safe raw dump.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+
+#include "src/profiler/cpu_profiler.h"
+#include "src/profiler/profiler.h"
+#include "src/profiler/start.h"
+
+namespace fl::profiler {
+namespace {
+
+class CpuProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kCompiledIn) GTEST_SKIP() << "profiler compiled out";
+    SetEnabled(true);
+    CpuProfiler::Global().Stop();
+    CpuProfiler::Global().ClearForTest();
+  }
+  void TearDown() override {
+    if (!kCompiledIn) return;
+    CpuProfiler::Global().Stop();
+    CpuProfiler::Global().ClearForTest();
+    SetEnabled(false);
+  }
+};
+
+TEST_F(CpuProfilerTest, SyntheticWriteRoundTrips) {
+  CpuProfiler& cpu = CpuProfiler::Global();
+  const std::uintptr_t frames[3] = {0x1111, 0x2222, 0x3333};
+  const std::uint64_t before = cpu.last_seq();
+  cpu.RecordSynthetic(frames, 3);
+  const auto samples = cpu.CollectSince(before);
+  ASSERT_EQ(samples.size(), 1u);
+  ASSERT_EQ(samples[0].frames.size(), 3u);
+  EXPECT_EQ(samples[0].frames[0], 0x1111u);  // leaf first
+  EXPECT_EQ(samples[0].frames[2], 0x3333u);
+  EXPECT_GT(samples[0].seq, before);
+}
+
+TEST_F(CpuProfilerTest, SamplesCarryTheActiveTag) {
+  CpuProfiler& cpu = CpuProfiler::Global();
+  const std::uintptr_t frames[1] = {0xabcd};
+  const std::uint64_t before = cpu.last_seq();
+  {
+    const ScopedPhase phase(Phase::kAggregation, /*round=*/42);
+    const ScopedActor actor(ActorTag::kAggregator);
+    cpu.RecordSynthetic(frames, 1);
+  }
+  cpu.RecordSynthetic(frames, 1);  // scope exited: tag restored
+  const auto samples = cpu.CollectSince(before);
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].phase, static_cast<std::uint8_t>(Phase::kAggregation));
+  EXPECT_EQ(samples[0].actor, static_cast<std::uint8_t>(ActorTag::kAggregator));
+  EXPECT_EQ(samples[0].round, 42u);
+  EXPECT_EQ(samples[1].phase, static_cast<std::uint8_t>(Phase::kNone));
+  EXPECT_EQ(samples[1].actor, static_cast<std::uint8_t>(ActorTag::kNone));
+}
+
+TEST_F(CpuProfilerTest, NestedScopesRestoreOuterTag) {
+  const ScopedPhase outer(Phase::kCheckin, 7);
+  {
+    const ScopedPhase inner(Phase::kTraining, 8);
+    EXPECT_EQ(CurrentTag().phase, static_cast<std::uint8_t>(Phase::kTraining));
+    EXPECT_EQ(CurrentTag().round, 8u);
+  }
+  EXPECT_EQ(CurrentTag().phase, static_cast<std::uint8_t>(Phase::kCheckin));
+  EXPECT_EQ(CurrentTag().round, 7u);
+}
+
+TEST_F(CpuProfilerTest, CollectSinceWindowsBySeq) {
+  CpuProfiler& cpu = CpuProfiler::Global();
+  const std::uintptr_t frames[1] = {0x4040};
+  const std::uint64_t t0 = cpu.last_seq();
+  cpu.RecordSynthetic(frames, 1);
+  cpu.RecordSynthetic(frames, 1);
+  const std::uint64_t t1 = cpu.last_seq();
+  cpu.RecordSynthetic(frames, 1);
+  EXPECT_EQ(cpu.CollectSince(t0).size(), 3u);
+  EXPECT_EQ(cpu.CollectSince(t1).size(), 1u);
+  EXPECT_TRUE(cpu.CollectSince(cpu.last_seq()).empty());
+}
+
+TEST_F(CpuProfilerTest, DeepStacksTruncateAtMaxFrames) {
+  CpuProfiler& cpu = CpuProfiler::Global();
+  std::uintptr_t frames[CpuProfiler::kMaxFrames + 16];
+  for (std::size_t i = 0; i < CpuProfiler::kMaxFrames + 16; ++i) {
+    frames[i] = 0x1000 + i;
+  }
+  const std::uint64_t before = cpu.last_seq();
+  cpu.RecordSynthetic(frames, CpuProfiler::kMaxFrames + 16);
+  const auto samples = cpu.CollectSince(before);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].frames.size(), CpuProfiler::kMaxFrames);
+}
+
+TEST_F(CpuProfilerTest, StartSamplesBusyThreadAndStops) {
+  CpuProfiler& cpu = CpuProfiler::Global();
+  EXPECT_FALSE(cpu.running());
+  ASSERT_TRUE(cpu.Start(1000).ok());
+  EXPECT_TRUE(cpu.running());
+  EXPECT_EQ(cpu.hz(), 1000);
+  // Starting again while running is rejected.
+  EXPECT_FALSE(cpu.Start(100).ok());
+
+  // Burn CPU until samples land (ITIMER_PROF counts consumed CPU time, so
+  // an idle wait would never fire).
+  const std::uint64_t before = cpu.samples_taken();
+  volatile double sink = 0;
+  for (int spin = 0; spin < 200 && cpu.samples_taken() == before; ++spin) {
+    double acc = 0;
+    for (int i = 0; i < 2'000'000; ++i) acc += static_cast<double>(i) * 1e-9;
+    sink = acc;
+  }
+  (void)sink;
+  EXPECT_GT(cpu.samples_taken(), before);
+  const auto samples = cpu.CollectSince(0);
+  ASSERT_FALSE(samples.empty());
+  for (const auto& s : samples) {
+    EXPECT_FALSE(s.frames.empty());
+  }
+  cpu.Stop();
+  EXPECT_FALSE(cpu.running());
+}
+
+TEST_F(CpuProfilerTest, StartRejectsBadHz) {
+  CpuProfiler& cpu = CpuProfiler::Global();
+  EXPECT_FALSE(cpu.Start(0).ok());
+  EXPECT_FALSE(cpu.Start(-5).ok());
+  EXPECT_FALSE(cpu.Start(CpuProfiler::kMaxHz + 1).ok());
+}
+
+TEST_F(CpuProfilerTest, HeapOnlyEnvLeavesSamplerUnarmed) {
+  // FL_PROFILER_HZ=0 means "sample the heap, never arm the kernel timer".
+  ::setenv("FL_PROFILER_HZ", "0", 1);
+  EXPECT_TRUE(StartFromEnv().ok());
+  EXPECT_FALSE(CpuProfiler::Global().running());
+  ::unsetenv("FL_PROFILER_HZ");
+}
+
+TEST_F(CpuProfilerTest, DumpRawToFdWritesParseableLines) {
+  CpuProfiler& cpu = CpuProfiler::Global();
+  const std::uintptr_t frames[2] = {0xdead, 0xbeef};
+  const std::uint64_t before = cpu.last_seq();
+  {
+    const ScopedPhase phase(Phase::kSecAgg, 9);
+    cpu.RecordSynthetic(frames, 2);
+  }
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::size_t written = cpu.DumpRawToFd(fds[1], before);
+  ::close(fds[1]);
+  EXPECT_GT(written, 0u);
+  char buf[4096];
+  const ssize_t n = ::read(fds[0], buf, sizeof(buf) - 1);
+  ::close(fds[0]);
+  ASSERT_GT(n, 0);
+  buf[n] = '\0';
+  const std::string dump(buf);
+  EXPECT_NE(dump.find("0xdead;0xbeef"), std::string::npos);
+  EXPECT_NE(dump.find("phase=secagg"), std::string::npos);
+  EXPECT_NE(dump.find("round=9"), std::string::npos);
+}
+
+TEST_F(CpuProfilerTest, ClearForTestEmptiesRings) {
+  CpuProfiler& cpu = CpuProfiler::Global();
+  const std::uintptr_t frames[1] = {0x77};
+  cpu.RecordSynthetic(frames, 1);
+  ASSERT_FALSE(cpu.CollectSince(0).empty());
+  cpu.ClearForTest();
+  EXPECT_TRUE(cpu.CollectSince(0).empty());
+  EXPECT_EQ(cpu.samples_taken(), 0u);
+}
+
+}  // namespace
+}  // namespace fl::profiler

@@ -1,0 +1,121 @@
+// Fork-based stress: SIGPROF at an aggressive rate must be able to land
+// inside malloc, inside the heap-sampling hook, and inside collection
+// without deadlocking or corrupting state. The child runs the stress with
+// an alarm watchdog; a hang becomes SIGALRM, a crash becomes a signal
+// status — either fails the parent's assertions.
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/profiler/cpu_profiler.h"
+#include "src/profiler/heap_profiler.h"
+#include "src/profiler/profiler.h"
+
+namespace fl::profiler {
+namespace {
+
+// Runs in the forked child. Returns the exit code.
+int ChildStress() {
+  ::alarm(30);  // watchdog: a deadlock anywhere below becomes SIGALRM
+
+  SetEnabled(true);
+  HeapProfiler::Global().SetSamplingInterval(512);  // sample nearly every alloc
+  if (!CpuProfiler::Global().Start(CpuProfiler::kMaxHz).ok()) return 2;
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> ready{0};
+
+  // Allocator hammer threads: every new/delete runs the sampling hook, and
+  // at 4 kHz SIGPROF lands inside malloc constantly.
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&stop, &ready, t] {
+      ready.fetch_add(1);
+      std::vector<char*> held;
+      held.reserve(64);
+      unsigned int seed = 1234u + static_cast<unsigned int>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        seed = seed * 1664525u + 1013904223u;
+        const std::size_t size = 16 + (seed % 8192);
+        char* p = new char[size];
+        std::memset(p, static_cast<int>(seed & 0xff), size);
+        held.push_back(p);
+        if (held.size() >= 64) {
+          for (char* q : held) delete[] q;
+          held.clear();
+        }
+        // String churn: a different allocation shape (small, aligned).
+        std::string s(seed % 96, 'x');
+        const ScopedPhase phase(Phase::kTraining, seed % 100);
+        s += "tagged";
+        (void)s;
+      }
+      for (char* q : held) delete[] q;
+    });
+  }
+
+  // Reader thread: concurrent seqlock reads + snapshot allocations while
+  // the writers (signal handler included) are going full tilt.
+  workers.emplace_back([&stop, &ready] {
+    ready.fetch_add(1);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto samples = CpuProfiler::Global().CollectSince(0);
+      const auto sites = HeapProfiler::Global().Snapshot();
+      (void)samples;
+      (void)sites;
+    }
+  });
+
+  while (ready.load() < 4) {
+    std::this_thread::yield();
+  }
+  // Main thread burns CPU so ITIMER_PROF keeps firing on someone.
+  volatile double sink = 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(1500);
+  while (std::chrono::steady_clock::now() < deadline) {
+    double acc = 0;
+    for (int i = 0; i < 100'000; ++i) acc += static_cast<double>(i);
+    sink = acc;
+  }
+  (void)sink;
+  stop.store(true);
+  for (std::thread& w : workers) w.join();
+
+  CpuProfiler::Global().Stop();
+  if (CpuProfiler::Global().samples_taken() == 0) return 3;
+  // Post-stress integrity: collection still works and samples are sane.
+  for (const auto& s : CpuProfiler::Global().CollectSince(0)) {
+    if (s.frames.empty()) return 4;
+    if (s.frames.size() > CpuProfiler::kMaxFrames) return 5;
+  }
+  return 0;
+}
+
+TEST(SignalSafetyTest, SigprofInsideMallocDoesNotDeadlock) {
+  if (!kCompiledIn) GTEST_SKIP() << "profiler compiled out";
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    ::_exit(ChildStress());
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status))
+      << "child died by signal " << (WIFSIGNALED(status) ? WTERMSIG(status) : 0)
+      << " (SIGALRM means a deadlock tripped the watchdog)";
+  EXPECT_EQ(WEXITSTATUS(status), 0)
+      << "2=Start failed 3=no samples 4=empty frames 5=overlong frames";
+}
+
+}  // namespace
+}  // namespace fl::profiler
