@@ -3,6 +3,16 @@
 //      masking vectors, and
 //  (b) the cipher half of the authenticated-encryption scheme protecting
 //      Shamir shares in transit (Sec. 6).
+//
+// The production path is a state-parallel multi-block kernel: several
+// blocks' states advance together in word-lane layout so every
+// quarter-round operation is one SIMD op per word row, and keystream is
+// produced as 32-bit words with no byte-at-a-time serialization. Two
+// kernels exist — a portable 4-lane kernel (GCC/Clang vector extensions,
+// 128-bit ops) and an 8-lane AVX2 kernel in chacha20_avx2.cc — selected
+// once at startup by CPU capability; both are bit-exact against the
+// retained one-block scalar reference (ChaCha20BlockRef / PrgWordsRef),
+// which tests and the scaling bench use as the oracle.
 #pragma once
 
 #include <array>
@@ -22,8 +32,39 @@ void ChaCha20Xor(const Key256& key, const Nonce96& nonce,
                  std::uint32_t initial_counter, std::span<std::uint8_t> data);
 
 // Deterministic PRG over the keystream: expands a 32-byte seed into `count`
-// uniform 32-bit words (the additive masks of Secure Aggregation).
+// uniform 32-bit words (the additive masks of Secure Aggregation). Thin
+// wrapper over the streaming kernel for callers that need a materialized
+// mask; the SecAgg hot paths use PrgAccumulate instead.
 std::vector<std::uint32_t> PrgWords(const Key256& seed, std::size_t count,
                                     std::uint32_t stream_id = 0);
+
+// Fused mask-accumulate: streams PRG(seed, stream_id) keystream words
+// straight into acc[i] += ks[i] (sign >= 0) or acc[i] -= ks[i] (sign < 0)
+// from a small stack buffer — no mask vector is ever materialized, zeroed,
+// or re-walked. Bit-exact with applying PrgWords() word-by-word (u32
+// arithmetic wraps mod 2^32).
+void PrgAccumulate(const Key256& seed, std::uint32_t stream_id, int sign,
+                   std::span<std::uint32_t> acc);
+
+// --- Scalar reference implementations (bit-exactness oracles) -------------
+// One-block RFC 8439 core with byte-serialized output — the
+// pre-fast-path implementation, retained verbatim. Tests pin the
+// multi-block kernels against these; the scaling bench uses them as the
+// "scalar baseline" side of its speedup gate. Not for production callers.
+void ChaCha20BlockRef(const Key256& key, const Nonce96& nonce,
+                      std::uint32_t counter, std::uint8_t out[64]);
+std::vector<std::uint32_t> PrgWordsRef(const Key256& seed, std::size_t count,
+                                       std::uint32_t stream_id = 0);
+
+namespace internal {
+// Blocks per invocation of the active multi-block kernel (4 portable,
+// 8 AVX2). Tests use it to pin equivalence across stride boundaries,
+// including block-counter wraparound mid-stride.
+std::size_t ActiveStrideBlocks();
+// Forces the portable 4-lane kernel (true) or re-resolves by CPU (false),
+// so AVX2 hosts can exercise both code paths. Test-only; not thread-safe
+// against concurrent keystream generation.
+void UseGenericKernelForTest(bool generic);
+}  // namespace internal
 
 }  // namespace fl::crypto

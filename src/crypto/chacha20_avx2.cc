@@ -1,0 +1,54 @@
+// 8-lane ChaCha20 kernel, compiled with -mavx2 (see src/crypto/CMakeLists).
+// Only reached through the runtime dispatch in chacha20.cc after
+// __builtin_cpu_supports("avx2") — nothing here executes on older CPUs.
+// Bit-exact with the 4-lane portable kernel and the scalar reference: the
+// same per-block counters, just eight of them per invocation.
+#include "src/crypto/chacha20_internal.h"
+
+#if defined(FL_CHACHA20_AVX2)
+
+namespace fl::crypto::internal {
+namespace {
+
+typedef std::uint32_t v8u __attribute__((vector_size(32)));
+
+inline v8u Splat(std::uint32_t v) { return v8u{v, v, v, v, v, v, v, v}; }
+
+inline v8u Rotl8(v8u x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline void QuarterRound8(v8u& a, v8u& b, v8u& c, v8u& d) {
+  a += b; d ^= a; d = Rotl8(d, 16);
+  c += d; b ^= c; b = Rotl8(b, 12);
+  a += b; d ^= a; d = Rotl8(d, 8);
+  c += d; b ^= c; b = Rotl8(b, 7);
+}
+
+}  // namespace
+
+void BlocksX8Avx2(const std::uint32_t s[16], std::uint32_t counter,
+                  std::uint32_t* out) {
+  v8u x[16];
+  for (int w = 0; w < 16; ++w) x[w] = Splat(s[w]);
+  const v8u ctr = v8u{counter,     counter + 1, counter + 2, counter + 3,
+                      counter + 4, counter + 5, counter + 6, counter + 7};
+  x[12] = ctr;
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound8(x[0], x[4], x[8], x[12]);
+    QuarterRound8(x[1], x[5], x[9], x[13]);
+    QuarterRound8(x[2], x[6], x[10], x[14]);
+    QuarterRound8(x[3], x[7], x[11], x[15]);
+    QuarterRound8(x[0], x[5], x[10], x[15]);
+    QuarterRound8(x[1], x[6], x[11], x[12]);
+    QuarterRound8(x[2], x[7], x[8], x[13]);
+    QuarterRound8(x[3], x[4], x[9], x[14]);
+  }
+  for (int w = 0; w < 16; ++w) {
+    const v8u add = (w == 12) ? ctr : Splat(s[w]);
+    const v8u v = x[w] + add;
+    for (int l = 0; l < 8; ++l) out[l * 16 + w] = NativeFromLE(v[l]);
+  }
+}
+
+}  // namespace fl::crypto::internal
+
+#endif  // FL_CHACHA20_AVX2

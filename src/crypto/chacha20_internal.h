@@ -1,0 +1,42 @@
+// Shared internals between the portable multi-block ChaCha20 kernel
+// (chacha20.cc) and the AVX2 kernel translation unit (chacha20_avx2.cc,
+// compiled with -mavx2 and selected at runtime by CPU capability).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace fl::crypto::internal {
+
+// A multi-block kernel: advances `stride` consecutive blocks from the
+// 16-word base state (counter slot state[12] ignored; per-block counters
+// are `counter + lane`, each wrapping mod 2^32 independently — identical
+// to the scalar reference incrementing one block at a time). Output is
+// block-major: block l's word w lands at out[l * 16 + w].
+using BlocksFn = void (*)(const std::uint32_t state[16],
+                          std::uint32_t counter, std::uint32_t* out);
+
+inline constexpr std::size_t kGenericStrideBlocks = 4;
+inline constexpr std::size_t kAvx2StrideBlocks = 8;
+inline constexpr std::size_t kMaxStrideWords = kAvx2StrideBlocks * 16;
+
+// Keystream words are defined by the RFC's little-endian serialization; the
+// PRG contract (and every mask already pinned by tests/benches) is "native
+// load of that byte stream". Storing this value and memcpy'ing it out as
+// raw bytes therefore reproduces the RFC byte stream on either endianness.
+inline std::uint32_t NativeFromLE(std::uint32_t v) {
+  if constexpr (std::endian::native == std::endian::big) {
+    v = ((v >> 24) & 0x000000FFu) | ((v >> 8) & 0x0000FF00u) |
+        ((v << 8) & 0x00FF0000u) | ((v << 24) & 0xFF000000u);
+  }
+  return v;
+}
+
+#if defined(FL_CHACHA20_AVX2)
+// 8-lane kernel, compiled with -mavx2; call only when the CPU reports AVX2.
+void BlocksX8Avx2(const std::uint32_t state[16], std::uint32_t counter,
+                  std::uint32_t* out);
+#endif
+
+}  // namespace fl::crypto::internal

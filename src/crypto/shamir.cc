@@ -54,8 +54,8 @@ Result<std::vector<Share>> ShamirSplit(std::uint64_t secret, std::size_t n,
   return shares;
 }
 
-Result<std::uint64_t> ShamirReconstruct(std::span<const Share> shares,
-                                        std::size_t t) {
+Result<std::vector<std::uint64_t>> ShamirLagrangeAtZero(
+    std::span<const Share> shares, std::size_t t) {
   if (shares.size() < t) {
     return FailedPreconditionError(
         "need " + std::to_string(t) + " shares, have " +
@@ -71,21 +71,49 @@ Result<std::uint64_t> ShamirReconstruct(std::span<const Share> shares,
       return InvalidArgumentError("share point out of field range");
     }
   }
-  // Lagrange interpolation at x = 0:
-  //   secret = sum_i y_i * prod_{j != i} x_j / (x_j - x_i)
-  std::uint64_t secret = 0;
+  // w_i = prod_{j != i} x_j / (x_j - x_i). Every denominator is inverted
+  // through one prefix-product walk and a single InvMod of the total
+  // (Montgomery batch inversion): inverses are unique field elements, so
+  // the result is bit-identical to inverting each denominator separately.
+  std::vector<std::uint64_t> num(t), den(t), prefix(t);
   for (std::size_t i = 0; i < t; ++i) {
-    std::uint64_t num = 1, den = 1;
+    std::uint64_t n = 1, d = 1;
     for (std::size_t j = 0; j < t; ++j) {
       if (j == i) continue;
-      num = MulMod(num, shares[j].x, kP);
-      den = MulMod(den, SubMod(shares[j].x, shares[i].x), kP);
+      n = MulMod(n, shares[j].x, kP);
+      d = MulMod(d, SubMod(shares[j].x, shares[i].x), kP);
     }
-    const std::uint64_t term =
-        MulMod(shares[i].y, MulMod(num, InvMod(den), kP), kP);
-    secret = AddMod(secret, term);
+    num[i] = n;
+    den[i] = d;
+    prefix[i] = i == 0 ? d : MulMod(prefix[i - 1], d, kP);
+  }
+  std::uint64_t inv_running = InvMod(prefix[t - 1]);
+  std::vector<std::uint64_t> coeffs(t);
+  for (std::size_t i = t; i-- > 0;) {
+    const std::uint64_t inv_den =
+        i == 0 ? inv_running : MulMod(inv_running, prefix[i - 1], kP);
+    coeffs[i] = MulMod(num[i], inv_den, kP);
+    inv_running = MulMod(inv_running, den[i], kP);
+  }
+  return coeffs;
+}
+
+std::uint64_t ShamirApplyLagrange(std::span<const Share> shares,
+                                  std::span<const std::uint64_t> coeffs) {
+  std::uint64_t secret = 0;
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    secret = AddMod(secret, MulMod(shares[i].y, coeffs[i], kP));
   }
   return secret;
+}
+
+Result<std::uint64_t> ShamirReconstruct(std::span<const Share> shares,
+                                        std::size_t t) {
+  // Lagrange interpolation at x = 0:
+  //   secret = sum_i y_i * prod_{j != i} x_j / (x_j - x_i)
+  FL_ASSIGN_OR_RETURN(std::vector<std::uint64_t> coeffs,
+                      ShamirLagrangeAtZero(shares, t));
+  return ShamirApplyLagrange(shares, coeffs);
 }
 
 namespace {
@@ -119,10 +147,24 @@ Result<Key256> ShamirReconstructKey(
     return InvalidArgumentError("expected " + std::to_string(kLimbCount) +
                                 " limbs");
   }
+  // The five limbs of one key share one share-set: the same evaluation
+  // points in the same order. Compute the Lagrange coefficients once from
+  // limb 0 and reuse them across limbs, falling back to a per-limb
+  // reconstruction only if a caller hands us differently-ordered points.
+  FL_ASSIGN_OR_RETURN(std::vector<std::uint64_t> coeffs,
+                      ShamirLagrangeAtZero(limb_shares[0], t));
   Key256 key{};
   for (std::size_t l = 0; l < kLimbCount; ++l) {
-    FL_ASSIGN_OR_RETURN(std::uint64_t v,
-                        ShamirReconstruct(limb_shares[l], t));
+    bool same_points = limb_shares[l].size() >= t;
+    for (std::size_t i = 0; same_points && i < t; ++i) {
+      same_points = limb_shares[l][i].x == limb_shares[0][i].x;
+    }
+    std::uint64_t v;
+    if (same_points) {
+      v = ShamirApplyLagrange(limb_shares[l], coeffs);
+    } else {
+      FL_ASSIGN_OR_RETURN(v, ShamirReconstruct(limb_shares[l], t));
+    }
     for (std::size_t b = 0; b < kLimbBytes; ++b) {
       const std::size_t idx = l * kLimbBytes + b;
       if (idx < key.size()) {

@@ -34,6 +34,23 @@ Result<std::vector<Share>> ShamirSplit(std::uint64_t secret, std::size_t n,
 Result<std::uint64_t> ShamirReconstruct(std::span<const Share> shares,
                                         std::size_t t);
 
+// Lagrange-at-zero coefficients w_i for the x-coordinates of the first t
+// `shares` (rejects duplicate or out-of-field points — the same validation
+// ShamirReconstruct applies). The secret is then sum_i y_i * w_i mod p.
+// Coefficients depend only on the evaluation points, so one computation
+// serves every polynomial sharing the share-set — ShamirReconstructKey
+// reuses one set across all five limbs of a key, and the denominators are
+// inverted with a single modular exponentiation (batch inversion) instead
+// of t of them.
+Result<std::vector<std::uint64_t>> ShamirLagrangeAtZero(
+    std::span<const Share> shares, std::size_t t);
+
+// Applies precomputed coefficients: sum_i shares[i].y * coeffs[i] mod p.
+// `shares` must order its evaluation points exactly as the share-set the
+// coefficients were computed from.
+std::uint64_t ShamirApplyLagrange(std::span<const Share> shares,
+                                  std::span<const std::uint64_t> coeffs);
+
 // Convenience: split/reconstruct a 256-bit key as five 56-bit limbs
 // (each < p), so whole PRG seeds can be shared.
 Result<std::vector<std::vector<Share>>> ShamirSplitKey(const Key256& key,

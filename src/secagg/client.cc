@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/crypto/chacha20.h"
+#include "src/profiler/profiler.h"
+
 namespace fl::secagg {
 namespace {
 
@@ -176,44 +179,78 @@ Result<MaskedInput> SecAggClient::MaskInput(
     return FailedPreconditionError("too few round-1 survivors");
   }
 
+  const profiler::ScopedPhase profile_scope(profiler::Phase::kSecAgg);
+
   MaskedInput out;
   out.index = index_;
   out.masked.assign(input.begin(), input.end());
 
-  // Self mask: + PRG(b_u).
-  const std::vector<std::uint32_t> self_mask =
-      crypto::PrgWords(self_seed_, vector_length_);
-  for (std::size_t i = 0; i < vector_length_; ++i) {
-    out.masked[i] += self_mask[i];
-  }
+  // Self mask: + PRG(b_u), streamed straight into the masked vector.
+  crypto::PrgAccumulate(self_seed_, 0, +1,
+                        std::span<std::uint32_t>(out.masked));
 
-  // Pairwise masks: +PRG(s_uv) for u < v, -PRG(s_uv) for u > v.
+  // Pairwise masks: +PRG(s_uv) for u < v, -PRG(s_uv) for u > v. Validate
+  // the whole peer set up front (errors stay deterministic under any
+  // thread count), then fan the key agreements + fused expansions out.
+  struct Peer {
+    std::uint64_t mask_public_key = 0;
+    int sign = 0;
+  };
+  std::vector<Peer> peers;
+  peers.reserve(u1.size());
   for (ParticipantIndex v : u1) {
     if (v == index_) continue;
     const auto it = directory_->find(v);
     if (it == directory_->end()) {
       return InvalidArgumentError("round-1 survivor not in key directory");
     }
+    peers.push_back(Peer{it->second.mask_public_key, index_ < v ? +1 : -1});
+  }
+
+  const auto expand_into = [this](const Peer& p,
+                                  std::span<std::uint32_t> acc) {
     const crypto::Key256 seed =
-        crypto::Agree(mask_keys_, it->second.mask_public_key, kPairwiseLabel);
-    const std::vector<std::uint32_t> mask =
-        crypto::PrgWords(seed, vector_length_);
-    if (index_ < v) {
-      for (std::size_t i = 0; i < vector_length_; ++i) {
-        out.masked[i] += mask[i];
+        crypto::Agree(mask_keys_, p.mask_public_key, kPairwiseLabel);
+    crypto::PrgAccumulate(seed, 0, p.sign, acc);
+  };
+
+  const std::size_t shards =
+      pool_ == nullptr || pool_->size() == 0
+          ? 1
+          : std::min(peers.size(), pool_->size() + 1);
+  if (shards <= 1) {
+    for (const Peer& p : peers) {
+      expand_into(p, std::span<std::uint32_t>(out.masked));
+    }
+  } else {
+    // Shard s owns the fixed contiguous peer range [s*len/shards,
+    // (s+1)*len/shards); shards merge below in index order. u32 addition
+    // commutes mod 2^32, so the result is bit-identical to the serial walk
+    // regardless of which worker runs which shard.
+    std::vector<std::vector<std::uint32_t>> shard_acc(shards);
+    pool_->ParallelFor(shards, [&](std::size_t s) {
+      const profiler::ScopedPhase worker_scope(profiler::Phase::kSecAgg);
+      auto& acc = shard_acc[s];
+      acc.assign(vector_length_, 0);
+      const std::size_t begin = s * peers.size() / shards;
+      const std::size_t end = (s + 1) * peers.size() / shards;
+      for (std::size_t p = begin; p < end; ++p) {
+        expand_into(peers[p], std::span<std::uint32_t>(acc));
       }
-    } else {
-      for (std::size_t i = 0; i < vector_length_; ++i) {
-        out.masked[i] -= mask[i];
-      }
+    });
+    std::uint32_t* __restrict masked = out.masked.data();
+    for (const auto& acc : shard_acc) {
+      const std::uint32_t* __restrict m = acc.data();
+      for (std::size_t i = 0; i < vector_length_; ++i) masked[i] += m[i];
     }
   }
   // Reduce to the wire ring: mod-2^r reduction commutes with the u32 mask
   // arithmetic above, so the server's sum (reduced once at finalize) is
   // unchanged while each word ships as only ceil(r/8) bytes.
   if (ring_mask_ != 0xFFFFFFFFu) {
+    std::uint32_t* __restrict masked = out.masked.data();
     for (std::size_t i = 0; i < vector_length_; ++i) {
-      out.masked[i] &= ring_mask_;
+      masked[i] &= ring_mask_;
     }
   }
   committed_ = true;

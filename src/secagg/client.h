@@ -9,6 +9,7 @@
 
 #include "src/common/rng.h"
 #include "src/common/status.h"
+#include "src/common/thread_pool.h"
 #include "src/crypto/aead.h"
 #include "src/crypto/dh.h"
 #include "src/secagg/types.h"
@@ -28,6 +29,14 @@ class SecAggClient {
                std::uint8_t ring_bits = 32);
 
   ParticipantIndex index() const { return index_; }
+
+  // Optional compute pool for MaskInput's N-1 pairwise key agreements and
+  // mask expansions. Non-owning; null (the default) keeps every path
+  // serial. Peers fan out over per-shard accumulators merged in fixed
+  // participant order, and all mask arithmetic is u32 addition mod 2^32,
+  // so any (seed, thread-count) pair yields a bit-identical masked vector
+  // and threads=1 matches the serial path exactly.
+  void SetThreadPool(common::ThreadPool* pool) { pool_ = pool; }
 
   // Round 0 (Prepare): advertise DH public keys.
   KeyAdvertisement AdvertiseKeys() const;
@@ -62,6 +71,7 @@ class SecAggClient {
   std::size_t threshold_;
   std::size_t vector_length_;
   std::uint32_t ring_mask_ = 0xFFFFFFFFu;
+  common::ThreadPool* pool_ = nullptr;
   Rng rng_;
   crypto::DhKeyPair enc_keys_;
   crypto::DhKeyPair mask_keys_;

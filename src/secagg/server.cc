@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/crypto/chacha20.h"
+#include "src/profiler/profiler.h"
 
 namespace fl::secagg {
 namespace {
@@ -65,10 +66,11 @@ Status SecAggServer::CollectShares(const ShareKeysMessage& msg) {
   return Status::Ok();
 }
 
-std::vector<EncryptedShare> SecAggServer::SharesFor(
+const std::vector<EncryptedShare>& SecAggServer::SharesFor(
     ParticipantIndex to) const {
+  static const std::vector<EncryptedShare> kNoShares;
   const auto it = routed_.find(to);
-  return it == routed_.end() ? std::vector<EncryptedShare>{} : it->second;
+  return it == routed_.end() ? kNoShares : it->second;
 }
 
 Result<std::vector<ParticipantIndex>> SecAggServer::FinishSharing() {
@@ -96,9 +98,13 @@ Status SecAggServer::CollectMaskedInput(const MaskedInput& input) {
     return InvalidArgumentError("masked vector length mismatch");
   }
   // Online accumulation — the individual masked vector is folded in and
-  // discarded (no per-device log exists, Sec. 4.2).
+  // discarded (no per-device log exists, Sec. 4.2). The restrict-qualified
+  // pointers tell the compiler the two vectors never alias, so this loop
+  // vectorizes without runtime overlap checks.
+  std::uint32_t* __restrict acc = masked_sum_.data();
+  const std::uint32_t* __restrict in = input.masked.data();
   for (std::size_t i = 0; i < vector_length_; ++i) {
-    masked_sum_[i] += input.masked[i];
+    acc[i] += in[i];
   }
   u2_.insert(input.index);
   return Status::Ok();
@@ -160,26 +166,42 @@ Result<std::vector<std::uint32_t>> SecAggServer::Finalize() {
                         std::to_string(threshold_));
   }
 
+  const profiler::ScopedPhase profile_scope(profiler::Phase::kSecAgg);
   std::vector<std::uint32_t> sum = masked_sum_;
 
-  // (a) Remove survivors' self-masks.
+  // Phase 1 (serial): Shamir reconstructions. These are cheap relative to
+  // mask expansion, touch server-wide maps, and their failure modes must
+  // surface as errors before any mask arithmetic happens. Each successful
+  // reconstruction becomes one expansion task for phase 2.
+  //
+  // A task either subtracts a survivor's self-mask (seed already in hand)
+  // or removes one (dropped u, survivor v) pairwise mask, which needs a
+  // key agreement first; `subtract` encodes the sign v applied when it
+  // added sign(v, u) * PRG(s_uv) to its input.
+  struct ExpansionTask {
+    crypto::Key256 seed{};            // self-mask seed (agree == false)
+    bool agree = false;
+    std::uint64_t secret = 0;         // recovered mask secret key of u
+    std::uint64_t peer_public = 0;    // survivor v's mask public key
+    bool subtract = false;
+  };
+  std::vector<ExpansionTask> tasks;
+  tasks.reserve(u2_.size());
+
+  // (a) Survivors' self-masks.
   for (ParticipantIndex u : u2_) {
     const auto it = seed_shares_.find(u);
     if (it == seed_shares_.end()) {
       return AbortedError("no self-seed shares for survivor " +
                           std::to_string(u));
     }
-    std::vector<std::vector<crypto::Share>> limbs = it->second;
     FL_ASSIGN_OR_RETURN(crypto::Key256 seed,
-                        crypto::ShamirReconstructKey(limbs, threshold_));
+                        crypto::ShamirReconstructKey(it->second, threshold_));
     stats_.shamir_reconstructions += kSeedLimbs;
-    const std::vector<std::uint32_t> mask =
-        crypto::PrgWords(seed, vector_length_);
-    stats_.prg_words_expanded += vector_length_;
-    for (std::size_t i = 0; i < vector_length_; ++i) sum[i] -= mask[i];
+    tasks.push_back(ExpansionTask{.seed = seed, .subtract = true});
   }
 
-  // (b) Remove pairwise masks referencing dropped participants. This is the
+  // (b) Pairwise masks referencing dropped participants. This is the
   // quadratic part: |dropped| x |survivors| PRG expansions + key agreements.
   for (ParticipantIndex u : u1_) {
     if (u2_.count(u) > 0) continue;  // u committed; its pair masks cancel
@@ -191,22 +213,59 @@ Result<std::vector<std::uint32_t>> SecAggServer::Finalize() {
     FL_ASSIGN_OR_RETURN(std::uint64_t secret,
                         crypto::ShamirReconstruct(it->second, threshold_));
     ++stats_.shamir_reconstructions;
-    const crypto::DhKeyPair recovered{secret, 0};
     for (ParticipantIndex v : u2_) {
       const auto dv = directory_.find(v);
       FL_CHECK(dv != directory_.end());
-      const crypto::Key256 seed = crypto::Agree(
-          recovered, dv->second.mask_public_key, kPairwiseLabel);
-      ++stats_.modexp_operations;
-      const std::vector<std::uint32_t> mask =
-          crypto::PrgWords(seed, vector_length_);
-      stats_.prg_words_expanded += vector_length_;
       // v (a survivor) added sign(v, u) * PRG(s_uv) to its input.
-      if (v < u) {
-        for (std::size_t i = 0; i < vector_length_; ++i) sum[i] -= mask[i];
-      } else {
-        for (std::size_t i = 0; i < vector_length_; ++i) sum[i] += mask[i];
+      tasks.push_back(ExpansionTask{.agree = true,
+                                    .secret = secret,
+                                    .peer_public = dv->second.mask_public_key,
+                                    .subtract = v < u});
+      ++stats_.modexp_operations;
+    }
+  }
+
+  // Phase 2: expand every mask with the fused PRG-accumulate kernel. The
+  // keystream folds straight into the accumulator — no per-task mask vector
+  // is materialized.
+  const auto apply = [this](const ExpansionTask& t,
+                            std::span<std::uint32_t> acc) {
+    crypto::Key256 seed = t.seed;
+    if (t.agree) {
+      seed = crypto::Agree(crypto::DhKeyPair{t.secret, 0}, t.peer_public,
+                           kPairwiseLabel);
+    }
+    crypto::PrgAccumulate(seed, 0, t.subtract ? -1 : +1, acc);
+  };
+  stats_.prg_words_expanded += tasks.size() * vector_length_;
+
+  const std::size_t shards =
+      pool_ == nullptr || pool_->size() == 0
+          ? 1
+          : std::min(tasks.size(), pool_->size() + 1);
+  if (shards <= 1) {
+    for (const ExpansionTask& t : tasks) {
+      apply(t, std::span<std::uint32_t>(sum));
+    }
+  } else {
+    // Each shard owns a contiguous task range and a private accumulator;
+    // shard accumulators merge into `sum` in shard-index order. u32
+    // addition commutes mod 2^32, so the result is bit-identical to the
+    // serial path for every thread count.
+    std::vector<std::vector<std::uint32_t>> shard_acc(shards);
+    pool_->ParallelFor(shards, [&](std::size_t s) {
+      const profiler::ScopedPhase worker_scope(profiler::Phase::kSecAgg);
+      const std::size_t begin = s * tasks.size() / shards;
+      const std::size_t end = (s + 1) * tasks.size() / shards;
+      shard_acc[s].assign(vector_length_, 0);
+      for (std::size_t i = begin; i < end; ++i) {
+        apply(tasks[i], std::span<std::uint32_t>(shard_acc[s]));
       }
+    });
+    std::uint32_t* __restrict out = sum.data();
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::uint32_t* __restrict part = shard_acc[s].data();
+      for (std::size_t i = 0; i < vector_length_; ++i) out[i] += part[i];
     }
   }
 
@@ -214,7 +273,8 @@ Result<std::vector<std::uint32_t>> SecAggServer::Finalize() {
   // in u32; because 2^r divides 2^32, one reduction at the end equals
   // reducing every operand along the way.
   if (ring_mask_ != 0xFFFFFFFFu) {
-    for (std::size_t i = 0; i < vector_length_; ++i) sum[i] &= ring_mask_;
+    std::uint32_t* __restrict out = sum.data();
+    for (std::size_t i = 0; i < vector_length_; ++i) out[i] &= ring_mask_;
   }
 
   phase_ = Phase::kDone;

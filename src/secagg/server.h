@@ -18,6 +18,7 @@
 #include <set>
 
 #include "src/common/status.h"
+#include "src/common/thread_pool.h"
 #include "src/crypto/dh.h"
 #include "src/secagg/types.h"
 
@@ -39,6 +40,15 @@ class SecAggServer {
   SecAggServer(std::size_t threshold, std::size_t vector_length,
                std::uint8_t ring_bits = 32);
 
+  // Optional compute pool for Finalize's mask recovery: the O(|U2|)
+  // self-mask removals and the quadratic |dropped| x |survivors| key
+  // agreements + PRG expansions fan out over per-shard accumulators merged
+  // in fixed participant order. Non-owning; null (the default) keeps every
+  // path serial. All mask arithmetic is u32 addition mod 2^32, so any
+  // (seed, thread-count) pair recovers a bit-identical sum and threads=1
+  // matches the serial path exactly.
+  void SetThreadPool(common::ThreadPool* pool) { pool_ = pool; }
+
   // --- Round 0: Prepare / AdvertiseKeys ---
   Status CollectAdvertisement(const KeyAdvertisement& adv);
   // Closes round 0; fails unless >= threshold participants advertised.
@@ -46,8 +56,10 @@ class SecAggServer {
 
   // --- Round 1: Prepare / ShareKeys ---
   Status CollectShares(const ShareKeysMessage& msg);
-  // Encrypted shares addressed to `to` (for relaying).
-  std::vector<EncryptedShare> SharesFor(ParticipantIndex to) const;
+  // Encrypted shares addressed to `to` (for relaying). The reference stays
+  // valid until the next CollectShares call; unknown recipients get a
+  // shared empty vector.
+  const std::vector<EncryptedShare>& SharesFor(ParticipantIndex to) const;
   // Closes round 1 and returns U1 (participants who shared keys).
   Result<std::vector<ParticipantIndex>> FinishSharing();
 
@@ -72,6 +84,7 @@ class SecAggServer {
   std::size_t threshold_;
   std::size_t vector_length_;
   std::uint32_t ring_mask_ = 0xFFFFFFFFu;
+  common::ThreadPool* pool_ = nullptr;
   Phase phase_ = Phase::kAdvertising;
 
   KeyDirectory directory_;

@@ -113,6 +113,59 @@ TEST(ShamirKeyTest, KeyRoundTrip) {
   EXPECT_EQ(*back, key);
 }
 
+TEST(ShamirTest, LagrangeCoefficientsMatchDirectReconstruction) {
+  // The hoisted path — coefficients computed once via batch inversion, then
+  // applied per share-set — must equal ShamirReconstruct exactly (field
+  // inverses are unique, so batching cannot change any coefficient).
+  Rng rng(41);
+  const std::uint64_t secret_a = rng.UniformInt(kShamirPrime);
+  const std::uint64_t secret_b = rng.UniformInt(kShamirPrime);
+  const auto shares_a = ShamirSplit(secret_a, 7, 4, rng);
+  const auto shares_b = ShamirSplit(secret_b, 7, 4, rng);
+  ASSERT_TRUE(shares_a.ok() && shares_b.ok());
+
+  const auto coeffs = ShamirLagrangeAtZero(*shares_a, 4);
+  ASSERT_TRUE(coeffs.ok());
+  ASSERT_EQ(coeffs->size(), 4u);
+  EXPECT_EQ(ShamirApplyLagrange(*shares_a, *coeffs), secret_a);
+  // Same evaluation points (x = 1..7 from ShamirSplit), so the coefficients
+  // transfer to the second share-set — the reuse the key reconstruction
+  // relies on across its five limbs.
+  EXPECT_EQ(ShamirApplyLagrange(*shares_b, *coeffs), secret_b);
+  EXPECT_EQ(*ShamirReconstruct(*shares_a, 4), secret_a);
+}
+
+TEST(ShamirTest, LagrangeValidationMatchesReconstruct) {
+  const std::vector<Share> dup{{1, 10}, {1, 20}, {2, 30}};
+  EXPECT_FALSE(ShamirLagrangeAtZero(dup, 3).ok());
+  const std::vector<Share> short_set{{1, 10}, {2, 20}};
+  EXPECT_FALSE(ShamirLagrangeAtZero(short_set, 3).ok());
+  const std::vector<Share> bad_point{{0, 10}, {2, 20}, {3, 30}};
+  EXPECT_FALSE(ShamirLagrangeAtZero(bad_point, 3).ok());
+}
+
+TEST(ShamirKeyTest, MixedShareOrderingsStillReconstruct) {
+  // ShamirReconstructKey reuses limb 0's coefficients only when the other
+  // limbs present identical evaluation points; shuffled limbs must fall
+  // back to per-limb reconstruction and still round-trip.
+  Rng rng(42);
+  Key256 key;
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(rng.Next());
+  }
+  const auto limbs = ShamirSplitKey(key, 5, 3, rng);
+  ASSERT_TRUE(limbs.ok());
+  std::vector<std::vector<Share>> subset(5);
+  for (std::size_t l = 0; l < 5; ++l) {
+    subset[l].assign((*limbs)[l].begin(), (*limbs)[l].begin() + 3);
+    // Give limbs 2 and 4 a different share order than limb 0.
+    if (l == 2 || l == 4) std::reverse(subset[l].begin(), subset[l].end());
+  }
+  const auto back = ShamirReconstructKey(subset, 3);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, key);
+}
+
 TEST(ShamirKeyTest, WrongLimbCountRejected) {
   const std::vector<std::vector<Share>> three(3);
   EXPECT_FALSE(ShamirReconstructKey(three, 2).ok());

@@ -11,6 +11,7 @@
 
 #include "src/common/fixed_point.h"
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/fedavg/codec.h"
 #include "src/secagg/client.h"
 #include "src/secagg/server.h"
@@ -33,6 +34,7 @@ struct RingRun {
   std::vector<int> drop_after;
   std::size_t threshold = 2;
   std::uint8_t ring_bits = 32;
+  common::ThreadPool* pool = nullptr;  // optional fast-path compute pool
   std::vector<std::vector<std::uint32_t>> shipped_words;
 
   Result<std::vector<std::uint32_t>> Execute(std::uint64_t seed = 7) {
@@ -44,8 +46,10 @@ struct RingRun {
     for (std::size_t i = 0; i < n; ++i) {
       clients.emplace_back(static_cast<ParticipantIndex>(i + 1), threshold,
                            veclen, ClientRandomness(rng), ring_bits);
+      clients.back().SetThreadPool(pool);
     }
     SecAggServer server(threshold, veclen, ring_bits);
+    server.SetThreadPool(pool);
 
     for (std::size_t i = 0; i < n; ++i) {
       if (drop_after[i] < 1) continue;
@@ -237,6 +241,39 @@ TEST(RingCompositionTest, SparseCompositionDecodesAgreedSubset) {
   std::size_t nonzero = 0;
   for (float v : flat) nonzero += (v != 0.0f) ? 1 : 0;
   EXPECT_LE(nonzero, keep);
+}
+
+TEST(RingCompositionTest, RingAlgebraIdenticalAcrossThreadCounts) {
+  // The parallel fast path must not perturb the ring algebra: the same
+  // (seed, cohort, dropout, ring) scenario recovers a bit-identical sum
+  // whether masks are expanded serially or sharded over any pool size.
+  const std::uint8_t ring_bits = 20;
+  const std::size_t n = 6;
+  const std::size_t veclen = 129;  // crosses a multi-block stride boundary
+  Rng rng(31337);
+
+  RingRun run;
+  run.ring_bits = ring_bits;
+  run.threshold = 4;
+  run.drop_after = {4, 2, 4, 4, 3, 4};  // pre-commit and post-commit drops
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::uint32_t> q(veclen);
+    for (auto& w : q) {
+      w = static_cast<std::uint32_t>(rng.Next()) & ((1u << ring_bits) - 1u);
+    }
+    run.inputs.push_back(std::move(q));
+  }
+
+  auto serial = run.Execute(5);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    common::ThreadPool pool(threads);
+    run.pool = &pool;
+    auto parallel = run.Execute(5);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_EQ(*parallel, *serial) << "threads=" << threads;
+    run.pool = nullptr;
+  }
 }
 
 }  // namespace
